@@ -1,0 +1,214 @@
+// Command refcheck runs the nine anti-pattern checkers over a C source tree
+// and prints the detected refcounting bugs.
+//
+// Usage:
+//
+//	refcheck [-json] [-pattern P4] DIR...
+//	refcheck -demo
+//
+// DIR arguments are scanned recursively for .c and .h files; -demo checks
+// the built-in synthetic kernel corpus instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/apidb"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cpg"
+	"repro/internal/cpp"
+	"repro/internal/loader"
+	"repro/internal/patch"
+	"repro/internal/poc"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "check the built-in synthetic kernel corpus")
+	asJSON := flag.Bool("json", false, "emit reports as JSON")
+	pattern := flag.String("pattern", "", "only report this anti-pattern (P1..P9)")
+	seed := flag.Int64("seed", 1, "corpus seed for -demo")
+	fixDir := flag.String("fix", "", "write generated fix patches (unified diffs) into this directory")
+	pocDir := flag.String("poc", "", "write use-after-decrease proof-of-concept harnesses into this directory")
+	apidbPath := flag.String("apidb", "", "JSON knowledge-base extension file (see `refcheck -dump-apidb`)")
+	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
+	flag.Parse()
+
+	if *dumpAPIDB {
+		if err := apidb.New().SaveExtensions(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var sources []cpg.Source
+	headers := map[string]string{}
+
+	if *demo {
+		c := corpus.Generate(corpus.Spec{Seed: *seed})
+		for _, f := range c.Files {
+			sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
+		}
+		for p, s := range c.Headers {
+			headers[p] = s
+		}
+	} else {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: refcheck [-json] [-pattern Pn] DIR... | refcheck -demo")
+			os.Exit(2)
+		}
+		tree, err := loader.LoadDirs(flag.Args()...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		sources = tree.Sources
+		headers = tree.Headers
+	}
+
+	db := apidb.New()
+	if *apidbPath != "" {
+		f, err := os.Open(*apidbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		err = db.LoadExtensions(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	b := &cpg.Builder{DB: db, Headers: cpp.MapFiles(headers)}
+	unit := b.Build(sources)
+	reports := core.NewEngine().CheckUnit(unit)
+
+	if *pattern != "" {
+		var filtered []core.Report
+		for _, r := range reports {
+			if string(r.Pattern) == *pattern {
+				filtered = append(filtered, r)
+			}
+		}
+		reports = filtered
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		type jsonReport struct {
+			Pattern, Impact, File, Function, Object, API string
+			Line                                         int
+			Message, Suggestion                          string
+		}
+		out := make([]jsonReport, 0, len(reports))
+		for _, r := range reports {
+			out = append(out, jsonReport{
+				Pattern: string(r.Pattern), Impact: r.Impact.String(),
+				File: r.File, Function: r.Function, Object: r.Object,
+				API: r.API, Line: r.Pos.Line,
+				Message: r.Message, Suggestion: r.Suggestion,
+			})
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, r := range reports {
+		fmt.Println(r.String())
+		if r.Suggestion != "" {
+			fmt.Printf("    suggestion: %s\n", strings.ReplaceAll(r.Suggestion, "\n", " "))
+		}
+	}
+
+	if *fixDir != "" {
+		contentOf := map[string]string{}
+		for _, src := range sources {
+			contentOf[src.Path] = src.Content
+		}
+		if err := os.MkdirAll(*fixDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		written, manual := 0, 0
+		for i, r := range reports {
+			fx := patch.Generate(contentOf[r.File], r)
+			if !fx.OK {
+				manual++
+				continue
+			}
+			name := fmt.Sprintf("%04d-%s-%s.patch", i, r.Pattern, r.Function)
+			if err := os.WriteFile(filepath.Join(*fixDir, name), []byte(fx.Diff), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+				os.Exit(1)
+			}
+			written++
+		}
+		fmt.Printf("\nwrote %d patches to %s (%d reports need manual fixes)\n", written, *fixDir, manual)
+	}
+
+	if *pocDir != "" {
+		if err := os.MkdirAll(*pocDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		written := 0
+		for i, r := range reports {
+			if r.Pattern != core.P8 {
+				continue
+			}
+			px := poc.Generate(r)
+			if !px.OK {
+				fmt.Printf("poc: %s: %s\n", r.Function, px.Reason)
+				continue
+			}
+			name := fmt.Sprintf("%04d-poc-%s.c", i, r.Function)
+			if err := os.WriteFile(filepath.Join(*pocDir, name), []byte(px.Harness), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+				os.Exit(1)
+			}
+			written++
+		}
+		fmt.Printf("wrote %d PoC harnesses to %s\n", written, *pocDir)
+	}
+
+	// Summary by pattern and impact.
+	perPattern := map[core.Pattern]int{}
+	perImpact := map[core.Impact]int{}
+	for _, r := range reports {
+		perPattern[r.Pattern]++
+		perImpact[r.Impact]++
+	}
+	var pats []string
+	for p := range perPattern {
+		pats = append(pats, string(p))
+	}
+	sort.Strings(pats)
+	fmt.Printf("\n%d reports", len(reports))
+	if len(pats) > 0 {
+		fmt.Print(" (")
+		for i, p := range pats {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s:%d", p, perPattern[core.Pattern(p)])
+		}
+		fmt.Print(")")
+	}
+	fmt.Printf(" — Leak %d, UAF %d, NPD %d\n",
+		perImpact[core.Leak], perImpact[core.UAF], perImpact[core.NPD])
+	fmt.Printf("analyzed %d files, %d functions (discovered: %d structs, %d APIs, %d smartloops)\n",
+		len(unit.Files), len(unit.Functions),
+		len(unit.DiscoveredStructs), len(unit.DiscoveredAPIs), len(unit.DiscoveredLoops))
+}

@@ -1,0 +1,59 @@
+// Command refgen writes the synthetic kernel corpus to disk so external
+// tools (or refcheck without -demo) can consume it.
+//
+// Usage:
+//
+//	refgen -out DIR [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/cpg"
+	"repro/internal/loader"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "usage: refgen -out DIR [-seed N]")
+		os.Exit(2)
+	}
+
+	c := corpus.Generate(corpus.Spec{Seed: *seed})
+	var sources []cpg.Source
+	for _, f := range c.Files {
+		sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
+	}
+	if err := loader.WriteTree(*out, sources, c.Headers); err != nil {
+		fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Ground truth manifest for external scoring.
+	manifest := filepath.Join(*out, "GROUND_TRUTH.tsv")
+	fh, err := os.Create(manifest)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	fmt.Fprintln(fh, "pattern\tkind\timpact\tsubsystem\tmodule\tfile\tfunction\tapi")
+	for _, b := range c.Planned {
+		fmt.Fprintf(fh, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			b.Pattern, b.Kind, b.Impact, b.Subsystem, b.Module, b.File, b.Function, b.API)
+	}
+	for _, bait := range c.Baits {
+		fmt.Fprintf(fh, "FP-bait\t\t\t%s\t%s\t%s\t%s\t\n",
+			bait.Subsystem, bait.Module, bait.File, bait.Function)
+	}
+
+	fmt.Printf("wrote %d files (%.1f KLOC), %d planned bugs, %d baits to %s\n",
+		len(c.Files)+len(c.Headers), c.KLOC(), len(c.Planned), len(c.Baits), *out)
+}

@@ -1,0 +1,133 @@
+// Command refstudy mines the (synthetic) kernel history and prints the
+// paper's characteristic study: Findings 1–5, the growth trend (Figure 1),
+// the classification table (Table 2), the subsystem distribution and density
+// (Figure 2), lifetimes (Figure 3), and optionally the word2vec similarity
+// matrix (Table 3).
+//
+// Usage:
+//
+//	refstudy [-seed N] [-background N] [-table3] [-format text|markdown|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/apidb"
+	"repro/internal/gitlog"
+	"repro/internal/mine"
+	"repro/internal/render"
+	"repro/internal/study"
+	"repro/internal/word2vec"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "history seed")
+	background := flag.Int("background", 0, "background commit count (0 = calibrated default)")
+	table3 := flag.Bool("table3", false, "also train word2vec and print Table 3")
+	formatFlag := flag.String("format", "text", "output format: text, markdown or csv")
+	flag.Parse()
+
+	format, err := render.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refstudy: %v\n", err)
+		os.Exit(2)
+	}
+
+	h := gitlog.Generate(gitlog.GenSpec{Seed: *seed, Background: *background})
+	res := mine.Mine(h, apidb.New())
+	s := study.New(h, res)
+
+	if format == render.Text {
+		fmt.Printf("history: %d commits across %d releases; mining: %d candidates -> %d confirmed -> %d after Fixes-tag filter (%d wrong patches removed)\n\n",
+			len(h.Commits), len(h.Versions), len(res.Candidates), len(res.Confirmed),
+			len(res.Dataset), len(res.RemovedWrongPatches))
+
+		fmt.Println("== Findings ==")
+		for _, f := range s.Findings() {
+			status := "HOLDS"
+			if !f.Holds {
+				status = "FAILS"
+			}
+			fmt.Printf("Finding %d [%s]: %s\n    measured: %s\n", f.ID, status, f.Statement, f.Measured)
+		}
+		fmt.Println()
+	}
+
+	// Figure 1.
+	trend := s.GrowthTrend()
+	fig1 := render.Series{
+		Title:  "Figure 1: refcounting bug growth 2005-2022",
+		XLabel: "year", YLabel: "fixes",
+	}
+	for _, yc := range trend {
+		fig1.X = append(fig1.X, fmt.Sprint(yc.Year))
+		fig1.Y = append(fig1.Y, float64(yc.Count))
+	}
+	fmt.Println(fig1.Render(format))
+
+	// Table 2.
+	t2 := s.Classification()
+	tab2 := render.Table{
+		Title:  "Table 2: classification",
+		Header: []string{"impact", "category", "count", "percent"},
+	}
+	for _, row := range t2.Rows {
+		tab2.AddRow(row.Impact, row.Label, row.Count, fmt.Sprintf("%.1f%%", row.Percent))
+	}
+	tab2.AddRow("", "UAD subset of 3.1", t2.UADCount,
+		fmt.Sprintf("%.1f%%", 100*float64(t2.UADCount)/float64(t2.Total)))
+	fmt.Println(tab2.Render(format))
+
+	// Figure 2.
+	tab3 := render.Table{
+		Title:  "Figure 2: distribution and density",
+		Header: []string{"subsystem", "bugs", "KLOC", "bugs/KLOC"},
+	}
+	for _, d := range s.Distribution() {
+		tab3.AddRow(d.Subsystem, d.Bugs, d.KLOC, d.Density)
+	}
+	fmt.Println(tab3.Render(format))
+
+	// Figure 3.
+	lt := s.Lifetimes()
+	life := render.Table{
+		Title:  "Figure 3: lifetimes (Fixes-tagged subset)",
+		Header: []string{"metric", "value"},
+	}
+	life.AddRow("tagged bugs", lt.Tagged)
+	life.AddRow(">1 year", fmt.Sprintf("%d (%.1f%%)", lt.OverOneYear,
+		100*float64(lt.OverOneYear)/float64(lt.Tagged)))
+	life.AddRow(">10 years", fmt.Sprintf("%d (%d UAF)", lt.OverDecade, lt.DecadeUAF))
+	life.AddRow("full span v2.6 -> v5/v6", lt.FullSpan)
+	var spans []string
+	for k := range lt.MajorSpans {
+		spans = append(spans, k)
+	}
+	sort.Strings(spans)
+	for _, k := range spans {
+		life.AddRow("span "+k, lt.MajorSpans[k])
+	}
+	fmt.Println(life.Render(format))
+
+	if *table3 {
+		t3 := study.ComputeTable3(h, word2vec.Config{Dim: 32, Epochs: 2, Seed: 5})
+		mat := render.Table{
+			Title:  "Table 3: keyword similarities (word2vec CBOW)",
+			Header: append([]string{"RC keyword"}, t3.Cols...),
+		}
+		for r, rk := range t3.Rows {
+			cells := []any{rk}
+			for c := range t3.Cols {
+				cells = append(cells, fmt.Sprintf("%.2f", t3.Sim[r][c]))
+			}
+			mat.AddRow(cells...)
+		}
+		fmt.Println(mat.Render(format))
+		if format == render.Text {
+			fmt.Printf("(vocabulary: %d words)\n", t3.Model.VocabSize())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package apidb
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/cast"
+)
+
+// DiscoverDeviations implements the proactive deviation detection the paper
+// calls for in §5.1.3 ("Another way is to proactively detect such
+// deviations, as an important future work"): it analyzes the *implementation*
+// of increment APIs and flags the two deviation classes behind anti-patterns
+// P1 and P2.
+//
+//   - IncOnError (the pm_runtime_get_sync shape, Listing 3): the function
+//     increments a counter unconditionally but can still return an error
+//     code, so callers must put even on failure.
+//   - MayReturnNull (the mdesc_grab shape): the function returns the counted
+//     pointer, and some path returns NULL.
+//
+// It returns the names of APIs whose entries were annotated.
+func (db *DB) DiscoverDeviations(files []*cast.File) []string {
+	fns := map[string]*cast.FuncDef{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*cast.FuncDef); ok && fd.Body != nil {
+				fns[fd.Name] = fd
+			}
+		}
+	}
+	var annotated []string
+	for name, fd := range fns {
+		a := db.apis[name]
+		if a == nil || a.Op != OpInc {
+			continue
+		}
+		changed := false
+		if !a.IncOnError && incrementsButReturnsError(db, fd, fns) {
+			a.IncOnError = true
+			changed = true
+		}
+		if !a.MayReturnNull && a.ReturnsRef && returnsNullOnSomePath(fd) {
+			a.MayReturnNull = true
+			changed = true
+		}
+		if changed {
+			annotated = append(annotated, name)
+		}
+	}
+	sort.Strings(annotated)
+	return annotated
+}
+
+// incrementsButReturnsError reports the Listing 3 deviation: the body (or a
+// one-level callee, matching pm_runtime_get_sync wrapping
+// __pm_runtime_suspend) performs an unconditional-looking increment and also
+// returns a non-zero error value.
+func incrementsButReturnsError(db *DB, fd *cast.FuncDef, fns map[string]*cast.FuncDef) bool {
+	if returnsErrorCode(fd) && bodyIncrements(db, fd.Body) {
+		return true
+	}
+	// One-level inlining: `return __helper(...)` where the helper both
+	// increments and returns an error code (pm_runtime_get_sync wrapping
+	// __pm_runtime_suspend in Listing 3).
+	found := false
+	cast.Walk(fd.Body, func(n cast.Node) bool {
+		r, ok := n.(*cast.ReturnStmt)
+		if !ok || r.Value == nil {
+			return true
+		}
+		call, ok := r.Value.(*cast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := fns[call.Callee()]
+		if callee == nil || callee.Body == nil {
+			return true
+		}
+		if bodyIncrements(db, callee.Body) && returnsErrorCode(callee) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// bodyIncrements reports whether the body calls a known increment API or
+// bumps a counter field directly.
+func bodyIncrements(db *DB, body *cast.CompoundStmt) bool {
+	found := false
+	cast.Walk(body, func(n cast.Node) bool {
+		switch v := n.(type) {
+		case *cast.CallExpr:
+			if a := db.apis[v.Callee()]; a != nil && a.Op == OpInc {
+				found = true
+			}
+			if v.Callee() == "atomic_inc" {
+				found = true
+			}
+		case *cast.UnaryExpr:
+			if m, ok := v.X.(*cast.MemberExpr); ok && isCounterField(m.Name) &&
+				v.Op.String() == "++" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsErrorCode reports whether the function has an int-ish return type
+// and some return of a negative constant or an error-named variable.
+func returnsErrorCode(fd *cast.FuncDef) bool {
+	if fd.Ret.IsPointer() || fd.Ret.Base == "void" {
+		return false
+	}
+	found := false
+	cast.Walk(fd.Body, func(n cast.Node) bool {
+		r, ok := n.(*cast.ReturnStmt)
+		if !ok || r.Value == nil {
+			return true
+		}
+		switch v := r.Value.(type) {
+		case *cast.UnaryExpr:
+			if v.Op.String() == "-" {
+				found = true
+			}
+		case *cast.Ident:
+			lower := strings.ToLower(v.Name)
+			if lower == "retval" || lower == "ret" || lower == "err" ||
+				lower == "error" || lower == "rc" ||
+				strings.HasPrefix(v.Name, "-E") || strings.HasPrefix(v.Name, "E") && v.Name == strings.ToUpper(v.Name) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,28 @@
+package apidb_test
+
+import (
+	"fmt"
+
+	"repro/internal/apidb"
+)
+
+// ExampleKeywordOp shows the §3.1 first-level keyword filter.
+func ExampleKeywordOp() {
+	for _, name := range []string{"of_node_get", "sock_put", "dev_hold", "regmap_read"} {
+		fmt.Printf("%s -> %s\n", name, apidb.KeywordOp(name))
+	}
+	// Output:
+	// of_node_get -> inc
+	// sock_put -> dec
+	// dev_hold -> inc
+	// regmap_read -> none
+}
+
+// ExampleDB_Lookup queries the deviation flags behind anti-patterns P1/P2.
+func ExampleDB_Lookup() {
+	db := apidb.New()
+	a := db.Lookup("pm_runtime_get_sync")
+	fmt.Printf("%s: class=%s inc-on-error=%v pair=%s\n", a.Name, a.Class, a.IncOnError, a.Pair)
+	// Output:
+	// pm_runtime_get_sync: class=refcounting-embedded inc-on-error=true pair=pm_runtime_put_noidle
+}

@@ -1,0 +1,118 @@
+package apidb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadExtensions(t *testing.T) {
+	db := New()
+	ext := `{
+  "apis": [
+    {"name": "acme_widget_find", "op": "inc", "class": "embedded",
+     "returns_ref": true, "may_return_null": true,
+     "pair": "acme_widget_put", "struct": "acme_widget"},
+    {"name": "acme_widget_put", "op": "dec", "obj_arg": 0,
+     "pair": "acme_widget_find", "may_free": true, "struct": "acme_widget"}
+  ],
+  "smartloops": [
+    {"name": "for_each_acme_widget", "iter_arg": 0,
+     "put_api": "acme_widget_put", "embedded_api": "acme_widget_find"}
+  ],
+  "callback_pairs": [
+    {"struct": "acme_driver", "acquire": "attach", "release": "detach"}
+  ],
+  "refcounted_structs": ["acme_widget"]
+}`
+	if err := db.LoadExtensions(strings.NewReader(ext)); err != nil {
+		t.Fatal(err)
+	}
+	a := db.Lookup("acme_widget_find")
+	if a == nil || a.Op != OpInc || !a.ReturnsRef || !a.MayReturnNull ||
+		a.Class != Embedded || a.ObjArg != -1 {
+		t.Fatalf("find = %+v", a)
+	}
+	p := db.Lookup("acme_widget_put")
+	if p == nil || p.Op != OpDec || p.ObjArg != 0 || !p.MayFree {
+		t.Fatalf("put = %+v", p)
+	}
+	if l := db.Loop("for_each_acme_widget"); l == nil || l.PutAPI != "acme_widget_put" {
+		t.Fatalf("loop = %+v", l)
+	}
+	found := false
+	for _, cb := range db.Callbacks() {
+		if cb.Struct == "acme_driver" && cb.Acquire == "attach" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("callback pair missing")
+	}
+	if !db.IsRefStruct("acme_widget") {
+		t.Error("struct not registered")
+	}
+}
+
+func TestLoadExtensionsOverridesSeed(t *testing.T) {
+	db := New()
+	ext := `{"apis": [{"name": "pm_runtime_get_sync", "op": "inc", "obj_arg": 0}]}`
+	if err := db.LoadExtensions(strings.NewReader(ext)); err != nil {
+		t.Fatal(err)
+	}
+	// Override clears the deviation flag (the file owns the entry now).
+	if a := db.Lookup("pm_runtime_get_sync"); a.IncOnError {
+		t.Error("override did not replace the seed entry")
+	}
+}
+
+func TestLoadExtensionsValidation(t *testing.T) {
+	cases := []string{
+		`{"apis": [{"op": "inc"}]}`,                                // missing name
+		`{"apis": [{"name": "x", "op": "sideways"}]}`,              // bad op
+		`{"apis": [{"name": "x", "op": "inc", "class": "weird"}]}`, // bad class
+		`{"smartloops": [{"name": "l"}]}`,                          // missing put_api
+		`{"callback_pairs": [{"struct": "s"}]}`,                    // incomplete pair
+		`{"unknown_field": 1}`,                                     // strict decoding
+		`{`,                                                        // malformed JSON
+	}
+	for _, c := range cases {
+		db := New()
+		if err := db.LoadExtensions(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid extension %q", c)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	var buf bytes.Buffer
+	if err := db.SaveExtensions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := &DB{apis: map[string]*API{}, loops: map[string]*SmartLoop{}, refStructs: map[string]bool{}}
+	if err := fresh.LoadExtensions(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range db.APIs() {
+		b := fresh.Lookup(a.Name)
+		if b == nil {
+			t.Fatalf("%s lost in round trip", a.Name)
+		}
+		if b.Op != a.Op || b.IncOnError != a.IncOnError ||
+			b.MayReturnNull != a.MayReturnNull || b.ReturnsRef != a.ReturnsRef ||
+			b.ObjArg != a.ObjArg || b.HasDecArg != a.HasDecArg ||
+			b.Pair != a.Pair {
+			t.Errorf("%s differs: %+v vs %+v", a.Name, a, b)
+		}
+		if a.HasDecArg && b.DecArgObj != a.DecArgObj {
+			t.Errorf("%s cursor arg differs: %d vs %d", a.Name, a.DecArgObj, b.DecArgObj)
+		}
+	}
+	if len(fresh.Loops()) != len(db.Loops()) {
+		t.Errorf("loops: %d vs %d", len(fresh.Loops()), len(db.Loops()))
+	}
+	if len(fresh.Callbacks()) != len(db.Callbacks()) {
+		t.Errorf("callbacks: %d vs %d", len(fresh.Callbacks()), len(db.Callbacks()))
+	}
+}

@@ -1,0 +1,51 @@
+package apidb
+
+// Table6Row is one row of the paper's Appendix A inventory of error-prone
+// APIs.
+type Table6Row struct {
+	Category string // "ID" (implementation deviation) or "H" (hidden)
+	BugType  string // "Return-Error", "Return-NULL", "Complete-Hidden", "Inc./Dec.-Hidden"
+	APIs     []string
+}
+
+// Table6 reproduces Appendix A, Table 6: the error-prone API inventory. The
+// checker suite treats this as ground truth for its deviation and hidden
+// flags; TestTable6Consistency verifies every listed API carries the matching
+// flag in the seeded DB.
+func Table6() []Table6Row {
+	return []Table6Row{
+		{
+			Category: "ID", BugType: "Return-Error",
+			APIs: []string{"pm_runtime_get_sync", "kobject_init_and_add"},
+		},
+		{
+			Category: "ID", BugType: "Return-NULL",
+			APIs: []string{"mdesc_grab", "amdgpu_device_ip_init"},
+		},
+		{
+			Category: "H", BugType: "Complete-Hidden",
+			APIs: []string{
+				"for_each_child_of_node", "for_each_available_child_of_node",
+				"for_each_endpoint_of_node", "for_each_node_by_name",
+				"for_each_compatible_node", "device_for_each_child_node",
+				"fwnode_for_each_parent_node",
+			},
+		},
+		{
+			Category: "H", BugType: "Inc./Dec.-Hidden",
+			APIs: []string{
+				"of_parse_phandle", "of_get_parent", "of_get_child_by_name",
+				"of_find_compatible_node", "of_find_matching_node",
+				"of_find_node_by_name", "of_find_node_by_path",
+				"of_find_node_by_phandle", "of_find_node_by_type",
+				"device_initialize", "ip_dev_find", "afs_alloc_read",
+				"perf_cpu_map__new", "setup_find_cpu_node",
+				"gfs2_glock_nq_init", "tipc_node_find", "sockfd_lookup",
+				"fc_rport_lookup", "rxrpc_lookup_peer", "lookup_bdev",
+				"tcp_ulp_find_autoload", "ipv4_neigh_lookup",
+				"class_find_device", "mpol_shared_policy_lookup",
+				"usb_anchor_urb", "tomoyo_mount_acl",
+			},
+		},
+	}
+}

@@ -1,0 +1,71 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clex"
+)
+
+// ExprString renders an expression back to C-like text; used in diagnostics
+// and suggested patches. It is not a full pretty-printer: precedence is made
+// explicit with the parentheses the source carried.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *Ident:
+		return x.Name
+	case *Lit:
+		return x.Text
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", ExprString(x.Fun), strings.Join(args, ", "))
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(x.X), opText(x.Op), ExprString(x.Y))
+	case *UnaryExpr:
+		if x.Postfix {
+			return ExprString(x.X) + opText(x.Op)
+		}
+		return opText(x.Op) + ExprString(x.X)
+	case *AssignExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(x.LHS), opText(x.Op), ExprString(x.RHS))
+	case *MemberExpr:
+		sep := "."
+		if x.Arrow {
+			sep = "->"
+		}
+		return ExprString(x.X) + sep + x.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(x.X), ExprString(x.Index))
+	case *ParenExpr:
+		return "(" + ExprString(x.X) + ")"
+	case *CondExpr:
+		return fmt.Sprintf("%s ? %s : %s", ExprString(x.Cond), ExprString(x.Then), ExprString(x.Else))
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", x.Type, ExprString(x.X))
+	case *SizeofExpr:
+		if x.X != nil {
+			return fmt.Sprintf("sizeof(%s)", ExprString(x.X))
+		}
+		return fmt.Sprintf("sizeof(%s)", x.Type)
+	case *CommaExpr:
+		return ExprString(x.X) + ", " + ExprString(x.Y)
+	case *InitListExpr:
+		var parts []string
+		for _, fi := range x.Fields {
+			parts = append(parts, fmt.Sprintf(".%s = %s", fi.Field, ExprString(fi.Value)))
+		}
+		for _, e := range x.Elems {
+			parts = append(parts, ExprString(e))
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func opText(k clex.Kind) string { return k.String() }

@@ -1,0 +1,223 @@
+package cfg
+
+import (
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+)
+
+// errorLabelPrefixes mark labels that head error-handling code in kernel
+// style (§5.3.1: "one is the premature exit (return) under a specific
+// if-condition block, another one is located by the error-labels").
+var errorLabelPrefixes = []string{
+	"err", "fail", "out", "cleanup", "exit", "bail", "abort", "free",
+	"unlock", "put", "release", "undo", "drop",
+}
+
+func isErrorLabel(name string) bool {
+	lower := strings.ToLower(name)
+	for _, p := range errorLabelPrefixes {
+		if strings.HasPrefix(lower, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyErrorBranches decides whether the then / else branch of an if is an
+// error-handling branch, based on the condition shape:
+//
+//	if (ret < 0) ...        → then is error
+//	if (err) ...            → then is error
+//	if (!ptr) ...           → then is error
+//	if (IS_ERR(p)) ...      → then is error
+//	if (ptr) ... else ...   → else is error
+func classifyErrorBranches(x *cast.IfStmt) (thenErr, elseErr bool) {
+	pol := condPolarity(x.Cond)
+	switch pol {
+	case polErrorWhenTrue:
+		return true, false
+	case polErrorWhenFalse:
+		return false, x.Else != nil
+	default:
+		return false, false
+	}
+}
+
+type polarity int
+
+const (
+	polUnknown polarity = iota
+	polErrorWhenTrue
+	polErrorWhenFalse
+)
+
+// errIdentNames are variable names conventionally holding error codes.
+var errIdentNames = map[string]bool{
+	"err": true, "error": true, "ret": true, "retval": true, "rc": true,
+	"res": true, "result": true, "status": true, "r": true, "rv": true,
+}
+
+// IsErrIdent reports whether name conventionally holds an error code.
+func IsErrIdent(name string) bool { return errIdentNames[name] }
+
+func condPolarity(e cast.Expr) polarity {
+	switch x := e.(type) {
+	case *cast.ParenExpr:
+		return condPolarity(x.X)
+	case *cast.UnaryExpr:
+		if x.Op == clex.Not {
+			switch condPolarity(x.X) {
+			case polErrorWhenTrue:
+				return polErrorWhenFalse
+			case polErrorWhenFalse:
+				return polErrorWhenTrue
+			}
+			// !ptr → error when true (NULL check).
+			if isPointerish(x.X) {
+				return polErrorWhenTrue
+			}
+			return polUnknown
+		}
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case clex.Lt: // ret < 0
+			if isErrValue(x.X) && isZero(x.Y) {
+				return polErrorWhenTrue
+			}
+		case clex.Ne: // err != 0, ptr != NULL
+			if isErrValue(x.X) && isZero(x.Y) {
+				return polErrorWhenTrue
+			}
+			if isPointerish(x.X) && isNullish(x.Y) {
+				return polErrorWhenFalse
+			}
+		case clex.Eq: // ptr == NULL, err == 0
+			if isPointerish(x.X) && isNullish(x.Y) {
+				return polErrorWhenTrue
+			}
+			if isErrValue(x.X) && isZero(x.Y) {
+				return polErrorWhenFalse
+			}
+		case clex.AndAnd, clex.OrOr:
+			// If either side clearly signals error-when-true, the branch
+			// handles errors.
+			if condPolarity(x.X) == polErrorWhenTrue || condPolarity(x.Y) == polErrorWhenTrue {
+				return polErrorWhenTrue
+			}
+		}
+	case *cast.CallExpr:
+		switch x.Callee() {
+		case "IS_ERR", "IS_ERR_OR_NULL", "unlikely":
+			if x.Callee() == "unlikely" && len(x.Args) == 1 {
+				return condPolarity(x.Args[0])
+			}
+			return polErrorWhenTrue
+		}
+	case *cast.Ident:
+		if IsErrIdent(x.Name) {
+			return polErrorWhenTrue
+		}
+	}
+	return polUnknown
+}
+
+func isErrValue(e cast.Expr) bool {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return IsErrIdent(x.Name)
+	case *cast.ParenExpr:
+		return isErrValue(x.X)
+	case *cast.CallExpr:
+		return true // `if (do_thing() < 0)` — call result compared to 0
+	case *cast.MemberExpr:
+		return IsErrIdent(x.Name)
+	}
+	return false
+}
+
+func isZero(e cast.Expr) bool {
+	if l, ok := e.(*cast.Lit); ok {
+		return l.Text == "0"
+	}
+	return false
+}
+
+func isNullish(e cast.Expr) bool {
+	switch x := e.(type) {
+	case *cast.Lit:
+		return x.Text == "0"
+	case *cast.Ident:
+		return x.Name == "NULL"
+	}
+	return false
+}
+
+// isPointerish is a syntactic guess that the expression denotes a pointer:
+// identifiers that are not error-code names, member accesses, calls.
+func isPointerish(e cast.Expr) bool {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return !IsErrIdent(x.Name)
+	case *cast.MemberExpr, *cast.CallExpr, *cast.IndexExpr:
+		return true
+	case *cast.ParenExpr:
+		return isPointerish(x.X)
+	}
+	return false
+}
+
+// NullCheckedIdents returns the names the condition tests against NULL, with
+// the branch (true/false) on which they are known non-NULL. Used by the P2
+// (return-NULL) checker.
+//
+//	if (p) {...}        → p non-NULL in then
+//	if (!p) return;     → p non-NULL after (in else/fallthrough)
+//	if (p == NULL) ...  → p non-NULL in else
+//	if (p != NULL) ...  → p non-NULL in then
+func NullCheckedIdents(cond cast.Expr) (nonNullWhenTrue, nonNullWhenFalse []string) {
+	switch x := cond.(type) {
+	case *cast.ParenExpr:
+		return NullCheckedIdents(x.X)
+	case *cast.Ident:
+		return []string{x.Name}, nil
+	case *cast.UnaryExpr:
+		if x.Op == clex.Not {
+			t, f := NullCheckedIdents(x.X)
+			return f, t
+		}
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case clex.Eq:
+			if id, ok := unwrapIdent(x.X); ok && isNullish(x.Y) {
+				return nil, []string{id}
+			}
+		case clex.Ne:
+			if id, ok := unwrapIdent(x.X); ok && isNullish(x.Y) {
+				return []string{id}, nil
+			}
+		case clex.AndAnd:
+			t1, _ := NullCheckedIdents(x.X)
+			t2, _ := NullCheckedIdents(x.Y)
+			return append(t1, t2...), nil
+		}
+	case *cast.CallExpr:
+		if x.Callee() == "unlikely" || x.Callee() == "likely" {
+			if len(x.Args) == 1 {
+				return NullCheckedIdents(x.Args[0])
+			}
+		}
+	}
+	return nil, nil
+}
+
+func unwrapIdent(e cast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *cast.Ident:
+		return x.Name, true
+	case *cast.ParenExpr:
+		return unwrapIdent(x.X)
+	}
+	return "", false
+}

@@ -1,0 +1,86 @@
+package cfg
+
+// Path is one entry-to-exit block sequence.
+type Path []*Block
+
+// Paths enumerates acyclic-ish execution paths from Entry to Exit: each block
+// may appear at most twice on a path (so loop bodies are taken at most once,
+// which is what the paper's templates need — a smartloop bug shows up on the
+// first iteration). Enumeration stops after max paths to bound cost on
+// branch-heavy functions; max <= 0 means DefaultMaxPaths.
+func (g *Graph) Paths(max int) []Path {
+	if max <= 0 {
+		max = DefaultMaxPaths
+	}
+	var out []Path
+	visits := map[*Block]int{}
+	var cur Path
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if len(out) >= max {
+			return
+		}
+		if visits[b] >= 2 {
+			return
+		}
+		visits[b]++
+		cur = append(cur, b)
+		if b == g.Exit {
+			out = append(out, append(Path(nil), cur...))
+		} else {
+			for _, s := range b.Succs {
+				walk(s)
+			}
+		}
+		cur = cur[:len(cur)-1]
+		visits[b]--
+	}
+	walk(g.Entry)
+	return out
+}
+
+// DefaultMaxPaths bounds path enumeration per function.
+const DefaultMaxPaths = 4096
+
+// Reachable returns the set of blocks reachable from b (including b).
+func Reachable(b *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(x *Block)
+	walk = func(x *Block) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		for _, s := range x.Succs {
+			walk(s)
+		}
+	}
+	walk(b)
+	return seen
+}
+
+// ReachesWithout reports whether dst is reachable from src along edges that
+// avoid blocks rejected by the filter. src itself is not filtered.
+func ReachesWithout(src, dst *Block, blocked func(*Block) bool) bool {
+	seen := map[*Block]bool{}
+	var walk func(x *Block) bool
+	walk = func(x *Block) bool {
+		if x == dst {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs {
+			if s != dst && blocked(s) {
+				continue
+			}
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(src)
+}

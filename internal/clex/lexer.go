@@ -1,0 +1,351 @@
+package clex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config controls optional token retention. The preprocessor needs newlines
+// (directives are line-oriented); the parser does not.
+type Config struct {
+	KeepComments bool
+	KeepNewlines bool
+}
+
+// Lexer tokenizes a single source buffer.
+type Lexer struct {
+	cfg  Config
+	src  string
+	file string
+
+	off  int
+	line int
+	col  int
+
+	sawSpace bool
+	errs     []error
+}
+
+// New returns a lexer over src, reporting positions against the given file
+// name.
+func New(file, src string, cfg Config) *Lexer {
+	return &Lexer{cfg: cfg, src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns all lexical errors encountered so far. Lexing is
+// error-tolerant: malformed input yields an error and lexing continues.
+func (l *Lexer) Errors() []error { return l.errs }
+
+// Tokenize lexes the whole buffer, excluding the trailing EOF token.
+func Tokenize(file, src string, cfg Config) ([]Token, []error) {
+	l := New(file, src, cfg)
+	var toks []Token
+	for {
+		t := l.Next()
+		if t.Kind == EOF {
+			return toks, l.errs
+		}
+		toks = append(toks, t)
+	}
+}
+
+func (l *Lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes spaces, tabs, line continuations and (when not retained)
+// comments. It stops at newlines so the caller can emit Newline tokens when
+// configured.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+			l.sawSpace = true
+		case c == '\\' && l.peekAt(1) == '\n':
+			l.advance()
+			l.advance()
+			l.sawSpace = true
+		case c == '\\' && l.peekAt(1) == '\r' && l.peekAt(2) == '\n':
+			l.advance()
+			l.advance()
+			l.advance()
+			l.sawSpace = true
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() Token {
+	for {
+		l.skipSpace()
+		if l.off >= len(l.src) {
+			return Token{Kind: EOF, Pos: l.pos(), LeadingSpace: l.sawSpace}
+		}
+		start := l.pos()
+		c := l.peek()
+
+		if c == '\n' {
+			l.advance()
+			l.sawSpace = true
+			if l.cfg.KeepNewlines {
+				return l.emit(Token{Kind: Newline, Pos: start})
+			}
+			continue
+		}
+		if c == '/' && l.peekAt(1) == '/' {
+			text := l.lexLineComment()
+			l.sawSpace = true
+			if l.cfg.KeepComments {
+				return l.emit(Token{Kind: Comment, Text: text, Pos: start})
+			}
+			continue
+		}
+		if c == '/' && l.peekAt(1) == '*' {
+			text := l.lexBlockComment(start)
+			l.sawSpace = true
+			if l.cfg.KeepComments {
+				return l.emit(Token{Kind: Comment, Text: text, Pos: start})
+			}
+			continue
+		}
+
+		switch {
+		case isIdentStart(c):
+			return l.emit(l.lexIdent(start))
+		case c >= '0' && c <= '9':
+			return l.emit(l.lexNumber(start))
+		case c == '.' && isDigit(l.peekAt(1)):
+			return l.emit(l.lexNumber(start))
+		case c == '\'':
+			return l.emit(l.lexCharLit(start))
+		case c == '"':
+			return l.emit(l.lexStringLit(start))
+		default:
+			return l.emit(l.lexPunct(start))
+		}
+	}
+}
+
+func (l *Lexer) emit(t Token) Token {
+	t.LeadingSpace = l.sawSpace
+	l.sawSpace = false
+	return t
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) lexIdent(start Pos) Token {
+	var b strings.Builder
+	for l.off < len(l.src) && isIdentCont(l.peek()) {
+		b.WriteByte(l.advance())
+	}
+	text := b.String()
+	kind := Ident
+	if keywords[text] {
+		kind = Keyword
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexNumber(start Pos) Token {
+	var b strings.Builder
+	isFloat := false
+	// Hex / octal / binary prefixes.
+	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+		b.WriteByte(l.advance())
+		b.WriteByte(l.advance())
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+	} else {
+		for l.off < len(l.src) {
+			c := l.peek()
+			switch {
+			case isDigit(c):
+				b.WriteByte(l.advance())
+			case c == '.':
+				isFloat = true
+				b.WriteByte(l.advance())
+			case (c == 'e' || c == 'E') && (isDigit(l.peekAt(1)) || ((l.peekAt(1) == '+' || l.peekAt(1) == '-') && isDigit(l.peekAt(2)))):
+				isFloat = true
+				b.WriteByte(l.advance()) // e
+				b.WriteByte(l.advance()) // sign or digit
+			default:
+				goto suffix
+			}
+		}
+	}
+suffix:
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' || (isFloat && (c == 'f' || c == 'F')) {
+			b.WriteByte(l.advance())
+		} else {
+			break
+		}
+	}
+	kind := IntLit
+	if isFloat {
+		kind = FloatLit
+	}
+	return Token{Kind: kind, Text: b.String(), Pos: start}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (l *Lexer) lexCharLit(start Pos) Token {
+	var b strings.Builder
+	b.WriteByte(l.advance()) // opening quote
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\\' {
+			b.WriteByte(l.advance())
+			if l.off < len(l.src) {
+				b.WriteByte(l.advance())
+			}
+			continue
+		}
+		b.WriteByte(l.advance())
+		if c == '\'' {
+			return Token{Kind: CharLit, Text: b.String(), Pos: start}
+		}
+		if c == '\n' {
+			break
+		}
+	}
+	l.errorf(start, "unterminated character literal")
+	return Token{Kind: CharLit, Text: b.String(), Pos: start}
+}
+
+func (l *Lexer) lexStringLit(start Pos) Token {
+	var b strings.Builder
+	b.WriteByte(l.advance()) // opening quote
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '\\' {
+			b.WriteByte(l.advance())
+			if l.off < len(l.src) {
+				b.WriteByte(l.advance())
+			}
+			continue
+		}
+		if c == '\n' {
+			break
+		}
+		b.WriteByte(l.advance())
+		if c == '"' {
+			return Token{Kind: StringLit, Text: b.String(), Pos: start}
+		}
+	}
+	l.errorf(start, "unterminated string literal")
+	return Token{Kind: StringLit, Text: b.String(), Pos: start}
+}
+
+func (l *Lexer) lexLineComment() string {
+	var b strings.Builder
+	for l.off < len(l.src) && l.peek() != '\n' {
+		b.WriteByte(l.advance())
+	}
+	return b.String()
+}
+
+func (l *Lexer) lexBlockComment(start Pos) string {
+	var b strings.Builder
+	b.WriteByte(l.advance()) // '/'
+	b.WriteByte(l.advance()) // '*'
+	for l.off < len(l.src) {
+		if l.peek() == '*' && l.peekAt(1) == '/' {
+			b.WriteByte(l.advance())
+			b.WriteByte(l.advance())
+			return b.String()
+		}
+		b.WriteByte(l.advance())
+	}
+	l.errorf(start, "unterminated block comment")
+	return b.String()
+}
+
+// punct2 and punct3 map multi-byte punctuation to kinds; longest match wins.
+var punct3 = map[string]Kind{
+	"<<=": ShlAssign, ">>=": ShrAssign, "...": Ellipsis,
+}
+
+var punct2 = map[string]Kind{
+	"+=": PlusAssign, "-=": MinusAssign, "*=": StarAssign, "/=": SlashAssign,
+	"%=": PercentAssign, "&=": AmpAssign, "|=": PipeAssign, "^=": CaretAssign,
+	"++": Inc, "--": Dec, "==": Eq, "!=": Ne, "<=": Le, ">=": Ge,
+	"&&": AndAnd, "||": OrOr, "<<": Shl, ">>": Shr, "->": Arrow, "##": HashHash,
+}
+
+var punct1 = map[byte]Kind{
+	'(': LParen, ')': RParen, '{': LBrace, '}': RBrace,
+	'[': LBracket, ']': RBracket, ';': Semi, ',': Comma, ':': Colon,
+	'?': Question, '=': Assign, '+': Plus, '-': Minus, '*': Star,
+	'/': Slash, '%': Percent, '<': Lt, '>': Gt, '!': Not, '&': Amp,
+	'|': Pipe, '^': Caret, '~': Tilde, '.': Dot, '#': Hash,
+}
+
+func (l *Lexer) lexPunct(start Pos) Token {
+	if l.off+3 <= len(l.src) {
+		if k, ok := punct3[l.src[l.off:l.off+3]]; ok {
+			l.advance()
+			l.advance()
+			l.advance()
+			return Token{Kind: k, Text: k.String(), Pos: start}
+		}
+	}
+	if l.off+2 <= len(l.src) {
+		if k, ok := punct2[l.src[l.off:l.off+2]]; ok {
+			l.advance()
+			l.advance()
+			return Token{Kind: k, Text: k.String(), Pos: start}
+		}
+	}
+	c := l.advance()
+	if k, ok := punct1[c]; ok {
+		return Token{Kind: k, Text: k.String(), Pos: start}
+	}
+	l.errorf(start, "unexpected character %q", c)
+	// Skip the bad byte and continue with whatever follows.
+	return l.Next()
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// ReturnErrorChecker implements anti-pattern P1 (§5.1.1):
+//
+//	F_start → S_{G_E} → B_error → F_end
+//
+// A deviated API (pm_runtime_get_sync, kobject_init_and_add) increments the
+// refcounter even when it reports failure, so a path that bails into error
+// handling without the balancing put leaks the reference.
+type ReturnErrorChecker struct{}
+
+// ID returns P1.
+func (*ReturnErrorChecker) ID() Pattern { return P1 }
+
+// Check scans every bounded path for an increments-on-error call followed by
+// an error block with no balancing decrement.
+func (*ReturnErrorChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	var out []Report
+	reported := map[string]bool{}
+	for _, p := range fn.Graph.Paths(0) {
+		evs, blockAt := eventsOnPath(fn.Events, p)
+		for i, ev := range evs {
+			if ev.Op != semantics.OpInc || ev.Info == nil || !ev.Info.IncOnError {
+				continue
+			}
+			if reported[ev.Pos.String()] {
+				continue
+			}
+			// Does this path enter an error block after the call?
+			errIdx := -1
+			for bi := blockAt[i]; bi < len(p); bi++ {
+				if p[bi].IsError {
+					errIdx = bi
+					break
+				}
+			}
+			if errIdx < 0 {
+				continue
+			}
+			// Any balancing put later on the path forgives it.
+			balanced := false
+			for j := i + 1; j < len(evs); j++ {
+				if evs[j].Op == semantics.OpDec && decBalances(evs[j], ev) {
+					balanced = true
+					break
+				}
+			}
+			if balanced {
+				continue
+			}
+			reported[ev.Pos.String()] = true
+			pair := ev.Info.Pair
+			if pair == "" {
+				pair = "the paired put"
+			}
+			out = append(out, Report{
+				Pattern: P1, Impact: Leak,
+				Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+				Object: ev.Obj, API: ev.API,
+				Message:    fmt.Sprintf("%s increments the refcount even on failure, but the error path returns without %s", ev.API, pair),
+				Suggestion: fmt.Sprintf("call %s(%s) in the error path before returning", pair, ev.Obj),
+				Witness:    evs,
+			})
+		}
+	}
+	return out
+}
+
+// decBalances reports whether dec plausibly balances inc: same object key,
+// or the dec is the registered pair API of the inc.
+func decBalances(dec, inc semantics.Event) bool {
+	if sameObj(dec.Obj, inc.Obj) {
+		return true
+	}
+	return inc.Info != nil && inc.Info.Pair != "" && dec.API == inc.Info.Pair
+}
+
+// ReturnNullChecker implements anti-pattern P2 (§5.1.2):
+//
+//	F_start → S_{G_N} → S_{D_N} → F_end
+//
+// A deviated increment API returns the counted object pointer — which may be
+// NULL — and the caller dereferences it without a NULL check.
+type ReturnNullChecker struct{}
+
+// ID returns P2.
+func (*ReturnNullChecker) ID() Pattern { return P2 }
+
+// Check tracks may-be-NULL references along each path, discharging them at
+// NULL tests (branch-direction aware) and reporting unchecked dereferences.
+func (*ReturnNullChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	var out []Report
+	reported := map[string]bool{}
+	for _, p := range fn.Graph.Paths(0) {
+		evs, blockAt := eventsOnPath(fn.Events, p)
+		// unchecked: base name → the producing Inc event.
+		unchecked := map[string]semantics.Event{}
+		for i, ev := range evs {
+			switch ev.Op {
+			case semantics.OpInc:
+				if ev.Info != nil && ev.Info.MayReturnNull && ev.Obj != "" {
+					unchecked[semantics.BaseOf(ev.Obj)] = ev
+				}
+			case semantics.OpCond:
+				// Which branch does this path take?
+				facts := condFacts(ev, p, blockAt[i])
+				for _, name := range facts {
+					delete(unchecked, name)
+				}
+			case semantics.OpAssign:
+				// Reassignment invalidates tracking.
+				delete(unchecked, semantics.BaseOf(ev.AssignTarget))
+			case semantics.OpDeref:
+				src, tracked := unchecked[ev.Obj]
+				if !tracked {
+					continue
+				}
+				key := src.Pos.String() + "|" + ev.Obj
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				out = append(out, Report{
+					Pattern: P2, Impact: NPD,
+					Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+					Object: ev.Obj, API: src.API,
+					Message:    fmt.Sprintf("%s may return NULL but %s is dereferenced without a check", src.API, ev.Obj),
+					Suggestion: fmt.Sprintf("if (!%s)\n\t\treturn -ENODEV;", ev.Obj),
+					Witness:    evs,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// condFacts returns the names known non-NULL after taking this path's branch
+// at the condition event. blockIdx is the index of the event's block within
+// the path.
+func condFacts(ev semantics.Event, p []*blockT, blockIdx int) []string {
+	nonNull, _ := branchFacts(ev, p, blockIdx)
+	return nonNull
+}
+
+// branchFacts returns the names known non-NULL and known NULL on the branch
+// this path takes at the condition event. Duality: `if (!p)` puts p in
+// NonNullFalse, so taking the true branch means p is NULL.
+func branchFacts(ev semantics.Event, p []*blockT, blockIdx int) (nonNull, null []string) {
+	if blockIdx+1 >= len(p) || ev.Block == nil || len(ev.Block.Succs) == 0 {
+		return nil, nil
+	}
+	next := p[blockIdx+1]
+	if next == ev.Block.Succs[0] {
+		return ev.NonNullTrue, ev.NonNullFalse
+	}
+	return ev.NonNullFalse, ev.NonNullTrue
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apidb"
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// ErrorHandleChecker implements anti-pattern P5 (§5.3.1):
+//
+//	F_start → S_G → S_P | B_error → F_end
+//
+// The developer paired the put on the normal paths but overlooked the
+// error-handling paths: some path through B_error reaches F_end without the
+// decrement.
+type ErrorHandleChecker struct{}
+
+// ID returns P5.
+func (*ErrorHandleChecker) ID() Pattern { return P5 }
+
+// Check reports increments that are balanced on at least one path (showing
+// developer intent) but unbalanced on a path through an error block.
+func (*ErrorHandleChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	type state struct {
+		ev              semantics.Event
+		balancedPath    bool
+		errorLeakEvents []semantics.Event
+	}
+	incs := map[string]*state{}
+	for _, p := range fn.Graph.Paths(0) {
+		evs, blockAt := eventsOnPath(fn.Events, p)
+		for i, ev := range evs {
+			if ev.Op != semantics.OpInc || ev.Obj == "" || ev.Info == nil {
+				continue
+			}
+			if ev.Info.IncOnError {
+				continue // P1's specialty
+			}
+			if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil {
+				continue // P3's specialty
+			}
+			key := ev.Pos.String() + "|" + ev.Obj
+			st := incs[key]
+			if st == nil {
+				st = &state{ev: ev}
+				incs[key] = st
+			}
+			balanced := false
+			transferred := false
+			nullOnPath := false
+			for j := i + 1; j < len(evs); j++ {
+				switch evs[j].Op {
+				case semantics.OpDec:
+					if decBalances(evs[j], ev) {
+						balanced = true
+					}
+				case semantics.OpReturn, semantics.OpAssign:
+					if evs[j].Obj != "" && sameObj(evs[j].Obj, ev.Obj) {
+						transferred = true
+					}
+				case semantics.OpCond:
+					// On the branch where the object is known NULL there is
+					// no reference to balance.
+					_, null := branchFacts(evs[j], p, blockAt[j])
+					for _, name := range null {
+						if name == semantics.BaseOf(ev.Obj) {
+							nullOnPath = true
+						}
+					}
+				}
+			}
+			if balanced {
+				st.balancedPath = true
+				continue
+			}
+			if transferred || nullOnPath {
+				continue
+			}
+			// Unbalanced: does the path run through an error block after
+			// the increment?
+			for bi := blockAt[i] + 1; bi < len(p); bi++ {
+				if p[bi].IsError {
+					st.errorLeakEvents = evs
+					break
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(incs))
+	for k := range incs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Report
+	for _, k := range keys {
+		st := incs[k]
+		if !st.balancedPath || st.errorLeakEvents == nil {
+			continue
+		}
+		pair := "the paired put"
+		if st.ev.Info.Pair != "" {
+			pair = st.ev.Info.Pair
+		}
+		out = append(out, Report{
+			Pattern: P5, Impact: Leak,
+			Function: fn.Def.Name, File: fn.File, Pos: st.ev.Pos,
+			Object: st.ev.Obj, API: st.ev.API,
+			Message:    fmt.Sprintf("%s on %s is balanced on the normal path but leaks through an error-handling path", st.ev.API, st.ev.Obj),
+			Suggestion: fmt.Sprintf("add %s(%s) to the error-handling path", pair, st.ev.Obj),
+			Witness:    st.errorLeakEvents,
+		})
+	}
+	return out
+}
+
+// InterPairedChecker implements anti-pattern P6 (§5.3.2):
+//
+//	F⊤_start → S_G → F⊤_end  ∧  F⊥_start → F⊥_end (without S_P)
+//
+// Inter-paired callbacks (probe/remove, open/release, ...) split acquire and
+// release across functions bound by a driver-ops structure; a get kept by
+// the acquire callback must be matched by a put in the release callback.
+// Name-paired functions (register/unregister, init/exit, create/destroy)
+// follow the same rule.
+type InterPairedChecker struct{}
+
+// ID returns P6.
+func (*InterPairedChecker) ID() Pattern { return P6 }
+
+// Check is unused; P6 is unit-scoped.
+func (*InterPairedChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report { return nil }
+
+// namePairSuffixes are recognized acquire→release name conventions.
+var namePairSuffixes = [][2]string{
+	{"_register", "_unregister"},
+	{"_init", "_exit"},
+	{"_init", "_uninit"},
+	{"_create", "_destroy"},
+	{"_probe", "_remove"},
+	{"_open", "_release"},
+	{"_connect", "_shutdown"},
+}
+
+// CheckUnit inspects callback bindings and name-paired functions.
+func (c *InterPairedChecker) CheckUnit(u *cpg.Unit) []Report {
+	var out []Report
+	seen := map[string]bool{}
+	for _, cb := range u.CallbackBindings() {
+		if cb.Acquire == nil {
+			continue
+		}
+		out = append(out, c.checkPair(u, cb.Acquire, cb.Release,
+			fmt.Sprintf("%s.%s/%s", cb.Pair.Struct, cb.Pair.Acquire, cb.Pair.Release), seen)...)
+	}
+	// Name-paired conventions.
+	for _, name := range u.FunctionNames() {
+		for _, sfx := range namePairSuffixes {
+			if !strings.HasSuffix(name, sfx[0]) {
+				continue
+			}
+			base := strings.TrimSuffix(name, sfx[0])
+			rel := u.Functions[base+sfx[1]]
+			if rel == nil {
+				continue // no release counterpart defined here: skip (cross-TU)
+			}
+			out = append(out, c.checkPair(u, u.Functions[name], rel,
+				name+"/"+rel.Def.Name, seen)...)
+		}
+	}
+	return out
+}
+
+// checkPair reports acquire-side increments kept past acquire with no
+// family-matching decrement in release.
+func (*InterPairedChecker) checkPair(u *cpg.Unit, acq, rel *cpg.Function, pairDesc string, seen map[string]bool) []Report {
+	if acq.Graph == nil || acq.Events == nil {
+		return nil
+	}
+	// Collect unbalanced increments in acquire (whole-function view).
+	var kept []semantics.Event
+	var all []semantics.Event
+	for _, b := range acq.Graph.Blocks {
+		all = append(all, acq.Events.ByBlok[b]...)
+	}
+	for _, ev := range all {
+		if ev.Op != semantics.OpInc || ev.Info == nil {
+			continue
+		}
+		if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil {
+			continue
+		}
+		balanced := false
+		for _, other := range all {
+			if other.Op == semantics.OpDec && decBalances(other, ev) {
+				balanced = true
+			}
+		}
+		if !balanced {
+			kept = append(kept, ev)
+		}
+	}
+	var out []Report
+	for _, ev := range kept {
+		if releaseHasFamilyDec(u, rel, ev) {
+			continue
+		}
+		key := ev.Pos.String() + "|" + ev.Obj + "|P6"
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		relName := "<missing>"
+		if rel != nil {
+			relName = rel.Def.Name
+		}
+		pair := "the paired put"
+		if ev.Info.Pair != "" {
+			pair = ev.Info.Pair
+		}
+		out = append(out, Report{
+			Pattern: P6, Impact: Leak,
+			Function: acq.Def.Name, File: acq.File, Pos: ev.Pos,
+			Object: ev.Obj, API: ev.API,
+			Message:    fmt.Sprintf("%s keeps a reference (%s) but the paired callback %s (%s) never puts it", acq.Def.Name, ev.API, relName, pairDesc),
+			Suggestion: fmt.Sprintf("call %s in %s", pair, relName),
+			Witness:    all,
+		})
+	}
+	return out
+}
+
+// releaseHasFamilyDec reports whether rel calls the decrement family that
+// balances inc (the pair API, or any dec on the same counted struct).
+func releaseHasFamilyDec(u *cpg.Unit, rel *cpg.Function, inc semantics.Event) bool {
+	if rel == nil || rel.Events == nil {
+		return false
+	}
+	for _, b := range rel.Graph.Blocks {
+		for _, ev := range rel.Events.ByBlok[b] {
+			if ev.Op != semantics.OpDec {
+				continue
+			}
+			if inc.Info.Pair != "" && ev.API == inc.Info.Pair {
+				return true
+			}
+			if ev.Info != nil && inc.Info.Struct != "" && ev.Info.Struct == inc.Info.Struct {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DirectFreeChecker implements anti-pattern P7 (§5.3.3):
+//
+//	F_start → S_G → S_free → F_end
+//
+// kfree-ing a refcounted object bypasses its release callback, leaking every
+// resource the decrement API would have cleaned up.
+type DirectFreeChecker struct{}
+
+// ID returns P7.
+func (*DirectFreeChecker) ID() Pattern { return P7 }
+
+// Check flags kfree-family calls whose operand is a refcounted object —
+// either by declared type or because a get was observed earlier on the path.
+func (*DirectFreeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	types := varTypes(fn)
+	var out []Report
+	reported := map[string]bool{}
+	for _, p := range fn.Graph.Paths(0) {
+		evs, _ := eventsOnPath(fn.Events, p)
+		got := map[string]bool{}
+		for _, ev := range evs {
+			switch ev.Op {
+			case semantics.OpInc:
+				if ev.Obj != "" {
+					got[semantics.BaseOf(ev.Obj)] = true
+				}
+			case semantics.OpFree:
+				base := semantics.BaseOf(ev.Obj)
+				if base == "" {
+					continue
+				}
+				counted := isRefStructVar(u.DB, types, base) || got[base]
+				if !counted {
+					continue
+				}
+				if reported[ev.Pos.String()] {
+					continue
+				}
+				reported[ev.Pos.String()] = true
+				put := putExprFor(u, types, base)
+				out = append(out, Report{
+					Pattern: P7, Impact: Leak,
+					Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+					Object: ev.Obj, API: ev.API,
+					Message:    fmt.Sprintf("%s(%s) frees a refcounted object directly, skipping its release callback", ev.API, ev.Obj),
+					Suggestion: fmt.Sprintf("replace %s(%s) with %s", ev.API, ev.Obj, put),
+					Witness:    evs,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// putExprFor renders the decrement call that should replace a direct free of
+// the named variable: the struct's specific put API when one is registered,
+// else a general put through the embedded counted member (kref/kobject).
+func putExprFor(u *cpg.Unit, types map[string]castType, name string) string {
+	t, ok := types[name]
+	if !ok {
+		return "the put API for " + name
+	}
+	s := t.StructName()
+	for _, a := range u.DB.APIs() {
+		if a.Op == apidb.OpDec && a.Struct == s && a.Class != apidb.General {
+			return fmt.Sprintf("%s(%s)", a.Name, name)
+		}
+	}
+	if sd := u.Structs[s]; sd != nil {
+		for _, f := range sd.Fields {
+			switch f.Type.StructName() {
+			case "kref":
+				return fmt.Sprintf("kref_put(&%s->%s)", name, f.Name)
+			case "kobject":
+				return fmt.Sprintf("kobject_put(&%s->%s)", name, f.Name)
+			}
+		}
+	}
+	return "the put API for " + name
+}

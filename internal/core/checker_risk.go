@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// UADChecker implements anti-pattern P8 (§5.4.1, use-after-decrease):
+//
+//	F_start → S_{P(p0)} → S_{D(p0)} → F_end
+//
+// Accessing an object after dropping the reference is safe only while some
+// other reference provably pins it; if the dropped reference was the last
+// one, the decrement freed the object and the access is a UAF. The paper
+// found 94 historical bugs of this shape (and two of its new reports were
+// rejected by developers who "firmly believe" the count cannot reach zero —
+// exactly the future-risk the pattern warns about).
+type UADChecker struct{}
+
+// ID returns P8.
+func (*UADChecker) ID() Pattern { return P8 }
+
+// Check reports dereferences of an object after a may-free decrement on the
+// same path, with no intervening reassignment or re-acquisition.
+func (*UADChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	var out []Report
+	reported := map[string]bool{}
+	for _, p := range fn.Graph.Paths(0) {
+		evs, _ := eventsOnPath(fn.Events, p)
+		// putAt: base name → the Dec event that may have freed it.
+		putAt := map[string]semantics.Event{}
+		for _, ev := range evs {
+			switch ev.Op {
+			case semantics.OpDec:
+				if ev.Info != nil && ev.Info.MayFree && ev.Obj != "" {
+					putAt[semantics.BaseOf(ev.Obj)] = ev
+				}
+			case semantics.OpInc:
+				if ev.Obj != "" {
+					delete(putAt, semantics.BaseOf(ev.Obj))
+				}
+			case semantics.OpAssign:
+				if ev.AssignTarget != "" {
+					delete(putAt, semantics.BaseOf(ev.AssignTarget))
+				}
+			case semantics.OpDeref:
+				dec, dropped := putAt[ev.Obj]
+				if !dropped {
+					continue
+				}
+				key := dec.Pos.String() + "|" + ev.Obj
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				out = append(out, Report{
+					Pattern: P8, Impact: UAF,
+					Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+					Object: ev.Obj, API: dec.API,
+					Message:    fmt.Sprintf("%s is dereferenced after %s dropped its reference (use-after-decrease)", ev.Obj, dec.API),
+					Suggestion: fmt.Sprintf("move the %s(%s) call after the last use of %s", dec.API, dec.Obj, ev.Obj),
+					Witness:    evs,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// EscapeChecker implements anti-pattern P9 (§5.4.2, reference escape):
+//
+//	F_start → S_{A_{G|O}} → F_end
+//
+// Storing a counted reference into a global or an out-parameter creates a
+// reference that outlives the function; without an increment around the
+// escape point the refcounter undercounts the live references and a later
+// put elsewhere frees the object early.
+type EscapeChecker struct{}
+
+// ID returns P9.
+func (*EscapeChecker) ID() Pattern { return P9 }
+
+// Check reports escaping assignments of refcounted pointers with no
+// balancing increment anywhere in the function.
+func (*EscapeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+	types := varTypes(fn)
+	// Whole-function event view: an inc anywhere (before or after the
+	// escape point — "around", per the paper) forgives the escape.
+	var all []semantics.Event
+	for _, b := range fn.Graph.Blocks {
+		all = append(all, fn.Events.ByBlok[b]...)
+	}
+	incsOf := map[string]bool{}
+	ownedRef := map[string]bool{} // locally acquired references (hidden gets)
+	for _, ev := range all {
+		if ev.Op == semantics.OpInc && ev.Obj != "" {
+			incsOf[semantics.BaseOf(ev.Obj)] = true
+			if ev.Info != nil && ev.Info.ReturnsRef {
+				ownedRef[semantics.BaseOf(ev.Obj)] = true
+			}
+		}
+	}
+	var out []Report
+	reported := map[string]bool{}
+	for _, ev := range all {
+		if ev.Op != semantics.OpAssign || ev.EscapesVia == "" {
+			continue
+		}
+		src := semantics.BaseOf(ev.Obj)
+		// The escaping value must be a counted pointer: declared as a
+		// pointer to a refcounted struct and NOT a locally owned reference
+		// (escaping a locally acquired reference transfers ownership).
+		if !isRefStructVar(u.DB, types, src) || ownedRef[src] {
+			continue
+		}
+		if incsOf[src] {
+			continue
+		}
+		key := ev.Pos.String() + "|" + ev.Obj
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		out = append(out, Report{
+			Pattern: P9, Impact: UAF,
+			Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+			Object: ev.Obj, API: "",
+			Message:    fmt.Sprintf("reference %s escapes via %s (%s) without an increment around the escape point", ev.Obj, ev.AssignTarget, ev.EscapesVia),
+			Suggestion: fmt.Sprintf("take a reference on %s before the assignment to %s", ev.Obj, ev.AssignTarget),
+			Witness:    all,
+		})
+	}
+	return out
+}

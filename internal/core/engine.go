@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/apidb"
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// Checker is one anti-pattern detector. Function-scoped checkers receive one
+// function at a time; unit-scoped checkers (P6) receive the whole unit via
+// CheckUnit and return nil from Check.
+type Checker interface {
+	ID() Pattern
+	Check(u *cpg.Unit, fn *cpg.Function) []Report
+}
+
+// UnitChecker is implemented by checkers that need whole-unit context.
+type UnitChecker interface {
+	CheckUnit(u *cpg.Unit) []Report
+}
+
+// Engine runs a checker suite over units.
+type Engine struct {
+	Checkers []Checker
+}
+
+// NewEngine returns an engine with all nine checkers in pattern order.
+func NewEngine() *Engine {
+	return &Engine{Checkers: []Checker{
+		&ReturnErrorChecker{}, // P1
+		&ReturnNullChecker{},  // P2
+		&SmartLoopChecker{},   // P3
+		&HiddenRefChecker{},   // P4
+		&ErrorHandleChecker{}, // P5
+		&InterPairedChecker{}, // P6
+		&DirectFreeChecker{},  // P7
+		&UADChecker{},         // P8
+		&EscapeChecker{},      // P9
+	}}
+}
+
+// CheckUnit runs every checker over the unit and returns deduplicated,
+// position-sorted reports. Cross-pattern suppression keeps the most specific
+// diagnosis: P1 (deviation) beats P5/P4 on the same (function, object), and
+// P4 beats P5.
+func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
+	var all []Report
+	for _, c := range e.Checkers {
+		if uc, ok := c.(UnitChecker); ok {
+			all = append(all, uc.CheckUnit(u)...)
+			continue
+		}
+		for _, name := range u.FunctionNames() {
+			fn := u.Functions[name]
+			if fn.Graph == nil {
+				continue
+			}
+			all = append(all, c.Check(u, fn)...)
+		}
+	}
+	return finalize(all)
+}
+
+// suppression precedence: lower value wins on the same (function, object).
+var precedence = map[Pattern]int{
+	P1: 0, P2: 0, P3: 0, P7: 0, P8: 0, P9: 0, // specific diagnoses
+	P4: 1,
+	P5: 2,
+	P6: 2,
+}
+
+func finalize(reports []Report) []Report {
+	// Exact-duplicate removal.
+	seen := map[string]bool{}
+	var uniq []Report
+	for _, r := range reports {
+		if seen[r.Key()] {
+			continue
+		}
+		seen[r.Key()] = true
+		uniq = append(uniq, r)
+	}
+	// Cross-pattern suppression on (function, object, impact-family).
+	best := map[string]int{}
+	objKey := func(r Report) string { return r.File + "|" + r.Function + "|" + r.Object }
+	for _, r := range uniq {
+		k := objKey(r)
+		p := precedence[r.Pattern]
+		if cur, ok := best[k]; !ok || p < cur {
+			best[k] = p
+		}
+	}
+	var out []Report
+	for _, r := range uniq {
+		if r.Object != "" && precedence[r.Pattern] > best[objKey(r)] {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return a.Object < b.Object
+	})
+	return out
+}
+
+// CheckSources is the one-call entry point: build a unit from sources and
+// check it.
+func CheckSources(sources []cpg.Source, headers map[string]string) (*cpg.Unit, []Report) {
+	b := &cpg.Builder{}
+	if headers != nil {
+		b.Headers = cpgHeaderProvider(headers)
+	}
+	u := b.Build(sources)
+	return u, NewEngine().CheckUnit(u)
+}
+
+type cpgHeaderProvider map[string]string
+
+func (m cpgHeaderProvider) ReadFile(path string) (string, bool) {
+	if s, ok := m[path]; ok {
+		return s, true
+	}
+	for p, s := range m {
+		if len(p) > len(path) && p[len(p)-len(path)-1] == '/' && p[len(p)-len(path):] == path {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// --- shared helpers for checkers ---
+
+// blockT and castType abbreviate cfg.Block / cast.Type in checker
+// signatures.
+type (
+	blockT   = cfg.Block
+	castType = cast.Type
+)
+
+// eventsOnPath flattens a path's events in block order, also returning the
+// path index of each event's block (for branch-direction queries).
+func eventsOnPath(fe *semantics.FuncEvents, p cfg.Path) (evs []semantics.Event, blockAt []int) {
+	for i, b := range p {
+		for _, ev := range fe.ByBlok[b] {
+			evs = append(evs, ev)
+			blockAt = append(blockAt, i)
+		}
+	}
+	return evs, blockAt
+}
+
+// varTypes resolves local and parameter declared types for a function.
+func varTypes(fn *cpg.Function) map[string]cast.Type {
+	out := map[string]cast.Type{}
+	for _, p := range fn.Def.Params {
+		out[p.Name] = p.Type
+	}
+	if fn.Def.Body != nil {
+		cast.Walk(fn.Def.Body, func(n cast.Node) bool {
+			if d, ok := n.(*cast.DeclStmt); ok {
+				out[d.Name] = d.Type
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRefStructVar reports whether the named variable's declared type is a
+// pointer to a refcounted structure.
+func isRefStructVar(db *apidb.DB, types map[string]cast.Type, name string) bool {
+	t, ok := types[name]
+	if !ok || !t.IsPointer() {
+		return false
+	}
+	s := t.StructName()
+	return s != "" && db.IsRefStruct(s)
+}
+
+// sameObj compares two object keys, tolerating base-vs-full-key mismatches
+// (kref_put(&d->ref) balances kref_get(&d->ref); of_node_put(np) balances
+// np).
+func sameObj(a, b string) bool {
+	if a == "" || b == "" {
+		return a == b
+	}
+	return a == b || semantics.BaseOf(a) == semantics.BaseOf(b)
+}

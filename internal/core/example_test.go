@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// ExampleCheckSources runs the nine checkers over the paper's Listing 1
+// shape and prints the report.
+func ExampleCheckSources() {
+	src := `
+struct nvmem_device *__nvmem_device_get(void *data)
+{
+	struct device *dev = bus_find_device(nvmem_bus_type, data);
+	if (!dev)
+		return 0;
+	if (nvmem_validate(dev))
+		return 0;
+	return to_nvmem_device(dev);
+}
+`
+	_, reports := core.CheckSources([]cpg.Source{{Path: "drivers/nvmem/core.c", Content: src}}, nil)
+	for _, r := range reports {
+		fmt.Printf("%s/%s in %s: object %s via %s\n",
+			r.Pattern, r.Impact, r.Function, r.Object, r.API)
+	}
+	// Output:
+	// P4/Leak in __nvmem_device_get: object dev via bus_find_device
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"testing"
+)
+
+// Scenario tests: harder control-flow shapes than the per-checker basics.
+
+func TestMultipleObjectsIndependentlyTracked(t *testing.T) {
+	// Two references in one function: one leaked, one balanced. Only the
+	// leaked one may be reported.
+	src := `
+static int pair(void)
+{
+	struct device_node *good = of_find_node_by_path("/a");
+	struct device_node *bad = of_find_node_by_path("/b");
+	if (!good)
+		return -ENODEV;
+	if (!bad) {
+		of_node_put(good);
+		return -ENODEV;
+	}
+	use_both(good, bad);
+	of_node_put(good);
+	return 0;
+}`
+	rs := check(t, "d.c", src)
+	if len(rs) != 1 {
+		t.Fatalf("reports = %+v", rs)
+	}
+	if rs[0].Object != "bad" {
+		t.Errorf("object = %q, want bad", rs[0].Object)
+	}
+}
+
+func TestGotoChainErrorHandling(t *testing.T) {
+	// Kernel-style unwinding ladder: each label undoes one step. The put
+	// on only some labels leaks from the earlier ones.
+	buggy := `
+static int ladder(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = step_a(np);
+	if (err)
+		goto fail_a;
+	err = step_b(np);
+	if (err)
+		goto fail_b;
+	of_node_put(np);
+	return 0;
+fail_b:
+	undo_a(np);
+fail_a:
+	return err;
+}`
+	rs := withPattern(check(t, "d.c", buggy), P5)
+	if len(rs) != 1 {
+		t.Fatalf("P5 reports = %+v", rs)
+	}
+
+	fixed := `
+static int ladder(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = step_a(np);
+	if (err)
+		goto fail_a;
+	err = step_b(np);
+	if (err)
+		goto fail_b;
+	of_node_put(np);
+	return 0;
+fail_b:
+	undo_a(np);
+fail_a:
+	of_node_put(np);
+	return err;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P5); len(rs) != 0 {
+		t.Fatalf("fixed ladder reported: %+v", rs)
+	}
+}
+
+func TestSwitchBasedErrorHandling(t *testing.T) {
+	// The put lives in one switch arm only; other arms leak.
+	src := `
+static int by_mode(int mode)
+{
+	struct device_node *np = of_find_node_by_path("/m");
+	if (!np)
+		return -ENODEV;
+	switch (mode) {
+	case 0:
+		of_node_put(np);
+		return 0;
+	case 1:
+		configure(np);
+		return 0;
+	default:
+		of_node_put(np);
+		return -EINVAL;
+	}
+}`
+	rs := withPattern(check(t, "d.c", src), P4)
+	// The mode==1 arm leaks; P4 yields to P5 only when an error block is
+	// involved, and case arms are not error blocks, so this is P4 or P5
+	// depending on classification — require at least one leak report.
+	all := check(t, "d.c", src)
+	leaks := 0
+	for _, r := range all {
+		if r.Impact == Leak && r.Object == "np" {
+			leaks++
+		}
+	}
+	if leaks == 0 {
+		t.Fatalf("switch-arm leak not reported: %+v (P4: %+v)", all, rs)
+	}
+}
+
+func TestLoopCarriedReferenceBalanced(t *testing.T) {
+	// Acquire + release inside a plain loop body: balanced, no report.
+	src := `
+static int scan(int n)
+{
+	int i;
+	for (i = 0; i < n; i++) {
+		struct device_node *np = of_find_node_by_path("/x");
+		if (!np)
+			continue;
+		inspect(np);
+		of_node_put(np);
+	}
+	return 0;
+}`
+	if rs := check(t, "d.c", src); len(rs) != 0 {
+		t.Fatalf("balanced loop reported: %+v", rs)
+	}
+}
+
+func TestLoopCarriedReferenceLeak(t *testing.T) {
+	// The continue path skips the put.
+	src := `
+static int scan(int n)
+{
+	int i;
+	for (i = 0; i < n; i++) {
+		struct device_node *np = of_find_node_by_path("/x");
+		if (!np)
+			continue;
+		if (skip_this(np))
+			continue;
+		inspect(np);
+		of_node_put(np);
+	}
+	return 0;
+}`
+	rs := check(t, "d.c", src)
+	found := false
+	for _, r := range rs {
+		if r.Impact == Leak && r.Object == "np" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("continue-path leak not reported: %+v", rs)
+	}
+}
+
+func TestNestedSmartLoops(t *testing.T) {
+	src := `
+#define for_each_child_of_node(parent, child) \
+	for (child = of_get_next_child(parent, 0); child; \
+	     child = of_get_next_child(parent, child))
+static int walk(struct device_node *root)
+{
+	struct device_node *bus;
+	struct device_node *dev;
+	for_each_child_of_node(root, bus) {
+		for_each_child_of_node(bus, dev) {
+			if (bad(dev))
+				break;
+		}
+	}
+	return 0;
+}`
+	rs := withPattern(check(t, "d.c", src), P3)
+	// The inner break leaks dev (the inner iteration variable); bus keeps
+	// iterating normally.
+	foundDev := false
+	for _, r := range rs {
+		if r.Object == "dev" {
+			foundDev = true
+		}
+		if r.Object == "bus" {
+			t.Errorf("outer loop variable misreported: %+v", r)
+		}
+	}
+	if !foundDev {
+		t.Fatalf("inner smartloop break not reported: %+v", rs)
+	}
+}
+
+func TestConditionalPutBothBranches(t *testing.T) {
+	// Put present in both branches of an if: balanced.
+	src := `
+static int branchy(int flag)
+{
+	struct device_node *np = of_find_node_by_path("/x");
+	if (!np)
+		return -ENODEV;
+	if (flag) {
+		fast_path(np);
+		of_node_put(np);
+	} else {
+		slow_path(np);
+		of_node_put(np);
+	}
+	return 0;
+}`
+	if rs := check(t, "d.c", src); len(rs) != 0 {
+		t.Fatalf("balanced branches reported: %+v", rs)
+	}
+}
+
+func TestDoublePutNotMasked(t *testing.T) {
+	// A second put after the first is a use-after-decrease of the freed
+	// object (the P8 family catches the re-put's dereference semantics via
+	// the replay; statically we at least must not crash and must keep the
+	// first report set deterministic).
+	src := `
+static void twice(struct device_node *np)
+{
+	of_node_put(np);
+	of_node_put(np);
+}`
+	_ = check(t, "d.c", src) // determinism + no panic
+}
+
+func TestReacquireAfterPutIsClean(t *testing.T) {
+	src := `
+static void cycle(struct sock *sk)
+{
+	sock_put(sk);
+	sock_hold(sk);
+	sk->sk_err = 0;
+	sock_put(sk);
+}`
+	// After re-acquisition the dereference is safe; the final put ends the
+	// function, so no P8.
+	if rs := withPattern(check(t, "d.c", src), P8); len(rs) != 0 {
+		t.Fatalf("reacquired object misreported: %+v", rs)
+	}
+}
+
+func TestUnrelatedDerefAfterPut(t *testing.T) {
+	src := `
+static void other(struct sock *a, struct sock *b)
+{
+	sock_put(a);
+	b->sk_err = 0;
+}`
+	if rs := withPattern(check(t, "d.c", src), P8); len(rs) != 0 {
+		t.Fatalf("unrelated deref misreported: %+v", rs)
+	}
+}
+
+func TestEarlyReturnBeforeAcquire(t *testing.T) {
+	// Returns before the find: nothing to balance on that path.
+	src := `
+static int guard(int enabled)
+{
+	struct device_node *np;
+	if (!enabled)
+		return 0;
+	np = of_find_node_by_path("/x");
+	if (!np)
+		return -ENODEV;
+	use_node(np);
+	of_node_put(np);
+	return 0;
+}`
+	if rs := check(t, "d.c", src); len(rs) != 0 {
+		t.Fatalf("guarded function reported: %+v", rs)
+	}
+}
+
+func TestWitnessAttached(t *testing.T) {
+	src := `
+static void poke(void)
+{
+	of_find_node_by_path("/soc");
+}`
+	rs := check(t, "d.c", src)
+	if len(rs) != 1 || len(rs[0].Witness) == 0 {
+		t.Fatalf("witness missing: %+v", rs)
+	}
+}
+
+func TestSmartLoopPrematureReturn(t *testing.T) {
+	buggy := `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (broken(dn))
+			return -EIO;
+	}
+	return 0;
+}`
+	rs := withPattern(check(t, "d.c", buggy), P3)
+	if len(rs) != 1 || rs[0].Object != "dn" {
+		t.Fatalf("premature return not reported: %+v", rs)
+	}
+
+	fixed := `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (broken(dn)) {
+			of_node_put(dn);
+			return -EIO;
+		}
+	}
+	return 0;
+}`
+	if rs := withPattern(check(t, "d.c", fixed), P3); len(rs) != 0 {
+		t.Fatalf("fixed premature return reported: %+v", rs)
+	}
+}
+
+func TestSmartLoopGotoOut(t *testing.T) {
+	buggy := `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	int err = 0;
+	for_each_matching_node(dn, matches) {
+		if (broken(dn)) {
+			err = -EIO;
+			goto out;
+		}
+	}
+out:
+	return err;
+}`
+	rs := withPattern(check(t, "d.c", buggy), P3)
+	if len(rs) != 1 {
+		t.Fatalf("goto-out leak not reported: %+v", rs)
+	}
+}
+
+func TestSmartLoopNormalExhaustionClean(t *testing.T) {
+	src := `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	int n = 0;
+	for_each_matching_node(dn, matches)
+		n++;
+	return n;
+}`
+	if rs := withPattern(check(t, "d.c", src), P3); len(rs) != 0 {
+		t.Fatalf("exhausted loop reported: %+v", rs)
+	}
+}

@@ -1,0 +1,285 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec configures corpus generation.
+type Spec struct {
+	// Seed drives the deterministic pseudo-random choices (variant
+	// selection); the same seed always yields the same corpus.
+	Seed int64
+	// CleanPerModule is the number of correct functions emitted per module
+	// (default 6), drawn from a pool that includes hard negatives — the
+	// correct twins of each bug pattern.
+	CleanPerModule int
+	// Plan is the bug plan; nil means Table5Plan().
+	Plan []ModulePlan
+	// FPBaits is the number of false-positive bait functions (default 5:
+	// Table 4 reports 1 in arch + 4 in drivers).
+	FPBaits int
+}
+
+// File is one generated source file.
+type File struct {
+	Path    string
+	Content string
+}
+
+// Corpus is a generated synthetic kernel tree.
+type Corpus struct {
+	Files   []File
+	Headers map[string]string
+	Planned []PlannedBug
+	Baits   []FalsePositiveBait
+}
+
+// KLOC returns the corpus size in thousands of source lines.
+func (c *Corpus) KLOC() float64 {
+	lines := 0
+	for _, f := range c.Files {
+		lines += strings.Count(f.Content, "\n")
+	}
+	return float64(lines) / 1000.0
+}
+
+// splitmix64 is a tiny deterministic PRNG (no math/rand dependency keeps the
+// corpus bit-stable across Go releases).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// Generate builds the corpus for the spec.
+func Generate(spec Spec) *Corpus {
+	if spec.Plan == nil {
+		spec.Plan = Table5Plan()
+	}
+	if spec.CleanPerModule == 0 {
+		spec.CleanPerModule = 6
+	}
+	if spec.FPBaits == 0 {
+		spec.FPBaits = 5
+	}
+	rng := splitmix64(spec.Seed)
+	c := &Corpus{
+		Headers: map[string]string{"include/linux/of.h": ofHeader},
+	}
+
+	// Bait placement mirrors Table 4: 1 in arch, rest in drivers.
+	baitSpots := []struct{ sub, mod string }{
+		{"arch", "arm"}, {"drivers", "gpu"}, {"drivers", "net"},
+		{"drivers", "usb"}, {"drivers", "clk"}, {"drivers", "soc"},
+		{"drivers", "mmc"},
+	}
+	baitAt := map[string]int{}
+	for i := 0; i < spec.FPBaits && i < len(baitSpots); i++ {
+		baitAt[baitSpots[i].sub+"/"+baitSpots[i].mod]++
+	}
+
+	for _, mp := range spec.Plan {
+		c.genModule(mp, spec, &rng, baitAt[mp.Subsystem+"/"+mp.Module])
+	}
+	sort.Slice(c.Files, func(i, j int) bool { return c.Files[i].Path < c.Files[j].Path })
+	return c
+}
+
+const filePrelude = `#include <linux/of.h>
+
+struct stm32_crc { struct my_dev_ref *dev; int enabled; };
+struct my_ctl { struct my_dev_ref *dev; u32 state; };
+struct holder_state { struct sock *watched; };
+`
+
+// impactFor maps (pattern, kind) to the expected security impact.
+func impactFor(p PatternID, kind BugKind) string {
+	switch p {
+	case "P2":
+		return "NPD"
+	case "P8", "P9":
+		return "UAF"
+	case "P4":
+		if kind == KindMissingGet {
+			return "UAF"
+		}
+		return "Leak"
+	default:
+		return "Leak"
+	}
+}
+
+// genModule emits the module's source files: buggy functions per the plan,
+// baits, and clean functions.
+func (c *Corpus) genModule(mp ModulePlan, spec Spec, rng *splitmix64, baits int) {
+	dir := mp.Subsystem + "/" + mp.Module
+	prefix := strings.ReplaceAll(mp.Module, "-", "_") + "_" + mp.Subsystem
+
+	type chunk struct {
+		text string
+		bug  *PlannedBug
+		bait *FalsePositiveBait
+	}
+	var chunks []chunk
+	add := func(text string, bug *PlannedBug, bait *FalsePositiveBait) {
+		chunks = append(chunks, chunk{text: text, bug: bug, bait: bait})
+	}
+
+	patterns := make([]PatternID, 0, len(mp.Patterns))
+	for p := range mp.Patterns {
+		patterns = append(patterns, p)
+	}
+	sort.Slice(patterns, func(i, j int) bool { return patterns[i] < patterns[j] })
+
+	seq := 0
+	for _, p := range patterns {
+		count := mp.Patterns[p]
+		missingGetLeft := 0
+		pinnedLeft := 0
+		if p == "P4" {
+			missingGetLeft = mp.MissingGet
+		}
+		if p == "P8" {
+			pinnedLeft = mp.PinnedUAD
+		}
+		for i := 0; i < count; i++ {
+			seq++
+			fn := fmt.Sprintf("%s_%s_%d", prefix, strings.ToLower(string(p)), seq)
+			bug := PlannedBug{
+				Pattern: p, Subsystem: mp.Subsystem, Module: mp.Module,
+				Function: fn, Impact: impactFor(p, KindDefault),
+			}
+			var text string
+			switch p {
+			case "P1":
+				text = genP1(fn)
+				bug.API = "pm_runtime_get_sync"
+			case "P2":
+				api := "mdesc_grab"
+				for _, a := range mp.TopAPIs {
+					if strings.HasPrefix(a, "of_find_") {
+						api = a
+					}
+				}
+				text = genP2(fn, api)
+				bug.API = api
+			case "P3":
+				loop := pickLoopAPI(mp.TopAPIs)
+				text = genP3(fn, loop)
+				bug.API = loop
+			case "P4":
+				if missingGetLeft > 0 {
+					missingGetLeft--
+					bug.Kind = KindMissingGet
+					bug.Impact = impactFor(p, KindMissingGet)
+					bug.API = "of_find_matching_node"
+					text = genP4MissingGet(fn)
+				} else {
+					api := pickFindAPI(mp.TopAPIs)
+					if len(mp.TopAPIs) > 1 && i%2 == 1 {
+						if alt := pickFindAPI(mp.TopAPIs[1:]); alt != "" {
+							api = alt
+						}
+					}
+					bug.API = api
+					text = genP4Leak(fn, api, rng.intn(3))
+				}
+			case "P5":
+				api := pickFindAPI(mp.TopAPIs)
+				bug.API = api
+				text = genP5(fn, api)
+			case "P6":
+				base := fmt.Sprintf("%s_dev%d", prefix, seq)
+				useCb := rng.intn(2) == 0
+				text = genP6(base, useCb)
+				if useCb {
+					bug.Function = base + "_probe"
+				} else {
+					bug.Function = base + "_register"
+				}
+				bug.API = "of_find_node_by_path"
+			case "P7":
+				structName := fmt.Sprintf("%s_obj%d", prefix, seq)
+				text = genP7(fn, structName)
+				bug.API = "kfree"
+			case "P8":
+				api := "sock_put"
+				for _, a := range mp.TopAPIs {
+					if strings.HasSuffix(a, "_put") {
+						api = a
+					}
+				}
+				pinned := false
+				if pinnedLeft > 0 {
+					pinnedLeft--
+					pinned = true
+					bug.Kind = KindPinnedUAD
+				}
+				text = genP8(fn, api, pinned)
+				bug.API = api
+			case "P9":
+				global := fmt.Sprintf("%s_escape%d", prefix, seq)
+				variant := rng.intn(2)
+				text = genP9(fn, global, variant)
+				bug.API = "assignment"
+			default:
+				continue
+			}
+			add(text, &bug, nil)
+		}
+	}
+
+	for i := 0; i < baits; i++ {
+		seq++
+		fn := fmt.Sprintf("%s_bait_%d", prefix, seq)
+		add(genFPBait(fn), nil, &FalsePositiveBait{
+			Subsystem: mp.Subsystem, Module: mp.Module, Function: fn,
+		})
+	}
+
+	for i := 0; i < spec.CleanPerModule; i++ {
+		seq++
+		fn := fmt.Sprintf("%s_ok_%d", prefix, seq)
+		add(genClean(fn, rng.intn(10)+i), nil, nil)
+	}
+
+	// Pack chunks into files of ~6 functions each.
+	const perFile = 6
+	for fi := 0; fi*perFile < len(chunks); fi++ {
+		lo := fi * perFile
+		hi := lo + perFile
+		if hi > len(chunks) {
+			hi = len(chunks)
+		}
+		path := fmt.Sprintf("%s/%s-%02d.c", dir, mp.Module, fi)
+		var b strings.Builder
+		b.WriteString(filePrelude)
+		for _, ch := range chunks[lo:hi] {
+			b.WriteString(ch.text)
+			if ch.bug != nil {
+				bug := *ch.bug
+				bug.File = path
+				c.Planned = append(c.Planned, bug)
+			}
+			if ch.bait != nil {
+				bait := *ch.bait
+				bait.File = path
+				c.Baits = append(c.Baits, bait)
+			}
+		}
+		c.Files = append(c.Files, File{Path: path, Content: b.String()})
+	}
+}

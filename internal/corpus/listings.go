@@ -1,0 +1,138 @@
+package corpus
+
+// Listing is one of the paper's code listings as a compilable source with
+// the expected checker behaviour attached.
+type Listing struct {
+	Number int
+	Title  string
+	Path   string
+	Source string
+	// ExpectPattern is the anti-pattern a checker should report ("" for
+	// clean or out-of-scope listings); ExpectFunction the reported function.
+	ExpectPattern  string
+	ExpectFunction string
+	// ExpectConfirmed says whether the dynamic oracle should confirm the
+	// report (the pinned Listing 6 case is expected to be rejected).
+	ExpectConfirmed bool
+}
+
+// Listings returns faithful reconstructions of the paper's Listings 1–6.
+func Listings() []Listing {
+	return []Listing{
+		{
+			Number: 1,
+			Title:  "A Missing-Refcounting Bug (drivers/nvmem/core.c)",
+			Path:   "drivers/nvmem/core.c",
+			Source: `
+struct nvmem_device *__nvmem_device_get(void *data)
+{
+	int err;
+	struct device *dev = bus_find_device(nvmem_bus_type, data);
+	if (!dev)
+		return 0;
+	err = nvmem_validate(dev);
+	if (err)
+		return 0;
+	return to_nvmem_device(dev);
+}
+`,
+			ExpectPattern: "P4", ExpectFunction: "__nvmem_device_get",
+			ExpectConfirmed: true,
+		},
+		{
+			Number: 2,
+			Title:  "A Misplacing-Refcounting Bug (drivers/usb/serial/console.c)",
+			Path:   "drivers/usb/serial/console.c",
+			Source: `
+static int usb_console_setup(struct usb_serial *serial)
+{
+	usb_serial_put(serial);
+	mutex_unlock(&serial->disc_mutex);
+	return 0;
+}
+`,
+			ExpectPattern: "P8", ExpectFunction: "usb_console_setup",
+			ExpectConfirmed: true,
+		},
+		{
+			Number: 3,
+			Title:  "An Intra-Missing Bug Caused By Return-Error (stm32-crc32.c)",
+			Path:   "drivers/crypto/stm32/stm32-crc32.c",
+			Source: `
+static int stm32_crc_remove(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	crc_teardown(crc);
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}
+`,
+			ExpectPattern: "P1", ExpectFunction: "stm32_crc_remove",
+			ExpectConfirmed: true,
+		},
+		{
+			Number: 4,
+			Title:  "A SmartLoop and A Bug Caused by Loop Break (pm-arm.c)",
+			Path:   "drivers/soc/bcm/brcmstb/pm/pm-arm.c",
+			Source: `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int brcmstb_pm_probe(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (of_device_is_available(dn))
+			break;
+	}
+	return 0;
+}
+`,
+			ExpectPattern: "P3", ExpectFunction: "brcmstb_pm_probe",
+			ExpectConfirmed: true,
+		},
+		{
+			Number: 5,
+			Title:  "A False Positive Example (drivers/scsi/lpfc/lpfc_bsg.c shape)",
+			Path:   "drivers/scsi/lpfc/lpfc_bsg.c",
+			Source: `
+static int lpfc_bsg_collect(struct lpfc_host *phba)
+{
+	struct device_node *evt_node = of_find_node_by_name(0, "events");
+	int err = event_list_empty(phba);
+	if (err)
+		return 0;
+	consume_event(evt_node);
+	of_node_put(evt_node);
+	return 1;
+}
+`,
+			// The checkers DO report this (the guarding invariant lives
+			// outside static scope); ground truth says it is clean. That
+			// is the paper's false positive.
+			ExpectPattern: "P5", ExpectFunction: "lpfc_bsg_collect",
+			ExpectConfirmed: true, // replay cannot see the invariant either
+		},
+		{
+			Number: 6,
+			Title:  "A Patch Reject Example (net/ipv4/ping.c)",
+			Path:   "net/ipv4/ping.c",
+			Source: `
+void ping_unhash(struct sock *sk)
+{
+	sock_hold(sk);
+	sock_put(sk);
+	sk->inet_num = 0;
+	sock_prot_inuse_add(net, sk->sk_prot, -1);
+}
+`,
+			// Reported as UAD, but the extra hold pins the object: the
+			// oracle (like the developers) declines to confirm.
+			ExpectPattern: "P8", ExpectFunction: "ping_unhash",
+			ExpectConfirmed: false,
+		},
+	}
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/refsim"
+)
+
+// TestListingsBehaveAsPublished drives every paper listing through the full
+// pipeline — checker plus dynamic oracle — and compares against the
+// behaviour the paper reports for it (including the false-positive and
+// patch-reject outcomes).
+func TestListingsBehaveAsPublished(t *testing.T) {
+	for _, l := range Listings() {
+		l := l
+		t.Run(l.Title, func(t *testing.T) {
+			_, reports := core.CheckSources(
+				[]cpg.Source{{Path: l.Path, Content: l.Source}}, nil)
+			var hit *core.Report
+			for i := range reports {
+				if string(reports[i].Pattern) == l.ExpectPattern &&
+					reports[i].Function == l.ExpectFunction {
+					hit = &reports[i]
+				}
+			}
+			if l.ExpectPattern == "" {
+				if len(reports) != 0 {
+					t.Fatalf("expected clean, got %+v", reports)
+				}
+				return
+			}
+			if hit == nil {
+				t.Fatalf("expected %s on %s, got %+v", l.ExpectPattern, l.ExpectFunction, reports)
+			}
+			v := refsim.Replay(hit.Witness, refsim.Claim{
+				Impact: hit.Impact.String(), Object: hit.Object,
+			})
+			if v.Confirmed != l.ExpectConfirmed {
+				t.Fatalf("oracle confirmed=%v, want %v (%s)", v.Confirmed, l.ExpectConfirmed, v.Detail)
+			}
+		})
+	}
+}
+
+func TestListingsAreNumbered(t *testing.T) {
+	ls := Listings()
+	if len(ls) != 6 {
+		t.Fatalf("listings = %d", len(ls))
+	}
+	for i, l := range ls {
+		if l.Number != i+1 {
+			t.Errorf("listing %d numbered %d", i+1, l.Number)
+		}
+		if l.Source == "" || l.Path == "" || l.Title == "" {
+			t.Errorf("listing %d incomplete", l.Number)
+		}
+	}
+}

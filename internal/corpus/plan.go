@@ -1,0 +1,228 @@
+// Package corpus generates the synthetic Linux-kernel source tree the
+// checkers are evaluated on.
+//
+// The paper ran its checkers over real kernel releases; offline we substitute
+// a deterministic generator that emits genuine C code — organized into the
+// same subsystems and modules as the paper's Table 5, using the real kernel
+// refcounting API surface — and seeds one bug per planned Table 5 instance
+// with known ground truth. Clean functions and the paper's published
+// false-positive / patch-reject cases (Listings 5 and 6) are woven in so
+// precision is measured, not assumed.
+package corpus
+
+// PatternID names an anti-pattern in plan entries ("P1".."P9"). The corpus
+// package deliberately does not import internal/core; tools compare these
+// strings against core.Pattern values.
+type PatternID string
+
+// BugKind refines a pattern when one pattern covers several bug flavours.
+type BugKind string
+
+// Bug kinds.
+const (
+	KindDefault    BugKind = ""
+	KindMissingGet BugKind = "missing-get" // P4's UAF flavour (§5.2.2)
+	KindPinnedUAD  BugKind = "pinned-uad"  // P8 flavour rejected by developers (§6.4)
+)
+
+// ModulePlan is one row of Table 5: a module, its anti-pattern instance
+// counts, and the bug-caused APIs observed there.
+type ModulePlan struct {
+	Subsystem string
+	Module    string
+	// Patterns maps anti-pattern → instance count.
+	Patterns map[PatternID]int
+	// TopAPIs are the module's "Bug-Caused API (Top-2)" from Table 5; the
+	// generator uses them when the pattern is compatible.
+	TopAPIs []string
+	// MissingGet is how many of the module's P4 instances take the
+	// missing-increase (UAF) flavour.
+	MissingGet int
+	// PinnedUAD is how many of the module's P8 instances are pinned by an
+	// extra reference (developer patch-reject cases).
+	PinnedUAD int
+}
+
+// Table5Plan reproduces the paper's Table 5 as generation calibration: one
+// entry per buggy module, instance counts per anti-pattern, and the top
+// bug-caused APIs. The 16 missing-increase P4 bugs (§5.2.2) and the pinned
+// P8 patch-reject cases (§6.4) are distributed where the paper reports them.
+func Table5Plan() []ModulePlan {
+	return []ModulePlan{
+		// --- arch ---
+		{Subsystem: "arch", Module: "arm",
+			Patterns:   map[PatternID]int{"P4": 42, "P6": 2, "P7": 2, "P9": 4},
+			TopAPIs:    []string{"of_find_compatible_node", "of_find_matching_node"},
+			MissingGet: 6},
+		{Subsystem: "arch", Module: "microblaze",
+			Patterns: map[PatternID]int{"P4": 1},
+			TopAPIs:  []string{"of_find_matching_node"}},
+		{Subsystem: "arch", Module: "mips",
+			Patterns:   map[PatternID]int{"P4": 17},
+			TopAPIs:    []string{"of_find_compatible_node", "of_find_matching_node"},
+			MissingGet: 2},
+		{Subsystem: "arch", Module: "powerpc",
+			Patterns:   map[PatternID]int{"P3": 8, "P4": 48, "P5": 1, "P6": 2, "P8": 1, "P9": 5},
+			TopAPIs:    []string{"of_find_compatible_node", "of_find_node_by_path"},
+			MissingGet: 6},
+		{Subsystem: "arch", Module: "sh",
+			Patterns: map[PatternID]int{"P4": 1},
+			TopAPIs:  []string{"of_find_compatible_node"}},
+		{Subsystem: "arch", Module: "sparc",
+			Patterns: map[PatternID]int{"P2": 3, "P3": 4, "P4": 10, "P7": 1, "P9": 1},
+			TopAPIs:  []string{"of_find_node_by_name", "for_each_node_by_name"}},
+		{Subsystem: "arch", Module: "x86",
+			Patterns: map[PatternID]int{"P4": 2},
+			TopAPIs:  []string{"of_find_compatible_node", "of_find_matching_node"}},
+		{Subsystem: "arch", Module: "xtensa",
+			Patterns: map[PatternID]int{"P4": 2},
+			TopAPIs:  []string{"of_find_compatible_node"}},
+
+		// --- drivers ---
+		{Subsystem: "drivers", Module: "block",
+			Patterns: map[PatternID]int{"P2": 1}, TopAPIs: []string{"mdesc_grab"}},
+		{Subsystem: "drivers", Module: "bus",
+			Patterns: map[PatternID]int{"P3": 1, "P4": 7},
+			TopAPIs:  []string{"of_find_matching_node", "of_find_node_by_path"}},
+		{Subsystem: "drivers", Module: "clk",
+			Patterns:   map[PatternID]int{"P4": 37},
+			TopAPIs:    []string{"of_get_node", "of_find_matching_node"},
+			MissingGet: 2},
+		{Subsystem: "drivers", Module: "clocksource",
+			Patterns: map[PatternID]int{"P4": 1},
+			TopAPIs:  []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "cpufreq",
+			Patterns: map[PatternID]int{"P4": 4},
+			TopAPIs:  []string{"of_find_node_by_name", "of_find_matching_node"}},
+		{Subsystem: "drivers", Module: "crypto",
+			Patterns: map[PatternID]int{"P4": 4},
+			TopAPIs:  []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "dma",
+			Patterns: map[PatternID]int{"P3": 1, "P5": 1},
+			TopAPIs:  []string{"of_parse_phandle", "for_each_child_of_node"}},
+		{Subsystem: "drivers", Module: "edac",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "firmware",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "gpio",
+			Patterns: map[PatternID]int{"P4": 2, "P6": 1, "P9": 1},
+			TopAPIs:  []string{"of_get_parent", "of_node_get"}},
+		{Subsystem: "drivers", Module: "gpu",
+			Patterns:  map[PatternID]int{"P3": 3, "P4": 5, "P5": 3, "P6": 2, "P8": 2, "P9": 2},
+			TopAPIs:   []string{"of_graph_get_port_by_id", "of_get_node"},
+			PinnedUAD: 1},
+		{Subsystem: "drivers", Module: "hwmon",
+			Patterns: map[PatternID]int{"P4": 2}, TopAPIs: []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "i2c",
+			Patterns: map[PatternID]int{"P3": 2},
+			TopAPIs:  []string{"device_for_each_child_node", "for_each_child_of_node"}},
+		{Subsystem: "drivers", Module: "iio",
+			Patterns: map[PatternID]int{"P3": 1, "P4": 1},
+			TopAPIs:  []string{"device_for_each_child_node", "of_find_node_by_name"}},
+		{Subsystem: "drivers", Module: "input",
+			Patterns: map[PatternID]int{"P4": 2}, TopAPIs: []string{"of_find_node_by_path"}},
+		{Subsystem: "drivers", Module: "iommu",
+			Patterns: map[PatternID]int{"P3": 1}, TopAPIs: []string{"for_each_child_of_node"}},
+		{Subsystem: "drivers", Module: "irqchip",
+			Patterns: map[PatternID]int{"P4": 3},
+			TopAPIs:  []string{"of_find_matching_node", "of_find_node_by_phandle"}},
+		{Subsystem: "drivers", Module: "leds",
+			Patterns: map[PatternID]int{"P3": 1}, TopAPIs: []string{"fwnode_for_each_child_node"}},
+		{Subsystem: "drivers", Module: "macintosh",
+			Patterns: map[PatternID]int{"P4": 2, "P6": 1},
+			TopAPIs:  []string{"of_find_compatible_node", "of_node_get"}},
+		{Subsystem: "drivers", Module: "media",
+			Patterns: map[PatternID]int{"P3": 2},
+			TopAPIs:  []string{"for_each_compatible_node", "for_each_child_of_node"}},
+		{Subsystem: "drivers", Module: "memory",
+			Patterns: map[PatternID]int{"P3": 4, "P4": 2},
+			TopAPIs:  []string{"of_find_node_by_name", "for_each_child_of_node"}},
+		{Subsystem: "drivers", Module: "mfd",
+			Patterns: map[PatternID]int{"P1": 1}, TopAPIs: []string{"pm_runtime_get_sync"}},
+		{Subsystem: "drivers", Module: "mmc",
+			Patterns: map[PatternID]int{"P3": 3, "P4": 1},
+			TopAPIs:  []string{"for_each_child_of_node", "of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "net",
+			Patterns: map[PatternID]int{"P2": 2, "P3": 5, "P4": 12},
+			TopAPIs:  []string{"for_each_child_of_node", "of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "nvme",
+			Patterns: map[PatternID]int{"P8": 1}, TopAPIs: []string{"nvmet_fc_tgt_q_put"},
+			PinnedUAD: 1},
+		{Subsystem: "drivers", Module: "of",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_parse_phandle"}},
+		{Subsystem: "drivers", Module: "opp",
+			Patterns: map[PatternID]int{"P9": 2}, TopAPIs: []string{"of_node_get"}},
+		{Subsystem: "drivers", Module: "pci",
+			Patterns: map[PatternID]int{"P4": 2, "P5": 1},
+			TopAPIs:  []string{"of_parse_phandle", "of_find_matching_node"}},
+		{Subsystem: "drivers", Module: "perf",
+			Patterns: map[PatternID]int{"P3": 1}, TopAPIs: []string{"for_each_cpu_node"}},
+		{Subsystem: "drivers", Module: "phy",
+			Patterns: map[PatternID]int{"P3": 1, "P4": 2},
+			TopAPIs:  []string{"for_each_child_of_node", "of_parse_phandle"}},
+		{Subsystem: "drivers", Module: "pinctrl",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_find_node_by_phandle"}},
+		{Subsystem: "drivers", Module: "platform",
+			Patterns: map[PatternID]int{"P3": 3},
+			TopAPIs:  []string{"device_for_each_child_node", "fwnode_for_each_child_node"}},
+		{Subsystem: "drivers", Module: "powerpc",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "regulator",
+			Patterns: map[PatternID]int{"P4": 2},
+			TopAPIs:  []string{"of_find_node_by_name", "of_get_child_by_name"}},
+		{Subsystem: "drivers", Module: "sbus",
+			Patterns: map[PatternID]int{"P4": 2}, TopAPIs: []string{"of_find_node_by_path"}},
+		{Subsystem: "drivers", Module: "soc",
+			Patterns: map[PatternID]int{"P3": 3, "P4": 7, "P5": 1, "P6": 1, "P9": 1},
+			TopAPIs:  []string{"of_find_compatible_node", "of_get_parent"}},
+		{Subsystem: "drivers", Module: "thermal",
+			Patterns: map[PatternID]int{"P6": 1, "P9": 1}, TopAPIs: []string{"of_node_get"}},
+		{Subsystem: "drivers", Module: "tty",
+			Patterns: map[PatternID]int{"P2": 1, "P4": 2, "P6": 1},
+			TopAPIs:  []string{"mdesc_grab", "of_find_node_by_type"}},
+		{Subsystem: "drivers", Module: "ufs",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"of_parse_phandle"}},
+		{Subsystem: "drivers", Module: "usb",
+			Patterns: map[PatternID]int{"P4": 6, "P8": 1},
+			TopAPIs:  []string{"of_find_node_by_name", "usb_serial_put"}},
+		{Subsystem: "drivers", Module: "video",
+			Patterns: map[PatternID]int{"P4": 3}, TopAPIs: []string{"of_find_compatible_node"}},
+		{Subsystem: "drivers", Module: "w1",
+			Patterns: map[PatternID]int{"P4": 3, "P5": 1},
+			TopAPIs:  []string{"of_find_matching_node"}},
+
+		// --- include ---
+		{Subsystem: "include", Module: "linux",
+			Patterns: map[PatternID]int{"P4": 2}, TopAPIs: []string{"of_find_compatible_node"}},
+
+		// --- net ---
+		{Subsystem: "net", Module: "appletalk",
+			Patterns: map[PatternID]int{"P4": 1}, TopAPIs: []string{"dev_hold"}},
+		{Subsystem: "net", Module: "ipv4",
+			Patterns: map[PatternID]int{"P8": 1}, TopAPIs: []string{"sock_put"},
+			PinnedUAD: 1},
+
+		// --- sound ---
+		{Subsystem: "sound", Module: "soc",
+			Patterns: map[PatternID]int{"P4": 8, "P5": 1},
+			TopAPIs:  []string{"of_find_compatible_node", "of_graph_get_port_parent"}},
+	}
+}
+
+// PlannedBug is one seeded ground-truth bug instance.
+type PlannedBug struct {
+	Pattern   PatternID
+	Kind      BugKind
+	Subsystem string
+	Module    string
+	API       string
+	File      string
+	Function  string
+	Impact    string // "Leak", "UAF", "NPD"
+}
+
+// FalsePositiveBait describes a seeded clean function that the checkers are
+// expected to misreport (the paper's 5 FPs, Listing 5's shape).
+type FalsePositiveBait struct {
+	Subsystem, Module, File, Function string
+}

@@ -1,0 +1,617 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ofHeader is the shared synthetic <linux/of.h>: the smartloop macros the
+// P3 instances expand, matching the real kernel definitions' shape.
+const ofHeader = `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+#define for_each_child_of_node(parent, child) \
+	for (child = of_get_next_child(parent, 0); child; \
+	     child = of_get_next_child(parent, child))
+#define for_each_available_child_of_node(parent, child) \
+	for (child = of_get_next_available_child(parent, 0); child; \
+	     child = of_get_next_available_child(parent, child))
+#define for_each_node_by_name(dn, name) \
+	for (dn = of_find_node_by_name(0, name); dn; \
+	     dn = of_find_node_by_name(dn, name))
+#define for_each_node_by_type(dn, type) \
+	for (dn = of_find_node_by_type(0, type); dn; \
+	     dn = of_find_node_by_type(dn, type))
+#define for_each_compatible_node(dn, type, compat) \
+	for (dn = of_find_compatible_node(0, type, compat); dn; \
+	     dn = of_find_compatible_node(dn, compat))
+#define for_each_cpu_node(dn) \
+	for (dn = of_get_next_cpu_node(0); dn; dn = of_get_next_cpu_node(dn))
+#define device_for_each_child_node(dev, child) \
+	for (child = device_get_next_child_node(dev, 0); child; \
+	     child = device_get_next_child_node(dev, child))
+#define fwnode_for_each_child_node(fwnode, child) \
+	for (child = fwnode_get_next_child_node(fwnode, 0); child; \
+	     child = fwnode_get_next_child_node(fwnode, child))
+#define fwnode_for_each_parent_node(fwnode, parent) \
+	for (parent = fwnode_get_parent(fwnode); parent; \
+	     parent = fwnode_get_parent(parent))
+`
+
+// smartLoopIsFwnode reports whether a loop iterates fwnode handles rather
+// than device nodes (affects variable types in the template).
+func smartLoopIsFwnode(loop string) bool {
+	return strings.Contains(loop, "fwnode") || strings.Contains(loop, "device_for_each")
+}
+
+// loopHasParentArg reports whether the smartloop takes (container, itervar)
+// rather than (itervar, match-arg).
+func loopHasParentArg(loop string) bool {
+	switch loop {
+	case "for_each_child_of_node", "for_each_available_child_of_node",
+		"device_for_each_child_node", "fwnode_for_each_child_node",
+		"fwnode_for_each_parent_node":
+		return true
+	}
+	return false
+}
+
+// pickFindAPI selects a hidden-get (returns-ref) API from the module's
+// bug-caused APIs, falling back to a default.
+func pickFindAPI(apis []string) string {
+	for _, a := range apis {
+		if strings.HasPrefix(a, "of_find_") || strings.HasPrefix(a, "of_get_") ||
+			strings.HasPrefix(a, "of_parse_") || strings.HasPrefix(a, "of_graph_") {
+			return a
+		}
+	}
+	return "of_find_compatible_node"
+}
+
+// pickLoopAPI selects a smartloop macro from the module's bug-caused APIs.
+func pickLoopAPI(apis []string) string {
+	for _, a := range apis {
+		if strings.Contains(a, "for_each") {
+			return a
+		}
+	}
+	return "for_each_child_of_node"
+}
+
+// findCall renders a call to a find-like API with plausible arguments; the
+// cursor argument (where one exists) is NULL.
+func findCall(api string) string {
+	switch api {
+	case "of_find_compatible_node":
+		return `of_find_compatible_node(0, 0, "vendor,ip-block")`
+	case "of_find_matching_node":
+		return "of_find_matching_node(0, match_table)"
+	case "of_find_node_by_name":
+		return `of_find_node_by_name(0, "port")`
+	case "of_find_node_by_type":
+		return `of_find_node_by_type(0, "cpu")`
+	case "of_find_node_by_path":
+		return `of_find_node_by_path("/soc/bus")`
+	case "of_find_node_by_phandle":
+		return "of_find_node_by_phandle(handle)"
+	case "of_parse_phandle":
+		return `of_parse_phandle(np, "clocks", 0)`
+	case "of_get_parent":
+		return "of_get_parent(np)"
+	case "of_get_child_by_name":
+		return `of_get_child_by_name(np, "regulator")`
+	case "of_get_node":
+		return "of_get_node(np)"
+	case "of_graph_get_port_by_id":
+		return "of_graph_get_port_by_id(np, 1)"
+	case "of_graph_get_port_parent":
+		return "of_graph_get_port_parent(np)"
+	default:
+		return api + "(np)"
+	}
+}
+
+// needsNpParam reports whether the find call references a local `np`
+// parameter node.
+func needsNpParam(api string) bool {
+	switch api {
+	case "of_parse_phandle", "of_get_parent", "of_get_child_by_name",
+		"of_get_node", "of_graph_get_port_by_id", "of_graph_get_port_parent":
+		return true
+	}
+	return false
+}
+
+// genP1 emits a return-error deviation bug (Listing 3's shape).
+func genP1(fn string) string {
+	return fmt.Sprintf(`
+static int %s(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret;
+
+	ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	crc_disable_hw(crc);
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}
+`, fn)
+}
+
+// genP2 emits a return-NULL deviation bug: the counted pointer is
+// dereferenced before any NULL check. The reference itself is balanced so
+// only P2 fires.
+func genP2(fn, api string) string {
+	if api == "mdesc_grab" {
+		return fmt.Sprintf(`
+static int %s(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int count = hp->num_nodes;
+
+	mdesc_release(hp);
+	return count;
+}
+`, fn)
+	}
+	param := ""
+	if needsNpParam(api) {
+		param = "struct device_node *np"
+	}
+	return fmt.Sprintf(`
+static int %s(%s)
+{
+	struct device_node *target = %s;
+	int reg = target->phandle;
+
+	of_node_put(target);
+	return reg;
+}
+`, fn, param, findCall(api))
+}
+
+// genP3 emits a smartloop break bug (Listing 4's shape).
+func genP3(fn, loop string) string {
+	iterType := "struct device_node *"
+	if smartLoopIsFwnode(loop) {
+		iterType = "struct fwnode_handle *"
+	}
+	if loopHasParentArg(loop) {
+		parentType := "struct device_node *"
+		if smartLoopIsFwnode(loop) {
+			parentType = "struct fwnode_handle *"
+		}
+		return fmt.Sprintf(`
+static int %s(%sparent)
+{
+	%schild;
+	int found = 0;
+
+	%s(parent, child) {
+		if (node_matches(child)) {
+			found = 1;
+			break;
+		}
+	}
+	return found;
+}
+`, fn, parentType, iterType, loop)
+	}
+	arg := `"match"`
+	switch loop {
+	case "for_each_matching_node":
+		arg = "match_table"
+	case "for_each_compatible_node":
+		arg = `0, "vendor,ip"` // (dn, type, compat)
+	case "for_each_cpu_node":
+		arg = ""
+	}
+	extra := ""
+	call := loop + "(dn"
+	if arg != "" {
+		call += ", " + arg
+	}
+	call += ")"
+	return fmt.Sprintf(`
+static int %s(void)
+{
+	%sdn;
+	int hits = 0;
+	%s
+	%s {
+		hits++;
+		if (hits > 4)
+			break;
+	}
+	return hits;
+}
+`, fn, iterType, extra, call)
+}
+
+// genP4Leak emits a hidden-get missing-put bug (Listing 1's shape).
+func genP4Leak(fn, api string, variant int) string {
+	param := "void"
+	if needsNpParam(api) {
+		param = "struct device_node *np"
+	}
+	switch variant % 3 {
+	case 0: // plain fall-off leak
+		return fmt.Sprintf(`
+static int %s(%s)
+{
+	struct device_node *found = %s;
+
+	if (!found)
+		return -ENODEV;
+	configure_block(found);
+	return 0;
+}
+`, fn, param, findCall(api))
+	case 1: // early-error leak (one path puts, the leak path predates it)
+		return fmt.Sprintf(`
+static int %s(%s)
+{
+	struct device_node *found = %s;
+	u32 value;
+
+	if (!found)
+		return -ENODEV;
+	if (read_property(found, &value))
+		return -EINVAL;
+	apply_value(value);
+	return 0;
+}
+`, fn, param, findCall(api))
+	default: // discarded reference at the call site
+		return fmt.Sprintf(`
+static void %s(%s)
+{
+	%s;
+	mark_scanned();
+}
+`, fn, param, findCall(api))
+	}
+}
+
+// genP4MissingGet emits the missing-increase flavour: the cursor parameter's
+// caller-owned reference is consumed by the hidden put.
+func genP4MissingGet(fn string) string {
+	return fmt.Sprintf(`
+static struct device_node *%s(struct device_node *from)
+{
+	struct device_node *next = of_find_matching_node(from, match_table);
+
+	return next;
+}
+`, fn)
+}
+
+// genP5 emits an error-handling-path leak.
+func genP5(fn, api string) string {
+	if strings.Contains(api, "for_each") || !strings.HasPrefix(api, "of_") {
+		api = "of_find_compatible_node"
+	}
+	param := ""
+	if needsNpParam(api) {
+		param = "struct device_node *np"
+	}
+	return fmt.Sprintf(`
+static int %s(%s)
+{
+	struct device_node *port = %s;
+	int err;
+
+	if (!port)
+		return -ENODEV;
+	err = enable_port(port);
+	if (err)
+		goto fail;
+	err = start_port(port);
+	if (err)
+		goto fail;
+	of_node_put(port);
+	return 0;
+fail:
+	disable_controller();
+	return err;
+}
+`, fn, param, findCall(api))
+}
+
+// genP6 emits an inter-paired leak: the register side caches a reference
+// that the unregister side never drops. Returns the whole snippet (two
+// functions plus the state variable).
+func genP6(base string, useCallbackStruct bool) string {
+	if useCallbackStruct {
+		return fmt.Sprintf(`
+static struct device_node *%s_state;
+
+static int %s_probe(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc/%s");
+
+	if (!np)
+		return -ENODEV;
+	%s_state = np;
+	return 0;
+}
+
+static int %s_remove(void)
+{
+	%s_state = 0;
+	return 0;
+}
+
+static struct platform_driver %s_driver = {
+	.probe = %s_probe,
+	.remove = %s_remove,
+};
+`, base, base, base, base, base, base, base, base, base)
+	}
+	return fmt.Sprintf(`
+static struct device_node *%s_cached;
+
+static int %s_register(void)
+{
+	%s_cached = of_find_node_by_path("/soc/%s");
+	if (!%s_cached)
+		return -ENODEV;
+	return 0;
+}
+
+static void %s_unregister(void)
+{
+	%s_cached = 0;
+}
+`, base, base, base, base, base, base, base)
+}
+
+// genP7 emits a direct-free bug plus the refcounted struct it frees.
+func genP7(fn, structName string) string {
+	return fmt.Sprintf(`
+struct %s {
+	struct kref ref;
+	char *label;
+	int slot;
+};
+
+static void %s(struct %s *obj)
+{
+	unhook_slot(obj->slot);
+	kfree(obj);
+}
+`, structName, fn, structName)
+}
+
+// genP8 emits a use-after-decrease bug (Listing 2 / Listing 6's shape).
+// pinned adds an extra hold so the object provably survives the put — the
+// developer patch-reject flavour.
+func genP8(fn, api string, pinned bool) string {
+	obj, typ, use := "sk", "struct sock *", "sk->sk_err = 0;"
+	hold := "sock_hold(sk);"
+	switch api {
+	case "usb_serial_put":
+		obj, typ, use = "serial", "struct usb_serial *", "mutex_unlock(&serial->disc_mutex);"
+		hold = "usb_serial_get(serial);"
+	case "nvmet_fc_tgt_q_put":
+		obj, typ, use = "queue", "struct nvmet_fc_tgt_queue *", "queue->cpu = -1;"
+		hold = "nvmet_fc_tgt_q_get(queue);"
+	}
+	pin := ""
+	if pinned {
+		pin = "\n\t" + hold
+	}
+	return fmt.Sprintf(`
+static void %s(%s%s)
+{%s
+	%s(%s);
+	%s
+	log_detach(%s->refcnt_hint);
+}
+`, fn, typ, obj, pin, api, obj, use, obj)
+}
+
+// genP9 emits a reference-escape bug: a counted pointer stored into a global
+// without an increment around the escape point.
+func genP9(fn, global string, variant int) string {
+	if variant%2 == 0 {
+		return fmt.Sprintf(`
+static struct device_node *%s;
+
+static void %s(struct device_node *np)
+{
+	%s = np;
+}
+`, global, fn, global)
+	}
+	return fmt.Sprintf(`
+static void %s(struct holder_state *out, struct sock *sk)
+{
+	out->watched = sk;
+}
+`, fn)
+}
+
+// genFPBait emits the paper's false-positive shape (Listing 5): the guard
+// condition guarantees the reference is NULL on the unbalanced path, but the
+// invariant lives outside the checker's reasoning.
+func genFPBait(fn string) string {
+	return fmt.Sprintf(`
+static int %s(struct lpfc_host *phba)
+{
+	struct device_node *evt_node = of_find_node_by_name(0, "events");
+	int err = event_list_empty(phba);
+
+	if (err)
+		return 0;
+	consume_event(evt_node);
+	of_node_put(evt_node);
+	return 1;
+}
+`, fn)
+}
+
+// genClean emits correct code exercising the same APIs (fixed variants and
+// neutral logic), used both as noise and as false-positive controls. The
+// later variants are hard negatives: each is the correct twin of one bug
+// pattern.
+func genClean(fn string, variant int) string {
+	switch variant % 10 {
+	case 0:
+		return fmt.Sprintf(`
+static int %s(void)
+{
+	struct device_node *found = of_find_compatible_node(0, 0, "vendor,good");
+
+	if (!found)
+		return -ENODEV;
+	configure_block(found);
+	of_node_put(found);
+	return 0;
+}
+`, fn)
+	case 1:
+		return fmt.Sprintf(`
+static int %s(struct device_node *parent)
+{
+	struct device_node *child;
+	int count = 0;
+
+	for_each_child_of_node(parent, child) {
+		if (!node_matches(child))
+			continue;
+		if (count > 8) {
+			of_node_put(child);
+			break;
+		}
+		count++;
+	}
+	return count;
+}
+`, fn)
+	case 2:
+		return fmt.Sprintf(`
+static int %s(struct my_ctl *ctl, u32 mask)
+{
+	u32 state = ctl->state;
+	int shift;
+
+	for (shift = 0; shift < 32; shift++) {
+		if (mask & (1 << shift))
+			state ^= (1 << shift);
+	}
+	switch (state & 0x3) {
+	case 0:
+		return 0;
+	case 1:
+		return reprogram(ctl, state);
+	default:
+		return -EINVAL;
+	}
+}
+`, fn)
+	case 3:
+		return fmt.Sprintf(`
+static int %s(struct platform_device *pdev)
+{
+	struct my_ctl *ctl = platform_get_drvdata(pdev);
+	int ret;
+
+	ret = pm_runtime_get_sync(ctl->dev);
+	if (ret < 0) {
+		pm_runtime_put_noidle(ctl->dev);
+		return ret;
+	}
+	refresh_hw(ctl);
+	pm_runtime_put(ctl->dev);
+	return 0;
+}
+`, fn)
+	case 4:
+		return fmt.Sprintf(`
+static int %s(struct device_node *np, const char *name)
+{
+	struct device_node *child = of_get_child_by_name(np, name);
+	int err;
+
+	if (!child)
+		return -ENODEV;
+	err = validate_node(child);
+	if (err) {
+		of_node_put(child);
+		return err;
+	}
+	register_node(child);
+	of_node_put(child);
+	return 0;
+}
+`, fn)
+	case 5: // hard negative for P8: every use precedes the put
+		return fmt.Sprintf(`
+static void %s(struct sock *sk)
+{
+	sk->sk_err = 0;
+	flush_backlog(sk->sk_receive_queue);
+	sock_put(sk);
+}
+`, fn)
+	case 6: // hard negative for P9: hold taken right at the escape point
+		return fmt.Sprintf(`
+static struct sock *%s_slot;
+
+static void %s(struct sock *sk)
+{
+	sock_hold(sk);
+	%s_slot = sk;
+}
+`, fn, fn, fn)
+	case 7: // hard negative for P3: goto out with the put on the label
+		return fmt.Sprintf(`
+static int %s(struct device_node *parent)
+{
+	struct device_node *child;
+	int err = 0;
+
+	for_each_child_of_node(parent, child) {
+		if (misconfigured(child)) {
+			err = -EINVAL;
+			goto out;
+		}
+	}
+	return 0;
+out:
+	of_node_put(child);
+	return err;
+}
+`, fn)
+	case 8: // hard negative for P4: ownership transferred via out-parameter
+		return fmt.Sprintf(`
+static int %s(struct holder_state *out)
+{
+	struct device_node *np = of_find_node_by_path("/soc/xfer");
+
+	if (!np)
+		return -ENODEV;
+	out->watched = np;
+	return 0;
+}
+`, fn)
+	default: // hard negative for P2: IS_ERR-style guard before use
+		return fmt.Sprintf(`
+static int %s(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int n;
+
+	if (!hp)
+		return -ENODEV;
+	n = hp->num_nodes;
+	mdesc_release(hp);
+	return n;
+}
+`, fn)
+	}
+}

@@ -1,0 +1,305 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cpp"
+)
+
+// parseNoErr preprocesses + parses and fails on any error.
+func parseNoErr(t *testing.T, src string) *cast.File {
+	t.Helper()
+	pp := cpp.New(nil)
+	res := pp.Process("k.c", src)
+	for _, e := range res.Errors {
+		t.Fatalf("cpp: %v", e)
+	}
+	f, errs := ParseFile("k.c", res.Tokens)
+	for _, e := range errs {
+		t.Fatalf("parse: %v", e)
+	}
+	return f
+}
+
+func TestKernelAttributeSoup(t *testing.T) {
+	f := parseNoErr(t, `
+static int __init __attribute__((cold)) early_setup(void)
+{
+	return 0;
+}
+static void __exit late_teardown(void) { }
+static u32 __read_mostly cached_rate;
+int __must_check fetch_rate(struct clk *c);
+`)
+	names := map[string]bool{}
+	for _, d := range f.Decls {
+		switch x := d.(type) {
+		case *cast.FuncDef:
+			names[x.Name] = true
+		case *cast.VarDecl:
+			names[x.Name] = true
+		}
+	}
+	for _, want := range []string{"early_setup", "late_teardown", "cached_rate", "fetch_rate"} {
+		if !names[want] {
+			t.Errorf("%s not parsed (decls: %v)", want, names)
+		}
+	}
+}
+
+func TestSwitchFallthroughAndRanges(t *testing.T) {
+	f := parseNoErr(t, `
+int classify(int c)
+{
+	switch (c) {
+	case 0 ... 9:
+		return 1;
+	case 'a':
+	case 'b':
+		c++;
+	default:
+		break;
+	}
+	return c;
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDef)
+	cases := 0
+	cast.Walk(fd, func(n cast.Node) bool {
+		if _, ok := n.(*cast.CaseStmt); ok {
+			cases++
+		}
+		return true
+	})
+	if cases != 4 {
+		t.Errorf("cases = %d, want 4", cases)
+	}
+}
+
+func TestDoWhileZeroMacroIdiom(t *testing.T) {
+	f := parseNoErr(t, `
+#define CHECK_AND_BAIL(cond, label) \
+	do { \
+		if (cond) \
+			goto label; \
+	} while (0)
+int f(int x)
+{
+	CHECK_AND_BAIL(x < 0, out);
+	return x;
+out:
+	return -EINVAL;
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDef)
+	var sawDo, sawGoto bool
+	cast.Walk(fd, func(n cast.Node) bool {
+		switch n.(type) {
+		case *cast.DoWhileStmt:
+			sawDo = true
+		case *cast.GotoStmt:
+			sawGoto = true
+		}
+		return true
+	})
+	if !sawDo || !sawGoto {
+		t.Errorf("do=%v goto=%v", sawDo, sawGoto)
+	}
+}
+
+func TestStatementExpression(t *testing.T) {
+	// GNU statement expressions appear in kernel min()/max(); they are
+	// skipped as opaque atoms but must not derail the parser.
+	f := parseNoErr(t, `
+int f(int a, int b)
+{
+	int m = ({ int _x = a; _x > b ? _x : b; });
+	return m;
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDef)
+	if len(fd.Body.Stmts) != 2 {
+		t.Errorf("stmts = %d", len(fd.Body.Stmts))
+	}
+}
+
+func TestNestedFunctionPointersInLocals(t *testing.T) {
+	f := parseNoErr(t, `
+typedef int (*handler_t)(int);
+int dispatch(int ev)
+{
+	int (*fn)(int) = lookup_handler(ev);
+	handler_t alias = fn;
+	if (!fn)
+		return -ENOSYS;
+	return fn(ev);
+}
+`)
+	fd := fnByName(t, f, "dispatch")
+	ds, ok := fd.Body.Stmts[0].(*cast.DeclStmt)
+	if !ok || !ds.Type.FuncPtr || ds.Name != "fn" {
+		t.Fatalf("decl = %+v", fd.Body.Stmts[0])
+	}
+}
+
+func TestArrayAndBitfieldMembers(t *testing.T) {
+	f := parseNoErr(t, `
+struct regs {
+	u32 window[16];
+	unsigned int enabled : 1;
+	unsigned int mode : 3;
+	char name[32];
+	struct kref ref;
+};
+`)
+	sd := f.Decls[0].(*cast.StructDecl)
+	for _, want := range []string{"window", "enabled", "mode", "name", "ref"} {
+		if _, ok := sd.FieldType(want); !ok {
+			t.Errorf("field %s missing", want)
+		}
+	}
+}
+
+func TestConditionalCompilationVariants(t *testing.T) {
+	for _, variant := range []struct {
+		define string
+		want   string
+	}{
+		{"#define CONFIG_PM 1\n", "pm_path"},
+		{"", "plain_path"},
+	} {
+		src := variant.define + `
+int setup(void)
+{
+#ifdef CONFIG_PM
+	return pm_path();
+#else
+	return plain_path();
+#endif
+}
+`
+		f := parseNoErr(t, src)
+		fd := f.Decls[0].(*cast.FuncDef)
+		calls := cast.Calls(fd)
+		if len(calls) != 1 || calls[0].Callee() != variant.want {
+			t.Errorf("define=%q calls=%v", variant.define, calls)
+		}
+	}
+}
+
+func TestRealisticDriverFile(t *testing.T) {
+	// A full little driver exercising most constructs at once.
+	f := parseNoErr(t, `
+#define DRV_NAME "widget"
+#define for_each_widget(w, list) \
+	for (w = widget_first(list); w; w = widget_next(list, w))
+
+struct widget_priv {
+	struct device *dev;
+	struct kref ref;
+	u32 flags;
+	int (*notify)(struct widget_priv *, int);
+};
+
+static struct widget_priv *the_widget;
+
+static int widget_read_reg(struct widget_priv *p, u32 reg, u32 *val)
+{
+	if (!p || !val)
+		return -EINVAL;
+	*val = readl(p->dev, reg);
+	return 0;
+}
+
+static int widget_configure(struct widget_priv *p)
+{
+	u32 v;
+	int err, i;
+
+	for (i = 0; i < 8; i++) {
+		err = widget_read_reg(p, 0x10 + i * 4, &v);
+		if (err)
+			goto fail;
+		switch (v & 0x3) {
+		case 0:
+			continue;
+		case 1:
+			p->flags |= (1 << i);
+			break;
+		default:
+			err = -EIO;
+			goto fail;
+		}
+	}
+	return 0;
+fail:
+	dev_err(p->dev, DRV_NAME ": config failed");
+	return err;
+}
+
+static int widget_probe(struct platform_device *pdev)
+{
+	struct widget_priv *p = devm_kzalloc(pdev, sizeof(*p));
+	int err;
+
+	if (!p)
+		return -ENOMEM;
+	err = widget_configure(p);
+	if (err)
+		return err;
+	the_widget = p;
+	return 0;
+}
+
+static struct platform_driver widget_driver = {
+	.probe = widget_probe,
+};
+`)
+	var fns []string
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDef); ok {
+			fns = append(fns, fd.Name)
+		}
+	}
+	joined := strings.Join(fns, ",")
+	for _, want := range []string{"widget_read_reg", "widget_configure", "widget_probe"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in %s", want, joined)
+		}
+	}
+	// The driver-ops binding must be visible.
+	var vd *cast.VarDecl
+	for _, d := range f.Decls {
+		if v, ok := d.(*cast.VarDecl); ok && v.Name == "widget_driver" {
+			vd = v
+		}
+	}
+	if vd == nil || len(vd.Inits) != 1 || vd.Inits[0].Field != "probe" {
+		t.Fatalf("widget_driver = %+v", vd)
+	}
+}
+
+func TestTernaryGNUShorthand(t *testing.T) {
+	f := parseNoErr(t, "int f(int a, int b) { return a ?: b; }")
+	fd := f.Decls[0].(*cast.FuncDef)
+	ret := fd.Body.Stmts[0].(*cast.ReturnStmt)
+	if _, ok := ret.Value.(*cast.CondExpr); !ok {
+		t.Fatalf("value = %T", ret.Value)
+	}
+}
+
+func TestPointerArithmeticAndCasts(t *testing.T) {
+	f := parseNoErr(t, `
+void *advance(void *base, unsigned long off)
+{
+	char *p = (char *)base;
+	return (void *)(p + off);
+}
+`)
+	fd := f.Decls[0].(*cast.FuncDef)
+	if fd.Ret.Base != "void" || fd.Ret.Stars != 1 {
+		t.Errorf("ret = %v", fd.Ret)
+	}
+}

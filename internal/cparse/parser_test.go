@@ -1,0 +1,529 @@
+package cparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/cpp"
+)
+
+// parse preprocesses and parses src, failing the test on any error.
+func parse(t *testing.T, src string) *cast.File {
+	t.Helper()
+	pp := cpp.New(nil)
+	res := pp.Process("test.c", src)
+	for _, e := range res.Errors {
+		t.Fatalf("cpp: %v", e)
+	}
+	f, errs := ParseFile("test.c", res.Tokens)
+	for _, e := range errs {
+		t.Fatalf("parse: %v", e)
+	}
+	return f
+}
+
+func fnByName(t *testing.T, f *cast.File, name string) *cast.FuncDef {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDef); ok && fd.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+func TestSimpleFunction(t *testing.T) {
+	f := parse(t, `
+static int add(int a, int b)
+{
+	return a + b;
+}
+`)
+	fd := fnByName(t, f, "add")
+	if !fd.Static {
+		t.Error("add should be static")
+	}
+	if fd.Ret.Base != "int" {
+		t.Errorf("ret = %v", fd.Ret)
+	}
+	if len(fd.Params) != 2 || fd.Params[0].Name != "a" || fd.Params[1].Name != "b" {
+		t.Errorf("params = %+v", fd.Params)
+	}
+	if len(fd.Body.Stmts) != 1 {
+		t.Fatalf("body = %+v", fd.Body.Stmts)
+	}
+	ret, ok := fd.Body.Stmts[0].(*cast.ReturnStmt)
+	if !ok {
+		t.Fatalf("stmt = %T", fd.Body.Stmts[0])
+	}
+	if cast.ExprString(ret.Value) != "a + b" {
+		t.Errorf("return expr = %q", cast.ExprString(ret.Value))
+	}
+}
+
+func TestPointerTypesAndLocals(t *testing.T) {
+	f := parse(t, `
+struct device_node { int refcount; };
+static struct device_node *find(struct device_node *from)
+{
+	struct device_node *np = from;
+	const char *name = "x";
+	unsigned long flags;
+	return np;
+}
+`)
+	fd := fnByName(t, f, "find")
+	if fd.Ret.Base != "struct device_node" || fd.Ret.Stars != 1 {
+		t.Errorf("ret = %v", fd.Ret)
+	}
+	if fd.Ret.StructName() != "device_node" {
+		t.Errorf("struct name = %q", fd.Ret.StructName())
+	}
+	ds, ok := fd.Body.Stmts[0].(*cast.DeclStmt)
+	if !ok || ds.Name != "np" || ds.Type.Stars != 1 {
+		t.Fatalf("decl = %+v", fd.Body.Stmts[0])
+	}
+	if cast.ExprString(ds.Init) != "from" {
+		t.Errorf("init = %q", cast.ExprString(ds.Init))
+	}
+}
+
+func TestStructWithFuncPtrFields(t *testing.T) {
+	f := parse(t, `
+struct platform_driver {
+	int (*probe)(struct platform_device *);
+	int (*remove)(struct platform_device *);
+	const char *name;
+};
+`)
+	sd, ok := f.Decls[0].(*cast.StructDecl)
+	if !ok {
+		t.Fatalf("decl = %T", f.Decls[0])
+	}
+	if sd.Name != "platform_driver" || len(sd.Fields) != 3 {
+		t.Fatalf("struct = %+v", sd)
+	}
+	probe, ok := sd.FieldType("probe")
+	if !ok || !probe.FuncPtr {
+		t.Errorf("probe = %+v", probe)
+	}
+	if name, ok := sd.FieldType("name"); !ok || name.Stars != 1 || name.Base != "char" {
+		t.Errorf("name = %+v", name)
+	}
+}
+
+func TestDesignatedInitializer(t *testing.T) {
+	f := parse(t, `
+struct platform_driver { int (*probe)(void); int (*remove)(void); };
+static int foo_probe(void) { return 0; }
+static int foo_remove(void) { return 0; }
+static struct platform_driver foo_driver = {
+	.probe = foo_probe,
+	.remove = foo_remove,
+};
+`)
+	var vd *cast.VarDecl
+	for _, d := range f.Decls {
+		if v, ok := d.(*cast.VarDecl); ok && v.Name == "foo_driver" {
+			vd = v
+		}
+	}
+	if vd == nil {
+		t.Fatal("foo_driver not found")
+	}
+	if len(vd.Inits) != 2 {
+		t.Fatalf("inits = %+v", vd.Inits)
+	}
+	if vd.Inits[0].Field != "probe" || cast.ExprString(vd.Inits[0].Value) != "foo_probe" {
+		t.Errorf("init[0] = %+v", vd.Inits[0])
+	}
+}
+
+func TestControlFlowStatements(t *testing.T) {
+	f := parse(t, `
+int classify(int x)
+{
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (x == i)
+			break;
+		else
+			continue;
+	}
+	while (x > 0)
+		x--;
+	do { x++; } while (x < 0);
+	switch (x) {
+	case 0:
+		return 0;
+	case 1:
+	default:
+		goto out;
+	}
+out:
+	return x;
+}
+`)
+	fd := fnByName(t, f, "classify")
+	var kinds []string
+	cast.Walk(fd, func(n cast.Node) bool {
+		kinds = append(kinds, fmt.Sprintf("%T", n))
+		return true
+	})
+	joined := strings.Join(kinds, " ")
+	for _, want := range []string{"ForStmt", "IfStmt", "BreakStmt", "ContinueStmt",
+		"WhileStmt", "DoWhileStmt", "SwitchStmt", "CaseStmt", "GotoStmt", "LabelStmt"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in walk: %s", want, joined)
+		}
+	}
+}
+
+func TestListing1NVMEM(t *testing.T) {
+	// The paper's Listing 1 shape (missing-refcounting bug).
+	f := parse(t, `
+struct nvmem_device { int x; };
+struct nvmem_device *__nvmem_device_get(void *data)
+{
+	struct device *dev;
+	dev = bus_find_device(data);
+	if (!dev)
+		return 0;
+	if (any_error)
+		return error_code;
+	return to_nvmem_device(dev);
+}
+`)
+	fd := fnByName(t, f, "__nvmem_device_get")
+	calls := cast.Calls(fd)
+	var names []string
+	for _, c := range calls {
+		names = append(names, c.Callee())
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "bus_find_device") {
+		t.Errorf("calls = %v", names)
+	}
+}
+
+func TestListing3PMRuntime(t *testing.T) {
+	f := parse(t, `
+static int stm32_crc_remove(struct platform_device *pdev)
+{
+	struct stm32_crc *crc = platform_get_drvdata(pdev);
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	return 0;
+}
+`)
+	fd := fnByName(t, f, "stm32_crc_remove")
+	ds, ok := fd.Body.Stmts[1].(*cast.DeclStmt)
+	if !ok {
+		t.Fatalf("stmt 1 = %T", fd.Body.Stmts[1])
+	}
+	call, ok := ds.Init.(*cast.CallExpr)
+	if !ok || call.Callee() != "pm_runtime_get_sync" {
+		t.Fatalf("init = %q", cast.ExprString(ds.Init))
+	}
+	if cast.ExprString(call.Args[0]) != "crc->dev" {
+		t.Errorf("arg = %q", cast.ExprString(call.Args[0]))
+	}
+}
+
+func TestSmartLoopProvenance(t *testing.T) {
+	// Listing 4: macro-defined smartloop; the of_find_matching_node calls
+	// must carry for_each_matching_node provenance after parsing.
+	f := parse(t, `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int brcmstb_pm_probe(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (cond)
+			break;
+	}
+	return 0;
+}
+`)
+	fd := fnByName(t, f, "brcmstb_pm_probe")
+	var loopCalls int
+	for _, c := range cast.Calls(fd) {
+		if c.Callee() == "of_find_matching_node" {
+			loopCalls++
+			if !c.FromMacro("for_each_matching_node") {
+				t.Errorf("call at %v lacks smartloop provenance: %v", c.Pos(), c.Origin)
+			}
+		}
+	}
+	if loopCalls != 2 {
+		t.Errorf("of_find_matching_node calls = %d, want 2", loopCalls)
+	}
+	// The for statement itself originates from the macro.
+	var sawFor bool
+	cast.Walk(fd, func(n cast.Node) bool {
+		if fs, ok := n.(*cast.ForStmt); ok {
+			sawFor = true
+			found := false
+			for _, m := range fs.MacroOrigin() {
+				if m == "for_each_matching_node" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("for stmt origin = %v", fs.MacroOrigin())
+			}
+			// The break inside must NOT be macro-originated.
+			cast.Walk(fs.Body, func(m cast.Node) bool {
+				if bs, ok := m.(*cast.BreakStmt); ok {
+					if len(bs.MacroOrigin()) != 0 {
+						t.Errorf("break origin = %v", bs.MacroOrigin())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if !sawFor {
+		t.Error("no for statement found")
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a = b->c.d", "a = b->c.d"},
+		{"x = (a + b) * c", "x = (a + b) * c"},
+		{"p = &arr[i]", "p = &arr[i]"},
+		{"v = *p++", "v = *p++"},
+		{"f(a, g(b), c->d)", "f(a, g(b), c->d)"},
+		{"x = cond ? y : z", "x = cond ? y : z"},
+		{"n = sizeof(struct foo)", "n = sizeof(struct foo)"},
+		{"mask = ~0x3 & flags | bit << 2", "mask = ~0x3 & flags | bit << 2"},
+		{"ok = !err && ptr != 0", "ok = !err && ptr != 0"},
+		{"x += y", "x += y"},
+		{"q = (struct foo *)raw", "q = (struct foo*)raw"},
+	}
+	for _, c := range cases {
+		f := parse(t, "void t(void) { "+c.src+"; }")
+		fd := fnByName(t, f, "t")
+		es, ok := fd.Body.Stmts[0].(*cast.ExprStmt)
+		if !ok {
+			t.Errorf("%q: stmt = %T", c.src, fd.Body.Stmts[0])
+			continue
+		}
+		if got := cast.ExprString(es.X); got != c.want {
+			t.Errorf("%q: got %q", c.src, got)
+		}
+	}
+}
+
+func TestTypedefRecognition(t *testing.T) {
+	f := parse(t, `
+typedef unsigned int mytype_t;
+mytype_t g(mytype_t v)
+{
+	mytype_t local = v;
+	return local;
+}
+`)
+	fd := fnByName(t, f, "g")
+	if fd.Ret.Base != "mytype_t" {
+		t.Errorf("ret = %v", fd.Ret)
+	}
+	if ds, ok := fd.Body.Stmts[0].(*cast.DeclStmt); !ok || ds.Type.Base != "mytype_t" {
+		t.Errorf("local decl = %+v", fd.Body.Stmts[0])
+	}
+}
+
+func TestMultipleDeclarators(t *testing.T) {
+	f := parse(t, "void t(void) { int a = 1, b = 2; }")
+	fd := fnByName(t, f, "t")
+	cs, ok := fd.Body.Stmts[0].(*cast.CompoundStmt)
+	if !ok || len(cs.Stmts) != 2 {
+		t.Fatalf("stmt = %+v", fd.Body.Stmts[0])
+	}
+	d0 := cs.Stmts[0].(*cast.DeclStmt)
+	d1 := cs.Stmts[1].(*cast.DeclStmt)
+	if d0.Name != "a" || d1.Name != "b" {
+		t.Errorf("names = %q %q", d0.Name, d1.Name)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	// A bogus construct must not hide the following function.
+	pp := cpp.New(nil)
+	res := pp.Process("t.c", `
+@@@ bogus @@@ ;
+int good(void) { return 1; }
+`)
+	f, errs := ParseFile("t.c", res.Tokens)
+	if len(errs) == 0 {
+		t.Error("expected parse errors")
+	}
+	found := false
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDef); ok && fd.Name == "good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recovery lost the good function")
+	}
+}
+
+func TestPrototypeVsDefinition(t *testing.T) {
+	f := parse(t, `
+int declared_only(int x);
+int defined(int x) { return x; }
+`)
+	proto := fnByName(t, f, "declared_only")
+	if proto.Body != nil {
+		t.Error("prototype should have nil body")
+	}
+	def := fnByName(t, f, "defined")
+	if def.Body == nil {
+		t.Error("definition should have body")
+	}
+}
+
+func TestGotoErrorPattern(t *testing.T) {
+	// Classic kernel error-handling shape.
+	f := parse(t, `
+int init(void)
+{
+	int err;
+	err = setup_a();
+	if (err)
+		goto fail_a;
+	err = setup_b();
+	if (err)
+		goto fail_b;
+	return 0;
+fail_b:
+	teardown_a();
+fail_a:
+	return err;
+}
+`)
+	fd := fnByName(t, f, "init")
+	var labels, gotos []string
+	cast.Walk(fd, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.LabelStmt:
+			labels = append(labels, x.Name)
+		case *cast.GotoStmt:
+			gotos = append(gotos, x.Label)
+		}
+		return true
+	})
+	if len(labels) != 2 || len(gotos) != 2 {
+		t.Errorf("labels = %v gotos = %v", labels, gotos)
+	}
+}
+
+func TestBaseIdent(t *testing.T) {
+	f := parse(t, "void t(void) { a->b.c[i] = 1; (*p).x = 2; }")
+	fd := fnByName(t, f, "t")
+	s0 := fd.Body.Stmts[0].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if id := cast.BaseIdent(s0.LHS); id == nil || id.Name != "a" {
+		t.Errorf("base of a->b.c[i] = %v", id)
+	}
+	s1 := fd.Body.Stmts[1].(*cast.ExprStmt).X.(*cast.AssignExpr)
+	if id := cast.BaseIdent(s1.LHS); id == nil || id.Name != "p" {
+		t.Errorf("base of (*p).x = %v", id)
+	}
+}
+
+func TestStringConcatenation(t *testing.T) {
+	f := parse(t, `const char *msg = "a" "b";`)
+	vd := f.Decls[0].(*cast.VarDecl)
+	lit := vd.Init.(*cast.Lit)
+	if lit.Text != `"a""b"` {
+		t.Errorf("lit = %q", lit.Text)
+	}
+}
+
+func TestAnonymousNestedStruct(t *testing.T) {
+	f := parse(t, `
+struct outer {
+	int a;
+	struct { int b; int c; } inner;
+	union { int d; long e; };
+};
+`)
+	sd := f.Decls[0].(*cast.StructDecl)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		if _, ok := sd.FieldType(name); !ok {
+			t.Errorf("field %s missing (flattening failed): %+v", name, sd.Fields)
+		}
+	}
+}
+
+// Property: parsing always terminates and never panics on arbitrary token
+// soup derived from printable bytes.
+func TestQuickParserRobustness(t *testing.T) {
+	f := func(raw []byte) bool {
+		src := make([]byte, len(raw))
+		for i, b := range raw {
+			src[i] = byte(32 + int(b)%95)
+			if b%13 == 0 {
+				src[i] = '\n'
+			}
+		}
+		toks, _ := clex.Tokenize("q.c", string(src), clex.Config{})
+		p := New("q.c", toks)
+		p.Parse() // must not hang or panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every call written as name(...) in a straight-line function body
+// is discoverable via cast.Calls.
+func TestQuickCallDiscovery(t *testing.T) {
+	f := func(ns []uint8) bool {
+		if len(ns) == 0 {
+			return true
+		}
+		if len(ns) > 20 {
+			ns = ns[:20]
+		}
+		var b strings.Builder
+		b.WriteString("void t(void) {\n")
+		var want []string
+		for i, n := range ns {
+			name := fmt.Sprintf("fn_%c%d", 'a'+n%26, i)
+			want = append(want, name)
+			fmt.Fprintf(&b, "\t%s(%d);\n", name, i)
+		}
+		b.WriteString("}\n")
+		toks, _ := clex.Tokenize("q.c", b.String(), clex.Config{})
+		file, errs := ParseFile("q.c", toks)
+		if len(errs) != 0 {
+			return false
+		}
+		calls := cast.Calls(file)
+		if len(calls) != len(want) {
+			return false
+		}
+		for i, c := range calls {
+			if c.Callee() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package cpg assembles whole-translation-unit code property graphs: the
+// paper's "Graph Generation" stage (§6.1, built there with JOERN).
+//
+// A Unit combines, for a set of C sources, the ASTs, per-function CFGs,
+// semantic event streams, struct/global tables, the preprocessor macro
+// table, and a call graph — everything the nine checkers query. Building a
+// Unit also runs the "Lexer Parsing" stage: refcounted-structure discovery,
+// refcounting-API wrapper discovery, and smartloop discovery extend the API
+// knowledge base before events are extracted.
+package cpg
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/apidb"
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/cparse"
+	"repro/internal/cpp"
+	"repro/internal/semantics"
+)
+
+// Function is one function definition with its analysis artifacts.
+type Function struct {
+	Def    *cast.FuncDef
+	File   string
+	Graph  *cfg.Graph            // nil for prototypes
+	Events *semantics.FuncEvents // nil for prototypes
+}
+
+// CallSite is one static call to a named function.
+type CallSite struct {
+	Caller *Function
+	Call   *cast.CallExpr
+}
+
+// CallbackBinding records a designated-initializer binding like
+// `.probe = foo_probe` inside a driver-ops structure (P6 input).
+type CallbackBinding struct {
+	Pair    apidb.CallbackPair
+	Var     *cast.VarDecl
+	Acquire *Function // may be nil when the bound name is not defined here
+	Release *Function
+	File    string
+}
+
+// Unit is the code property graph of a source tree.
+type Unit struct {
+	DB        *apidb.DB
+	Files     []*cast.File
+	Functions map[string]*Function
+	Structs   map[string]*cast.StructDecl
+	Globals   map[string]*cast.VarDecl
+	Macros    map[string]*cpp.Macro
+	Calls     map[string][]CallSite // callee name → sites
+	Errors    []error
+
+	// Discovered names from the lexer-parsing stage (reported by tools).
+	DiscoveredStructs    []string
+	DiscoveredAPIs       []string
+	DiscoveredLoops      []string
+	DiscoveredDeviations []string
+}
+
+// Source is one input file.
+type Source struct {
+	Path    string
+	Content string
+}
+
+// Builder configures unit construction.
+type Builder struct {
+	// DB is extended in place by discovery; nil means a fresh apidb.New().
+	DB *apidb.DB
+	// Headers resolves #include; nil skips unresolvable includes.
+	Headers cpp.FileProvider
+	// Predefines are macros defined before each file (e.g. __KERNEL__).
+	Predefines map[string]string
+	// Workers bounds the per-function analysis concurrency (phase 3);
+	// 0 means GOMAXPROCS, 1 forces sequential analysis. Results are
+	// identical either way — functions are analyzed independently.
+	Workers int
+}
+
+// Build preprocesses, parses and analyzes the sources into a Unit. Inputs
+// are processed in path order so results are deterministic.
+func (b *Builder) Build(sources []Source) *Unit {
+	db := b.DB
+	if db == nil {
+		db = apidb.New()
+	}
+	u := &Unit{
+		DB:        db,
+		Functions: map[string]*Function{},
+		Structs:   map[string]*cast.StructDecl{},
+		Globals:   map[string]*cast.VarDecl{},
+		Macros:    map[string]*cpp.Macro{},
+		Calls:     map[string][]CallSite{},
+	}
+	sorted := append([]Source(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
+	// Phase 1: preprocess + parse everything, collect declarations.
+	for _, src := range sorted {
+		pp := cpp.New(b.Headers)
+		for k, v := range b.Predefines {
+			pp.Define(k, v)
+		}
+		res := pp.Process(src.Path, src.Content)
+		u.Errors = append(u.Errors, res.Errors...)
+		for name, m := range res.Macros {
+			u.Macros[name] = m
+		}
+		file, perrs := cparse.ParseFile(src.Path, res.Tokens)
+		u.Errors = append(u.Errors, perrs...)
+		u.Files = append(u.Files, file)
+		for _, d := range file.Decls {
+			switch x := d.(type) {
+			case *cast.FuncDef:
+				if x.Body != nil || u.Functions[x.Name] == nil {
+					u.Functions[x.Name] = &Function{Def: x, File: src.Path}
+				}
+			case *cast.StructDecl:
+				u.Structs[x.Name] = x
+			case *cast.VarDecl:
+				u.Globals[x.Name] = x
+			}
+		}
+	}
+
+	// Phase 2: lexer-parsing discovery (§6.1) — structures, wrapper APIs,
+	// smartloops — before event extraction so events see the full DB.
+	u.DiscoveredStructs = db.DiscoverStructs(u.Files)
+	u.DiscoveredAPIs = db.DiscoverAPIs(u.Files)
+	u.DiscoveredLoops = db.DiscoverLoops(u.Macros)
+	u.DiscoveredDeviations = db.DiscoverDeviations(u.Files)
+
+	// Phase 3: CFGs, events, call graph.
+	globals := make(map[string]bool, len(u.Globals))
+	for name := range u.Globals {
+		globals[name] = true
+	}
+	ext := &semantics.Extractor{DB: db, GlobalNames: globals}
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	names := u.FunctionNames()
+	if workers > 1 && len(names) > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan *Function)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for fn := range jobs {
+					fn.Graph = cfg.Build(fn.Def)
+					fn.Events = ext.Extract(fn.Graph)
+				}
+			}()
+		}
+		for _, name := range names {
+			if fn := u.Functions[name]; fn.Def.Body != nil {
+				jobs <- fn
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, name := range names {
+			fn := u.Functions[name]
+			if fn.Def.Body == nil {
+				continue
+			}
+			fn.Graph = cfg.Build(fn.Def)
+			fn.Events = ext.Extract(fn.Graph)
+		}
+	}
+	// The call graph is assembled sequentially in name order so Calls slices
+	// are deterministic.
+	for _, name := range names {
+		fn := u.Functions[name]
+		if fn.Def.Body == nil {
+			continue
+		}
+		for _, call := range cast.Calls(fn.Def.Body) {
+			if cn := call.Callee(); cn != "" {
+				u.Calls[cn] = append(u.Calls[cn], CallSite{Caller: fn, Call: call})
+			}
+		}
+	}
+	return u
+}
+
+// FunctionNames returns defined function names in sorted order.
+func (u *Unit) FunctionNames() []string {
+	names := make([]string, 0, len(u.Functions))
+	for n := range u.Functions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CallbackBindings resolves driver-ops designated initializers against the
+// DB's inter-paired callback table.
+func (u *Unit) CallbackBindings() []CallbackBinding {
+	var out []CallbackBinding
+	var names []string
+	for n := range u.Globals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		vd := u.Globals[n]
+		if len(vd.Inits) == 0 {
+			continue
+		}
+		structName := vd.Type.StructName()
+		for _, pair := range u.DB.Callbacks() {
+			if pair.Struct != structName {
+				continue
+			}
+			cb := CallbackBinding{Pair: pair, Var: vd, File: vd.Pos().File}
+			for _, fi := range vd.Inits {
+				id, ok := fi.Value.(*cast.Ident)
+				if !ok {
+					continue
+				}
+				switch fi.Field {
+				case pair.Acquire:
+					cb.Acquire = u.Functions[id.Name]
+				case pair.Release:
+					cb.Release = u.Functions[id.Name]
+				}
+			}
+			if cb.Acquire != nil || cb.Release != nil {
+				out = append(out, cb)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package cpg
+
+import (
+	"testing"
+
+	"repro/internal/cpp"
+)
+
+func build(t *testing.T, sources ...Source) *Unit {
+	t.Helper()
+	b := &Builder{}
+	u := b.Build(sources)
+	for _, e := range u.Errors {
+		t.Fatalf("build error: %v", e)
+	}
+	return u
+}
+
+func TestUnitBasics(t *testing.T) {
+	u := build(t,
+		Source{Path: "drivers/foo/a.c", Content: `
+struct foo_dev { struct kref ref; int id; };
+static void helper(struct foo_dev *d) { kref_get(&d->ref); }
+int foo_probe(struct foo_dev *d)
+{
+	helper(d);
+	return 0;
+}
+`})
+	if len(u.Files) != 1 {
+		t.Fatalf("files = %d", len(u.Files))
+	}
+	if u.Functions["foo_probe"] == nil || u.Functions["helper"] == nil {
+		t.Fatalf("functions = %v", u.FunctionNames())
+	}
+	if u.Structs["foo_dev"] == nil {
+		t.Error("struct table missing foo_dev")
+	}
+	fn := u.Functions["foo_probe"]
+	if fn.Graph == nil || fn.Events == nil {
+		t.Error("analysis artifacts missing")
+	}
+	sites := u.Calls["helper"]
+	if len(sites) != 1 || sites[0].Caller.Def.Name != "foo_probe" {
+		t.Errorf("call sites = %+v", sites)
+	}
+}
+
+func TestDiscoveryRuns(t *testing.T) {
+	u := build(t, Source{Path: "a.c", Content: `
+struct foo_dev { struct kref ref; };
+void foo_get(struct foo_dev *d) { kref_get(&d->ref); }
+void foo_put(struct foo_dev *d) { kref_put(&d->ref); }
+void user(struct foo_dev *d)
+{
+	foo_get(d);
+	foo_put(d);
+}
+`})
+	if len(u.DiscoveredStructs) != 1 || u.DiscoveredStructs[0] != "foo_dev" {
+		t.Errorf("discovered structs = %v", u.DiscoveredStructs)
+	}
+	if len(u.DiscoveredAPIs) != 2 {
+		t.Errorf("discovered APIs = %v", u.DiscoveredAPIs)
+	}
+	// Events in `user` must classify foo_get as Inc (DB extended before
+	// extraction).
+	fn := u.Functions["user"]
+	found := false
+	for _, evs := range fn.Events.ByBlok {
+		for _, ev := range evs {
+			if ev.API == "foo_get" && ev.Op.String() == "G" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("discovered API not reflected in events")
+	}
+}
+
+func TestHeadersResolved(t *testing.T) {
+	headers := cpp.MapFiles{
+		"include/linux/of.h": `
+#define for_each_child_of_node(parent, child) \
+	for (child = of_get_next_child(parent, 0); child; \
+	     child = of_get_next_child(parent, child))
+`,
+	}
+	b := &Builder{Headers: headers}
+	u := b.Build([]Source{{Path: "drivers/x.c", Content: `
+#include <linux/of.h>
+int walk(struct device_node *parent)
+{
+	struct device_node *child;
+	for_each_child_of_node(parent, child) {
+		use(child);
+	}
+	return 0;
+}
+`}})
+	for _, e := range u.Errors {
+		t.Fatalf("err: %v", e)
+	}
+	if u.Macros["for_each_child_of_node"] == nil {
+		t.Error("macro from header missing")
+	}
+	if u.Functions["walk"].Graph == nil {
+		t.Error("walk not analyzed")
+	}
+}
+
+func TestCallbackBindings(t *testing.T) {
+	u := build(t, Source{Path: "drivers/d.c", Content: `
+struct platform_driver { int (*probe)(void); int (*remove)(void); };
+static int d_probe(void) { return 0; }
+static int d_remove(void) { return 0; }
+static struct platform_driver d_driver = {
+	.probe = d_probe,
+	.remove = d_remove,
+};
+`})
+	cbs := u.CallbackBindings()
+	if len(cbs) != 1 {
+		t.Fatalf("bindings = %+v", cbs)
+	}
+	cb := cbs[0]
+	if cb.Acquire == nil || cb.Acquire.Def.Name != "d_probe" {
+		t.Errorf("acquire = %+v", cb.Acquire)
+	}
+	if cb.Release == nil || cb.Release.Def.Name != "d_remove" {
+		t.Errorf("release = %+v", cb.Release)
+	}
+	if cb.Pair.Struct != "platform_driver" {
+		t.Errorf("pair = %+v", cb.Pair)
+	}
+}
+
+func TestCallbackBindingMissingRelease(t *testing.T) {
+	u := build(t, Source{Path: "drivers/d.c", Content: `
+struct usb_driver { int (*probe)(void); int (*disconnect)(void); };
+static int u_probe(void) { return 0; }
+static struct usb_driver u_driver = {
+	.probe = u_probe,
+};
+`})
+	cbs := u.CallbackBindings()
+	if len(cbs) != 1 {
+		t.Fatalf("bindings = %+v", cbs)
+	}
+	if cbs[0].Acquire == nil || cbs[0].Release != nil {
+		t.Errorf("binding = %+v", cbs[0])
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	srcs := []Source{
+		{Path: "b.c", Content: "int fb(void) { return 2; }"},
+		{Path: "a.c", Content: "int fa(void) { return 1; }"},
+	}
+	u1 := build(t, srcs...)
+	u2 := build(t, srcs[1], srcs[0])
+	if u1.Files[0].Name != "a.c" || u2.Files[0].Name != "a.c" {
+		t.Error("files not sorted by path")
+	}
+	n1, n2 := u1.FunctionNames(), u2.FunctionNames()
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("order differs: %v vs %v", n1, n2)
+		}
+	}
+}
+
+func TestParseErrorsSurfaced(t *testing.T) {
+	b := &Builder{}
+	u := b.Build([]Source{{Path: "bad.c", Content: "@@@;\nint ok(void) { return 0; }"}})
+	if len(u.Errors) == 0 {
+		t.Error("expected surfaced errors")
+	}
+	if u.Functions["ok"] == nil {
+		t.Error("recovery failed")
+	}
+}
+
+// TestParallelMatchesSequential builds the same sources with one worker and
+// with many; every analysis artifact must agree.
+func TestParallelMatchesSequential(t *testing.T) {
+	srcs := []Source{
+		{Path: "a.c", Content: `
+struct a_dev { struct kref ref; };
+void a_get(struct a_dev *d) { kref_get(&d->ref); }
+void a_put(struct a_dev *d) { kref_put(&d->ref); }
+int a_user(struct a_dev *d) { a_get(d); a_put(d); return 0; }
+`},
+		{Path: "b.c", Content: `
+int b_probe(void)
+{
+	struct device_node *np = of_find_node_by_path("/b");
+	if (!np)
+		return -ENODEV;
+	of_node_put(np);
+	return 0;
+}
+`},
+	}
+	seq := (&Builder{Workers: 1}).Build(srcs)
+	par := (&Builder{Workers: 8}).Build(srcs)
+	if len(seq.Functions) != len(par.Functions) {
+		t.Fatalf("function counts differ")
+	}
+	for name, sf := range seq.Functions {
+		pf := par.Functions[name]
+		if (sf.Graph == nil) != (pf.Graph == nil) {
+			t.Fatalf("%s: graph presence differs", name)
+		}
+		if sf.Graph == nil {
+			continue
+		}
+		if len(sf.Graph.Blocks) != len(pf.Graph.Blocks) {
+			t.Errorf("%s: block counts differ", name)
+		}
+		sevs, pevs := 0, 0
+		for _, b := range sf.Graph.Blocks {
+			sevs += len(sf.Events.ByBlok[b])
+		}
+		for _, b := range pf.Graph.Blocks {
+			pevs += len(pf.Events.ByBlok[b])
+		}
+		if sevs != pevs {
+			t.Errorf("%s: event counts differ (%d vs %d)", name, sevs, pevs)
+		}
+	}
+	for name := range seq.Calls {
+		if len(seq.Calls[name]) != len(par.Calls[name]) {
+			t.Errorf("call sites for %s differ", name)
+		}
+	}
+}

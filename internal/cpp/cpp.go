@@ -1,0 +1,843 @@
+// Package cpp implements the C preprocessor stage of the checker pipeline.
+//
+// It supports the directives that matter for kernel analysis: #define /
+// #undef for object- and function-like macros (with # stringize and ##
+// paste), #include against a pluggable file provider, and the conditional
+// family (#if/#ifdef/#ifndef/#elif/#else/#endif with defined() and integer
+// expressions).
+//
+// Its distinguishing feature, required by anti-pattern P3 (smartloop break),
+// is provenance: every token produced by macro expansion carries the chain of
+// macro names it came from (clex.Token.Origin), so later stages can tell that
+// an of_find_matching_node call was injected by the for_each_matching_node
+// smartloop rather than written by the developer.
+package cpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/clex"
+)
+
+// FileProvider resolves #include paths. Includes are resolved by exact path
+// first, then by suffix match (kernel-style <linux/of.h> names).
+type FileProvider interface {
+	// ReadFile returns the contents of path, or false if unknown.
+	ReadFile(path string) (string, bool)
+}
+
+// MapFiles is an in-memory FileProvider.
+type MapFiles map[string]string
+
+// ReadFile implements FileProvider.
+func (m MapFiles) ReadFile(path string) (string, bool) {
+	if s, ok := m[path]; ok {
+		return s, true
+	}
+	for p, s := range m {
+		if strings.HasSuffix(p, "/"+path) {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// Macro is a single #define.
+type Macro struct {
+	Name       string
+	Params     []string // nil for object-like macros
+	Variadic   bool
+	Body       []clex.Token
+	FuncLike   bool
+	DefinedAt  clex.Pos
+	Predefined bool
+}
+
+// IsLoopMacro heuristically reports whether the macro expands to a for(...)
+// header — the shape of kernel "smartloops" such as for_each_child_of_node.
+// The smartloop registry in internal/apidb is authoritative; this is used to
+// discover new smartloops during lexer parsing (§6.1).
+func (m *Macro) IsLoopMacro() bool {
+	for _, t := range m.Body {
+		if t.Kind == clex.Keyword && t.Text == "for" {
+			return true
+		}
+	}
+	return false
+}
+
+// Result is the output of preprocessing one translation unit.
+type Result struct {
+	Tokens []clex.Token
+	// Macros is the macro table at end of file (includes macros picked up
+	// from headers); used by the smartloop lexer parser.
+	Macros map[string]*Macro
+	// MissingIncludes lists include paths the provider could not resolve.
+	// Unresolved includes are skipped (kernel code includes far more than
+	// our analysis needs), but recorded for diagnostics.
+	MissingIncludes []string
+	Errors          []error
+}
+
+// Preprocessor expands one translation unit.
+type Preprocessor struct {
+	files  FileProvider
+	macros map[string]*Macro
+
+	out      []clex.Token
+	missing  []string
+	errs     []error
+	depth    int // include depth guard
+	included map[string]bool
+}
+
+const maxIncludeDepth = 32
+
+// New returns a preprocessor using the given file provider (may be nil if the
+// unit has no resolvable includes).
+func New(files FileProvider) *Preprocessor {
+	return &Preprocessor{
+		files:    files,
+		macros:   map[string]*Macro{},
+		included: map[string]bool{},
+	}
+}
+
+// Define installs a predefined macro (e.g. __KERNEL__) before processing.
+func (p *Preprocessor) Define(name, body string) {
+	toks, _ := clex.Tokenize("<predef>", body, clex.Config{})
+	p.macros[name] = &Macro{Name: name, Body: toks, Predefined: true}
+}
+
+// Process preprocesses the named source buffer and returns the expanded token
+// stream.
+func (p *Preprocessor) Process(file, src string) *Result {
+	p.processFile(file, src)
+	return &Result{
+		Tokens:          p.out,
+		Macros:          p.macros,
+		MissingIncludes: p.missing,
+		Errors:          p.errs,
+	}
+}
+
+func (p *Preprocessor) errorf(pos clex.Pos, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// lines splits a token stream (with newlines retained) into logical lines.
+func splitLines(toks []clex.Token) [][]clex.Token {
+	var lines [][]clex.Token
+	var cur []clex.Token
+	for _, t := range toks {
+		if t.Kind == clex.Newline {
+			lines = append(lines, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(cur) > 0 {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+// condState tracks one level of #if nesting.
+type condState struct {
+	active      bool // this branch is being emitted
+	everActive  bool // some branch at this level was emitted
+	parentLive  bool
+	sawElse     bool
+	openedAtPos clex.Pos
+}
+
+func (p *Preprocessor) processFile(file, src string) {
+	if p.depth >= maxIncludeDepth {
+		p.errs = append(p.errs, fmt.Errorf("%s: include depth exceeds %d", file, maxIncludeDepth))
+		return
+	}
+	p.depth++
+	defer func() { p.depth-- }()
+
+	toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true})
+	p.errs = append(p.errs, lexErrs...)
+
+	var conds []condState
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, line := range splitLines(toks) {
+		if len(line) == 0 {
+			continue
+		}
+		if line[0].Kind == clex.Hash {
+			p.directive(line, &conds, live)
+			continue
+		}
+		if !live() {
+			continue
+		}
+		p.out = append(p.out, p.expandTokens(line, nil)...)
+	}
+	for _, c := range conds {
+		p.errorf(c.openedAtPos, "unterminated conditional")
+	}
+}
+
+func (p *Preprocessor) directive(line []clex.Token, conds *[]condState, live func() bool) {
+	if len(line) < 2 {
+		return // lone '#' is a null directive
+	}
+	name := line[1].Text
+	rest := line[2:]
+	switch name {
+	case "if", "ifdef", "ifndef":
+		parentLive := live()
+		active := false
+		if parentLive {
+			switch name {
+			case "ifdef":
+				active = len(rest) > 0 && p.macros[rest[0].Text] != nil
+			case "ifndef":
+				active = len(rest) > 0 && p.macros[rest[0].Text] == nil
+			default:
+				active = p.evalCondition(rest, line[0].Pos)
+			}
+		}
+		*conds = append(*conds, condState{
+			active: active, everActive: active,
+			parentLive: parentLive, openedAtPos: line[0].Pos,
+		})
+	case "elif":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#elif without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.sawElse {
+			p.errorf(line[0].Pos, "#elif after #else")
+			return
+		}
+		if c.parentLive && !c.everActive && p.evalCondition(rest, line[0].Pos) {
+			c.active = true
+			c.everActive = true
+		} else {
+			c.active = false
+		}
+	case "else":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#else without #if")
+			return
+		}
+		c := &(*conds)[len(*conds)-1]
+		c.sawElse = true
+		c.active = c.parentLive && !c.everActive
+		if c.active {
+			c.everActive = true
+		}
+	case "endif":
+		if len(*conds) == 0 {
+			p.errorf(line[0].Pos, "#endif without #if")
+			return
+		}
+		*conds = (*conds)[:len(*conds)-1]
+	case "define":
+		if live() {
+			p.define(rest, line[0].Pos)
+		}
+	case "undef":
+		if live() && len(rest) > 0 {
+			delete(p.macros, rest[0].Text)
+		}
+	case "include":
+		if live() {
+			p.include(rest, line[0].Pos)
+		}
+	case "pragma", "error", "warning", "line":
+		// Ignored: irrelevant to the analysis.
+	default:
+		p.errorf(line[0].Pos, "unknown directive #%s", name)
+	}
+}
+
+func (p *Preprocessor) define(rest []clex.Token, pos clex.Pos) {
+	if len(rest) == 0 || rest[0].Kind != clex.Ident && rest[0].Kind != clex.Keyword {
+		p.errorf(pos, "malformed #define")
+		return
+	}
+	m := &Macro{Name: rest[0].Text, DefinedAt: rest[0].Pos}
+	i := 1
+	// Function-like only when '(' immediately follows the name.
+	if i < len(rest) && rest[i].Kind == clex.LParen && !rest[i].LeadingSpace {
+		m.FuncLike = true
+		m.Params = []string{}
+		i++
+		for i < len(rest) && rest[i].Kind != clex.RParen {
+			switch rest[i].Kind {
+			case clex.Ident:
+				m.Params = append(m.Params, rest[i].Text)
+			case clex.Ellipsis:
+				m.Variadic = true
+			case clex.Comma:
+			default:
+				p.errorf(rest[i].Pos, "malformed macro parameter list")
+			}
+			i++
+		}
+		if i < len(rest) {
+			i++ // ')'
+		}
+	}
+	m.Body = append([]clex.Token(nil), rest[i:]...)
+	p.macros[m.Name] = m
+}
+
+func (p *Preprocessor) include(rest []clex.Token, pos clex.Pos) {
+	path := includePath(rest)
+	if path == "" {
+		p.errorf(pos, "malformed #include")
+		return
+	}
+	if p.included[path] {
+		return // headers are idempotent in our corpus; treat as #pragma once
+	}
+	if p.files == nil {
+		p.missing = append(p.missing, path)
+		return
+	}
+	src, ok := p.files.ReadFile(path)
+	if !ok {
+		p.missing = append(p.missing, path)
+		return
+	}
+	p.included[path] = true
+	p.processFile(path, src)
+}
+
+// includePath reassembles the include operand: either a string literal or a
+// <...> token sequence.
+func includePath(rest []clex.Token) string {
+	if len(rest) == 0 {
+		return ""
+	}
+	if rest[0].Kind == clex.StringLit {
+		return strings.Trim(rest[0].Text, `"`)
+	}
+	if rest[0].Kind == clex.Lt {
+		var b strings.Builder
+		for _, t := range rest[1:] {
+			if t.Kind == clex.Gt {
+				return b.String()
+			}
+			b.WriteString(t.Text)
+		}
+	}
+	return ""
+}
+
+// --- expansion ---
+
+// expandTokens macro-expands a token slice. hide is the set of macro names
+// currently being expanded (recursion guard, painted-blue rule).
+func (p *Preprocessor) expandTokens(toks []clex.Token, hide map[string]bool) []clex.Token {
+	var out []clex.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind != clex.Ident {
+			out = append(out, t)
+			continue
+		}
+		if t.Text == "defined" {
+			out = append(out, t)
+			continue
+		}
+		m := p.macros[t.Text]
+		if m == nil || hide[t.Text] {
+			out = append(out, t)
+			continue
+		}
+		if m.FuncLike {
+			args, consumed, ok := parseArgs(toks[i+1:])
+			if !ok {
+				out = append(out, t) // name not followed by '(': not a call
+				continue
+			}
+			i += consumed
+			out = append(out, p.expandFuncLike(m, args, t, hide)...)
+		} else {
+			out = append(out, p.expandObjectLike(m, t, hide)...)
+		}
+	}
+	return out
+}
+
+// parseArgs parses a macro argument list starting at a '(' token. Returns the
+// raw (unexpanded) argument token slices, the number of tokens consumed
+// (including both parens), and whether a call was present.
+func parseArgs(toks []clex.Token) (args [][]clex.Token, consumed int, ok bool) {
+	if len(toks) == 0 || toks[0].Kind != clex.LParen {
+		return nil, 0, false
+	}
+	depth := 0
+	var cur []clex.Token
+	for i, t := range toks {
+		switch t.Kind {
+		case clex.LParen:
+			depth++
+			if depth > 1 {
+				cur = append(cur, t)
+			}
+		case clex.RParen:
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				return args, i + 1, true
+			}
+			cur = append(cur, t)
+		case clex.Comma:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		default:
+			cur = append(cur, t)
+		}
+	}
+	return nil, 0, false // unterminated; treat as non-call
+}
+
+func withOrigin(toks []clex.Token, macro string) []clex.Token {
+	out := make([]clex.Token, len(toks))
+	for i, t := range toks {
+		t.Origin = append([]string{macro}, t.Origin...)
+		out[i] = t
+	}
+	return out
+}
+
+func cloneHide(hide map[string]bool, add string) map[string]bool {
+	h := make(map[string]bool, len(hide)+1)
+	for k := range hide {
+		h[k] = true
+	}
+	h[add] = true
+	return h
+}
+
+func (p *Preprocessor) expandObjectLike(m *Macro, use clex.Token, hide map[string]bool) []clex.Token {
+	body := retarget(m.Body, use.Pos)
+	expanded := p.expandTokens(body, cloneHide(hide, m.Name))
+	return withOrigin(expanded, m.Name)
+}
+
+func (p *Preprocessor) expandFuncLike(m *Macro, args [][]clex.Token, use clex.Token, hide map[string]bool) []clex.Token {
+	param := map[string]int{}
+	for i, name := range m.Params {
+		param[name] = i
+	}
+	rawFor := func(name string) ([]clex.Token, bool) {
+		if idx, ok := param[name]; ok {
+			if idx < len(args) {
+				return args[idx], true
+			}
+			return nil, true // missing arg expands to nothing
+		}
+		if m.Variadic && name == "__VA_ARGS__" {
+			var va []clex.Token
+			for i := len(m.Params); i < len(args); i++ {
+				if i > len(m.Params) {
+					va = append(va, clex.Token{Kind: clex.Comma, Text: ",", Pos: use.Pos})
+				}
+				va = append(va, args[i]...)
+			}
+			return va, true
+		}
+		return nil, false
+	}
+	// Standard prescan: arguments are macro-expanded before substitution
+	// (with the caller's hide set — the macro being expanded is not yet
+	// painted blue for its own arguments), except where the parameter is an
+	// operand of # or ##, which see the raw spelling.
+	expandedCache := map[string][]clex.Token{}
+	expandedFor := func(name string) ([]clex.Token, bool) {
+		raw, ok := rawFor(name)
+		if !ok {
+			return nil, false
+		}
+		if exp, hit := expandedCache[name]; hit {
+			return exp, true
+		}
+		exp := p.expandTokens(raw, hide)
+		expandedCache[name] = exp
+		return exp, true
+	}
+
+	// Substitute parameters, handling # and ##.
+	var subst []clex.Token
+	body := m.Body
+	for i := 0; i < len(body); i++ {
+		t := body[i]
+		// Stringize: # param
+		if t.Kind == clex.Hash && i+1 < len(body) && body[i+1].Kind == clex.Ident {
+			if arg, ok := rawFor(body[i+1].Text); ok {
+				subst = append(subst, clex.Token{
+					Kind: clex.StringLit, Text: strconv.Quote(tokensText(arg)), Pos: use.Pos,
+				})
+				i++
+				continue
+			}
+		}
+		// Paste: A ## B (raw operands).
+		if i+2 < len(body) && body[i+1].Kind == clex.HashHash {
+			left := substituteOne(t, rawFor)
+			right := substituteOne(body[i+2], rawFor)
+			pasted := pasteTokens(left, right, use.Pos)
+			subst = append(subst, pasted...)
+			i += 2
+			continue
+		}
+		subst = append(subst, substituteOne(t, expandedFor)...)
+	}
+	subst = retarget(subst, use.Pos)
+	expanded := p.expandTokens(subst, cloneHide(hide, m.Name))
+	return withOrigin(expanded, m.Name)
+}
+
+// substituteOne replaces a single body token with its argument tokens when it
+// names a parameter; otherwise returns the token unchanged.
+func substituteOne(t clex.Token, argFor func(string) ([]clex.Token, bool)) []clex.Token {
+	if t.Kind == clex.Ident {
+		if arg, ok := argFor(t.Text); ok {
+			return append([]clex.Token(nil), arg...)
+		}
+	}
+	return []clex.Token{t}
+}
+
+// pasteTokens implements ##: the last token of left is concatenated with the
+// first token of right and relexed.
+func pasteTokens(left, right []clex.Token, pos clex.Pos) []clex.Token {
+	if len(left) == 0 {
+		return right
+	}
+	if len(right) == 0 {
+		return left
+	}
+	glued := left[len(left)-1].Text + right[0].Text
+	relexed, errs := clex.Tokenize(pos.File, glued, clex.Config{})
+	var out []clex.Token
+	out = append(out, left[:len(left)-1]...)
+	if len(errs) == 0 && len(relexed) > 0 {
+		for i := range relexed {
+			relexed[i].Pos = pos
+		}
+		out = append(out, relexed...)
+	} else {
+		out = append(out, left[len(left)-1], right[0])
+	}
+	out = append(out, right[1:]...)
+	return out
+}
+
+// retarget rewrites token positions to the expansion site so diagnostics
+// point at the use, not the definition.
+func retarget(toks []clex.Token, pos clex.Pos) []clex.Token {
+	out := make([]clex.Token, len(toks))
+	for i, t := range toks {
+		t.Pos = pos
+		out[i] = t
+	}
+	return out
+}
+
+func tokensText(toks []clex.Token) string {
+	var b strings.Builder
+	for i, t := range toks {
+		if i > 0 && t.LeadingSpace {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// --- conditional expression evaluation ---
+
+// evalCondition evaluates a #if expression. Supported: integer literals,
+// defined(X) / defined X, identifiers (0 if undefined, else their expansion),
+// unary ! - ~, binary || && == != < > <= >= + - * / % | & ^ << >>, parens,
+// ternary. Undefined behaviour collapses to 0, matching cpp semantics.
+func (p *Preprocessor) evalCondition(toks []clex.Token, pos clex.Pos) bool {
+	// Replace defined(X) before expansion.
+	var pre []clex.Token
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.Kind == clex.Ident && t.Text == "defined" {
+			name := ""
+			if i+1 < len(toks) && toks[i+1].Kind == clex.LParen {
+				if i+2 < len(toks) && (toks[i+2].Kind == clex.Ident || toks[i+2].Kind == clex.Keyword) {
+					name = toks[i+2].Text
+				}
+				for i+1 < len(toks) && toks[i+1].Kind != clex.RParen {
+					i++
+				}
+				i++ // ')'
+			} else if i+1 < len(toks) {
+				name = toks[i+1].Text
+				i++
+			}
+			val := "0"
+			if p.macros[name] != nil {
+				val = "1"
+			}
+			pre = append(pre, clex.Token{Kind: clex.IntLit, Text: val, Pos: t.Pos})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded := p.expandTokens(pre, nil)
+	ev := condEval{toks: expanded}
+	v := ev.ternary()
+	if ev.bad {
+		// Malformed condition: conservatively false.
+		return false
+	}
+	return v != 0
+}
+
+type condEval struct {
+	toks []clex.Token
+	pos  int
+	bad  bool
+}
+
+func (e *condEval) peek() clex.Token {
+	if e.pos < len(e.toks) {
+		return e.toks[e.pos]
+	}
+	return clex.Token{Kind: clex.EOF}
+}
+
+func (e *condEval) next() clex.Token {
+	t := e.peek()
+	e.pos++
+	return t
+}
+
+func (e *condEval) ternary() int64 {
+	c := e.or()
+	if e.peek().Kind == clex.Question {
+		e.next()
+		a := e.ternary()
+		if e.peek().Kind != clex.Colon {
+			e.bad = true
+			return 0
+		}
+		e.next()
+		b := e.ternary()
+		if c != 0 {
+			return a
+		}
+		return b
+	}
+	return c
+}
+
+func (e *condEval) or() int64 {
+	v := e.and()
+	for e.peek().Kind == clex.OrOr {
+		e.next()
+		r := e.and()
+		if v != 0 || r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) and() int64 {
+	v := e.cmp()
+	for e.peek().Kind == clex.AndAnd {
+		e.next()
+		r := e.cmp()
+		if v != 0 && r != 0 {
+			v = 1
+		} else {
+			v = 0
+		}
+	}
+	return v
+}
+
+func (e *condEval) cmp() int64 {
+	v := e.add()
+	for {
+		b2i := func(b bool) int64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		switch e.peek().Kind {
+		case clex.Eq:
+			e.next()
+			v = b2i(v == e.add())
+		case clex.Ne:
+			e.next()
+			v = b2i(v != e.add())
+		case clex.Lt:
+			e.next()
+			v = b2i(v < e.add())
+		case clex.Gt:
+			e.next()
+			v = b2i(v > e.add())
+		case clex.Le:
+			e.next()
+			v = b2i(v <= e.add())
+		case clex.Ge:
+			e.next()
+			v = b2i(v >= e.add())
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) add() int64 {
+	v := e.mul()
+	for {
+		switch e.peek().Kind {
+		case clex.Plus:
+			e.next()
+			v += e.mul()
+		case clex.Minus:
+			e.next()
+			v -= e.mul()
+		case clex.Shl:
+			e.next()
+			v <<= uint(e.mul()) & 63
+		case clex.Shr:
+			e.next()
+			v >>= uint(e.mul()) & 63
+		case clex.Amp:
+			e.next()
+			v &= e.mul()
+		case clex.Pipe:
+			e.next()
+			v |= e.mul()
+		case clex.Caret:
+			e.next()
+			v ^= e.mul()
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) mul() int64 {
+	v := e.unary()
+	for {
+		switch e.peek().Kind {
+		case clex.Star:
+			e.next()
+			v *= e.unary()
+		case clex.Slash:
+			e.next()
+			d := e.unary()
+			if d == 0 {
+				e.bad = true
+				return 0
+			}
+			v /= d
+		case clex.Percent:
+			e.next()
+			d := e.unary()
+			if d == 0 {
+				e.bad = true
+				return 0
+			}
+			v %= d
+		default:
+			return v
+		}
+	}
+}
+
+func (e *condEval) unary() int64 {
+	switch t := e.peek(); t.Kind {
+	case clex.Not:
+		e.next()
+		if e.unary() == 0 {
+			return 1
+		}
+		return 0
+	case clex.Minus:
+		e.next()
+		return -e.unary()
+	case clex.Tilde:
+		e.next()
+		return ^e.unary()
+	case clex.Plus:
+		e.next()
+		return e.unary()
+	case clex.LParen:
+		e.next()
+		v := e.ternary()
+		if e.peek().Kind != clex.RParen {
+			e.bad = true
+			return 0
+		}
+		e.next()
+		return v
+	case clex.IntLit:
+		e.next()
+		return parseCInt(t.Text)
+	case clex.CharLit:
+		e.next()
+		if len(t.Text) >= 3 {
+			return int64(t.Text[1])
+		}
+		return 0
+	case clex.Ident, clex.Keyword:
+		e.next()
+		return 0 // undefined identifier in #if is 0
+	default:
+		e.bad = true
+		return 0
+	}
+}
+
+// parseCInt parses a C integer literal, stripping suffixes.
+func parseCInt(s string) int64 {
+	s = strings.TrimRight(s, "uUlL")
+	if s == "" {
+		return 0
+	}
+	var v int64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseInt(s[2:], 16, 64)
+	case len(s) > 1 && s[0] == '0':
+		v, err = strconv.ParseInt(s[1:], 8, 64)
+	default:
+		v, err = strconv.ParseInt(s, 10, 64)
+	}
+	if err != nil {
+		return 0
+	}
+	return v
+}

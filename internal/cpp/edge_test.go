@@ -1,0 +1,143 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNestedFunctionMacroArguments(t *testing.T) {
+	res := expand(t, nil, `
+#define A(x) ((x)+1)
+#define B(x) A(A(x))
+int v = B(2);`)
+	if got := text(res.Tokens); got != "int v = ( ( ( ( 2 ) + 1 ) ) + 1 ) ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestMacroArgumentWithCommasInParens(t *testing.T) {
+	res := expand(t, nil, `
+#define ID(x) x
+int v = ID(f(a, b));`)
+	if got := text(res.Tokens); got != "int v = f ( a , b ) ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyMacroArgument(t *testing.T) {
+	res := expand(t, nil, `
+#define PAIR(a, b) { a, b }
+int v[] = PAIR(, 2);`)
+	if got := text(res.Tokens); !strings.Contains(got, "{ , 2 }") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestEmptyVariadic(t *testing.T) {
+	res := expand(t, nil, `
+#define LOG(fmt, ...) printk(fmt, __VA_ARGS__)
+LOG("x");`)
+	if got := text(res.Tokens); got != `printk ( "x" , ) ;` {
+		// Accept the GNU-comma-swallow alternative too.
+		if got != `printk ( "x" ) ;` {
+			t.Fatalf("got %q", got)
+		}
+	}
+}
+
+func TestConditionalInsideMacroBodyNotInterpreted(t *testing.T) {
+	// Directives inside macro bodies are not re-interpreted.
+	res := expand(t, nil, `
+#define M 1
+#if M
+int live;
+#endif`)
+	if got := text(res.Tokens); got != "int live ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDeeplyNestedConditionals(t *testing.T) {
+	src := `
+#define A 1
+#if A
+# if defined(B)
+int b;
+# else
+#  if A > 0
+int deep;
+#  endif
+# endif
+#endif`
+	res := expand(t, nil, src)
+	if got := text(res.Tokens); got != "int deep ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestStringizeExpression(t *testing.T) {
+	res := expand(t, nil, `
+#define STR(x) #x
+const char *s = STR(a + b(c));`)
+	joined := text(res.Tokens)
+	if !strings.Contains(joined, `"a + b(c)"`) && !strings.Contains(joined, `"a + b( c )"`) {
+		t.Fatalf("got %q", joined)
+	}
+}
+
+func TestRedefinitionWins(t *testing.T) {
+	res := expand(t, nil, `
+#define N 1
+#define N 2
+int v = N;`)
+	if got := text(res.Tokens); got != "int v = 2 ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestIncludeChain(t *testing.T) {
+	files := MapFiles{
+		"a.h": "#include \"b.h\"\n#define FROM_A 1\n",
+		"b.h": "#define FROM_B 2\n",
+	}
+	res := expand(t, files, "#include \"a.h\"\nint v = FROM_A + FROM_B;")
+	if got := text(res.Tokens); got != "int v = 1 + 2 ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestIncludeCycleTerminates(t *testing.T) {
+	files := MapFiles{
+		"a.h": "#include \"b.h\"\nint a;\n",
+		"b.h": "#include \"a.h\"\nint b;\n",
+	}
+	p := New(files)
+	res := p.Process("t.c", "#include \"a.h\"\n")
+	// Idempotent include handling breaks the cycle; both decls appear once.
+	if got := text(res.Tokens); got != "int b ; int a ;" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestProvenanceDepthThroughThreeMacros(t *testing.T) {
+	res := expand(t, nil, `
+#define INNER(x) leaf(x)
+#define MID(x) INNER(x)
+#define OUTER(x) MID(x)
+OUTER(v);`)
+	for _, tok := range res.Tokens {
+		if tok.Text == "leaf" {
+			want := []string{"OUTER", "MID", "INNER"}
+			if len(tok.Origin) != 3 {
+				t.Fatalf("origin = %v", tok.Origin)
+			}
+			for i, m := range want {
+				if tok.Origin[i] != m {
+					t.Fatalf("origin = %v, want %v", tok.Origin, want)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("leaf token lost")
+}

@@ -1,0 +1,122 @@
+package gitlog
+
+// Calibration constants: every number here restates a statistic the paper
+// reports; the generator turns them into a concrete history and the mining +
+// study pipeline recovers them. Changing a constant here changes the
+// reproduced tables/figures — nothing downstream hardcodes results.
+
+// TotalBugs is the size of the studied dataset (§3.1).
+const TotalBugs = 1033
+
+// TotalCandidates is the stage-one candidate count (§3.1): keyword-matching
+// patches before implementation-level confirmation.
+const TotalCandidates = 1825
+
+// WrongPatchCount seeds candidate commits later invalidated by a Fixes tag
+// (the dcb4b8ad/0a96fa64 pair of §3.1).
+const WrongPatchCount = 12
+
+// FixesTagged is how many studied bugs carry a Fixes: trailer (§4.3).
+const FixesTagged = 567
+
+// CategoryShare is Table 2: studied-bug counts per classification. The rows
+// sum to TotalBugs.
+var CategoryShare = map[Category]int{
+	MissingDecIntra: 590, // 57.1%
+	MissingDecInter: 104, // 10.1%
+	LeakOther:       46,  // 4.5%
+	MisplacingDec:   119, // 11.5% (UADCount of them are UAD)
+	MisplacingInc:   25,  // 2.4%
+	MissingIncIntra: 53,  // 5.1%
+	MissingIncInter: 22,  // 2.1%
+	UAFOther:        74,  // 7.2%
+}
+
+// UADCount is the use-after-decrease subset of MisplacingDec (9.1%).
+const UADCount = 94
+
+// SubsystemShare is Figure 2 (left): studied-bug counts per subsystem.
+// drivers+net+fs = 851 (82.4%); drivers alone 588 (56.9%); block carries 18
+// bugs over only 65 KLOC, giving it the highest density (Figure 2 right).
+var SubsystemShare = map[string]int{
+	"drivers":  588,
+	"net":      150,
+	"fs":       113,
+	"sound":    52,
+	"arch":     36,
+	"block":    18,
+	"kernel":   24,
+	"mm":       14,
+	"crypto":   10,
+	"ipc":      6,
+	"security": 8,
+	"virt":     6,
+	"lib":      5,
+	"init":     3,
+}
+
+// SubsystemKLOC approximates kernel tree sizes (thousands of lines) for the
+// bug-density figure; block's small size is what pushes its density to the
+// top.
+var SubsystemKLOC = map[string]float64{
+	"drivers":  13000,
+	"net":      1150,
+	"fs":       1300,
+	"sound":    950,
+	"arch":     2100,
+	"block":    65,
+	"kernel":   310,
+	"mm":       170,
+	"crypto":   120,
+	"ipc":      30,
+	"security": 210,
+	"virt":     45,
+	"lib":      190,
+	"init":     18,
+}
+
+// YearShare is Figure 1: bug-fix counts per calendar year, a growth trend
+// rising from single digits (2005) to the peak years of the 5.x series.
+var YearShare = map[int]int{
+	2005: 6, 2006: 9, 2007: 12, 2008: 17, 2009: 21, 2010: 26,
+	2011: 31, 2012: 37, 2013: 44, 2014: 52, 2015: 58, 2016: 64,
+	2017: 72, 2018: 83, 2019: 97, 2020: 122, 2021: 148, 2022: 134,
+}
+
+// Lifetime calibration (§4.3, Figure 3), over the FixesTagged subset:
+//   - LongLivedShare: fraction needing >1 year to fix (75.7%).
+//   - Decade: bugs alive >10 years (19, 7 of them UAF).
+//   - FullSpan: bugs introduced in v2.6.y and fixed in v5.x/v6.x (23).
+const (
+	LongLivedPerMille = 757
+	DecadeBugs        = 19
+	DecadeUAF         = 7
+	FullSpanBugs      = 23
+)
+
+// BackgroundCommits is the number of non-refcounting commits generated
+// around the bug fixes; they carry the word2vec training text and the
+// stage-one decoys. (The real history has >1M commits; we scale down three
+// orders of magnitude and document the ratio — mining quality depends on the
+// decoy *shape*, not the absolute count.)
+const BackgroundCommits = 24000
+
+// modulesBySubsystem provides module directories for path synthesis.
+var modulesBySubsystem = map[string][]string{
+	"drivers": {"clk", "gpu", "net", "usb", "soc", "mmc", "media", "iio",
+		"tty", "scsi", "pci", "spi", "i2c", "power", "video", "block",
+		"crypto", "dma", "hwmon", "input", "rtc", "thermal", "w1", "nvmem"},
+	"net":      {"ipv4", "ipv6", "core", "sched", "wireless", "bluetooth", "tipc", "sctp", "appletalk"},
+	"fs":       {"ext4", "btrfs", "nfs", "cifs", "xfs", "proc", "overlayfs", "jffs2", "gfs2", "afs"},
+	"sound":    {"soc", "pci", "usb", "core"},
+	"arch":     {"arm", "arm64", "powerpc", "x86", "mips", "sparc", "riscv"},
+	"block":    {""},
+	"kernel":   {"sched", "time", "irq", "trace"},
+	"mm":       {""},
+	"crypto":   {""},
+	"ipc":      {""},
+	"security": {"selinux", "tomoyo", "apparmor"},
+	"virt":     {"kvm"},
+	"lib":      {""},
+	"init":     {""},
+}

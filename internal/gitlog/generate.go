@@ -1,0 +1,760 @@
+package gitlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GenSpec configures history generation.
+type GenSpec struct {
+	Seed uint64
+	// Background overrides BackgroundCommits when > 0 (tests use smaller
+	// histories).
+	Background int
+	// Scale divides every calibrated count by this factor (default 1); it
+	// lets tests generate a shape-preserving miniature history.
+	Scale int
+}
+
+type rng uint64
+
+func (s *rng) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}
+
+// shuffle permutes a slice deterministically.
+func shuffle[T any](r *rng, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Generate builds the synthetic history.
+func Generate(spec GenSpec) *History {
+	if spec.Scale <= 0 {
+		spec.Scale = 1
+	}
+	background := spec.Background
+	if background <= 0 {
+		background = BackgroundCommits / spec.Scale
+	}
+	r := rng(spec.Seed | 1)
+	h := &History{Truth: map[string]*BugTruth{}}
+	h.Versions = makeVersions()
+
+	scaleCount := func(n int) int {
+		s := n / spec.Scale
+		if s == 0 && n > 0 {
+			s = 1
+		}
+		return s
+	}
+
+	// --- bug slot assignment ---
+	type slot struct {
+		cat       Category
+		isUAD     bool
+		subsystem string
+		fixYear   int
+		tagged    bool
+		introYear int // 0 = untracked
+		fullSpan  bool
+	}
+	var cats []Category
+	for _, c := range []Category{ // fixed order for determinism
+		MissingDecIntra, MissingDecInter, LeakOther, MisplacingDec,
+		MisplacingInc, MissingIncIntra, MissingIncInter, UAFOther,
+	} {
+		for i := 0; i < scaleCount(CategoryShare[c]); i++ {
+			cats = append(cats, c)
+		}
+	}
+	total := len(cats)
+	uadLeft := scaleCount(UADCount)
+
+	var subs []string
+	subNames := make([]string, 0, len(SubsystemShare))
+	for s := range SubsystemShare {
+		subNames = append(subNames, s)
+	}
+	sort.Strings(subNames)
+	for _, s := range subNames {
+		for i := 0; i < scaleCount(SubsystemShare[s]); i++ {
+			subs = append(subs, s)
+		}
+	}
+	for len(subs) < total {
+		subs = append(subs, "drivers")
+	}
+
+	var years []int
+	for y := 2005; y <= 2022; y++ {
+		for i := 0; i < scaleCount(YearShare[y]); i++ {
+			years = append(years, y)
+		}
+	}
+	for len(years) < total {
+		years = append(years, 2015+r.intn(8))
+	}
+
+	shuffle(&r, cats)
+	shuffle(&r, subs)
+	shuffle(&r, years)
+
+	slots := make([]slot, total)
+	for i := range slots {
+		slots[i] = slot{cat: cats[i], subsystem: subs[i%len(subs)], fixYear: years[i%len(years)]}
+		if slots[i].cat == MisplacingDec && uadLeft > 0 {
+			slots[i].isUAD = true
+			uadLeft--
+		}
+	}
+
+	// Fixes tags: prefer recent fixes (the trailer convention matured late)
+	// but keep coverage everywhere.
+	taggedWant := scaleCount(FixesTagged)
+	order := make([]int, total)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return slots[order[a]].fixYear > slots[order[b]].fixYear })
+	for i := 0; i < taggedWant && i < total; i++ {
+		slots[order[i]].tagged = true
+	}
+
+	// Lifetimes over the tagged subset.
+	var tagged []int
+	for i := range slots {
+		if slots[i].tagged {
+			tagged = append(tagged, i)
+		}
+	}
+	// Full-span bugs: introduced in the v2.6 era (2005–2010), fixed in
+	// v5.x/v6.x (>= 2019). Favour UAF categories first to cover the
+	// "7 decade-old UAF bugs" statistic.
+	fullSpanWant := scaleCount(FullSpanBugs)
+	decadeUAFWant := scaleCount(DecadeUAF)
+	assigned := 0
+	uafAssigned := 0
+	for _, pass := range []string{"uaf", "any"} {
+		for _, i := range tagged {
+			if assigned >= fullSpanWant {
+				break
+			}
+			s := &slots[i]
+			if s.fullSpan || s.fixYear < 2019 {
+				continue
+			}
+			isUAF := s.cat.Impact() == "UAF"
+			if pass == "uaf" && (!isUAF || uafAssigned >= decadeUAFWant) {
+				continue
+			}
+			s.fullSpan = true
+			s.introYear = 2005 + r.intn(4) // lifetime >= 10y
+			if isUAF {
+				uafAssigned++
+			}
+			assigned++
+		}
+	}
+	// Non-full-span decade bugs to reach DecadeBugs total.
+	decadeWant := scaleCount(DecadeBugs)
+	decadeHave := assigned // all full-span assignments so far exceed 10y
+	for _, i := range tagged {
+		if decadeHave >= decadeWant {
+			break
+		}
+		s := &slots[i]
+		if s.introYear != 0 || s.fixYear < 2017 {
+			continue
+		}
+		s.introYear = s.fixYear - 11
+		decadeHave++
+	}
+	// >1-year bugs to reach the 75.7% share; the rest fixed within a year.
+	longWant := taggedWant * LongLivedPerMille / 1000
+	longHave := 0
+	for _, i := range tagged {
+		if slots[i].introYear != 0 {
+			longHave++
+		}
+	}
+	for _, i := range tagged {
+		s := &slots[i]
+		if s.introYear != 0 {
+			continue
+		}
+		if longHave < longWant {
+			span := 2 + r.intn(7) // 2..8 years
+			s.introYear = s.fixYear - span
+			// Keep ordinary long-lived bugs out of the v2.6 era so the
+			// full-span count stays exactly calibrated.
+			if s.introYear < 2012 {
+				s.introYear = 2012
+			}
+			if s.introYear > s.fixYear {
+				s.introYear = s.fixYear
+			}
+			longHave++
+		} else {
+			s.introYear = s.fixYear // fixed within the year
+		}
+	}
+
+	// --- commit materialization ---
+	counter := 0
+	newID := func() string {
+		counter++
+		return hashOf(spec.Seed, counter)
+	}
+	versionFor := func(year int, late bool) *Version {
+		// Pick a release in the year; bug fixes land in the year's later
+		// releases when late.
+		var candidates []*Version
+		for i := range h.Versions {
+			if h.Versions[i].Date.Year() == year {
+				candidates = append(candidates, &h.Versions[i])
+			}
+		}
+		if len(candidates) == 0 {
+			return &h.Versions[len(h.Versions)-1]
+		}
+		if late {
+			return candidates[len(candidates)-1]
+		}
+		return candidates[r.intn(len(candidates))]
+	}
+
+	for i := range slots {
+		s := &slots[i]
+		intro := Commit{ID: newID()}
+		iv := versionFor(s.introYear, false)
+		if s.introYear == 0 {
+			iv = versionFor(s.fixYear, false)
+		}
+		intro.Version = iv.Tag
+		intro.Date = iv.Date
+		module := pickModule(&r, s.subsystem)
+		fnBase := fmt.Sprintf("%s_unit%d", strings.ReplaceAll(module+"_"+s.subsystem, "/", "_"), i)
+		intro.Subject = fmt.Sprintf("%s: %s: add %s support", s.subsystem, module, fnBase)
+		intro.Body = "Introduce the initial implementation.\n"
+		intro.Diff = introDiff(s.subsystem, module, fnBase)
+		h.Commits = append(h.Commits, intro)
+
+		fix := Commit{ID: newID()}
+		fv := versionFor(s.fixYear, true)
+		if s.fullSpan && fv.Major != "v5.x" && fv.Major != "v6.x" {
+			// Force a v5/v6 release for full-span bugs.
+			for j := len(h.Versions) - 1; j >= 0; j-- {
+				if h.Versions[j].Date.Year() == s.fixYear {
+					fv = &h.Versions[j]
+					break
+				}
+			}
+		}
+		fix.Version = fv.Tag
+		fix.Date = fv.Date
+		fix.Subject, fix.Body, fix.Diff = fixContent(&r, s.cat, s.isUAD, s.subsystem, module, fnBase)
+		if s.tagged {
+			fix.FixesTag = intro.ID
+			fix.Body += fmt.Sprintf("\nFixes: %.12s (\"%s\")\n", intro.ID, intro.Subject)
+		}
+		h.Commits = append(h.Commits, fix)
+		h.Truth[fix.ID] = &BugTruth{
+			FixCommit: fix.ID, IntroCommit: intro.ID,
+			Category: s.cat, IsUAD: s.isUAD, Subsystem: s.subsystem,
+			API:          fixAPI(s.subsystem),
+			IntroVersion: intro.Version, FixVersion: fix.Version,
+			HasFixesTag: s.tagged,
+		}
+	}
+
+	// --- stage-one decoys (keyword match, non-refcounting APIs) ---
+	decoys := scaleCount(TotalCandidates-TotalBugs) - scaleCount(WrongPatchCount)
+	for i := 0; i < decoys; i++ {
+		c := Commit{ID: newID()}
+		v := &h.Versions[r.intn(len(h.Versions))]
+		c.Version, c.Date = v.Tag, v.Date
+		name := decoyAPIs[r.intn(len(decoyAPIs))]
+		c.Subject = fmt.Sprintf("drivers: misc: use %s for configuration", name)
+		c.Body = "No functional change intended.\n"
+		c.Diff = []DiffLine{
+			{File: "drivers/misc/cfg.c", Func: "cfg_apply", Op: '+',
+				Text: fmt.Sprintf("\terr = %s(dev, &cfg);", name)},
+		}
+		h.Commits = append(h.Commits, c)
+	}
+
+	// --- wrong patches plus their corrections ---
+	for i := 0; i < scaleCount(WrongPatchCount); i++ {
+		wrong := Commit{ID: newID()}
+		v := versionFor(2015+r.intn(6), false)
+		wrong.Version, wrong.Date = v.Tag, v.Date
+		wrong.Subject = fmt.Sprintf("drivers: usb: fix memory leak in uss%d_probe", 700+i)
+		wrong.Body = "Add the missing reference drop.\n"
+		wrong.Diff = []DiffLine{
+			{File: "drivers/usb/misc/uss.c", Func: fmt.Sprintf("uss%d_probe", 700+i),
+				Op: '+', Text: "\tusb_serial_put(serial);"},
+		}
+		h.Commits = append(h.Commits, wrong)
+		h.WrongPatches = append(h.WrongPatches, wrong.ID)
+
+		correct := Commit{ID: newID()}
+		cv := versionFor(2019+r.intn(4), true)
+		correct.Version, correct.Date = cv.Tag, cv.Date
+		correct.FixesTag = wrong.ID
+		correct.Subject = fmt.Sprintf("drivers: usb: fix improper handling of refcount in uss%d_probe", 700+i)
+		correct.Body = fmt.Sprintf("The previous patch added an extra decrement causing a premature free.\n\nFixes: %.12s (\"%s\")\n", wrong.ID, wrong.Subject)
+		// The correction reverts the extra decrement by guarding the path;
+		// its own diff stays outside the keyword filter so the calibrated
+		// dataset count is not perturbed.
+		correct.Diff = []DiffLine{
+			{File: "drivers/usb/misc/uss.c", Func: fmt.Sprintf("uss%d_probe", 700+i),
+				Op: '+', Text: "\tif (!serial)"},
+			{File: "drivers/usb/misc/uss.c", Func: fmt.Sprintf("uss%d_probe", 700+i),
+				Op: '+', Text: "\t\treturn -ENODEV;"},
+		}
+		h.Commits = append(h.Commits, correct)
+	}
+
+	// --- background commits (word2vec training text, mining noise) ---
+	for i := 0; i < background; i++ {
+		c := Commit{ID: newID()}
+		v := &h.Versions[r.intn(len(h.Versions))]
+		c.Version, c.Date = v.Tag, v.Date
+		c.Subject, c.Body = backgroundText(&r, i)
+		// Context-only API lines: they carry the API-name token structure
+		// that drives Table 3 without entering the stage-one add/delete
+		// keyword filter.
+		n := 2 + r.intn(3)
+		for j := 0; j < n; j++ {
+			c.Diff = append(c.Diff, DiffLine{
+				File: "drivers/misc/bg.c", Op: ' ',
+				Text: apiLines[r.intn(len(apiLines))],
+			})
+		}
+		c.Diff = append(c.Diff, DiffLine{File: "drivers/misc/bg.c", Op: '+', Text: "\t/* housekeeping */"})
+		h.Commits = append(h.Commits, c)
+	}
+
+	sort.SliceStable(h.Commits, func(a, b int) bool {
+		if !h.Commits[a].Date.Equal(h.Commits[b].Date) {
+			return h.Commits[a].Date.Before(h.Commits[b].Date)
+		}
+		return h.Commits[a].ID < h.Commits[b].ID
+	})
+	return h
+}
+
+// makeVersions builds the 2005–2022 release timeline: every major from
+// v2.6.12 to v6.1 plus stable point releases (~753 total, §3.1).
+func makeVersions() []Version {
+	var out []Version
+	add := func(tag, major string, date time.Time, points int) {
+		out = append(out, Version{Tag: tag, Major: major, Date: date})
+		for p := 1; p <= points; p++ {
+			out = append(out, Version{
+				Tag: fmt.Sprintf("%s.%d", tag, p), Major: major,
+				Date: date.AddDate(0, 0, 21*p),
+			})
+		}
+	}
+	date := time.Date(2005, 6, 17, 0, 0, 0, 0, time.UTC)
+	for i := 12; i <= 39; i++ { // v2.6.12..v2.6.39
+		add(fmt.Sprintf("v2.6.%d", i), "v2.6", date, 6)
+		date = date.AddDate(0, 2, 21)
+	}
+	for i := 0; i <= 19; i++ { // v3.0..v3.19
+		add(fmt.Sprintf("v3.%d", i), "v3.x", date, 7)
+		date = date.AddDate(0, 2, 9)
+	}
+	for i := 0; i <= 20; i++ { // v4.0..v4.20
+		add(fmt.Sprintf("v4.%d", i), "v4.x", date, 8)
+		date = date.AddDate(0, 2, 6)
+	}
+	for i := 0; i <= 19; i++ { // v5.0..v5.19
+		add(fmt.Sprintf("v5.%d", i), "v5.x", date, 9)
+		date = date.AddDate(0, 2, 6)
+	}
+	add("v6.0", "v6.x", date, 6)
+	add("v6.1", "v6.x", date.AddDate(0, 2, 10), 6)
+	for i := range out {
+		out[i].Index = i
+	}
+	return out
+}
+
+func pickModule(r *rng, subsystem string) string {
+	mods := modulesBySubsystem[subsystem]
+	if len(mods) == 0 {
+		return ""
+	}
+	return mods[r.intn(len(mods))]
+}
+
+// subsystemAPIs maps each subsystem to its characteristic (inc, dec) pair.
+var subsystemAPIs = map[string][2]string{
+	"drivers":  {"of_node_get", "of_node_put"},
+	"net":      {"dev_hold", "dev_put"},
+	"fs":       {"kref_get", "kref_put"},
+	"sound":    {"of_node_get", "of_node_put"},
+	"arch":     {"of_node_get", "of_node_put"},
+	"block":    {"kobject_get", "kobject_put"},
+	"kernel":   {"kref_get", "kref_put"},
+	"mm":       {"kref_get", "kref_put"},
+	"crypto":   {"kobject_get", "kobject_put"},
+	"ipc":      {"kref_get", "kref_put"},
+	"security": {"kref_get", "kref_put"},
+	"virt":     {"kref_get", "kref_put"},
+	"lib":      {"kobject_get", "kobject_put"},
+	"init":     {"of_node_get", "of_node_put"},
+}
+
+func fixAPI(subsystem string) string {
+	pair, ok := subsystemAPIs[subsystem]
+	if !ok {
+		return "of_node_put"
+	}
+	return pair[1]
+}
+
+// decoyAPIs look like refcounting names to the keyword filter but do not
+// resolve as refcounting APIs in the implementation check.
+var decoyAPIs = []string{
+	"regmap_get_config", "budget_release_all", "irq_take_snapshot",
+	"fifo_drop_stale", "dma_buf_hold_md", "port_grab_stats",
+	"clk_put_rate_hint", "hub_release_quirks", "ring_get_watermark",
+}
+
+func filePath(subsystem, module string) string {
+	if module == "" {
+		return subsystem + "/main.c"
+	}
+	return subsystem + "/" + module + "/" + module + ".c"
+}
+
+func introDiff(subsystem, module, fnBase string) []DiffLine {
+	f := filePath(subsystem, module)
+	return []DiffLine{
+		{File: f, Func: fnBase + "_setup", Op: '+', Text: "\tstruct obj *o = alloc_obj();"},
+		{File: f, Func: fnBase + "_setup", Op: '+', Text: "\tregister_unit(o);"},
+	}
+}
+
+// fixContent produces subject, body and a classification-recoverable diff
+// for the given category.
+func fixContent(r *rng, cat Category, isUAD bool, subsystem, module, fnBase string) (string, string, []DiffLine) {
+	pair := subsystemAPIs[subsystem]
+	inc, dec := pair[0], pair[1]
+	f := filePath(subsystem, module)
+	fn := fnBase + "_setup"
+	loc := subsystem
+	if module != "" {
+		loc = subsystem + ": " + module
+	}
+	switch cat {
+	case MissingDecIntra:
+		return fmt.Sprintf("%s: fix refcount leak in %s", loc, fn),
+			"The reference obtained at the start of the function is never\ndropped on the error path, causing a memory leak.\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: ' ', Text: fmt.Sprintf("\t%s(o);", inc)},
+				{File: f, Func: fn, Op: ' ', Text: "\tif (err)"},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t\t%s(o);", dec)},
+			}
+	case MissingDecInter:
+		return fmt.Sprintf("%s: fix refcount leak in %s_teardown", loc, fnBase),
+			"The reference taken in the open callback was never dropped in the\nrelease callback, causing a memory leak.\n",
+			[]DiffLine{
+				{File: f, Func: fnBase + "_teardown", Op: '+', Text: fmt.Sprintf("\t%s(o);", dec)},
+			}
+	case LeakOther:
+		return fmt.Sprintf("%s: drop reference on the correct object in %s", loc, fn),
+			"The put was called on the wrong object, leaking the intended one\n(out of memory over time).\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: '-', Text: fmt.Sprintf("\t%s(parent);", dec)},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s(o);", dec)},
+			}
+	case MisplacingDec:
+		// The UAD flavour moves the drop past an access to the same object
+		// (Listing 2 / Listing 6); the plain flavour moves it past
+		// unrelated code. The classifier keys on the intervening context.
+		if isUAD {
+			return fmt.Sprintf("%s: fix use-after-free in %s", loc, fn),
+				"The object is still accessed after the reference drop; if the\ncounter hits zero this is a use-after-free.\n",
+				[]DiffLine{
+					{File: f, Func: fn, Op: '-', Text: fmt.Sprintf("\t%s(o);", dec)},
+					{File: f, Func: fn, Op: ' ', Text: "\to->state = CLOSED;"},
+					{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s(o);", dec)},
+				}
+		}
+		return fmt.Sprintf("%s: fix use-after-free in %s", loc, fn),
+			"Drop the reference outside the critical section to keep the\nrelease path from running under the lock (use-after-free window).\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: '-', Text: fmt.Sprintf("\t%s(o);", dec)},
+				{File: f, Func: fn, Op: ' ', Text: "\tlog_event(ctx);"},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s(o);", dec)},
+			}
+	case MisplacingInc:
+		return fmt.Sprintf("%s: take the reference before publishing in %s", loc, fn),
+			"Take the reference before the object becomes visible to avoid a\nuse-after-free window.\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: '-', Text: fmt.Sprintf("\t%s(o);", inc)},
+				{File: f, Func: fn, Op: ' ', Text: "\tpublish(o);"},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s(o);", inc)},
+			}
+	case MissingIncIntra:
+		return fmt.Sprintf("%s: fix premature free in %s", loc, fn),
+			"A reference escapes without an increment; when the caller drops its\nreference the object is freed while still in use (use-after-free).\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: ' ', Text: fmt.Sprintf("\t%s(o);", dec)},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s(o);", inc)},
+			}
+	case MissingIncInter:
+		return fmt.Sprintf("%s: hold a reference in %s_attach", loc, fnBase),
+			"The attach path stores the object without holding a reference; the\ndetach path drops one it never took (use-after-free).\n",
+			[]DiffLine{
+				{File: f, Func: fnBase + "_attach", Op: '+', Text: fmt.Sprintf("\t%s(o);", inc)},
+			}
+	default: // UAFOther
+		return fmt.Sprintf("%s: fix refcount imbalance crash in %s", loc, fn),
+			"Rework the ordering to avoid a use-after-free crash under load.\n",
+			[]DiffLine{
+				{File: f, Func: fn, Op: '-', Text: fmt.Sprintf("\t%s(o);", dec)},
+				{File: f, Func: fn, Op: '+', Text: fmt.Sprintf("\t%s_sync(o);", dec)},
+			}
+	}
+}
+
+// backgroundTemplates carry the Table 3 co-occurrence signal with
+// kernel-realistic weights: find-like API names co-occur strongly with
+// get/put (the find family *calls* get-named APIs), parse moderately, the
+// foreach iterators mostly with iteration vocabulary, and "unhold" never
+// occurs at all. The weights set the relative similarity ordering; nothing
+// reads the resulting matrix back from a constant.
+var backgroundTemplates = []struct {
+	weight  int
+	subject string
+	body    string
+}{
+	{22, "drivers: of: find the matching node for the bus",
+		"Use of_find_compatible_node to get the node and remember to put the\nreference with of_node_put when done; the find helper will get the\nnode so the caller must put it."},
+	{14, "drivers: of: find the node by name before setup",
+		"of_find_node_by_name will get a reference on the node it returns; the\ncaller should put the node with of_node_put, pairing the hidden get."},
+	{8, "drivers: base: find a device on the bus",
+		"bus_find_device will get a reference on the returned device, so the\ncaller has to put it with put_device once the find result is consumed."},
+	{9, "drivers: of: parse the phandle arguments",
+		"of_parse_phandle will parse the property and get a node reference; the\ncaller should put it via of_node_put after the parse completes."},
+	{4, "drivers: of: parse the ranges property",
+		"parse the register ranges and map the window; the parse step caches\nthe offsets for the probe path."},
+	{9, "net: core: hold the netdevice while queued",
+		"dev_hold keeps the device alive and dev_put releases the reference\nwhen the queue drains; every hold pairs with a put."},
+	{5, "fs: grab the inode returned by the find helper",
+		"grab a reference on the inode the find returned and release it after\nwriteback, otherwise the missed put leaks memory."},
+	{4, "kernel: grab the task before signalling",
+		"grab the task with get_task_struct and drop the reference with\nput_task_struct after the signal is delivered."},
+	{12, "drivers: iterate over the request list",
+		"Use the foreach helper list_for_each_entry to iterate the pending\nrequests and complete each element in turn; the loop advances the\ncursor itself on every iteration of the walk."},
+	{2, "drivers: iterate over the matching nodes",
+		"The foreach macro walks every entry; when code breaks out of the\niteration early it must put the current node with of_node_put."},
+	{8, "drivers: probe the controller and map resources",
+		"During probe, map the registers, get the clock reference and enable\nthe regulators; the remove path must put what probe acquired."},
+	{6, "drivers: open the character device",
+		"The open callback should get a reference on the backing device and\nthe release callback must put it; open and release mirror each other."},
+	{7, "sound: soc: register the card components",
+		"register the dai links and unregister them on remove; the register\npath may get a node reference that unregister has to put."},
+	{4, "kernel: sched: retain runqueue statistics",
+		"retain the statistics snapshot across the rebalance and free the\nbuffer after reporting; nothing here touches device state."},
+	{3, "mm: increase the page reference during migration",
+		"increase the reference count with get_page and decrease it again with\nput_page once migration finishes."},
+	{3, "doc: explain the refcount rules for finders",
+		"A find-like API will get the object and the caller must put it; the\nrefcount must return to its origin value once the user is done."},
+	{6, "drivers: rework the interrupt bookkeeping",
+		"Rework the handler bookkeeping so the threaded part runs with the\nline masked; purely mechanical change, no functional difference."},
+	{6, "fs: tidy the writeback batching logic",
+		"Batch the dirty pages per inode and flush them in file offset order\nto cut seek traffic on rotational media."},
+}
+
+// apiLines is the weighted pool of code context lines in background diffs;
+// tokenized API names (of_find_* / of_get_* / of_node_put / …) are where the
+// refcounting keywords really live in kernel text, and their shared
+// of/node/np token neighborhoods are what puts find↔get at the top of
+// Table 3.
+var apiLines = func() []string {
+	weighted := []struct {
+		weight int
+		line   string
+	}{
+		{10, "\tnp = of_find_compatible_node(parent, 0, id);"},
+		{8, "\tnp = of_find_node_by_name(parent, name);"},
+		{6, "\tnp = of_find_matching_node(parent, table);"},
+		{9, "\tparent = of_get_parent(np);"},
+		{7, "\tchild = of_get_child_by_name(np, name);"},
+		{6, "\tof_node_get(np);"},
+		{14, "\tof_node_put(np);"},
+		{6, "\tph = of_parse_phandle(np, clocks, 0);"},
+		{2, "\tfor_each_child_of_node(parent, child) {"},
+		{1, "\tfor_each_node_by_name(np, name) {"},
+		{6, "\tlist_for_each_entry(pos, &head, list) {"},
+		{4, "\tfor_each_possible_cpu(cpu) {"},
+		{3, "\tfor_each_set_bit(bit, mask, width) {"},
+		{3, "\terr = platform_driver_register(drv);"},
+		{3, "\tret = foo_probe(pdev);"},
+		{2, "\tfd = chardev_open(path, mode);"},
+		{3, "\trelease_firmware(fw);"},
+		{2, "\tdev_hold(ndev);"},
+		{3, "\tdev_put(ndev);"},
+		{4, "\tspin_lock(&priv->lock);"},
+		{4, "\twritel(val, priv->base + reg);"},
+	}
+	var out []string
+	for _, w := range weighted {
+		for i := 0; i < w.weight; i++ {
+			out = append(out, w.line)
+		}
+	}
+	return out
+}()
+
+// Frame families drive Table 3. CBOW similarity is context
+// interchangeability, so each family is a sentence frame whose slot is
+// filled by weighted verbs; verbs sharing a high-frequency family align.
+// Family one mirrors devicetree API naming (of_find_node_by_name /
+// of_get_child_by_name / of_node_put), which is exactly why the paper
+// measures find↔get = 0.73: the find family *is* a get family by another
+// name. The iterator keyword lives in its own frame, and counter prose
+// (refcount/increase/decrease/hold/grab/retain/drop) occupies a third,
+// keeping those rows uniformly low as in the paper.
+type frameFamily struct {
+	frames []string
+	verbs  []struct {
+		weight int
+		verb   string
+	}
+	total int
+}
+
+func newFamily(frames []string, verbs ...struct {
+	weight int
+	verb   string
+}) *frameFamily {
+	f := &frameFamily{frames: frames, verbs: verbs}
+	for _, v := range verbs {
+		f.total += v.weight
+	}
+	return f
+}
+
+type wv = struct {
+	weight int
+	verb   string
+}
+
+var frameFamilies = []struct {
+	weight int
+	family *frameFamily
+}{
+	{46, newFamily(
+		[]string{
+			"of %s node by name for the controller.",
+			"of %s the child node under the parent.",
+			"%s the device node handle for the port.",
+		},
+		wv{30, "find"}, wv{30, "get"}, wv{17, "put"}, wv{9, "parse"},
+		wv{4, "release"}, wv{2, "probe"},
+	)},
+	{16, newFamily(
+		[]string{
+			"the %s callback of the platform driver runs first.",
+			"wire the %s hook into the bus driver table.",
+		},
+		wv{9, "open"}, wv{9, "probe"}, wv{8, "register"}, wv{8, "release"},
+		wv{3, "get"}, wv{3, "put"}, wv{2, "parse"},
+	)},
+	{14, newFamily(
+		[]string{
+			"%s the usage counter under the object lock.",
+			"%s the module counter around the window.",
+		},
+		wv{5, "refcount"}, wv{4, "increase"}, wv{4, "decrease"},
+		wv{5, "hold"}, wv{4, "grab"}, wv{3, "retain"}, wv{4, "drop"},
+	)},
+	{10, newFamily(
+		[]string{
+			"%s every child entry in the flattened list.",
+			"walk %s across the table rows in order.",
+		},
+		wv{12, "foreach"},
+	)},
+}
+
+var frameFamilyTotal = func() int {
+	t := 0
+	for _, ff := range frameFamilies {
+		t += ff.weight
+	}
+	return t
+}()
+
+// frameSentence renders one frame line from a weighted family and verb.
+func frameSentence(r *rng) string {
+	pick := r.intn(frameFamilyTotal)
+	fam := frameFamilies[len(frameFamilies)-1].family
+	for _, ff := range frameFamilies {
+		if pick < ff.weight {
+			fam = ff.family
+			break
+		}
+		pick -= ff.weight
+	}
+	vp := r.intn(fam.total)
+	verb := fam.verbs[len(fam.verbs)-1].verb
+	for _, v := range fam.verbs {
+		if vp < v.weight {
+			verb = v.verb
+			break
+		}
+		vp -= v.weight
+	}
+	return fmt.Sprintf(fam.frames[r.intn(len(fam.frames))], verb)
+}
+
+var backgroundWeightTotal = func() int {
+	t := 0
+	for _, bt := range backgroundTemplates {
+		t += bt.weight
+	}
+	return t
+}()
+
+// backgroundText picks a weighted template and appends shared-frame lines.
+func backgroundText(r *rng, i int) (string, string) {
+	subject, body := "", ""
+	pick := r.intn(backgroundWeightTotal)
+	for _, bt := range backgroundTemplates {
+		if pick < bt.weight {
+			subject, body = bt.subject, bt.body
+			break
+		}
+		pick -= bt.weight
+	}
+	if subject == "" {
+		last := backgroundTemplates[len(backgroundTemplates)-1]
+		subject, body = last.subject, last.body
+	}
+	body += "\n\n" + frameSentence(r) + "\n" + frameSentence(r)
+	return subject, body + fmt.Sprintf("\n\nChange-Id: bg%06d\n", i)
+}

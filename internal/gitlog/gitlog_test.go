@@ -1,0 +1,178 @@
+package gitlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionsTimeline(t *testing.T) {
+	vs := makeVersions()
+	if len(vs) < 700 || len(vs) > 810 {
+		t.Errorf("versions = %d, want ~753", len(vs))
+	}
+	if vs[0].Tag != "v2.6.12" {
+		t.Errorf("first = %s", vs[0].Tag)
+	}
+	last := vs[len(vs)-1]
+	if last.Major != "v6.x" {
+		t.Errorf("last major = %s", last.Major)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i].Index != i {
+			t.Fatalf("index mismatch at %d", i)
+		}
+	}
+	first, lastV := vs[0].Date.Year(), last.Date.Year()
+	if first != 2005 || lastV < 2022 {
+		t.Errorf("timeline %d..%d, want 2005..2022+", first, lastV)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenSpec{Seed: 3, Background: 100})
+	b := Generate(GenSpec{Seed: 3, Background: 100})
+	if len(a.Commits) != len(b.Commits) {
+		t.Fatalf("commit counts differ")
+	}
+	for i := range a.Commits {
+		if a.Commits[i].ID != b.Commits[i].ID || a.Commits[i].Subject != b.Commits[i].Subject {
+			t.Fatalf("commit %d differs", i)
+		}
+	}
+}
+
+func TestTruthCounts(t *testing.T) {
+	h := Generate(GenSpec{Seed: 1, Background: 200})
+	if len(h.Truth) != TotalBugs {
+		t.Fatalf("truth = %d, want %d", len(h.Truth), TotalBugs)
+	}
+	cats := map[Category]int{}
+	subs := map[string]int{}
+	tagged, uad := 0, 0
+	for _, bt := range h.Truth {
+		cats[bt.Category]++
+		subs[bt.Subsystem]++
+		if bt.HasFixesTag {
+			tagged++
+		}
+		if bt.IsUAD {
+			uad++
+		}
+	}
+	for c, want := range CategoryShare {
+		if cats[c] != want {
+			t.Errorf("category %s = %d, want %d", c, cats[c], want)
+		}
+	}
+	for s, want := range SubsystemShare {
+		if subs[s] != want {
+			t.Errorf("subsystem %s = %d, want %d", s, subs[s], want)
+		}
+	}
+	if tagged != FixesTagged {
+		t.Errorf("tagged = %d, want %d", tagged, FixesTagged)
+	}
+	if uad != UADCount {
+		t.Errorf("UAD = %d, want %d", uad, UADCount)
+	}
+}
+
+func TestLifetimeCalibration(t *testing.T) {
+	h := Generate(GenSpec{Seed: 1, Background: 100})
+	long, decade, fullSpan, decadeUAF := 0, 0, 0, 0
+	for _, bt := range h.Truth {
+		if !bt.HasFixesTag {
+			continue
+		}
+		iv := h.VersionByTag(bt.IntroVersion)
+		fv := h.VersionByTag(bt.FixVersion)
+		if iv == nil || fv == nil {
+			t.Fatalf("missing version %s or %s", bt.IntroVersion, bt.FixVersion)
+		}
+		years := fv.Date.Sub(iv.Date).Hours() / 24 / 365
+		if years > 1 {
+			long++
+		}
+		if years > 10 {
+			decade++
+			if bt.Category.Impact() == "UAF" {
+				decadeUAF++
+			}
+		}
+		if iv.Major == "v2.6" && (fv.Major == "v5.x" || fv.Major == "v6.x") {
+			fullSpan++
+		}
+	}
+	if fullSpan != FullSpanBugs {
+		t.Errorf("full-span = %d, want %d", fullSpan, FullSpanBugs)
+	}
+	if decade < DecadeBugs {
+		t.Errorf("decade bugs = %d, want >= %d", decade, DecadeBugs)
+	}
+	if decadeUAF < DecadeUAF {
+		t.Errorf("decade UAF = %d, want >= %d", decadeUAF, DecadeUAF)
+	}
+	share := float64(long) / float64(FixesTagged)
+	if share < 0.70 || share > 0.82 {
+		t.Errorf("long-lived share = %.3f, want ~0.757", share)
+	}
+}
+
+func TestWrongPatchesAreFixed(t *testing.T) {
+	h := Generate(GenSpec{Seed: 1, Background: 100})
+	if len(h.WrongPatches) != WrongPatchCount {
+		t.Fatalf("wrong patches = %d", len(h.WrongPatches))
+	}
+	fixedBy := map[string]bool{}
+	for _, c := range h.Commits {
+		if c.FixesTag != "" {
+			fixedBy[c.FixesTag] = true
+		}
+	}
+	for _, id := range h.WrongPatches {
+		if !fixedBy[id] {
+			t.Errorf("wrong patch %s has no correcting Fixes tag", id)
+		}
+	}
+}
+
+func TestCommitShape(t *testing.T) {
+	h := Generate(GenSpec{Seed: 1, Background: 100})
+	for id, bt := range h.Truth {
+		var fix *Commit
+		for i := range h.Commits {
+			if h.Commits[i].ID == id {
+				fix = &h.Commits[i]
+			}
+		}
+		if fix == nil {
+			t.Fatalf("fix commit %s missing", id)
+		}
+		if fix.Subsystem() != bt.Subsystem {
+			t.Errorf("commit subsystem %q != truth %q", fix.Subsystem(), bt.Subsystem)
+		}
+		if bt.HasFixesTag && !strings.Contains(fix.Body, "Fixes:") {
+			t.Errorf("tagged commit body lacks trailer: %q", fix.Body)
+		}
+		if len(fix.Diff) == 0 {
+			t.Errorf("fix %s has empty diff", id)
+		}
+		break
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	h := Generate(GenSpec{Seed: 2, Scale: 10, Background: 50})
+	if len(h.Truth) < 90 || len(h.Truth) > 115 {
+		t.Errorf("scaled truth = %d, want ~103", len(h.Truth))
+	}
+}
+
+func TestSortedByDate(t *testing.T) {
+	h := Generate(GenSpec{Seed: 1, Background: 100})
+	for i := 1; i < len(h.Commits); i++ {
+		if h.Commits[i].Date.Before(h.Commits[i-1].Date) {
+			t.Fatalf("commits not date-sorted at %d", i)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package mine implements the paper's dataset-construction methodology
+// (§3.1) over a gitlog history:
+//
+//  1. a first-level keyword filter selects commits whose diffs add, delete
+//     or move calls to APIs named with refcounting keywords (get/take/hold/
+//     grab vs put/drop/unhold/release);
+//  2. a second-level implementation check confirms that at least one of the
+//     touched APIs really is a refcounting API (against the apidb knowledge
+//     base, which the lexer-parsing stage populates from source);
+//  3. a Fixes-tag false-positive filter removes candidate patches that were
+//     themselves later fixed (the wrong-patch case of §3.1);
+//
+// followed by the patch classifier that assigns each confirmed bug to the
+// Table 2 taxonomy from the diff shape and the impact keywords.
+package mine
+
+import (
+	"strings"
+
+	"repro/internal/apidb"
+	"repro/internal/clex"
+	"repro/internal/gitlog"
+)
+
+// BugRecord is one bug in the mined dataset.
+type BugRecord struct {
+	Commit    *gitlog.Commit
+	Category  gitlog.Category
+	IsUAD     bool
+	Impact    string // "Leak" or "UAF", from patch-description keywords
+	Subsystem string
+	FixYear   int
+
+	HasFixesTag  bool
+	IntroVersion string // "" when untagged
+	FixVersion   string
+	LifetimeDays int // -1 when untagged
+}
+
+// Result carries per-stage outputs so ablations can compare stage sizes.
+type Result struct {
+	// Candidates passed the first-level keyword filter.
+	Candidates []*gitlog.Commit
+	// Confirmed additionally passed the implementation check.
+	Confirmed []*gitlog.Commit
+	// RemovedWrongPatches were dropped by the Fixes-tag FP filter.
+	RemovedWrongPatches []string
+	// Dataset is the final classified bug set.
+	Dataset []BugRecord
+}
+
+// call is one API call found on a diff line.
+type call struct {
+	api  string
+	op   byte // '+', '-', ' '
+	fn   string
+	text string
+	dir  apidb.Op
+}
+
+// callsOn tokenizes a diff line and extracts name(…) call sites.
+func callsOn(d gitlog.DiffLine) []call {
+	toks, _ := clex.Tokenize("diff", d.Text, clex.Config{})
+	var out []call
+	for i := 0; i+1 < len(toks); i++ {
+		if toks[i].Kind == clex.Ident && toks[i+1].Kind == clex.LParen {
+			out = append(out, call{
+				api: toks[i].Text, op: d.Op, fn: d.Func,
+				text: strings.TrimSpace(d.Text),
+			})
+		}
+	}
+	return out
+}
+
+// keywordCalls returns the diff's call sites whose names carry refcounting
+// keywords, annotated with the keyword direction.
+func keywordCalls(c *gitlog.Commit) []call {
+	var out []call
+	for _, d := range c.Diff {
+		for _, cl := range callsOn(d) {
+			if dir := apidb.KeywordOp(cl.api); dir != apidb.OpNone {
+				cl.dir = dir
+				out = append(out, cl)
+			}
+		}
+	}
+	return out
+}
+
+// Mine runs the full pipeline.
+func Mine(h *gitlog.History, db *apidb.DB) *Result {
+	res := &Result{}
+
+	// Stage 1: keyword filter over added/deleted lines.
+	for i := range h.Commits {
+		c := &h.Commits[i]
+		hit := false
+		for _, cl := range keywordCalls(c) {
+			if cl.op == '+' || cl.op == '-' {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			res.Candidates = append(res.Candidates, c)
+		}
+	}
+
+	// Stage 2: implementation check — some touched keyword API must be a
+	// known refcounting API.
+	for _, c := range res.Candidates {
+		ok := false
+		for _, cl := range keywordCalls(c) {
+			if a := db.Lookup(cl.api); a != nil && a.Op != apidb.OpNone {
+				ok = true
+				break
+			}
+		}
+		if ok {
+			res.Confirmed = append(res.Confirmed, c)
+		}
+	}
+
+	// Fixes-tag FP filter: drop confirmed commits later fixed themselves.
+	fixedBy := map[string]bool{}
+	for i := range h.Commits {
+		if t := h.Commits[i].FixesTag; t != "" {
+			fixedBy[t] = true
+		}
+	}
+	var kept []*gitlog.Commit
+	for _, c := range res.Confirmed {
+		if fixedBy[c.ID] {
+			res.RemovedWrongPatches = append(res.RemovedWrongPatches, c.ID)
+			continue
+		}
+		kept = append(kept, c)
+	}
+
+	// Classification.
+	versions := map[string]*gitlog.Version{}
+	for i := range h.Versions {
+		versions[h.Versions[i].Tag] = &h.Versions[i]
+	}
+	introVersionOf := map[string]string{}
+	for i := range h.Commits {
+		introVersionOf[h.Commits[i].ID] = h.Commits[i].Version
+	}
+	for _, c := range kept {
+		rec := Classify(c)
+		rec.Subsystem = c.Subsystem()
+		rec.FixYear = c.Date.Year()
+		rec.FixVersion = c.Version
+		rec.LifetimeDays = -1
+		if c.FixesTag != "" {
+			rec.HasFixesTag = true
+			if iv, ok := introVersionOf[c.FixesTag]; ok {
+				rec.IntroVersion = iv
+				if vi, vf := versions[iv], versions[c.Version]; vi != nil && vf != nil {
+					rec.LifetimeDays = int(vf.Date.Sub(vi.Date).Hours() / 24)
+					if rec.LifetimeDays < 0 {
+						// Same-year stable releases can interleave by a few
+						// weeks; a fix never predates its bug.
+						rec.LifetimeDays = 0
+					}
+				}
+			}
+		}
+		res.Dataset = append(res.Dataset, rec)
+	}
+	return res
+}
+
+// Classify derives the Table 2 taxonomy entry for one confirmed fix commit
+// from its diff shape and description keywords.
+func Classify(c *gitlog.Commit) BugRecord {
+	rec := BugRecord{Commit: c, Impact: impactOf(c)}
+	calls := keywordCalls(c)
+
+	var addedInc, addedDec, delInc, delDec []call
+	ctxHasInc, ctxHasDec := false, false
+	for _, cl := range calls {
+		switch {
+		case cl.op == '+' && cl.dir == apidb.OpInc:
+			addedInc = append(addedInc, cl)
+		case cl.op == '+' && cl.dir == apidb.OpDec:
+			addedDec = append(addedDec, cl)
+		case cl.op == '-' && cl.dir == apidb.OpInc:
+			delInc = append(delInc, cl)
+		case cl.op == '-' && cl.dir == apidb.OpDec:
+			delDec = append(delDec, cl)
+		case cl.op == ' ' && cl.dir == apidb.OpInc:
+			ctxHasInc = true
+		case cl.op == ' ' && cl.dir == apidb.OpDec:
+			ctxHasDec = true
+		}
+	}
+
+	// Moves: the same call text deleted and re-added elsewhere.
+	movedDec := matchMove(delDec, addedDec)
+	movedInc := matchMove(delInc, addedInc)
+
+	switch {
+	case movedDec != nil:
+		rec.Category = gitlog.MisplacingDec
+		rec.IsUAD = moveCrossesAccess(c, *movedDec)
+	case movedInc != nil:
+		rec.Category = gitlog.MisplacingInc
+	case len(addedDec) > 0 && len(delDec) == 0 && len(addedInc) == 0:
+		if ctxHasInc {
+			rec.Category = gitlog.MissingDecIntra
+		} else {
+			rec.Category = gitlog.MissingDecInter
+		}
+	case len(addedInc) > 0 && len(delInc) == 0 && len(addedDec) == 0:
+		if ctxHasDec {
+			rec.Category = gitlog.MissingIncIntra
+		} else {
+			rec.Category = gitlog.MissingIncInter
+		}
+	default:
+		if rec.Impact == "UAF" {
+			rec.Category = gitlog.UAFOther
+		} else {
+			rec.Category = gitlog.LeakOther
+		}
+	}
+	return rec
+}
+
+// matchMove returns the moved call when a deleted call's exact text
+// reappears added (same API, same spelling), else nil.
+func matchMove(deleted, added []call) *call {
+	for _, d := range deleted {
+		for _, a := range added {
+			if d.api == a.api && d.text == a.text {
+				moved := d
+				return &moved
+			}
+		}
+	}
+	return nil
+}
+
+// moveCrossesAccess reports whether the context lines between the deleted
+// and re-added decrement access the decremented object — the UAD signature
+// (§4.1: "checking if there is any reference access after the decreasing
+// operations").
+func moveCrossesAccess(c *gitlog.Commit, moved call) bool {
+	obj := argOf(moved.text)
+	if obj == "" {
+		return false
+	}
+	inWindow := false
+	for _, d := range c.Diff {
+		line := strings.TrimSpace(d.Text)
+		switch {
+		case d.Op == '-' && line == moved.text:
+			inWindow = true
+		case d.Op == '+' && line == moved.text:
+			inWindow = false
+		case d.Op == ' ' && inWindow:
+			if strings.Contains(d.Text, obj+"->") || strings.Contains(d.Text, obj+".") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// argOf extracts the first argument identifier of a call's source text.
+func argOf(text string) string {
+	open := strings.IndexByte(text, '(')
+	if open < 0 {
+		return ""
+	}
+	rest := text[open+1:]
+	end := strings.IndexAny(rest, ",)")
+	if end < 0 {
+		return ""
+	}
+	return strings.TrimSpace(strings.Trim(rest[:end], "&*"))
+}
+
+// impactOf searches the patch description for the security-impact keywords
+// of §4.1 ("leak", "use-after-free", "uaf", "crash", "out of memory").
+func impactOf(c *gitlog.Commit) string {
+	text := strings.ToLower(c.Subject + "\n" + c.Body)
+	switch {
+	case strings.Contains(text, "use-after-free"),
+		strings.Contains(text, "use after free"),
+		strings.Contains(text, "uaf"),
+		strings.Contains(text, "premature free"),
+		strings.Contains(text, "crash"):
+		return "UAF"
+	case strings.Contains(text, "leak"),
+		strings.Contains(text, "out of memory"):
+		return "Leak"
+	default:
+		return "Leak"
+	}
+}

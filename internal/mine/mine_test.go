@@ -1,0 +1,211 @@
+package mine
+
+import (
+	"testing"
+
+	"repro/internal/apidb"
+	"repro/internal/gitlog"
+)
+
+func mineFull(t *testing.T) (*gitlog.History, *Result) {
+	t.Helper()
+	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 2000})
+	res := Mine(h, apidb.New())
+	return h, res
+}
+
+func TestStageCounts(t *testing.T) {
+	_, res := mineFull(t)
+	if len(res.Candidates) != gitlog.TotalCandidates {
+		t.Errorf("candidates = %d, want %d", len(res.Candidates), gitlog.TotalCandidates)
+	}
+	if len(res.RemovedWrongPatches) != gitlog.WrongPatchCount {
+		t.Errorf("wrong patches removed = %d, want %d",
+			len(res.RemovedWrongPatches), gitlog.WrongPatchCount)
+	}
+	if len(res.Dataset) != gitlog.TotalBugs {
+		t.Errorf("dataset = %d, want %d", len(res.Dataset), gitlog.TotalBugs)
+	}
+}
+
+func TestClassificationAgainstTruth(t *testing.T) {
+	h, res := mineFull(t)
+	correct, total := 0, 0
+	uadCorrect, uadTotal := 0, 0
+	for _, rec := range res.Dataset {
+		bt := h.Truth[rec.Commit.ID]
+		if bt == nil {
+			t.Fatalf("mined commit %s not in truth", rec.Commit.ID)
+		}
+		total++
+		if rec.Category == bt.Category {
+			correct++
+		} else if total-correct <= 5 {
+			t.Logf("misclassified %s: got %s want %s", rec.Commit.ID, rec.Category, bt.Category)
+		}
+		if bt.Category == gitlog.MisplacingDec {
+			uadTotal++
+			if rec.IsUAD == bt.IsUAD {
+				uadCorrect++
+			}
+		}
+	}
+	if correct != total {
+		t.Errorf("classification accuracy = %d/%d", correct, total)
+	}
+	if uadCorrect != uadTotal {
+		t.Errorf("UAD accuracy = %d/%d", uadCorrect, uadTotal)
+	}
+}
+
+func TestImpactKeywords(t *testing.T) {
+	h, res := mineFull(t)
+	leaks, uafs := 0, 0
+	for _, rec := range res.Dataset {
+		bt := h.Truth[rec.Commit.ID]
+		if rec.Impact != bt.Category.Impact() {
+			t.Fatalf("impact %s for %s, want %s", rec.Impact, bt.Category, bt.Category.Impact())
+		}
+		if rec.Impact == "Leak" {
+			leaks++
+		} else {
+			uafs++
+		}
+	}
+	// Finding 1/2 shape: ~71.7% leak, ~28.3% UAF.
+	if leaks < uafs*2 {
+		t.Errorf("impact shape off: %d leak vs %d uaf", leaks, uafs)
+	}
+}
+
+func TestLifetimesResolved(t *testing.T) {
+	_, res := mineFull(t)
+	tagged, withLifetime := 0, 0
+	for _, rec := range res.Dataset {
+		if rec.HasFixesTag {
+			tagged++
+			if rec.LifetimeDays >= 0 {
+				withLifetime++
+			}
+		} else if rec.LifetimeDays != -1 {
+			t.Fatal("untagged record has a lifetime")
+		}
+	}
+	if tagged != gitlog.FixesTagged {
+		t.Errorf("tagged = %d, want %d", tagged, gitlog.FixesTagged)
+	}
+	if withLifetime != tagged {
+		t.Errorf("lifetimes resolved = %d of %d", withLifetime, tagged)
+	}
+}
+
+func TestSubsystemsPropagate(t *testing.T) {
+	h, res := mineFull(t)
+	for _, rec := range res.Dataset {
+		bt := h.Truth[rec.Commit.ID]
+		if rec.Subsystem != bt.Subsystem {
+			t.Fatalf("subsystem %q, want %q", rec.Subsystem, bt.Subsystem)
+		}
+	}
+}
+
+func TestClassifyShapes(t *testing.T) {
+	mk := func(subject, body string, diff []gitlog.DiffLine) *gitlog.Commit {
+		return &gitlog.Commit{Subject: subject, Body: body, Diff: diff}
+	}
+	cases := []struct {
+		name   string
+		commit *gitlog.Commit
+		want   gitlog.Category
+		uad    bool
+	}{
+		{
+			"intra missing dec",
+			mk("fix refcount leak", "memory leak\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "f", Op: ' ', Text: "\tof_node_get(np);"},
+				{File: "a.c", Func: "f", Op: '+', Text: "\tof_node_put(np);"},
+			}),
+			gitlog.MissingDecIntra, false,
+		},
+		{
+			"inter missing dec",
+			mk("fix refcount leak", "memory leak\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "g_release", Op: '+', Text: "\tof_node_put(np);"},
+			}),
+			gitlog.MissingDecInter, false,
+		},
+		{
+			"uad move",
+			mk("fix use-after-free", "object accessed after drop\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "f", Op: '-', Text: "\tsock_put(sk);"},
+				{File: "a.c", Func: "f", Op: ' ', Text: "\tsk->state = 0;"},
+				{File: "a.c", Func: "f", Op: '+', Text: "\tsock_put(sk);"},
+			}),
+			gitlog.MisplacingDec, true,
+		},
+		{
+			"benign move",
+			mk("fix use-after-free window", "lock scope\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "f", Op: '-', Text: "\tsock_put(sk);"},
+				{File: "a.c", Func: "f", Op: ' ', Text: "\ttrace_event(ctx);"},
+				{File: "a.c", Func: "f", Op: '+', Text: "\tsock_put(sk);"},
+			}),
+			gitlog.MisplacingDec, false,
+		},
+		{
+			"missing inc intra",
+			mk("fix premature free", "use-after-free\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "f", Op: ' ', Text: "\tsock_put(sk);"},
+				{File: "a.c", Func: "f", Op: '+', Text: "\tsock_hold(sk);"},
+			}),
+			gitlog.MissingIncIntra, false,
+		},
+		{
+			"wrong object other",
+			mk("drop correct object", "memory leak\n", []gitlog.DiffLine{
+				{File: "a.c", Func: "f", Op: '-', Text: "\tof_node_put(parent);"},
+				{File: "a.c", Func: "f", Op: '+', Text: "\tof_node_put(np);"},
+			}),
+			gitlog.LeakOther, false,
+		},
+	}
+	for _, c := range cases {
+		rec := Classify(c.commit)
+		if rec.Category != c.want || rec.IsUAD != c.uad {
+			t.Errorf("%s: got %s/uad=%v, want %s/uad=%v",
+				c.name, rec.Category, rec.IsUAD, c.want, c.uad)
+		}
+	}
+}
+
+func TestAblationStageSizes(t *testing.T) {
+	// Keyword-only mining overcounts; the implementation check prunes the
+	// decoys (paper: 1,825 → 1,033).
+	_, res := mineFull(t)
+	if len(res.Candidates) <= len(res.Confirmed) {
+		t.Errorf("stage sizes: candidates %d, confirmed %d",
+			len(res.Candidates), len(res.Confirmed))
+	}
+	pruned := len(res.Candidates) - len(res.Confirmed)
+	if pruned < 700 {
+		t.Errorf("decoys pruned = %d, want ~780", pruned)
+	}
+}
+
+func TestClassifyRobustOnDegenerateCommits(t *testing.T) {
+	cases := []*gitlog.Commit{
+		{},                            // empty everything
+		{Subject: "fix leak"},         // no diff
+		{Diff: []gitlog.DiffLine{{}}}, // empty diff line
+		{Subject: "weird", Body: "text only", Diff: []gitlog.DiffLine{
+			{Op: '+', Text: "((("},
+			{Op: '-', Text: "of_node_put("}, // unterminated call
+		}},
+	}
+	for i, c := range cases {
+		rec := Classify(c) // must not panic
+		if rec.Impact == "" {
+			t.Errorf("case %d: empty impact", i)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package patch_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/patch"
+)
+
+// ExampleGenerate turns a smartloop-break report into a unified-diff fix.
+func ExampleGenerate() {
+	src := `#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int probe(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn))
+			break;
+	}
+	return 0;
+}`
+	_, reports := core.CheckSources([]cpg.Source{{Path: "probe.c", Content: src}}, nil)
+	fix := patch.Generate(src, reports[0])
+	for _, line := range strings.Split(fix.Diff, "\n") {
+		if strings.HasPrefix(line, "+") && !strings.HasPrefix(line, "+++") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+	// Output:
+	// +		if (want(dn)) {
+	// +			of_node_put(dn);
+	// +			break;
+	// +		}
+}

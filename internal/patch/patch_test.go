@@ -1,0 +1,252 @@
+package patch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// checkOne runs the engine on a single file and returns its reports.
+func checkOne(t *testing.T, path, src string) []core.Report {
+	t.Helper()
+	_, reports := core.CheckSources([]cpg.Source{{Path: path, Content: src}}, nil)
+	return reports
+}
+
+// fixAndVerify generates a patch for the first report with the pattern,
+// applies it, re-runs the checkers, and asserts the report class vanished.
+func fixAndVerify(t *testing.T, src string, pattern core.Pattern) Fix {
+	t.Helper()
+	reports := checkOne(t, "fix.c", src)
+	var target *core.Report
+	for i := range reports {
+		if reports[i].Pattern == pattern {
+			target = &reports[i]
+			break
+		}
+	}
+	if target == nil {
+		t.Fatalf("no %s report to fix", pattern)
+	}
+	fix := Generate(src, *target)
+	if !fix.OK {
+		t.Fatalf("patch not generated: %s", fix.Reason)
+	}
+	if fix.Diff == "" || !strings.Contains(fix.Diff, "+++ b/fix.c") {
+		t.Fatalf("bad diff:\n%s", fix.Diff)
+	}
+	after := checkOne(t, "fix.c", fix.NewContent)
+	for _, r := range after {
+		if r.Pattern == pattern && r.Function == target.Function {
+			t.Fatalf("report survives the patch:\n%s\npatched source:\n%s", r.String(), fix.NewContent)
+		}
+	}
+	return fix
+}
+
+func TestFixP1(t *testing.T) {
+	fix := fixAndVerify(t, `
+static int f(struct my_dev *crc)
+{
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`, core.P1)
+	if !strings.Contains(fix.NewContent, "pm_runtime_put_noidle(crc->dev);\n\t\treturn ret;") &&
+		!strings.Contains(fix.NewContent, "pm_runtime_put_noidle(crc->dev);\n\treturn ret;") {
+		t.Errorf("patched:\n%s", fix.NewContent)
+	}
+}
+
+func TestFixP2(t *testing.T) {
+	fixAndVerify(t, `
+static int f(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int n = hp->num_nodes;
+	mdesc_release(hp);
+	return n;
+}`, core.P2)
+}
+
+func TestFixP3(t *testing.T) {
+	fix := fixAndVerify(t, `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn))
+			break;
+	}
+	return 0;
+}`, core.P3)
+	if !strings.Contains(fix.NewContent, "of_node_put(dn);") {
+		t.Errorf("patched:\n%s", fix.NewContent)
+	}
+}
+
+func TestFixP4(t *testing.T) {
+	fixAndVerify(t, `
+static int f(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	if (!np)
+		return -ENODEV;
+	use_node(np);
+	return 0;
+}`, core.P4)
+}
+
+func TestFixP5(t *testing.T) {
+	fixAndVerify(t, `
+static int f(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}`, core.P5)
+}
+
+func TestFixP7(t *testing.T) {
+	fix := fixAndVerify(t, `
+struct widget { struct kref ref; char *name; };
+static void f(struct widget *w)
+{
+	kfree(w);
+}`, core.P7)
+	if strings.Contains(fix.NewContent, "kfree(w)") {
+		t.Errorf("kfree survives:\n%s", fix.NewContent)
+	}
+}
+
+func TestFixP8(t *testing.T) {
+	fix := fixAndVerify(t, `
+static void f(struct sock *sk)
+{
+	sock_put(sk);
+	sk->sk_err = 0;
+	log_detach(sk->hint);
+}`, core.P8)
+	// The put must now come after the final use.
+	putIdx := strings.Index(fix.NewContent, "sock_put(sk);")
+	useIdx := strings.Index(fix.NewContent, "log_detach")
+	if putIdx < useIdx {
+		t.Errorf("put not moved after use:\n%s", fix.NewContent)
+	}
+}
+
+func TestFixP9(t *testing.T) {
+	fix := fixAndVerify(t, `
+static struct sock *monitor_sk;
+static void f(struct sock *sk)
+{
+	monitor_sk = sk;
+}`, core.P9)
+	if !strings.Contains(fix.NewContent, "sock_hold(sk);") {
+		t.Errorf("patched:\n%s", fix.NewContent)
+	}
+}
+
+func TestP6NeedsManualFix(t *testing.T) {
+	src := `
+static struct device_node *cached;
+static int foo_register(void)
+{
+	cached = of_find_node_by_path("/foo");
+	return 0;
+}
+static void foo_unregister(void)
+{
+}`
+	reports := checkOne(t, "fix.c", src)
+	var p6 *core.Report
+	for i := range reports {
+		if reports[i].Pattern == core.P6 {
+			p6 = &reports[i]
+		}
+	}
+	if p6 == nil {
+		t.Fatal("no P6 report")
+	}
+	fix := Generate(src, *p6)
+	if fix.OK {
+		t.Fatal("P6 should require a manual cross-function patch")
+	}
+	if fix.Reason == "" {
+		t.Fatal("missing reason")
+	}
+}
+
+func TestUnifiedDiffShape(t *testing.T) {
+	oldL := []string{"a", "b", "c", "d"}
+	newL := []string{"a", "b", "x", "c", "d"}
+	d := UnifiedDiff("t.c", oldL, newL)
+	for _, want := range []string{"--- a/t.c", "+++ b/t.c", "+x", "@@"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "-a") || strings.Contains(d, "-d") {
+		t.Errorf("context lines marked as deletions:\n%s", d)
+	}
+}
+
+// TestCorpusPatchesFixEverythingFixable generates patches for the whole
+// corpus report set and re-verifies: any report whose pattern supports
+// mechanical fixing must vanish after its patch.
+func TestCorpusPatchesFixEverythingFixable(t *testing.T) {
+	// A small multi-bug file mixing fixable patterns.
+	src := `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int leaky(void)
+{
+	struct device_node *np = of_find_compatible_node(0, 0, "x");
+	if (!np)
+		return -ENODEV;
+	work(np);
+	return 0;
+}
+static int breaky(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn))
+			break;
+	}
+	return 0;
+}`
+	reports := checkOne(t, "multi.c", src)
+	if len(reports) < 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	content := src
+	for {
+		rs := checkOne(t, "multi.c", content)
+		if len(rs) == 0 {
+			break
+		}
+		fix := Generate(content, rs[0])
+		if !fix.OK {
+			t.Fatalf("unfixable report: %s (%s)", rs[0].String(), fix.Reason)
+		}
+		if fix.NewContent == content {
+			t.Fatal("patch made no change")
+		}
+		content = fix.NewContent
+	}
+}

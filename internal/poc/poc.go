@@ -1,0 +1,99 @@
+// Package poc generates proof-of-concept harnesses for use-after-decrease
+// reports.
+//
+// §5.4.3 and §6.4 of the paper single out PoC generation for UAD bugs as an
+// open research direction: developers reject UAD patches when they believe
+// another reference pins the object ("only not read correctly"), and only a
+// crashing PoC settles the argument. This package renders, for a P8 report:
+//
+//   - a C harness that drives the buggy function with an object whose
+//     refcount is exactly one — the state in which the decrement frees the
+//     object and the subsequent access is a use-after-free; and
+//   - the simulated execution transcript from the refsim oracle, showing
+//     the step at which the count hits zero and the access that follows.
+//
+// When the oracle cannot make the bug manifest (the pinned case), Generate
+// says so instead of emitting a misleading harness — mirroring the
+// developer-reject outcome.
+package poc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/refsim"
+	"repro/internal/semantics"
+)
+
+// PoC is a generated proof of concept.
+type PoC struct {
+	Report     core.Report
+	OK         bool
+	Reason     string   // when !OK
+	Harness    string   // C source of the driver
+	Transcript []string // simulated execution log
+}
+
+// Generate builds a PoC for a use-after-decrease (P8) report.
+func Generate(r core.Report) PoC {
+	if r.Pattern != core.P8 {
+		return PoC{Report: r, Reason: fmt.Sprintf("PoC generation targets P8 (use-after-decrease); got %s", r.Pattern)}
+	}
+	verdict, transcript := refsim.ReplayTrace(r.Witness, refsim.Claim{
+		Impact: r.Impact.String(), Object: r.Object,
+	})
+	if !verdict.Confirmed {
+		return PoC{
+			Report: r, Transcript: transcript,
+			Reason: "the object is pinned by another reference on this path; a PoC would not crash (developer-reject case)",
+		}
+	}
+	return PoC{
+		Report: r, OK: true,
+		Harness:    renderHarness(r),
+		Transcript: transcript,
+	}
+}
+
+// renderHarness emits a C driver that calls the buggy function with a
+// last-reference object.
+func renderHarness(r core.Report) string {
+	obj := semantics.BaseOf(r.Object)
+	typ := harnessType(r)
+	var b strings.Builder
+	fmt.Fprintf(&b, "/*\n")
+	fmt.Fprintf(&b, " * PoC: use-after-decrease in %s (%s)\n", r.Function, r.Pos)
+	fmt.Fprintf(&b, " * %s\n", r.Message)
+	fmt.Fprintf(&b, " *\n")
+	fmt.Fprintf(&b, " * Precondition: %s holds the LAST reference when %s runs.\n", obj, r.Function)
+	fmt.Fprintf(&b, " * %s drops it via %s and then touches the freed object;\n", r.Function, r.API)
+	fmt.Fprintf(&b, " * run under KASAN to observe the use-after-free.\n")
+	fmt.Fprintf(&b, " */\n")
+	fmt.Fprintf(&b, "static int poc_%s(void)\n{\n", r.Function)
+	fmt.Fprintf(&b, "\t%s%s = alloc_counted_object(); /* refcount = 1 */\n", typ, obj)
+	fmt.Fprintf(&b, "\n\t/* Drain every other reference so the callee's %s\n", r.API)
+	fmt.Fprintf(&b, "\t * is the final decrement. */\n")
+	fmt.Fprintf(&b, "\tdrain_secondary_references(%s);\n\n", obj)
+	fmt.Fprintf(&b, "\t%s(%s); /* frees %s, then dereferences it */\n", r.Function, obj, obj)
+	fmt.Fprintf(&b, "\treturn 0; /* unreachable under KASAN: the access above faults */\n")
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// harnessType guesses a plausible C declaration for the object from the
+// decrement API family.
+func harnessType(r core.Report) string {
+	switch {
+	case strings.Contains(r.API, "sock"):
+		return "struct sock *"
+	case strings.Contains(r.API, "usb_serial"):
+		return "struct usb_serial *"
+	case strings.Contains(r.API, "nvmet"):
+		return "struct nvmet_fc_tgt_queue *"
+	case strings.Contains(r.API, "of_node"):
+		return "struct device_node *"
+	default:
+		return "struct kref_object *"
+	}
+}

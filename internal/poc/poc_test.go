@@ -1,0 +1,108 @@
+package poc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+func reportFor(t *testing.T, src string, pattern core.Pattern) core.Report {
+	t.Helper()
+	_, reports := core.CheckSources([]cpg.Source{{Path: "p.c", Content: src}}, nil)
+	for _, r := range reports {
+		if r.Pattern == pattern {
+			return r
+		}
+	}
+	t.Fatalf("no %s report", pattern)
+	return core.Report{}
+}
+
+func TestGenerateUADPoC(t *testing.T) {
+	r := reportFor(t, `
+void ping_unhash(struct sock *sk)
+{
+	sock_put(sk);
+	sk->inet_num = 0;
+}`, core.P8)
+	p := Generate(r)
+	if !p.OK {
+		t.Fatalf("PoC not generated: %s", p.Reason)
+	}
+	for _, want := range []string{
+		"use-after-decrease in ping_unhash",
+		"struct sock *sk = alloc_counted_object(); /* refcount = 1 */",
+		"ping_unhash(sk);",
+		"KASAN",
+	} {
+		if !strings.Contains(p.Harness, want) {
+			t.Errorf("harness missing %q:\n%s", want, p.Harness)
+		}
+	}
+	// Transcript shows the free and the faulting access.
+	joined := strings.Join(p.Transcript, "\n")
+	if !strings.Contains(joined, "OBJECT FREED") {
+		t.Errorf("transcript missing free step:\n%s", joined)
+	}
+	if !strings.Contains(joined, "USE-AFTER-FREE") {
+		t.Errorf("transcript missing faulting access:\n%s", joined)
+	}
+}
+
+func TestPinnedUADRefusesPoC(t *testing.T) {
+	r := reportFor(t, `
+void ping_unhash(struct sock *sk)
+{
+	sock_hold(sk);
+	sock_put(sk);
+	sk->inet_num = 0;
+}`, core.P8)
+	p := Generate(r)
+	if p.OK {
+		t.Fatalf("pinned case produced a harness:\n%s", p.Harness)
+	}
+	if !strings.Contains(p.Reason, "pinned") {
+		t.Errorf("reason = %q", p.Reason)
+	}
+	if len(p.Transcript) == 0 {
+		t.Error("transcript missing for the pinned case")
+	}
+}
+
+func TestNonP8Rejected(t *testing.T) {
+	r := reportFor(t, `
+static void poke(void)
+{
+	of_find_node_by_path("/soc");
+}`, core.P4)
+	p := Generate(r)
+	if p.OK {
+		t.Fatal("P4 should not produce a UAD PoC")
+	}
+}
+
+func TestHarnessTypes(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{`void f(struct usb_serial *serial)
+{
+	usb_serial_put(serial);
+	mutex_unlock(&serial->disc_mutex);
+}`, "struct usb_serial *"},
+		{`void f(struct sock *sk)
+{
+	sock_put(sk);
+	sk->x = 0;
+}`, "struct sock *"},
+	}
+	for _, c := range cases {
+		r := reportFor(t, c.src, core.P8)
+		p := Generate(r)
+		if !p.OK || !strings.Contains(p.Harness, c.want) {
+			t.Errorf("want type %q in harness:\n%s", c.want, p.Harness)
+		}
+	}
+}

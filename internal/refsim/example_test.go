@@ -1,0 +1,26 @@
+package refsim_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/refsim"
+)
+
+// ExampleReplay confirms a use-after-decrease report dynamically.
+func ExampleReplay() {
+	src := `
+void ping_unhash(struct sock *sk)
+{
+	sock_put(sk);
+	sk->inet_num = 0;
+}
+`
+	_, reports := core.CheckSources([]cpg.Source{{Path: "net/ipv4/ping.c", Content: src}}, nil)
+	r := reports[0]
+	v := refsim.Replay(r.Witness, refsim.Claim{Impact: r.Impact.String(), Object: r.Object})
+	fmt.Println(v.Confirmed)
+	// Output:
+	// true
+}

@@ -1,0 +1,135 @@
+package refsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apidb"
+	"repro/internal/clex"
+	"repro/internal/semantics"
+)
+
+// synthetic event builders for property tests.
+
+func evInc(obj string) semantics.Event {
+	return semantics.Event{Op: semantics.OpInc, Obj: obj,
+		Pos: clex.Pos{File: "q.c", Line: 1, Col: 1}}
+}
+
+func evDec(obj string) semantics.Event {
+	return semantics.Event{Op: semantics.OpDec, Obj: obj,
+		Info: &apidb.API{Name: "put", Op: apidb.OpDec, MayFree: true},
+		Pos:  clex.Pos{File: "q.c", Line: 2, Col: 1}}
+}
+
+func evDeref(obj string) semantics.Event {
+	return semantics.Event{Op: semantics.OpDeref, Obj: obj,
+		Pos: clex.Pos{File: "q.c", Line: 3, Col: 1}}
+}
+
+// Property: a balanced inc/dec sequence on one parameter object never
+// confirms a leak, regardless of interleaving.
+func TestQuickBalancedNeverLeaks(t *testing.T) {
+	f := func(pattern []bool) bool {
+		// Build a sequence of inc events, then exactly as many decs,
+		// interleaved by the pattern (true = emit pending dec when legal).
+		var evs []semantics.Event
+		pendingDecs := 0
+		for _, p := range pattern {
+			if p && pendingDecs > 0 {
+				evs = append(evs, evDec("o"))
+				pendingDecs--
+			} else {
+				evs = append(evs, evInc("o"))
+				pendingDecs++
+			}
+		}
+		for i := 0; i < pendingDecs; i++ {
+			evs = append(evs, evDec("o"))
+		}
+		v := Replay(evs, Claim{Impact: "Leak", Object: "o"})
+		return !v.Confirmed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: N incs with fewer decs always confirms a leak for a non-param
+// reference source.
+func TestQuickUnbalancedAlwaysLeaks(t *testing.T) {
+	f := func(n, short uint8) bool {
+		incs := int(n%5) + 2
+		decs := incs - 1 - int(short%2) // always at least one short
+		if decs < 0 {
+			decs = 0
+		}
+		var evs []semantics.Event
+		// First inc creates the object via a returns-ref API.
+		first := evInc("o")
+		first.Info = &apidb.API{Name: "find", Op: apidb.OpInc, ReturnsRef: true}
+		evs = append(evs, first)
+		for i := 1; i < incs; i++ {
+			evs = append(evs, evInc("o"))
+		}
+		for i := 0; i < decs; i++ {
+			evs = append(evs, evDec("o"))
+		}
+		v := Replay(evs, Claim{Impact: "Leak", Object: "o"})
+		return v.Confirmed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a dereference is a UAF exactly when the running count for a
+// caller-owned object has reached zero at that point.
+func TestQuickUADThreshold(t *testing.T) {
+	f := func(extraHolds uint8) bool {
+		holds := int(extraHolds % 4)
+		var evs []semantics.Event
+		for i := 0; i < holds; i++ {
+			evs = append(evs, evInc("sk"))
+		}
+		evs = append(evs, evDec("sk"), evDeref("sk"))
+		v := Replay(evs, Claim{Impact: "UAF", Object: "sk"})
+		// Entry count 1 (caller) + holds − 1 dec: zero only when holds==0.
+		return v.Confirmed == (holds == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: replay is deterministic — identical witnesses yield identical
+// verdicts and transcripts.
+func TestQuickReplayDeterministic(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var evs []semantics.Event
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				evs = append(evs, evInc("x"))
+			case 1:
+				evs = append(evs, evDec("x"))
+			default:
+				evs = append(evs, evDeref("x"))
+			}
+		}
+		v1, t1 := ReplayTrace(evs, Claim{Impact: "UAF", Object: "x"})
+		v2, t2 := ReplayTrace(evs, Claim{Impact: "UAF", Object: "x"})
+		if v1 != v2 || len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

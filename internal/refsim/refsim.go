@@ -1,0 +1,239 @@
+// Package refsim is the dynamic-confirmation substrate: it replays the
+// witness event trace attached to a checker report against a simulated
+// refcounted heap and decides whether the claimed impact actually manifests.
+//
+// The paper's "confirmed" column records kernel developers accepting patches;
+// offline we substitute a mechanical oracle with kernel-like semantics:
+//
+//   - every object carries a reference counter; a parameter object enters
+//     the function with one caller-owned reference;
+//   - increments/decrements follow the witness; a decrement to zero frees
+//     the object (and MayFree APIs release attached resources);
+//   - for NPD claims the simulator injects the failure case of
+//     may-return-NULL APIs;
+//   - at function exit the caller epilogue runs: the caller dereferences and
+//     eventually drops its own references, and any reference that escaped to
+//     long-lived state is dereferenced later.
+//
+// A leak is confirmed when a counted object remains live and unreachable; a
+// UAF when a dereference touches freed memory (during replay or in the
+// epilogue); an NPD when the injected NULL is dereferenced. Notably, the
+// paper's developer-rejected UAD patches (the "pinned" cases where another
+// reference provably keeps the object alive) come out as unconfirmed here
+// for the same reason the developers gave.
+package refsim
+
+import (
+	"fmt"
+
+	"repro/internal/semantics"
+)
+
+// Claim is what a checker report asserts about a witness trace.
+type Claim struct {
+	Impact string // "Leak", "UAF", "NPD"
+	Object string // canonical object key the report names ("" = any)
+	// AllowEscaped treats escaped references as leak candidates too (used
+	// for inter-paired (P6) claims where the release side was replayed and
+	// still never dropped the stored reference).
+	AllowEscaped bool
+}
+
+// Verdict is the replay outcome.
+type Verdict struct {
+	Confirmed bool
+	Detail    string
+}
+
+// object is one simulated kernel object.
+type object struct {
+	key        string
+	count      int
+	freed      bool
+	null       bool // NPD injection: the producing API "failed"
+	paramOwned bool // the caller holds one reference beyond ours
+	escaped    int  // references stored into long-lived state
+	returned   bool // ownership transferred to the caller
+	everDecred bool
+}
+
+// heap tracks objects by the base name of their key.
+type heap map[string]*object
+
+func (h heap) get(key string) *object {
+	base := semantics.BaseOf(key)
+	if o, ok := h[base]; ok {
+		return o
+	}
+	// First touch of an unknown name: model it as a caller-owned object
+	// (function parameters and ambient state enter with one reference).
+	o := &object{key: key, count: 1, paramOwned: true}
+	h[base] = o
+	return o
+}
+
+// Replay executes the witness and evaluates the claim.
+func Replay(witness []semantics.Event, claim Claim) Verdict {
+	v, _ := ReplayTrace(witness, claim)
+	return v
+}
+
+// ReplayTrace is Replay plus a human-readable transcript of every simulated
+// step — the raw material for UAD proof-of-concept generation (§5.4.3 calls
+// PoC generation for UAD bugs "an interesting research direction";
+// internal/poc renders these transcripts into C harnesses).
+func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
+	h := heap{}
+	var log []string
+	trace := func(format string, args ...any) {
+		log = append(log, fmt.Sprintf(format, args...))
+	}
+	var uafDetail, npdDetail, directFreeDetail string
+
+	for _, ev := range witness {
+		switch ev.Op {
+		case semantics.OpInc:
+			if ev.Obj == "" {
+				// A reference produced and immediately dropped on the
+				// floor: model it as an anonymous live object.
+				base := fmt.Sprintf("<anon:%s>", ev.Pos)
+				h[base] = &object{key: base, count: 1}
+				trace("%s: %s produced a reference nobody captured (count=1, unreachable)", ev.Pos, ev.API)
+				continue
+			}
+			base := semantics.BaseOf(ev.Obj)
+			if ev.Info != nil && ev.Info.ReturnsRef {
+				o := &object{key: ev.Obj, count: 1}
+				if claim.Impact == "NPD" && ev.Info.MayReturnNull &&
+					(claim.Object == "" || semantics.BaseOf(claim.Object) == base) {
+					o.null = true // failure injection
+					o.count = 0
+					trace("%s: %s FAILS (injected): %s = NULL", ev.Pos, ev.API, ev.Obj)
+				} else {
+					trace("%s: %s returns %s with count=1", ev.Pos, ev.API, ev.Obj)
+				}
+				if ev.EscapesVia != "" {
+					o.escaped++
+				}
+				h[base] = o
+			} else {
+				o := h.get(ev.Obj)
+				o.count++
+				trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+			}
+		case semantics.OpDec:
+			o := h.get(ev.Obj)
+			if o.null {
+				continue // kernel puts tolerate NULL
+			}
+			o.count--
+			o.everDecred = true
+			if o.count <= 0 {
+				o.freed = true
+				trace("%s: %s(%s) -> count=0, OBJECT FREED", ev.Pos, ev.API, ev.Obj)
+			} else {
+				trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+			}
+		case semantics.OpFree:
+			o := h.get(ev.Obj)
+			if o.count > 0 {
+				// Freeing a counted object directly bypasses its release
+				// callback: attached resources never get cleaned up (P7).
+				directFreeDetail = fmt.Sprintf("%s freed directly with count %d; release callback skipped at %s",
+					ev.Obj, o.count, ev.Pos)
+			}
+			o.freed = true
+			o.count = 0
+		case semantics.OpDeref:
+			o := h.get(ev.Obj)
+			switch {
+			case o.null:
+				npdDetail = fmt.Sprintf("NULL dereference of %s at %s", ev.Obj, ev.Pos)
+				trace("%s: dereference of NULL %s -> CRASH (NPD)", ev.Pos, ev.Obj)
+			case o.freed:
+				uafDetail = fmt.Sprintf("use of freed %s at %s", ev.Obj, ev.Pos)
+				trace("%s: dereference of freed %s -> USE-AFTER-FREE", ev.Pos, ev.Obj)
+			}
+		case semantics.OpAssign:
+			src := h.get(ev.Obj)
+			if ev.EscapesVia != "" {
+				src.escaped++
+			}
+			if ev.AssignTarget != "" {
+				// Alias the target base to the same object.
+				h[semantics.BaseOf(ev.AssignTarget)] = src
+			}
+		case semantics.OpReturn:
+			if ev.Obj == "" {
+				continue
+			}
+			base := semantics.BaseOf(ev.Obj)
+			if o, ok := h[base]; ok {
+				o.returned = true
+			}
+		}
+	}
+
+	// Caller epilogue: the caller accesses parameter-owned objects once
+	// more (its reference is still logically live), eventually drops its
+	// own reference, and any reference that escaped to long-lived state is
+	// dereferenced later still.
+	seen := map[*object]bool{}
+	for _, o := range h {
+		if o.null || seen[o] {
+			continue
+		}
+		seen[o] = true
+		if o.paramOwned {
+			if o.everDecred && o.freed && uafDetail == "" {
+				// The caller's next access of its own reference.
+				uafDetail = fmt.Sprintf("caller's reference to %s was consumed (count hit zero inside the callee)", o.key)
+			}
+			o.count--
+			if o.count <= 0 {
+				o.freed = true
+			}
+		}
+		if o.escaped > 0 && o.freed && uafDetail == "" {
+			uafDetail = fmt.Sprintf("escaped reference to %s outlives the object", o.key)
+		}
+	}
+
+	match := func(o *object) bool {
+		return claim.Object == "" ||
+			semantics.BaseOf(claim.Object) == semantics.BaseOf(o.key)
+	}
+
+	switch claim.Impact {
+	case "NPD":
+		if npdDetail != "" {
+			return Verdict{Confirmed: true, Detail: npdDetail}, log
+		}
+		return Verdict{Detail: "no NULL dereference under failure injection"}, log
+	case "UAF":
+		if uafDetail != "" {
+			return Verdict{Confirmed: true, Detail: uafDetail}, log
+		}
+		return Verdict{Detail: "object provably alive at every access"}, log
+	default: // Leak
+		if directFreeDetail != "" {
+			return Verdict{Confirmed: true, Detail: directFreeDetail}, log
+		}
+		for base, o := range h {
+			if !match(o) || o.null || o.freed || o.returned {
+				continue
+			}
+			if o.escaped > 0 && !claim.AllowEscaped {
+				continue
+			}
+			// The epilogue already dropped the caller's own reference, so
+			// anything left is unreachable.
+			live := o.count
+			if live > 0 {
+				return Verdict{Confirmed: true,
+					Detail: fmt.Sprintf("%s still holds %d unreachable reference(s) at exit", base, live)}, log
+			}
+		}
+		return Verdict{Detail: "all acquired references released or transferred"}, log
+	}
+}

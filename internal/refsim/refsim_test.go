@@ -1,0 +1,237 @@
+package refsim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// reportFor runs the checkers on src and returns the single report with the
+// wanted pattern.
+func reportFor(t *testing.T, src string, pattern core.Pattern) core.Report {
+	t.Helper()
+	_, reports := core.CheckSources([]cpg.Source{{Path: "d.c", Content: src}}, nil)
+	for _, r := range reports {
+		if r.Pattern == pattern {
+			return r
+		}
+	}
+	t.Fatalf("no %s report in %d reports", pattern, len(reports))
+	return core.Report{}
+}
+
+func claimFor(r core.Report) Claim {
+	return Claim{
+		Impact:       r.Impact.String(),
+		Object:       r.Object,
+		AllowEscaped: r.Pattern == core.P6,
+	}
+}
+
+func TestConfirmP1Leak(t *testing.T) {
+	r := reportFor(t, `
+static int f(struct my_dev *crc)
+{
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`, core.P1)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P1 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP2NPD(t *testing.T) {
+	r := reportFor(t, `
+static int f(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int n = hp->num_nodes;
+	mdesc_release(hp);
+	return n;
+}`, core.P2)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P2 not confirmed: %s", v.Detail)
+	}
+}
+
+const loopHeader = `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+`
+
+func TestConfirmP3Leak(t *testing.T) {
+	r := reportFor(t, loopHeader+`
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn))
+			break;
+	}
+	return 0;
+}`, core.P3)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P3 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP4Leak(t *testing.T) {
+	r := reportFor(t, `
+static int f(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	if (!np)
+		return -ENODEV;
+	use_node(np);
+	return 0;
+}`, core.P4)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P4 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP4MissingGetUAF(t *testing.T) {
+	r := reportFor(t, `
+static struct device_node *f(struct device_node *from)
+{
+	struct device_node *np = of_find_matching_node(from, matches);
+	return np;
+}`, core.P4)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P4 missing-get not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP7DirectFree(t *testing.T) {
+	r := reportFor(t, `
+struct widget { struct kref ref; char *name; };
+static void f(struct widget *w)
+{
+	kfree(w);
+}`, core.P7)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P7 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP8UAF(t *testing.T) {
+	r := reportFor(t, `
+static void f(struct sock *sk)
+{
+	sock_put(sk);
+	sk->sk_err = 0;
+}`, core.P8)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P8 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestPinnedP8NotConfirmed(t *testing.T) {
+	// The developer patch-reject case: an extra hold pins the object, so
+	// the dereference after the put is provably safe in this version.
+	r := reportFor(t, `
+static void f(struct sock *sk)
+{
+	sock_hold(sk);
+	sock_put(sk);
+	sk->sk_err = 0;
+}`, core.P8)
+	v := Replay(r.Witness, claimFor(r))
+	if v.Confirmed {
+		t.Fatalf("pinned P8 wrongly confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP9EscapeUAF(t *testing.T) {
+	r := reportFor(t, `
+static struct sock *monitor_sk;
+static void f(struct sock *sk)
+{
+	monitor_sk = sk;
+}`, core.P9)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P9 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP6InterPaired(t *testing.T) {
+	r := reportFor(t, `
+static struct device_node *cached;
+static int foo_register(void)
+{
+	cached = of_find_node_by_path("/foo");
+	return 0;
+}
+static void foo_unregister(void)
+{
+}`, core.P6)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P6 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestConfirmP5ErrorPathLeak(t *testing.T) {
+	r := reportFor(t, `
+static int f(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}`, core.P5)
+	v := Replay(r.Witness, claimFor(r))
+	if !v.Confirmed {
+		t.Fatalf("P5 not confirmed: %s", v.Detail)
+	}
+}
+
+func TestBaitNotConfirmedAsReal(t *testing.T) {
+	// The Listing-5-shaped FP: replay cannot know the domain invariant, so
+	// the oracle-level status comes from ground truth, but the leak claim
+	// still replays consistently (this pins the behaviour).
+	r := reportFor(t, `
+static int f(struct lpfc_host *phba)
+{
+	struct device_node *evt_node = of_find_node_by_name(0, "events");
+	int err = event_list_empty(phba);
+	if (err)
+		return 0;
+	consume_event(evt_node);
+	of_node_put(evt_node);
+	return 1;
+}`, core.P5)
+	_ = Replay(r.Witness, claimFor(r)) // must not panic; verdict is advisory
+}
+
+func TestCleanCodeNoLeakVerdict(t *testing.T) {
+	// Manufactured claim over balanced events must not confirm.
+	_, reports := core.CheckSources([]cpg.Source{{Path: "d.c", Content: `
+static int f(struct device_node *np)
+{
+	of_node_get(np);
+	of_node_put(np);
+	return 0;
+}`}}, nil)
+	if len(reports) != 0 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+}

@@ -1,0 +1,204 @@
+// Package render formats the study's tables and figures as aligned text,
+// Markdown, or CSV, so the tools can feed both terminals and downstream
+// plotting/reporting pipelines.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format selects the output syntax.
+type Format int
+
+// Formats.
+const (
+	Text Format = iota
+	Markdown
+	CSV
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text":
+		return Text, nil
+	case "markdown", "md":
+		return Markdown, nil
+	case "csv":
+		return CSV, nil
+	default:
+		return Text, fmt.Errorf("unknown format %q (want text, markdown or csv)", s)
+	}
+}
+
+// Table is a generic rendered table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// Render emits the table in the format.
+func (t *Table) Render(f Format) string {
+	switch f {
+	case Markdown:
+		return t.renderMarkdown()
+	case CSV:
+		return t.renderCSV()
+	default:
+		return t.renderText()
+	}
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+func (t *Table) renderText() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(w) {
+				fmt.Fprintf(&b, "%-*s", w[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func (t *Table) renderMarkdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+func (t *Table) renderCSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a simple (x, y) figure series for CSV/plot export.
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Y      []float64
+}
+
+// Render emits the series: CSV as two columns, text/markdown as an ASCII
+// bar chart.
+func (s *Series) Render(f Format) string {
+	if f == CSV {
+		t := Table{Header: []string{s.XLabel, s.YLabel}}
+		for i := range s.X {
+			t.AddRow(s.X[i], s.Y[i])
+		}
+		return t.Render(CSV)
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", s.Title)
+	}
+	maxY := 0.0
+	for _, y := range s.Y {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	wx := len(s.XLabel)
+	for _, x := range s.X {
+		if len(x) > wx {
+			wx = len(x)
+		}
+	}
+	const barWidth = 48
+	for i := range s.X {
+		bar := 0
+		if maxY > 0 {
+			bar = int(s.Y[i] / maxY * barWidth)
+		}
+		fmt.Fprintf(&b, "%-*s  %8s  %s\n", wx, s.X[i], trimFloat(s.Y[i]),
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package render
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Table 4",
+		Header: []string{"subsystem", "bugs", "share"},
+	}
+	t.AddRow("drivers", 182, 51.7)
+	t.AddRow("arch", 157, 44.600)
+	t.AddRow("net, misc", 2, 0.5)
+	return t
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{
+		"": Text, "text": Text, "markdown": Markdown, "md": Markdown, "csv": CSV,
+	}
+	for in, want := range cases {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("xml should be rejected")
+	}
+}
+
+func TestTextAlignment(t *testing.T) {
+	out := sample().Render(Text)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "bugs" values start at the same offset.
+	h := strings.Index(lines[1], "bugs")
+	r := strings.Index(lines[2], "182")
+	if h != r {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	out := sample().Render(Markdown)
+	for _, want := range []string{
+		"### Table 4",
+		"| subsystem | bugs | share |",
+		"| --- | --- | --- |",
+		"| drivers | 182 | 51.7 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	out := sample().Render(CSV)
+	if !strings.Contains(out, "\"net, misc\",2,0.5") {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "subsystem,bugs,share\n") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	tbl := &Table{Header: []string{"a"}}
+	tbl.AddRow(`say "hi"`)
+	if got := tbl.Render(CSV); !strings.Contains(got, `"say ""hi"""`) {
+		t.Errorf("quote escaping wrong: %s", got)
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tbl := &Table{Header: []string{"v"}}
+	tbl.AddRow(1.500)
+	tbl.AddRow(2.0)
+	tbl.AddRow(0.277)
+	out := tbl.Render(CSV)
+	for _, want := range []string{"1.5\n", "2\n", "0.277\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesBarChart(t *testing.T) {
+	s := &Series{
+		Title: "Figure 1", XLabel: "year", YLabel: "bugs",
+		X: []string{"2005", "2022"},
+		Y: []float64{6, 134},
+	}
+	out := s.Render(Text)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines:\n%s", out)
+	}
+	if strings.Count(lines[2], "#") <= strings.Count(lines[1], "#") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	csv := s.Render(CSV)
+	if !strings.HasPrefix(csv, "year,bugs\n2005,6\n") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	s := &Series{XLabel: "x", YLabel: "y"}
+	if out := s.Render(Text); out != "" && strings.Contains(out, "#") {
+		t.Errorf("empty series rendered bars: %q", out)
+	}
+}

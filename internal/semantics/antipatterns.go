@@ -1,0 +1,104 @@
+package semantics
+
+import "repro/internal/apidb"
+
+// AntiPatterns returns the paper's nine anti-patterns expressed in the
+// semantic-template language, keyed by their identifier ("P1".."P9").
+//
+// The production checkers in internal/core add flow-sensitive refinements
+// (balance counting, branch-direction NULL facts, innermost-loop
+// attribution) on top of these path shapes; the templates here are the
+// faithful §5 formulations, used for documentation, tests, and quick
+// template-only scans. P6 is inherently two-function (F⊤ ∧ F⊥) and cannot
+// be a single-path template; its entry is nil by design.
+func AntiPatterns(db *apidb.DB) map[string]*Template {
+	isLoop := func(macro string) bool { return db.Loop(macro) != nil }
+	return map[string]*Template{
+		// P1: F_start → S_{G_E} → B_error → F_end
+		"P1": {
+			Name: "P1 return-error deviation",
+			Steps: []Step{
+				IncStep("S_G_E", func(a *apidb.API) bool { return a != nil && a.IncOnError }, true),
+				ErrorBlockStep(),
+			},
+			Forbidden:      ForbidDecOf(),
+			ForbiddenAfter: 1,
+		},
+		// P2: F_start → S_{G_N} → S_{D_N} → F_end
+		"P2": {
+			Name: "P2 return-NULL deviation",
+			Steps: []Step{
+				IncStep("S_G_N", func(a *apidb.API) bool { return a != nil && a.MayReturnNull }, true),
+				DerefStep("S_D_N"),
+			},
+		},
+		// P3: F_start → M_SL → S_break → F_end
+		"P3": {
+			Name: "P3 smartloop break",
+			Steps: []Step{
+				SmartLoopStep(isLoop),
+				BreakStep("S_break"),
+			},
+			Forbidden: func(ev Event, b *Binding) bool { return ev.Op == OpDec },
+		},
+		// P4: F_start → S_{G_H|P_H} → F_end
+		"P4": {
+			Name: "P4 hidden refcounting",
+			Steps: []Step{
+				IncStep("S_G_H", func(a *apidb.API) bool {
+					return a != nil && a.ReturnsRef && a.Class == apidb.Embedded
+				}, true),
+			},
+			Forbidden:      ForbidDecOf(),
+			ForbiddenAfter: 1,
+		},
+		// P5: F_start → S_G → S_P|B_error → F_end (the buggy instance is
+		// the error-block path without the put).
+		"P5": {
+			Name: "P5 overlooked error path",
+			Steps: []Step{
+				IncStep("S_G", func(a *apidb.API) bool { return a != nil && !a.IncOnError }, true),
+				ErrorBlockStep(),
+			},
+			Forbidden:      ForbidDecOf(),
+			ForbiddenAfter: 1,
+		},
+		// P6 spans two functions; see core.InterPairedChecker.
+		"P6": nil,
+		// P7: F_start → S_G → S_free → F_end
+		"P7": {
+			Name: "P7 direct free",
+			Steps: []Step{
+				IncStep("S_G", nil, true),
+				FreeStep("S_free"),
+			},
+		},
+		// P8: F_start → S_{P(p0)} → S_{D(p0)} → F_end
+		"P8": {
+			Name: "P8 use-after-decrease",
+			Steps: []Step{
+				DecStep("S_P(p0)", true),
+				DerefStep("S_D(p0)"),
+			},
+		},
+		// P9: F_start → S_{A_{G|O}} → F_end
+		"P9": {
+			Name: "P9 reference escape",
+			Steps: []Step{
+				{Name: "S_A_G|O", Event: func(ev Event, b *Binding) bool {
+					if ev.Op != OpAssign || ev.EscapesVia == "" {
+						return false
+					}
+					if b.Obj == "" {
+						b.Obj = ev.Obj
+					}
+					return true
+				}},
+			},
+			Forbidden: func(ev Event, b *Binding) bool {
+				return ev.Op == OpInc && ev.Obj != "" && b.Obj != "" &&
+					BaseOf(ev.Obj) == BaseOf(b.Obj)
+			},
+		},
+	}
+}

@@ -1,0 +1,225 @@
+package semantics
+
+import (
+	"testing"
+
+	"repro/internal/apidb"
+)
+
+// exemplars pairs each single-function anti-pattern with a buggy and a fixed
+// C snippet; the template must match the former and reject the latter.
+var exemplars = map[string]struct{ buggy, fixed, fn string }{
+	"P1": {
+		buggy: `
+static int f(struct my_dev *crc)
+{
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0)
+		return ret;
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`,
+		fixed: `
+static int f(struct my_dev *crc)
+{
+	int ret = pm_runtime_get_sync(crc->dev);
+	if (ret < 0) {
+		pm_runtime_put_noidle(crc->dev);
+		return ret;
+	}
+	pm_runtime_put_noidle(crc->dev);
+	return 0;
+}`,
+		fn: "f",
+	},
+	"P2": {
+		buggy: `
+static int f(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	int n = hp->num_nodes;
+	mdesc_release(hp);
+	return n;
+}`,
+		// Note: the raw template has no branch awareness; "fixed" for the
+		// template means no dereference at all after the grab.
+		fixed: `
+static int f(void)
+{
+	struct mdesc_handle *hp = mdesc_grab();
+	mdesc_release(hp);
+	return 0;
+}`,
+		fn: "f",
+	},
+	"P3": {
+		buggy: `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn))
+			break;
+	}
+	return 0;
+}`,
+		fixed: `
+#define for_each_matching_node(dn, m) \
+	for (dn = of_find_matching_node(0, m); dn; \
+	     dn = of_find_matching_node(dn, m))
+static int f(void)
+{
+	struct device_node *dn;
+	for_each_matching_node(dn, matches) {
+		if (want(dn)) {
+			of_node_put(dn);
+			break;
+		}
+	}
+	return 0;
+}`,
+		fn: "f",
+	},
+	"P5": {
+		buggy: `
+static int f(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = reg(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}`,
+		fixed: `
+static int f(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = reg(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	of_node_put(np);
+	return err;
+}`,
+		fn: "f",
+	},
+	"P7": {
+		buggy: `
+static void f(struct widget *w)
+{
+	kref_get(&w->ref);
+	kfree(w);
+}`,
+		fixed: `
+static void f(struct widget *w)
+{
+	kref_get(&w->ref);
+	kref_put(&w->ref);
+}`,
+		fn: "f",
+	},
+	"P8": {
+		buggy: `
+static void f(struct sock *sk)
+{
+	sock_put(sk);
+	sk->sk_err = 0;
+}`,
+		fixed: `
+static void f(struct sock *sk)
+{
+	sk->sk_err = 0;
+	sock_put(sk);
+}`,
+		fn: "f",
+	},
+	"P9": {
+		buggy: `
+static struct sock *mon;
+static void f(struct sock *sk)
+{
+	mon = sk;
+}`,
+		fixed: `
+static struct sock *mon;
+static void f(struct sock *sk)
+{
+	sock_hold(sk);
+	mon = sk;
+}`,
+		fn: "f",
+	},
+}
+
+func TestAntiPatternTemplatesMatchExemplars(t *testing.T) {
+	db := apidb.New()
+	templates := AntiPatterns(db)
+	for id, ex := range exemplars {
+		tpl := templates[id]
+		if tpl == nil {
+			t.Fatalf("%s: template missing", id)
+		}
+		fe := extract(t, ex.buggy, ex.fn)
+		if got := MatchTemplate(fe, tpl, 0); len(got) == 0 {
+			t.Errorf("%s: buggy exemplar not matched (%s)", id, tpl)
+		}
+		fe = extract(t, ex.fixed, ex.fn)
+		if got := MatchTemplate(fe, tpl, 0); len(got) != 0 {
+			t.Errorf("%s: fixed exemplar matched %d times", id, len(got))
+		}
+	}
+}
+
+func TestAntiPatternsComplete(t *testing.T) {
+	templates := AntiPatterns(apidb.New())
+	for _, id := range []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9"} {
+		if _, ok := templates[id]; !ok {
+			t.Errorf("%s missing from the registry", id)
+		}
+	}
+	if templates["P6"] != nil {
+		t.Error("P6 must be nil (two-function pattern)")
+	}
+	// Every non-nil template renders in arrow notation.
+	for id, tpl := range templates {
+		if tpl == nil {
+			continue
+		}
+		if s := tpl.String(); len(s) < len("F_start -> F_end") {
+			t.Errorf("%s renders as %q", id, s)
+		}
+	}
+}
+
+func TestP4TemplateOnListing1(t *testing.T) {
+	tpl := AntiPatterns(apidb.New())["P4"]
+	fe := extract(t, `
+static void f(void)
+{
+	struct device *dev = bus_find_device(bus);
+	use(dev);
+}`, "f")
+	if got := MatchTemplate(fe, tpl, 0); len(got) != 1 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	fe = extract(t, `
+static void f(void)
+{
+	struct device *dev = bus_find_device(bus);
+	use(dev);
+	put_device(dev);
+}`, "f")
+	if got := MatchTemplate(fe, tpl, 0); len(got) != 0 {
+		t.Fatalf("fixed matches = %d", len(got))
+	}
+}

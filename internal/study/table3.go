@@ -1,0 +1,78 @@
+package study
+
+import (
+	"repro/internal/gitlog"
+	"repro/internal/word2vec"
+)
+
+// Table3RowKeys are the refcounting-API keywords of Table 3 (rows).
+var Table3RowKeys = []string{
+	"refcount", "increase", "get", "hold", "grab", "retain",
+	"decrease", "put", "unhold", "drop", "release",
+}
+
+// Table3ColKeys are the bug-caused API keywords of Table 3 (columns).
+var Table3ColKeys = []string{"foreach", "find", "parse", "open", "probe", "register"}
+
+// Table3 holds the keyword similarity matrix.
+type Table3 struct {
+	Rows  []string
+	Cols  []string
+	Sim   [][]float64 // Sim[r][c]
+	Model *word2vec.Model
+}
+
+// Sentences extracts the word2vec training corpus from a history: one
+// sentence per commit subject and body line (the paper trained on >1M commit
+// logs "including the code and comment text").
+func Sentences(h *gitlog.History, limit int) [][]string {
+	var out [][]string
+	for i := range h.Commits {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		c := &h.Commits[i]
+		if s := word2vec.Tokenize(c.Subject); len(s) > 1 {
+			out = append(out, s)
+		}
+		if s := word2vec.Tokenize(c.Body); len(s) > 1 {
+			out = append(out, s)
+		}
+		for _, d := range c.Diff {
+			if s := word2vec.Tokenize(d.Text); len(s) > 1 {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// ComputeTable3 trains CBOW on the history text and fills the similarity
+// matrix.
+func ComputeTable3(h *gitlog.History, cfg word2vec.Config) Table3 {
+	model := word2vec.Train(Sentences(h, 0), cfg)
+	t := Table3{Rows: Table3RowKeys, Cols: Table3ColKeys, Model: model}
+	t.Sim = make([][]float64, len(t.Rows))
+	for r, rk := range t.Rows {
+		t.Sim[r] = make([]float64, len(t.Cols))
+		for c, ck := range t.Cols {
+			t.Sim[r][c] = model.Similarity(rk, ck)
+		}
+	}
+	return t
+}
+
+// At returns the similarity for a (row keyword, column keyword) pair.
+func (t Table3) At(row, col string) float64 {
+	for r, rk := range t.Rows {
+		if rk != row {
+			continue
+		}
+		for c, ck := range t.Cols {
+			if ck == col {
+				return t.Sim[r][c]
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package study
+
+import (
+	"testing"
+
+	"repro/internal/gitlog"
+	"repro/internal/word2vec"
+)
+
+func computeT3(t *testing.T) Table3 {
+	t.Helper()
+	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 4000})
+	return ComputeTable3(h, word2vec.Config{Dim: 32, Epochs: 2, Seed: 5})
+}
+
+func TestTable3Shape(t *testing.T) {
+	t3 := computeT3(t)
+
+	findGet := t3.At("get", "find")
+	findPut := t3.At("put", "find")
+	foreachGet := t3.At("get", "foreach")
+	parseRefcount := t3.At("refcount", "parse")
+
+	// Paper Table 3: find↔get is the standout (0.73) because find-like
+	// APIs call get-named APIs; find↔put is also high (0.58); the iterator
+	// keyword barely co-occurs with refcounting words.
+	if findGet <= foreachGet {
+		t.Errorf("find~get %.3f <= foreach~get %.3f", findGet, foreachGet)
+	}
+	if findGet < 0.2 {
+		t.Errorf("find~get = %.3f, want strong", findGet)
+	}
+	if findPut < 0.1 {
+		t.Errorf("find~put = %.3f, want positive", findPut)
+	}
+	_ = parseRefcount // present in the matrix; no constraint beyond bounds
+
+	// unhold is (nearly) absent from kernel vocabulary: lowest row.
+	for _, col := range Table3ColKeys {
+		if v := t3.At("unhold", col); v > 0.15 {
+			t.Errorf("unhold~%s = %.3f, want ~0", col, v)
+		}
+	}
+
+	// find~get should be the strongest (row get, col find) cell overall —
+	// allow a small tolerance for training noise.
+	best := -2.0
+	for r := range t3.Rows {
+		for c := range t3.Cols {
+			if t3.Sim[r][c] > best {
+				best = t3.Sim[r][c]
+			}
+		}
+	}
+	if findGet < best-0.25 {
+		t.Errorf("find~get %.3f is far from the max cell %.3f", findGet, best)
+	}
+}
+
+func TestTable3Bounds(t *testing.T) {
+	t3 := computeT3(t)
+	if len(t3.Sim) != len(Table3RowKeys) {
+		t.Fatalf("rows = %d", len(t3.Sim))
+	}
+	for r := range t3.Sim {
+		if len(t3.Sim[r]) != len(Table3ColKeys) {
+			t.Fatalf("cols = %d", len(t3.Sim[r]))
+		}
+		for c := range t3.Sim[r] {
+			if v := t3.Sim[r][c]; v < -1.01 || v > 1.01 {
+				t.Errorf("sim[%d][%d] = %v out of range", r, c, v)
+			}
+		}
+	}
+}
+
+func TestSentencesExtraction(t *testing.T) {
+	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 50})
+	all := Sentences(h, 0)
+	if len(all) < 100 {
+		t.Fatalf("sentences = %d", len(all))
+	}
+	limited := Sentences(h, 10)
+	if len(limited) > 12 {
+		t.Errorf("limit not applied: %d", len(limited))
+	}
+}

@@ -1,0 +1,15 @@
+package word2vec_test
+
+import (
+	"fmt"
+
+	"repro/internal/word2vec"
+)
+
+// ExampleTokenize shows identifier splitting with the for_each collapse that
+// makes Table 3's iterator keyword measurable.
+func ExampleTokenize() {
+	fmt.Println(word2vec.Tokenize("Use for_each_child_of_node and of_node_put(np);"))
+	// Output:
+	// [use foreach child of node and of node put np]
+}
