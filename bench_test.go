@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -53,8 +54,12 @@ func kernelCorpus() (*corpus.Corpus, []cpg.Source) {
 }
 
 func buildUnit() *cpg.Unit {
+	return buildUnitWorkers(0)
+}
+
+func buildUnitWorkers(workers int) *cpg.Unit {
 	c, sources := kernelCorpus()
-	return (&cpg.Builder{Headers: cpp.MapFiles(c.Headers)}).Build(sources)
+	return (&cpg.Builder{Headers: cpp.MapFiles(c.Headers), Workers: workers}).Build(sources)
 }
 
 // BenchmarkFigure1GrowthTrend mines the history and computes the per-year
@@ -318,6 +323,42 @@ func BenchmarkCheckerPipeline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		unit := (&cpg.Builder{Headers: cpp.MapFiles(c.Headers)}).Build(sources)
 		core.NewEngine().CheckUnit(unit)
+	}
+}
+
+// BenchmarkPipelineParallel sweeps the Workers knob over the full pipeline —
+// sharded preprocess+parse, CPG assembly, nine checkers, batched refsim
+// confirmation — so the perf trajectory of the parallel path is tracked
+// release over release (scripts/bench_pipeline.sh emits BENCH_pipeline.json
+// from this benchmark). Output is byte-identical at every worker count; only
+// wall time may differ.
+func BenchmarkPipelineParallel(b *testing.B) {
+	c, sources := kernelCorpus()
+	bytes := 0
+	for _, f := range c.Files {
+		bytes += len(f.Content)
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(bytes))
+			var reports []core.Report
+			for i := 0; i < b.N; i++ {
+				_, reports = core.CheckSourcesOpts(sources, headers, core.Options{
+					Workers: workers,
+					Confirm: true,
+				})
+			}
+			b.ReportMetric(float64(len(reports)), "reports")
+			b.ReportMetric(float64(workers), "workers")
+		})
 	}
 }
 

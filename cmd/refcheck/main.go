@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/apidb"
 	"repro/internal/core"
@@ -38,6 +39,8 @@ func main() {
 	pocDir := flag.String("poc", "", "write use-after-decrease proof-of-concept harnesses into this directory")
 	apidbPath := flag.String("apidb", "", "JSON knowledge-base extension file (see `refcheck -dump-apidb`)")
 	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
+	workers := flag.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+	verbose := flag.Bool("v", false, "print elapsed wall time and files/sec to stderr")
 	flag.Parse()
 
 	if *dumpAPIDB {
@@ -87,9 +90,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	b := &cpg.Builder{DB: db, Headers: cpp.MapFiles(headers)}
+	start := time.Now()
+	b := &cpg.Builder{DB: db, Headers: cpp.MapFiles(headers), Workers: *workers}
 	unit := b.Build(sources)
-	reports := core.NewEngine().CheckUnit(unit)
+	engine := core.NewEngine()
+	engine.Workers = *workers
+	reports := engine.CheckUnit(unit)
+	if *verbose {
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "refcheck: analyzed %d files in %v (%.1f files/sec, workers=%d)\n",
+			len(sources), elapsed.Round(time.Millisecond),
+			float64(len(sources))/elapsed.Seconds(), *workers)
+	}
 
 	if *pattern != "" {
 		var filtered []core.Report

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/apidb"
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/cpg"
+	"repro/internal/refsim"
 	"repro/internal/semantics"
 )
 
@@ -26,6 +29,13 @@ type UnitChecker interface {
 // Engine runs a checker suite over units.
 type Engine struct {
 	Checkers []Checker
+	// Workers bounds the per-function checking concurrency: 0 means
+	// GOMAXPROCS, 1 forces sequential checking. The checkers are stateless
+	// and the unit is read-only during checking, so the function work queue
+	// fans out safely; per-worker report buffers are merged in the
+	// sequential (checker-major, function-name) order before finalize, so
+	// the report list is byte-identical at any worker count.
+	Workers int
 }
 
 // NewEngine returns an engine with all nine checkers in pattern order.
@@ -48,18 +58,80 @@ func NewEngine() *Engine {
 // diagnosis: P1 (deviation) beats P5/P4 on the same (function, object), and
 // P4 beats P5.
 func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
-	var all []Report
-	for _, c := range e.Checkers {
-		if uc, ok := c.(UnitChecker); ok {
-			all = append(all, uc.CheckUnit(u)...)
-			continue
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Functions with bodies, in name order — the unit of work.
+	var fns []*cpg.Function
+	for _, name := range u.FunctionNames() {
+		if fn := u.Functions[name]; fn.Graph != nil {
+			fns = append(fns, fn)
 		}
-		for _, name := range u.FunctionNames() {
-			fn := u.Functions[name]
-			if fn.Graph == nil {
+	}
+
+	// fnResults[fi][ci] holds checker ci's reports for function fi; each
+	// (function, checker) cell is written by exactly one worker.
+	fnResults := make([][][]Report, len(fns))
+	checkFn := func(fi int) {
+		cell := make([][]Report, len(e.Checkers))
+		for ci, c := range e.Checkers {
+			if _, unit := c.(UnitChecker); unit {
 				continue
 			}
-			all = append(all, c.Check(u, fn)...)
+			cell[ci] = c.Check(u, fns[fi])
+		}
+		fnResults[fi] = cell
+	}
+
+	// Unit-scoped checkers (P6) stay on the coordinating goroutine while
+	// the function queue drains on workers.
+	unitResults := make([][]Report, len(e.Checkers))
+	runUnitScoped := func() {
+		for ci, c := range e.Checkers {
+			if uc, ok := c.(UnitChecker); ok {
+				unitResults[ci] = uc.CheckUnit(u)
+			}
+		}
+	}
+
+	if workers > 1 && len(fns) > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for fi := range jobs {
+					checkFn(fi)
+				}
+			}()
+		}
+		runUnitScoped()
+		for fi := range fns {
+			jobs <- fi
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		runUnitScoped()
+		for fi := range fns {
+			checkFn(fi)
+		}
+	}
+
+	// Merge in checker-major, function-name order — exactly the order the
+	// sequential loop produced, so finalize sees an identical input stream
+	// (duplicate survival and tie-breaks match byte for byte).
+	var all []Report
+	for ci, c := range e.Checkers {
+		if _, unit := c.(UnitChecker); unit {
+			all = append(all, unitResults[ci]...)
+			continue
+		}
+		for fi := range fns {
+			all = append(all, fnResults[fi][ci]...)
 		}
 	}
 	return finalize(all)
@@ -117,27 +189,88 @@ func finalize(reports []Report) []Report {
 	return out
 }
 
+// Options configures the one-call pipeline.
+type Options struct {
+	// Workers is the single parallelism knob, threaded through the CPG
+	// builder (file-sharded phase 1, per-function phase 3), the checker
+	// engine, and — when Confirm is set — the refsim confirmation stage.
+	// 0 means GOMAXPROCS; 1 forces a fully sequential run. Output is
+	// byte-identical at any worker count.
+	Workers int
+	// Confirm replays every report's witness through refsim and sets
+	// Report.Confirmed.
+	Confirm bool
+}
+
 // CheckSources is the one-call entry point: build a unit from sources and
-// check it.
+// check it with default options.
 func CheckSources(sources []cpg.Source, headers map[string]string) (*cpg.Unit, []Report) {
-	b := &cpg.Builder{}
+	return CheckSourcesOpts(sources, headers, Options{})
+}
+
+// CheckSourcesOpts builds a unit from sources, checks it, and optionally
+// confirms the reports, with opt.Workers threaded through every stage.
+func CheckSourcesOpts(sources []cpg.Source, headers map[string]string, opt Options) (*cpg.Unit, []Report) {
+	b := &cpg.Builder{Workers: opt.Workers}
 	if headers != nil {
 		b.Headers = cpgHeaderProvider(headers)
 	}
 	u := b.Build(sources)
-	return u, NewEngine().CheckUnit(u)
+	reports := (&Engine{Checkers: NewEngine().Checkers, Workers: opt.Workers}).CheckUnit(u)
+	if opt.Confirm {
+		ConfirmReports(reports, opt.Workers)
+	}
+	return u, reports
+}
+
+// ConfirmReports replays each report's witness through the refsim oracle in
+// a batch (each replay is independent, so they fan out across workers) and
+// sets Report.Confirmed in place. It returns the number confirmed. Verdicts
+// are a pure function of (witness, claim), so the worker count cannot change
+// the outcome.
+func ConfirmReports(reports []Report, workers int) int {
+	jobs := make([]refsim.Job, len(reports))
+	for i, r := range reports {
+		jobs[i] = refsim.Job{
+			Witness: r.Witness,
+			Claim: refsim.Claim{
+				Impact:       r.Impact.String(),
+				Object:       r.Object,
+				AllowEscaped: r.Pattern == P6,
+			},
+		}
+	}
+	verdicts := refsim.ReplayAll(jobs, workers)
+	n := 0
+	for i := range reports {
+		reports[i].Confirmed = verdicts[i].Confirmed
+		if verdicts[i].Confirmed {
+			n++
+		}
+	}
+	return n
 }
 
 type cpgHeaderProvider map[string]string
 
+// ReadFile resolves an include by exact path, else by directory-boundary
+// suffix. Several header paths can share the same suffix; candidates are
+// collected and the lexicographically smallest path wins, so resolution does
+// not depend on map iteration order.
 func (m cpgHeaderProvider) ReadFile(path string) (string, bool) {
 	if s, ok := m[path]; ok {
 		return s, true
 	}
-	for p, s := range m {
+	best, found := "", false
+	for p := range m {
 		if len(p) > len(path) && p[len(p)-len(path)-1] == '/' && p[len(p)-len(path):] == path {
-			return s, true
+			if !found || p < best {
+				best, found = p, true
+			}
 		}
+	}
+	if found {
+		return m[best], true
 	}
 	return "", false
 }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cpg"
+)
+
+// parallelSources is a small multi-file tree with at least one instance of
+// several patterns, so the parallel engine has real work to interleave.
+func parallelSources() ([]cpg.Source, map[string]string) {
+	sources := []cpg.Source{
+		{Path: "drivers/a/leak.c", Content: `
+static int a_probe(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	if (!np)
+		return -ENODEV;
+	use_node(np);
+	return 0;
+}`},
+		{Path: "drivers/b/uad.c", Content: `
+static void b_release(struct sock *sk)
+{
+	sock_put(sk);
+	sk->sk_err = 0;
+}`},
+		{Path: "drivers/c/errpath.c", Content: `
+static int c_attach(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}`},
+		{Path: "include/shared.c", Content: `
+#include "defs.h"
+static int d_check(void)
+{
+	return SHARED_OK;
+}`},
+	}
+	headers := map[string]string{"include/defs.h": "#define SHARED_OK 1\n"}
+	return sources, headers
+}
+
+// TestPipelineParallelMatchesSequentialSmall runs the one-call pipeline
+// (parse → check → confirm) sequentially and with several worker counts on
+// an in-package tree; the report lists must be deeply equal. Running under
+// `go test -race ./internal/core` also exercises the worker pools for data
+// races at awkward small worker counts.
+func TestPipelineParallelMatchesSequentialSmall(t *testing.T) {
+	sources, headers := parallelSources()
+	_, want := CheckSourcesOpts(sources, headers, Options{Workers: 1, Confirm: true})
+	if len(want) == 0 {
+		t.Fatal("no reports from sequential run")
+	}
+	for _, workers := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			_, got := CheckSourcesOpts(sources, headers, Options{Workers: workers, Confirm: true})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("reports differ from sequential:\n  got  %+v\n  want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestConfirmReports pins the confirmation stage: confirmed verdicts are set
+// in place, identically at any worker count.
+func TestConfirmReports(t *testing.T) {
+	sources, headers := parallelSources()
+	_, seq := CheckSourcesOpts(sources, headers, Options{Workers: 1})
+	_, par := CheckSourcesOpts(sources, headers, Options{Workers: 1})
+	nSeq := ConfirmReports(seq, 1)
+	nPar := ConfirmReports(par, 4)
+	if nSeq != nPar {
+		t.Fatalf("confirmed counts differ: sequential %d, parallel %d", nSeq, nPar)
+	}
+	if nSeq == 0 {
+		t.Fatal("expected at least one confirmed report")
+	}
+	for i := range seq {
+		if seq[i].Confirmed != par[i].Confirmed {
+			t.Errorf("report %d: Confirmed differs (%v vs %v)", i, seq[i].Confirmed, par[i].Confirmed)
+		}
+	}
+}
+
+// TestHeaderProviderSuffixDeterministic pins the suffix-resolution rule:
+// when two header paths share a suffix, the lexicographically smallest path
+// wins regardless of map iteration order.
+func TestHeaderProviderSuffixDeterministic(t *testing.T) {
+	m := cpgHeaderProvider{
+		"b/sub/defs.h": "#define WHICH 2\n",
+		"a/sub/defs.h": "#define WHICH 1\n",
+		"c/sub/defs.h": "#define WHICH 3\n",
+	}
+	for i := 0; i < 50; i++ {
+		s, ok := m.ReadFile("sub/defs.h")
+		if !ok || s != "#define WHICH 1\n" {
+			t.Fatalf("iteration %d: got %q, %v; want the lexicographically smallest match", i, s, ok)
+		}
+	}
+	if s, ok := m.ReadFile("a/sub/defs.h"); !ok || s != "#define WHICH 1\n" {
+		t.Fatalf("exact match broken: %q, %v", s, ok)
+	}
+	if _, ok := m.ReadFile("nope.h"); ok {
+		t.Fatal("nonexistent header resolved")
+	}
+}

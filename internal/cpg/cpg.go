@@ -74,18 +74,46 @@ type Source struct {
 type Builder struct {
 	// DB is extended in place by discovery; nil means a fresh apidb.New().
 	DB *apidb.DB
-	// Headers resolves #include; nil skips unresolvable includes.
+	// Headers resolves #include; nil skips unresolvable includes. The
+	// provider must be safe for concurrent reads (plain maps are: the
+	// parallel front end only ever calls ReadFile).
 	Headers cpp.FileProvider
 	// Predefines are macros defined before each file (e.g. __KERNEL__).
 	Predefines map[string]string
-	// Workers bounds the per-function analysis concurrency (phase 3);
-	// 0 means GOMAXPROCS, 1 forces sequential analysis. Results are
-	// identical either way — functions are analyzed independently.
+	// Workers bounds the file-sharded preprocess+parse concurrency
+	// (phase 1) and the per-function analysis concurrency (phase 3);
+	// 0 means GOMAXPROCS, 1 forces sequential building. Results are
+	// byte-identical either way — files and functions are processed
+	// independently and merged in deterministic order.
 	Workers int
 }
 
+// parsed is one file's phase-1 output, produced by any worker and merged on
+// the coordinating goroutine in sorted path order.
+type parsed struct {
+	file   *cast.File
+	macros map[string]*cpp.Macro
+	errs   []error
+}
+
+// parseOne runs the per-file front end: preprocess then parse. It touches no
+// shared state, so shards may run concurrently.
+func (b *Builder) parseOne(src Source) parsed {
+	pp := cpp.New(b.Headers)
+	for k, v := range b.Predefines {
+		pp.Define(k, v)
+	}
+	res := pp.Process(src.Path, src.Content)
+	file, perrs := cparse.ParseFile(src.Path, res.Tokens)
+	errs := make([]error, 0, len(res.Errors)+len(perrs))
+	errs = append(errs, res.Errors...)
+	errs = append(errs, perrs...)
+	return parsed{file: file, macros: res.Macros, errs: errs}
+}
+
 // Build preprocesses, parses and analyzes the sources into a Unit. Inputs
-// are processed in path order so results are deterministic.
+// are merged in path order so results are deterministic regardless of the
+// worker count.
 func (b *Builder) Build(sources []Source) *Unit {
 	db := b.DB
 	if db == nil {
@@ -102,21 +130,46 @@ func (b *Builder) Build(sources []Source) *Unit {
 	sorted := append([]Source(nil), sources...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
 
-	// Phase 1: preprocess + parse everything, collect declarations.
-	for _, src := range sorted {
-		pp := cpp.New(b.Headers)
-		for k, v := range b.Predefines {
-			pp.Define(k, v)
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Phase 1: preprocess + parse, sharded per file (each file's front end
+	// is independent). Shard results land in their slot by index.
+	results := make([]parsed, len(sorted))
+	if workers > 1 && len(sorted) > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i] = b.parseOne(sorted[i])
+				}
+			}()
 		}
-		res := pp.Process(src.Path, src.Content)
-		u.Errors = append(u.Errors, res.Errors...)
-		for name, m := range res.Macros {
+		for i := range sorted {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for i := range sorted {
+			results[i] = b.parseOne(sorted[i])
+		}
+	}
+	// Merge declarations, macros and errors in sorted path order — the exact
+	// order the sequential loop used, so the unit is deterministic.
+	for i, src := range sorted {
+		p := results[i]
+		u.Errors = append(u.Errors, p.errs...)
+		for name, m := range p.macros {
 			u.Macros[name] = m
 		}
-		file, perrs := cparse.ParseFile(src.Path, res.Tokens)
-		u.Errors = append(u.Errors, perrs...)
-		u.Files = append(u.Files, file)
-		for _, d := range file.Decls {
+		u.Files = append(u.Files, p.file)
+		for _, d := range p.file.Decls {
 			switch x := d.(type) {
 			case *cast.FuncDef:
 				if x.Body != nil || u.Functions[x.Name] == nil {
@@ -143,10 +196,6 @@ func (b *Builder) Build(sources []Source) *Unit {
 		globals[name] = true
 	}
 	ext := &semantics.Extractor{DB: db, GlobalNames: globals}
-	workers := b.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	names := u.FunctionNames()
 	if workers > 1 && len(names) > 1 {
 		var wg sync.WaitGroup

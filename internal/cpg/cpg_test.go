@@ -235,4 +235,58 @@ int b_probe(void)
 			t.Errorf("call sites for %s differ", name)
 		}
 	}
+	// Phase 1 is sharded too: merged declarations, macros, and errors must
+	// agree between the sequential and parallel front ends.
+	if len(seq.Files) != len(par.Files) {
+		t.Errorf("file counts differ (%d vs %d)", len(seq.Files), len(par.Files))
+	}
+	for i := range seq.Files {
+		if seq.Files[i].Name != par.Files[i].Name {
+			t.Errorf("file %d: %s vs %s", i, seq.Files[i].Name, par.Files[i].Name)
+		}
+	}
+	if len(seq.Macros) != len(par.Macros) {
+		t.Errorf("macro counts differ (%d vs %d)", len(seq.Macros), len(par.Macros))
+	}
+	for name := range seq.Macros {
+		if par.Macros[name] == nil {
+			t.Errorf("macro %s missing from parallel build", name)
+		}
+	}
+	if len(seq.Structs) != len(par.Structs) || len(seq.Globals) != len(par.Globals) {
+		t.Errorf("declaration tables differ")
+	}
+	if len(seq.Errors) != len(par.Errors) {
+		t.Errorf("error counts differ (%d vs %d)", len(seq.Errors), len(par.Errors))
+	}
+	for i := range seq.Errors {
+		if seq.Errors[i].Error() != par.Errors[i].Error() {
+			t.Errorf("error %d differs: %v vs %v", i, seq.Errors[i], par.Errors[i])
+		}
+	}
+}
+
+// TestParallelErrorOrderDeterministic shards files with parse errors across
+// many workers and checks the merged error list keeps sorted-path order.
+func TestParallelErrorOrderDeterministic(t *testing.T) {
+	srcs := []Source{
+		{Path: "z.c", Content: "@@@;\nint fz(void) { return 0; }"},
+		{Path: "a.c", Content: "###;\nint fa(void) { return 0; }"},
+		{Path: "m.c", Content: "int fm(void) { return 0; }"},
+	}
+	want := (&Builder{Workers: 1}).Build(srcs)
+	if len(want.Errors) == 0 {
+		t.Fatal("expected parse errors")
+	}
+	for i := 0; i < 10; i++ {
+		got := (&Builder{Workers: 8}).Build(srcs)
+		if len(got.Errors) != len(want.Errors) {
+			t.Fatalf("error counts differ (%d vs %d)", len(got.Errors), len(want.Errors))
+		}
+		for j := range want.Errors {
+			if got.Errors[j].Error() != want.Errors[j].Error() {
+				t.Fatalf("error %d differs: %v vs %v", j, got.Errors[j], want.Errors[j])
+			}
+		}
+	}
 }

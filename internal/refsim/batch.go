@@ -1,0 +1,50 @@
+package refsim
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/semantics"
+)
+
+// Job is one confirmation request: a witness trace plus the claim to
+// evaluate against it.
+type Job struct {
+	Witness []semantics.Event
+	Claim   Claim
+}
+
+// ReplayAll replays a batch of jobs and returns the verdicts in job order.
+// Each replay is independent (Replay touches no shared state), so jobs fan
+// out across workers; 0 means GOMAXPROCS, 1 forces sequential replay. The
+// verdict for a job is a pure function of its witness and claim, so the
+// worker count cannot change the result.
+func ReplayAll(jobs []Job, workers int) []Verdict {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Verdict, len(jobs))
+	if workers > 1 && len(jobs) > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i] = Replay(jobs[i].Witness, jobs[i].Claim)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			out[i] = Replay(jobs[i].Witness, jobs[i].Claim)
+		}
+	}
+	return out
+}

@@ -1,10 +1,11 @@
-package refsim
+package refsim_test
 
 import (
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/cpg"
+	"repro/internal/refsim"
 )
 
 // reportFor runs the checkers on src and returns the single report with the
@@ -21,8 +22,8 @@ func reportFor(t *testing.T, src string, pattern core.Pattern) core.Report {
 	return core.Report{}
 }
 
-func claimFor(r core.Report) Claim {
-	return Claim{
+func claimFor(r core.Report) refsim.Claim {
+	return refsim.Claim{
 		Impact:       r.Impact.String(),
 		Object:       r.Object,
 		AllowEscaped: r.Pattern == core.P6,
@@ -39,7 +40,7 @@ static int f(struct my_dev *crc)
 	pm_runtime_put_noidle(crc->dev);
 	return 0;
 }`, core.P1)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P1 not confirmed: %s", v.Detail)
 	}
@@ -54,7 +55,7 @@ static int f(void)
 	mdesc_release(hp);
 	return n;
 }`, core.P2)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P2 not confirmed: %s", v.Detail)
 	}
@@ -77,7 +78,7 @@ static int f(void)
 	}
 	return 0;
 }`, core.P3)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P3 not confirmed: %s", v.Detail)
 	}
@@ -93,7 +94,7 @@ static int f(void)
 	use_node(np);
 	return 0;
 }`, core.P4)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P4 not confirmed: %s", v.Detail)
 	}
@@ -106,7 +107,7 @@ static struct device_node *f(struct device_node *from)
 	struct device_node *np = of_find_matching_node(from, matches);
 	return np;
 }`, core.P4)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P4 missing-get not confirmed: %s", v.Detail)
 	}
@@ -119,7 +120,7 @@ static void f(struct widget *w)
 {
 	kfree(w);
 }`, core.P7)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P7 not confirmed: %s", v.Detail)
 	}
@@ -132,7 +133,7 @@ static void f(struct sock *sk)
 	sock_put(sk);
 	sk->sk_err = 0;
 }`, core.P8)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P8 not confirmed: %s", v.Detail)
 	}
@@ -148,7 +149,7 @@ static void f(struct sock *sk)
 	sock_put(sk);
 	sk->sk_err = 0;
 }`, core.P8)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if v.Confirmed {
 		t.Fatalf("pinned P8 wrongly confirmed: %s", v.Detail)
 	}
@@ -161,7 +162,7 @@ static void f(struct sock *sk)
 {
 	monitor_sk = sk;
 }`, core.P9)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P9 not confirmed: %s", v.Detail)
 	}
@@ -178,7 +179,7 @@ static int foo_register(void)
 static void foo_unregister(void)
 {
 }`, core.P6)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P6 not confirmed: %s", v.Detail)
 	}
@@ -198,7 +199,7 @@ static int f(struct device_node *np)
 fail:
 	return err;
 }`, core.P5)
-	v := Replay(r.Witness, claimFor(r))
+	v := refsim.Replay(r.Witness, claimFor(r))
 	if !v.Confirmed {
 		t.Fatalf("P5 not confirmed: %s", v.Detail)
 	}
@@ -219,7 +220,7 @@ static int f(struct lpfc_host *phba)
 	of_node_put(evt_node);
 	return 1;
 }`, core.P5)
-	_ = Replay(r.Witness, claimFor(r)) // must not panic; verdict is advisory
+	_ = refsim.Replay(r.Witness, claimFor(r)) // must not panic; verdict is advisory
 }
 
 func TestCleanCodeNoLeakVerdict(t *testing.T) {

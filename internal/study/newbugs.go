@@ -43,8 +43,16 @@ type NewBugStudy struct {
 }
 
 // EvaluateNewBugs matches reports to the corpus plan, confirms them
-// dynamically, and assigns statuses.
+// dynamically, and assigns statuses. Confirmation replays run with the
+// default worker count (GOMAXPROCS); use EvaluateNewBugsWorkers to pin it.
 func EvaluateNewBugs(c *corpus.Corpus, reports []core.Report) *NewBugStudy {
+	return EvaluateNewBugsWorkers(c, reports, 0)
+}
+
+// EvaluateNewBugsWorkers is EvaluateNewBugs with an explicit worker count
+// for the batched refsim confirmation stage. Each witness replay is
+// independent and pure, so the study is identical at any worker count.
+func EvaluateNewBugsWorkers(c *corpus.Corpus, reports []core.Report, workers int) *NewBugStudy {
 	type key struct{ fn, pattern string }
 	byKey := map[key][]core.Report{}
 	for _, r := range reports {
@@ -57,6 +65,15 @@ func EvaluateNewBugs(c *corpus.Corpus, reports []core.Report) *NewBugStudy {
 	}
 
 	st := &NewBugStudy{}
+	// Pass 1: match planned bugs to reports and batch up the confirmation
+	// jobs; the replays fan out across workers, verdicts come back in plan
+	// order.
+	type matched struct {
+		pb *corpus.PlannedBug
+		r  core.Report
+	}
+	var ms []matched
+	var jobs []refsim.Job
 	for i := range c.Planned {
 		pb := &c.Planned[i]
 		rs := byKey[key{pb.Function, string(pb.Pattern)}]
@@ -65,17 +82,26 @@ func EvaluateNewBugs(c *corpus.Corpus, reports []core.Report) *NewBugStudy {
 			continue
 		}
 		r := rs[0]
-		verdict := refsim.Replay(r.Witness, refsim.Claim{
-			Impact: pb.Impact, Object: r.Object,
-			AllowEscaped: r.Pattern == core.P6,
+		ms = append(ms, matched{pb: pb, r: r})
+		jobs = append(jobs, refsim.Job{
+			Witness: r.Witness,
+			Claim: refsim.Claim{
+				Impact: pb.Impact, Object: r.Object,
+				AllowEscaped: r.Pattern == core.P6,
+			},
 		})
-		nb := NewBug{Planned: pb, Report: r, Verdict: verdict}
+	}
+	verdicts := refsim.ReplayAll(jobs, workers)
+	// Pass 2: assign statuses from the verdicts, in plan order.
+	for i, m := range ms {
+		verdict := verdicts[i]
+		nb := NewBug{Planned: m.pb, Report: m.r, Verdict: verdict}
 		switch {
-		case !verdict.Confirmed && pb.Kind == corpus.KindPinnedUAD:
+		case !verdict.Confirmed && m.pb.Kind == corpus.KindPinnedUAD:
 			nb.Status = PR
 		case !verdict.Confirmed:
 			nb.Status = NR // cannot demonstrate the impact: no reply
-		case noResponse(pb.Function):
+		case noResponse(m.pb.Function):
 			nb.Status = NR
 		default:
 			nb.Status = CFM

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_pipeline.sh — run the parallel-pipeline benchmark sweep and emit
+# BENCH_pipeline.json so successive PRs can track the perf trajectory.
+#
+# Usage:
+#   scripts/bench_pipeline.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 5x)
+#
+# The JSON shape is stable:
+#   {"benchmark":"BenchmarkPipelineParallel","benchtime":"5x",
+#    "results":[{"name":"workers=1","iters":5,"ns_per_op":1.6e8,
+#                "mb_per_s":1.0,"reports":357}, ...]}
+set -e
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pipeline.json}"
+BENCHTIME="${BENCHTIME:-5x}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test . -run '^$' -bench '^BenchmarkPipelineParallel$' -benchtime "$BENCHTIME" | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^BenchmarkPipelineParallel\// {
+    name = $1
+    sub(/^BenchmarkPipelineParallel\//, "", name)
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    iters[n] = $2
+    ns[n] = $3
+    mbs[n] = ""
+    reports[n] = ""
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "MB/s")    mbs[n] = $i
+        if ($(i + 1) == "reports") reports[n] = $i
+    }
+    names[n] = name
+    n++
+}
+END {
+    printf "{\n  \"benchmark\": \"BenchmarkPipelineParallel\",\n"
+    printf "  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i]
+        if (mbs[i] != "")     printf ", \"mb_per_s\": %s", mbs[i]
+        if (reports[i] != "") printf ", \"reports\": %s", reports[i]
+        printf "}%s\n", (i < n - 1) ? "," : ""
+    }
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
