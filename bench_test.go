@@ -8,10 +8,12 @@ package repro
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -59,7 +61,7 @@ func buildUnit() *cpg.Unit {
 
 func buildUnitWorkers(workers int) *cpg.Unit {
 	c, sources := kernelCorpus()
-	return (&cpg.Builder{Headers: cpp.MapFiles(c.Headers), Workers: workers}).Build(sources)
+	return (&cpg.Builder{Headers: cpp.NewIndexedFiles(c.Headers), Workers: workers}).Build(sources)
 }
 
 // BenchmarkFigure1GrowthTrend mines the history and computes the per-year
@@ -319,9 +321,10 @@ func BenchmarkCheckerPipeline(b *testing.B) {
 		bytes += len(f.Content)
 	}
 	b.SetBytes(int64(bytes))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		unit := (&cpg.Builder{Headers: cpp.MapFiles(c.Headers)}).Build(sources)
+		unit := (&cpg.Builder{Headers: cpp.NewIndexedFiles(c.Headers)}).Build(sources)
 		core.NewEngine().CheckUnit(unit)
 	}
 }
@@ -349,6 +352,7 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.SetBytes(int64(bytes))
+			b.ReportAllocs()
 			var reports []core.Report
 			for i := 0; i < b.N; i++ {
 				_, reports = core.CheckSourcesOpts(sources, headers, core.Options{
@@ -360,6 +364,77 @@ func BenchmarkPipelineParallel(b *testing.B) {
 			b.ReportMetric(float64(workers), "workers")
 		})
 	}
+}
+
+// BenchmarkPipelineCache measures the incremental analysis cache end to end:
+// "cold" runs the full pipeline into a fresh cache directory every iteration
+// (the write-through overhead), "warm" re-runs over an unchanged corpus
+// against a populated directory (the ≥5× headline case — analysis is skipped
+// entirely and reports are decoded from disk). Both report the unit-cache
+// hit rate so BENCH_pipeline.json tracks it across PRs.
+func BenchmarkPipelineCache(b *testing.B) {
+	c, sources := kernelCorpus()
+	bytes := 0
+	for _, f := range c.Files {
+		bytes += len(f.Content)
+	}
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(int64(bytes))
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "bench-cache-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache, err := analysiscache.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			run := core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true})
+			b.StopTimer()
+			if run.Cache.UnitHit {
+				hits++
+			}
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "unit_hit_rate")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "bench-cache-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cache, err := analysiscache.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true}) // populate
+		b.SetBytes(int64(bytes))
+		b.ReportAllocs()
+		b.ResetTimer()
+		hits := 0
+		var reports []core.Report
+		for i := 0; i < b.N; i++ {
+			run := core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true})
+			if run.Cache.UnitHit {
+				hits++
+			}
+			reports = run.Reports
+		}
+		b.ReportMetric(float64(hits)/float64(b.N), "unit_hit_rate")
+		b.ReportMetric(float64(len(reports)), "reports")
+	})
 }
 
 // BenchmarkRefsimReplay measures the dynamic oracle in isolation.
@@ -393,7 +468,7 @@ func BenchmarkCheckerScaling(b *testing.B) {
 			b.SetBytes(int64(bytes))
 			var n int
 			for i := 0; i < b.N; i++ {
-				unit := (&cpg.Builder{Headers: cpp.MapFiles(c.Headers)}).Build(sources)
+				unit := (&cpg.Builder{Headers: cpp.NewIndexedFiles(c.Headers)}).Build(sources)
 				n = len(core.NewEngine().CheckUnit(unit))
 			}
 			b.ReportMetric(c.KLOC(), "kloc")

@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysiscache"
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// renderRun canonicalizes everything a run reports — rendered diagnostics,
+// suggestions, confirmation verdicts, and the full witness event stream — so
+// two runs can be compared byte for byte. (reflect.DeepEqual is deliberately
+// not used: cached reports legitimately drop witness CFG block pointers,
+// which no consumer reads.)
+func renderRun(run *core.Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary %+v\n", run.Summary)
+	for _, r := range run.Reports {
+		fmt.Fprintf(&b, "%s | confirmed=%v | suggestion=%q\n", r.String(), r.Confirmed, r.Suggestion)
+		for _, ev := range r.Witness {
+			fmt.Fprintf(&b, "  ev %v obj=%q api=%q assign=%q esc=%q pos=%s macro=%q",
+				ev.Op, ev.Obj, ev.API, ev.AssignTarget, ev.EscapesVia, ev.Pos, ev.FromMacro)
+			if ev.Info != nil {
+				fmt.Fprintf(&b, " info=%+v", *ev.Info)
+			}
+			fmt.Fprintf(&b, " nnT=%v nnF=%v\n", ev.NonNullTrue, ev.NonNullFalse)
+		}
+	}
+	return b.String()
+}
+
+func corpusInputs() ([]cpg.Source, map[string]string) {
+	c, sources := kernelCorpus()
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+	return sources, headers
+}
+
+func runWithCache(t *testing.T, sources []cpg.Source, headers map[string]string, workers int, dir string) *core.Run {
+	t.Helper()
+	opt := core.Options{Workers: workers, Confirm: true}
+	if dir != "" {
+		c, err := analysiscache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Cache = c
+	}
+	return core.CheckSourcesRun(sources, headers, opt)
+}
+
+// TestCacheDeterminismMatrix is the PR's central guarantee: rendered reports
+// are byte-identical across {workers 1, workers 8} × {no cache, cold cache,
+// warm cache, one-file-invalidated cache}.
+func TestCacheDeterminismMatrix(t *testing.T) {
+	sources, headers := corpusInputs()
+
+	base := renderRun(runWithCache(t, sources, headers, 1, ""))
+	if !strings.Contains(base, "confirmed=true") {
+		t.Fatal("baseline run produced no confirmed reports; corpus broken?")
+	}
+
+	for _, workers := range []int{1, 8} {
+		if got := renderRun(runWithCache(t, sources, headers, workers, "")); got != base {
+			t.Errorf("workers=%d no-cache differs from baseline", workers)
+		}
+		dir := t.TempDir()
+		cold := runWithCache(t, sources, headers, workers, dir)
+		if cold.Cache.UnitHit {
+			t.Errorf("workers=%d: cold run claims a unit hit", workers)
+		}
+		if got := renderRun(cold); got != base {
+			t.Errorf("workers=%d cold-cache differs from baseline", workers)
+		}
+		warm := runWithCache(t, sources, headers, workers, dir)
+		if !warm.Cache.UnitHit || warm.Cache.FilesSkipped != len(sources) {
+			t.Errorf("workers=%d: warm run stats %+v, want a full unit hit over %d files",
+				workers, warm.Cache, len(sources))
+		}
+		if got := renderRun(warm); got != base {
+			t.Errorf("workers=%d warm-cache differs from baseline", workers)
+		}
+	}
+}
+
+// TestCacheOneFileInvalidation edits a single source on a warm cache: only
+// that file may re-preprocess, and the reports must match an uncached run
+// over the edited corpus exactly.
+func TestCacheOneFileInvalidation(t *testing.T) {
+	sources, headers := corpusInputs()
+	dir := t.TempDir()
+	runWithCache(t, sources, headers, 8, dir) // populate
+
+	edited := append([]cpg.Source(nil), sources...)
+	edited[0] = cpg.Source{
+		Path:    edited[0].Path,
+		Content: edited[0].Content + "\nvoid cache_probe_added(void) { }\n",
+	}
+
+	want := renderRun(runWithCache(t, edited, headers, 1, ""))
+	got := runWithCache(t, edited, headers, 8, dir)
+	if got.Cache.UnitHit {
+		t.Fatal("edited corpus must miss the unit cache")
+	}
+	if got.Cache.FileMisses != 1 || got.Cache.FileHits != len(sources)-1 {
+		t.Errorf("front-end stats %+v, want exactly 1 miss and %d hits", got.Cache, len(sources)-1)
+	}
+	if renderRun(got) != want {
+		t.Error("partially-invalidated cached run differs from uncached run over the edited corpus")
+	}
+
+	// The edited corpus is now cached too; the original corpus entry must
+	// still be intact (keys are content-addressed, not per-path slots).
+	if again := runWithCache(t, sources, headers, 8, dir); !again.Cache.UnitHit {
+		t.Error("original corpus entry was clobbered by the edited run")
+	}
+}
+
+// TestCacheCorruptionFallsBack truncates every cache entry on disk; the next
+// run must silently fall back to full re-analysis with identical output.
+func TestCacheCorruptionFallsBack(t *testing.T) {
+	sources, headers := corpusInputs()
+	base := renderRun(runWithCache(t, sources, headers, 1, ""))
+
+	dir := t.TempDir()
+	runWithCache(t, sources, headers, 8, dir) // populate
+	n := 0
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		n++
+		return os.WriteFile(path, data[:len(data)/3], 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("cache directory holds no entries after a cold run")
+	}
+
+	run := runWithCache(t, sources, headers, 8, dir)
+	if run.Cache.UnitHit || run.Cache.FileHits != 0 {
+		t.Errorf("corrupt cache produced hits: %+v", run.Cache)
+	}
+	if renderRun(run) != base {
+		t.Error("corrupt-cache run differs from baseline")
+	}
+
+	// The rewritten entries must be valid again.
+	if again := runWithCache(t, sources, headers, 8, dir); !again.Cache.UnitHit {
+		t.Error("cache did not repair itself after corruption")
+	}
+}
+
+// TestCacheConfigFingerprint: two runs differing only in ConfigFP must not
+// share unit-cache entries.
+func TestCacheConfigFingerprint(t *testing.T) {
+	sources, headers := corpusInputs()
+	dir := t.TempDir()
+	cache, err := analysiscache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-a"})
+	if a.Cache.UnitHit {
+		t.Fatal("first run cannot hit")
+	}
+	b := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-b"})
+	if b.Cache.UnitHit {
+		t.Error("different ConfigFP must not share unit entries")
+	}
+	c := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-a"})
+	if !c.Cache.UnitHit {
+		t.Error("same ConfigFP must hit the warm entry")
+	}
+}

@@ -16,15 +16,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
-	"repro/internal/cpp"
 	"repro/internal/loader"
 	"repro/internal/patch"
 	"repro/internal/poc"
@@ -40,7 +42,10 @@ func main() {
 	apidbPath := flag.String("apidb", "", "JSON knowledge-base extension file (see `refcheck -dump-apidb`)")
 	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
 	workers := flag.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
-	verbose := flag.Bool("v", false, "print elapsed wall time and files/sec to stderr")
+	verbose := flag.Bool("v", false, "print elapsed wall time, files/sec and cache statistics to stderr")
+	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after analysis) to this file")
 	flag.Parse()
 
 	if *dumpAPIDB {
@@ -77,30 +82,79 @@ func main() {
 	}
 
 	db := apidb.New()
+	configFP := ""
 	if *apidbPath != "" {
-		f, err := os.Open(*apidbPath)
+		// The extension file changes what the checkers look for, so its
+		// content is folded into every cache key.
+		data, err := os.ReadFile(*apidbPath)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
 		}
-		err = db.LoadExtensions(f)
-		f.Close()
-		if err != nil {
+		configFP = analysiscache.KeyOf("apidb-ext", string(data))
+		if err := db.LoadExtensions(strings.NewReader(string(data))); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
 		}
 	}
+
+	opt := core.Options{Workers: *workers, DB: db, ConfigFP: configFP}
+	if *cacheDir != "" {
+		c, err := analysiscache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = c
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
-	b := &cpg.Builder{DB: db, Headers: cpp.MapFiles(headers), Workers: *workers}
-	unit := b.Build(sources)
-	engine := core.NewEngine()
-	engine.Workers = *workers
-	reports := engine.CheckUnit(unit)
+	run := core.CheckSourcesRun(sources, headers, opt)
+	reports := run.Reports
+	elapsed := time.Since(start)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
 	if *verbose {
-		elapsed := time.Since(start)
 		fmt.Fprintf(os.Stderr, "refcheck: analyzed %d files in %v (%.1f files/sec, workers=%d)\n",
 			len(sources), elapsed.Round(time.Millisecond),
 			float64(len(sources))/elapsed.Seconds(), *workers)
+		if opt.Cache != nil {
+			cs := run.Cache
+			if cs.UnitHit {
+				fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n", cs.FilesSkipped)
+			} else {
+				fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
+					cs.FileHits, cs.FileMisses, cs.FilesSkipped)
+			}
+		}
 	}
 
 	if *pattern != "" {
@@ -221,6 +275,6 @@ func main() {
 	fmt.Printf(" — Leak %d, UAF %d, NPD %d\n",
 		perImpact[core.Leak], perImpact[core.UAF], perImpact[core.NPD])
 	fmt.Printf("analyzed %d files, %d functions (discovered: %d structs, %d APIs, %d smartloops)\n",
-		len(unit.Files), len(unit.Functions),
-		len(unit.DiscoveredStructs), len(unit.DiscoveredAPIs), len(unit.DiscoveredLoops))
+		run.Summary.Files, run.Summary.Functions,
+		run.Summary.DiscoveredStructs, run.Summary.DiscoveredAPIs, run.Summary.DiscoveredLoops)
 }

@@ -14,11 +14,11 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
-	"repro/internal/cpp"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
 	"repro/internal/study"
@@ -28,6 +28,7 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "smaller background history (quicker word2vec)")
 	workers := flag.Int("workers", 0, "detection-pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+	cacheDir := flag.String("cache", "", "incremental analysis cache directory for the detection pipeline (results are identical with or without it)")
 	flag.Parse()
 
 	background := 0
@@ -133,10 +134,17 @@ func main() {
 	for _, f := range c.Files {
 		sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
 	}
-	unit := (&cpg.Builder{Headers: cpp.MapFiles(c.Headers), Workers: *workers}).Build(sources)
-	engine := core.NewEngine()
-	engine.Workers = *workers
-	reports := engine.CheckUnit(unit)
+	opt := core.Options{Workers: *workers}
+	if *cacheDir != "" {
+		cache, err := analysiscache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Cache = cache
+	}
+	run := core.CheckSourcesRun(sources, c.Headers, opt)
+	reports := run.Reports
 	nb := study.EvaluateNewBugsWorkers(c, reports, *workers)
 
 	fmt.Println("## Table 4: new bugs (paper: arch 156, drivers 182, include 2, net 2, sound 9; 296 leak / 48 UAF / 7 NPD; 240 CFM, 3 PR, 5 FP)")

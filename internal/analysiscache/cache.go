@@ -1,0 +1,97 @@
+// Package analysiscache is the on-disk incremental analysis cache.
+//
+// Entries are keyed by content hash: the caller derives a key from everything
+// that can influence the cached value (source bytes, the transitive include
+// closure, the checker-config fingerprint, a format version tag), so a key
+// either resolves to a value computed from identical inputs or does not
+// resolve at all. There is no invalidation protocol — stale inputs simply
+// hash to a different key, and orphaned entries are harmless dead files.
+//
+// The cache is defensive by construction: any read error, decode error,
+// truncated file, or corrupt payload is reported as a miss, and the caller
+// falls back to full re-analysis. A broken cache can cost time, never
+// correctness.
+package analysiscache
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache is a directory of gob-encoded entries, safe for concurrent use by
+// multiple goroutines (and, because writes are atomic renames, by multiple
+// processes sharing the directory).
+type Cache struct {
+	dir string
+}
+
+// Open prepares dir as a cache root, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("analysiscache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".gob")
+}
+
+// Get decodes the entry for key into v. Any failure — missing file, short
+// read, gob mismatch — is a miss.
+func (c *Cache) Get(key string, v any) bool {
+	if len(key) < 2 {
+		return false
+	}
+	f, err := os.Open(c.path(key))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v) == nil
+}
+
+// Put stores v under key. The entry is written to a temp file and renamed
+// into place, so concurrent readers never observe a partial entry.
+func (c *Cache) Put(key string, v any) error {
+	if len(key) < 2 {
+		return fmt.Errorf("analysiscache: short key %q", key)
+	}
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "put-*")
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// KeyOf derives a cache key from its parts: each part is length-prefixed
+// before hashing so distinct part lists can never collide by concatenation.
+func KeyOf(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

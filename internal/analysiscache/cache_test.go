@@ -1,0 +1,96 @@
+package analysiscache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name  string
+	Lines []int
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("test", "round-trip")
+	want := payload{Name: "x", Lines: []int{1, 2, 3}}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c.Get(key, &got) {
+		t.Fatal("expected hit after Put")
+	}
+	if got.Name != want.Name || len(got.Lines) != 3 || got.Lines[2] != 3 {
+		t.Fatalf("decoded %+v, want %+v", got, want)
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v payload
+	if c.Get(KeyOf("never", "stored"), &v) {
+		t.Fatal("expected miss for unknown key")
+	}
+	if c.Get("", &v) || c.Get("a", &v) {
+		t.Fatal("short keys must miss, not panic")
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("corrupt")
+	if err := c.Put(key, payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".gob")
+
+	// Truncated entry → miss.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v payload
+	if c.Get(key, &v) {
+		t.Fatal("truncated entry must be a miss")
+	}
+
+	// Garbage entry → miss.
+	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get(key, &v) {
+		t.Fatal("garbage entry must be a miss")
+	}
+
+	// Re-Put repairs the slot.
+	if err := c.Put(key, payload{Name: "again"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &v) || v.Name != "again" {
+		t.Fatal("Put over a corrupt entry must restore the slot")
+	}
+}
+
+func TestKeyOfLengthPrefixing(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Fatal("KeyOf must not collide on concatenation boundaries")
+	}
+	if KeyOf("x") != KeyOf("x") {
+		t.Fatal("KeyOf must be deterministic")
+	}
+}

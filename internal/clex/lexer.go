@@ -1,9 +1,6 @@
 package clex
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // Config controls optional token retention. The preprocessor needs newlines
 // (directives are line-oriented); the parser does not.
@@ -173,41 +170,44 @@ func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func (l *Lexer) lexIdent(start Pos) Token {
-	var b strings.Builder
-	for l.off < len(l.src) && isIdentCont(l.peek()) {
-		b.WriteByte(l.advance())
+	// Identifier bytes never include newlines or continuations, so the
+	// spelling is a contiguous slice of the source: zero-copy, and the
+	// line/column bookkeeping reduces to a column bump.
+	startOff := l.off
+	for l.off < len(l.src) && isIdentCont(l.src[l.off]) {
+		l.off++
 	}
-	text := b.String()
-	kind := Ident
-	if keywords[text] {
-		kind = Keyword
+	l.col += l.off - startOff
+	raw := l.src[startOff:l.off]
+	if e, ok := internTab[raw]; ok {
+		return Token{Kind: e.kind, Text: e.text, Pos: start}
 	}
-	return Token{Kind: kind, Text: text, Pos: start}
+	return Token{Kind: Ident, Text: raw, Pos: start}
 }
 
 func (l *Lexer) lexNumber(start Pos) Token {
-	var b strings.Builder
+	// Numeric literals are newline-free, so the spelling is sliced from the
+	// source rather than copied byte by byte.
+	startOff := l.off
 	isFloat := false
 	// Hex / octal / binary prefixes.
 	if l.peek() == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
-		b.WriteByte(l.advance())
-		b.WriteByte(l.advance())
-		for l.off < len(l.src) && isHexDigit(l.peek()) {
-			b.WriteByte(l.advance())
+		l.off += 2
+		for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+			l.off++
 		}
 	} else {
 		for l.off < len(l.src) {
-			c := l.peek()
+			c := l.src[l.off]
 			switch {
 			case isDigit(c):
-				b.WriteByte(l.advance())
+				l.off++
 			case c == '.':
 				isFloat = true
-				b.WriteByte(l.advance())
+				l.off++
 			case (c == 'e' || c == 'E') && (isDigit(l.peekAt(1)) || ((l.peekAt(1) == '+' || l.peekAt(1) == '-') && isDigit(l.peekAt(2)))):
 				isFloat = true
-				b.WriteByte(l.advance()) // e
-				b.WriteByte(l.advance()) // sign or digit
+				l.off += 2 // e, then sign or digit
 			default:
 				goto suffix
 			}
@@ -215,18 +215,19 @@ func (l *Lexer) lexNumber(start Pos) Token {
 	}
 suffix:
 	for l.off < len(l.src) {
-		c := l.peek()
+		c := l.src[l.off]
 		if c == 'u' || c == 'U' || c == 'l' || c == 'L' || (isFloat && (c == 'f' || c == 'F')) {
-			b.WriteByte(l.advance())
+			l.off++
 		} else {
 			break
 		}
 	}
+	l.col += l.off - startOff
 	kind := IntLit
 	if isFloat {
 		kind = FloatLit
 	}
-	return Token{Kind: kind, Text: b.String(), Pos: start}
+	return Token{Kind: kind, Text: l.src[startOff:l.off], Pos: start}
 }
 
 func isHexDigit(c byte) bool {
@@ -234,75 +235,79 @@ func isHexDigit(c byte) bool {
 }
 
 func (l *Lexer) lexCharLit(start Pos) Token {
-	var b strings.Builder
-	b.WriteByte(l.advance()) // opening quote
+	// The consumed bytes are contiguous in the source; advance() keeps the
+	// line bookkeeping (escaped newlines can appear inside), and the
+	// spelling is sliced rather than rebuilt.
+	startOff := l.off
+	l.advance() // opening quote
 	for l.off < len(l.src) {
 		c := l.peek()
 		if c == '\\' {
-			b.WriteByte(l.advance())
+			l.advance()
 			if l.off < len(l.src) {
-				b.WriteByte(l.advance())
+				l.advance()
 			}
 			continue
 		}
-		b.WriteByte(l.advance())
+		l.advance()
 		if c == '\'' {
-			return Token{Kind: CharLit, Text: b.String(), Pos: start}
+			return Token{Kind: CharLit, Text: l.src[startOff:l.off], Pos: start}
 		}
 		if c == '\n' {
 			break
 		}
 	}
 	l.errorf(start, "unterminated character literal")
-	return Token{Kind: CharLit, Text: b.String(), Pos: start}
+	return Token{Kind: CharLit, Text: l.src[startOff:l.off], Pos: start}
 }
 
 func (l *Lexer) lexStringLit(start Pos) Token {
-	var b strings.Builder
-	b.WriteByte(l.advance()) // opening quote
+	startOff := l.off
+	l.advance() // opening quote
 	for l.off < len(l.src) {
 		c := l.peek()
 		if c == '\\' {
-			b.WriteByte(l.advance())
+			l.advance()
 			if l.off < len(l.src) {
-				b.WriteByte(l.advance())
+				l.advance()
 			}
 			continue
 		}
 		if c == '\n' {
 			break
 		}
-		b.WriteByte(l.advance())
+		l.advance()
 		if c == '"' {
-			return Token{Kind: StringLit, Text: b.String(), Pos: start}
+			return Token{Kind: StringLit, Text: l.src[startOff:l.off], Pos: start}
 		}
 	}
 	l.errorf(start, "unterminated string literal")
-	return Token{Kind: StringLit, Text: b.String(), Pos: start}
+	return Token{Kind: StringLit, Text: l.src[startOff:l.off], Pos: start}
 }
 
 func (l *Lexer) lexLineComment() string {
-	var b strings.Builder
-	for l.off < len(l.src) && l.peek() != '\n' {
-		b.WriteByte(l.advance())
+	startOff := l.off
+	for l.off < len(l.src) && l.src[l.off] != '\n' {
+		l.off++
 	}
-	return b.String()
+	l.col += l.off - startOff
+	return l.src[startOff:l.off]
 }
 
 func (l *Lexer) lexBlockComment(start Pos) string {
-	var b strings.Builder
-	b.WriteByte(l.advance()) // '/'
-	b.WriteByte(l.advance()) // '*'
+	startOff := l.off
+	l.advance() // '/'
+	l.advance() // '*'
 	for l.off < len(l.src) {
 		if l.peek() == '*' && l.peekAt(1) == '/' {
-			b.WriteByte(l.advance())
-			b.WriteByte(l.advance())
-			return b.String()
+			l.advance()
+			l.advance()
+			return l.src[startOff:l.off]
 		}
-		b.WriteByte(l.advance())
+		l.advance()
 	}
 	l.errorf(start, "unterminated block comment")
-	return b.String()
+	return l.src[startOff:l.off]
 }
 
 // punct2 and punct3 map multi-byte punctuation to kinds; longest match wins.

@@ -5,10 +5,12 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/cpg"
+	"repro/internal/cpp"
 	"repro/internal/refsim"
 	"repro/internal/semantics"
 )
@@ -200,6 +202,17 @@ type Options struct {
 	// Confirm replays every report's witness through refsim and sets
 	// Report.Confirmed.
 	Confirm bool
+	// DB is the API knowledge base, extended in place by discovery; nil
+	// means a fresh apidb.New().
+	DB *apidb.DB
+	// Cache enables the incremental analysis cache (unit-level report
+	// reuse plus per-file front-end reuse); nil disables caching.
+	Cache *analysiscache.Cache
+	// ConfigFP fingerprints checker configuration that is not derivable
+	// from the sources — e.g. the content of an -apidb extension file. It
+	// is folded into every cache key; callers with differing configs must
+	// pass differing fingerprints (or distinct cache directories).
+	ConfigFP string
 }
 
 // CheckSources is the one-call entry point: build a unit from sources and
@@ -209,18 +222,18 @@ func CheckSources(sources []cpg.Source, headers map[string]string) (*cpg.Unit, [
 }
 
 // CheckSourcesOpts builds a unit from sources, checks it, and optionally
-// confirms the reports, with opt.Workers threaded through every stage.
+// confirms the reports, with opt.Workers threaded through every stage. It is
+// CheckSourcesRun without the run metadata; note that on a unit-level cache
+// hit the returned Unit is nil.
 func CheckSourcesOpts(sources []cpg.Source, headers map[string]string, opt Options) (*cpg.Unit, []Report) {
-	b := &cpg.Builder{Workers: opt.Workers}
-	if headers != nil {
-		b.Headers = cpgHeaderProvider(headers)
-	}
-	u := b.Build(sources)
-	reports := (&Engine{Checkers: NewEngine().Checkers, Workers: opt.Workers}).CheckUnit(u)
-	if opt.Confirm {
-		ConfirmReports(reports, opt.Workers)
-	}
-	return u, reports
+	run := CheckSourcesRun(sources, headers, opt)
+	return run.Unit, run.Reports
+}
+
+// newHeaderProvider wraps a header map in the suffix-indexed provider so
+// kernel-style <linux/of.h> resolution costs one map probe per #include.
+func newHeaderProvider(headers map[string]string) cpp.FileProvider {
+	return cpp.NewIndexedFiles(headers)
 }
 
 // ConfirmReports replays each report's witness through the refsim oracle in
@@ -249,30 +262,6 @@ func ConfirmReports(reports []Report, workers int) int {
 		}
 	}
 	return n
-}
-
-type cpgHeaderProvider map[string]string
-
-// ReadFile resolves an include by exact path, else by directory-boundary
-// suffix. Several header paths can share the same suffix; candidates are
-// collected and the lexicographically smallest path wins, so resolution does
-// not depend on map iteration order.
-func (m cpgHeaderProvider) ReadFile(path string) (string, bool) {
-	if s, ok := m[path]; ok {
-		return s, true
-	}
-	best, found := "", false
-	for p := range m {
-		if len(p) > len(path) && p[len(p)-len(path)-1] == '/' && p[len(p)-len(path):] == path {
-			if !found || p < best {
-				best, found = p, true
-			}
-		}
-	}
-	if found {
-		return m[best], true
-	}
-	return "", false
 }
 
 // --- shared helpers for checkers ---

@@ -97,11 +97,11 @@ func TestConfirmReports(t *testing.T) {
 // when two header paths share a suffix, the lexicographically smallest path
 // wins regardless of map iteration order.
 func TestHeaderProviderSuffixDeterministic(t *testing.T) {
-	m := cpgHeaderProvider{
+	m := newHeaderProvider(map[string]string{
 		"b/sub/defs.h": "#define WHICH 2\n",
 		"a/sub/defs.h": "#define WHICH 1\n",
 		"c/sub/defs.h": "#define WHICH 3\n",
-	}
+	})
 	for i := 0; i < 50; i++ {
 		s, ok := m.ReadFile("sub/defs.h")
 		if !ok || s != "#define WHICH 1\n" {

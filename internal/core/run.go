@@ -1,0 +1,173 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// UnitSummary carries the unit-level counts tools print, decoupled from the
+// Unit itself so a cache hit can report them without rebuilding the unit.
+type UnitSummary struct {
+	Files                int
+	Functions            int
+	DiscoveredStructs    int
+	DiscoveredAPIs       int
+	DiscoveredLoops      int
+	DiscoveredDeviations int
+}
+
+// CacheStats describes what the incremental cache contributed to one run.
+type CacheStats struct {
+	// UnitHit is true when the whole run was served from the unit-level
+	// report cache (no preprocessing, parsing, or checking happened).
+	UnitHit bool
+	// FileHits / FileMisses count per-file front-end cache reuse during a
+	// unit-level miss.
+	FileHits   int
+	FileMisses int
+	// FilesSkipped is the number of source files whose analysis was fully
+	// or partially skipped (all of them on a unit hit, the front-end hits
+	// otherwise).
+	FilesSkipped int
+}
+
+// Run is the result of CheckSourcesRun: the reports plus everything a CLI
+// prints about the run. Unit is nil when the unit-level cache hit.
+type Run struct {
+	Unit    *cpg.Unit
+	Reports []Report
+	Summary UnitSummary
+	Cache   CacheStats
+}
+
+// unitEntry is the persisted whole-run result. Reports are stored before
+// refsim confirmation (Confirmed is recomputed on load — it is a pure
+// function of the witness, so this keeps one entry valid for both -confirm
+// modes) and with witness CFG block pointers stripped (see
+// stripWitnessBlocks).
+type unitEntry struct {
+	Summary UnitSummary
+	Reports []Report
+}
+
+// unitCacheKey fingerprints everything that can influence the report list:
+// a format version, the caller's checker-config fingerprint, and the full
+// sorted corpus content (sources and headers). Analysis has cross-file
+// dependencies — API discovery and the inter-paired checker read the whole
+// unit — so the unit-level key must cover every file; per-file keys would be
+// unsound.
+func unitCacheKey(configFP string, sources []cpg.Source, headers map[string]string) string {
+	h := sha256.New()
+	add := func(s string) {
+		var n [8]byte
+		ln := len(s)
+		for i := 0; i < 8; i++ {
+			n[i] = byte(ln >> (8 * i))
+		}
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	add("unit-v1")
+	add(configFP)
+	sorted := append([]cpg.Source(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, s := range sorted {
+		add(s.Path)
+		add(s.Content)
+	}
+	hpaths := make([]string, 0, len(headers))
+	for p := range headers {
+		hpaths = append(hpaths, p)
+	}
+	sort.Strings(hpaths)
+	for _, p := range hpaths {
+		add(p)
+		add(headers[p])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// stripWitnessBlocks deep-copies reports with each witness event's CFG block
+// pointer cleared. Blocks form cycles (Succs/Preds), which gob cannot
+// encode, and nothing downstream of finalize reads them — refsim replays on
+// Op/Obj/API/Info, patch generation on Pos — so cached reports round-trip to
+// the same rendered output.
+func stripWitnessBlocks(reports []Report) []Report {
+	out := append([]Report(nil), reports...)
+	for i := range out {
+		if len(out[i].Witness) == 0 {
+			continue
+		}
+		w := append([]semantics.Event(nil), out[i].Witness...)
+		for j := range w {
+			w[j].Block = nil
+		}
+		out[i].Witness = w
+	}
+	return out
+}
+
+func summarize(u *cpg.Unit) UnitSummary {
+	return UnitSummary{
+		Files:                len(u.Files),
+		Functions:            len(u.Functions),
+		DiscoveredStructs:    len(u.DiscoveredStructs),
+		DiscoveredAPIs:       len(u.DiscoveredAPIs),
+		DiscoveredLoops:      len(u.DiscoveredLoops),
+		DiscoveredDeviations: len(u.DiscoveredDeviations),
+	}
+}
+
+// CheckSourcesRun is the cache-aware pipeline entry point. With no cache in
+// opt it behaves exactly like CheckSourcesOpts. With opt.Cache set it first
+// consults the unit-level report cache (an unchanged corpus skips the whole
+// pipeline), and on a miss threads the per-file front-end cache through the
+// CPG builder so only changed files are re-preprocessed. Reports are
+// byte-identical across {no cache, cold cache, warm cache, partial hit} at
+// any worker count.
+func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Options) *Run {
+	run := &Run{}
+	var key string
+	if opt.Cache != nil {
+		key = unitCacheKey(opt.ConfigFP, sources, headers)
+		var ent unitEntry
+		if opt.Cache.Get(key, &ent) {
+			run.Reports = ent.Reports
+			run.Summary = ent.Summary
+			run.Cache = CacheStats{UnitHit: true, FilesSkipped: len(sources)}
+			if opt.Confirm {
+				ConfirmReports(run.Reports, opt.Workers)
+			}
+			return run
+		}
+	}
+
+	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Cache: opt.Cache}
+	if headers != nil {
+		b.Headers = newHeaderProvider(headers)
+	}
+	u := b.Build(sources)
+	reports := (&Engine{Checkers: NewEngine().Checkers, Workers: opt.Workers}).CheckUnit(u)
+
+	run.Unit = u
+	run.Reports = reports
+	run.Summary = summarize(u)
+	run.Cache = CacheStats{
+		FileHits:     u.FrontEndCacheHits,
+		FileMisses:   u.FrontEndCacheMisses,
+		FilesSkipped: u.FrontEndCacheHits,
+	}
+	if opt.Cache != nil {
+		// Store before confirmation so the entry is confirmation-agnostic; a
+		// Put failure only costs the next run a recompute.
+		_ = opt.Cache.Put(key, unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)})
+	}
+	if opt.Confirm {
+		ConfirmReports(run.Reports, opt.Workers)
+	}
+	return run
+}

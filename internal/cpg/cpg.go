@@ -10,13 +10,18 @@
 package cpg
 
 import (
+	"errors"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/cast"
 	"repro/internal/cfg"
+	"repro/internal/clex"
 	"repro/internal/cparse"
 	"repro/internal/cpp"
 	"repro/internal/semantics"
@@ -62,6 +67,11 @@ type Unit struct {
 	DiscoveredAPIs       []string
 	DiscoveredLoops      []string
 	DiscoveredDeviations []string
+
+	// Front-end cache statistics for this build (zero when no cache was
+	// attached): files whose preprocessed form was reused vs recomputed.
+	FrontEndCacheHits   int
+	FrontEndCacheMisses int
 }
 
 // Source is one input file.
@@ -86,6 +96,17 @@ type Builder struct {
 	// byte-identical either way — files and functions are processed
 	// independently and merged in deterministic order.
 	Workers int
+	// HeaderCache shares lexed header token lines across the unit's files
+	// (and, if the caller reuses it, across builds); nil means a fresh
+	// per-build cache, so headers are still lexed only once per Build.
+	HeaderCache *cpp.HeaderCache
+	// Cache, when non-nil, persists each file's preprocessed form
+	// (tokens + macros + include closure) keyed by content hash, so an
+	// unchanged file skips preprocessing on the next build. Parsing and
+	// everything downstream still run — discovery and the checkers have
+	// cross-file dependencies — which keeps cached and uncached builds
+	// byte-identical by construction.
+	Cache *analysiscache.Cache
 }
 
 // parsed is one file's phase-1 output, produced by any worker and merged on
@@ -96,14 +117,122 @@ type parsed struct {
 	errs   []error
 }
 
-// parseOne runs the per-file front end: preprocess then parse. It touches no
-// shared state, so shards may run concurrently.
-func (b *Builder) parseOne(src Source) parsed {
-	pp := cpp.New(b.Headers)
-	for k, v := range b.Predefines {
+// frontEntry is the persisted per-file front-end result: everything the
+// preprocessor produced for one source, plus the include closure that must
+// still resolve identically for the entry to be reused. Parse trees are NOT
+// cached — the parser is cheap relative to preprocessing, and reparsing from
+// cached tokens sidesteps serializing the AST.
+type frontEntry struct {
+	Closure   []cpp.IncludeDep
+	Tokens    []clex.Token
+	Macros    map[string]*cpp.Macro
+	CppErrors []string
+}
+
+// frontEnd is the per-Build front-end state shared by all phase-1 workers.
+type frontEnd struct {
+	b        *Builder
+	hc       *cpp.HeaderCache
+	cache    *analysiscache.Cache
+	predefFP string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// predefFingerprint canonicalizes the predefine table for cache keys.
+func predefFingerprint(predefs map[string]string) string {
+	keys := make([]string, 0, len(predefs))
+	for k := range predefs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(predefs[k])
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// closureValid reports whether every include recorded when the entry was
+// cached still resolves to byte-identical content (and every miss still
+// misses). Preprocessing is deterministic, so identical inputs guarantee an
+// identical result.
+func (fe *frontEnd) closureValid(deps []cpp.IncludeDep) bool {
+	for _, d := range deps {
+		var content string
+		ok := false
+		if fe.b.Headers != nil {
+			content, ok = fe.b.Headers.ReadFile(d.Path)
+		}
+		if d.Hash == "" {
+			if ok {
+				return false
+			}
+			continue
+		}
+		if !ok || fe.hc.HashOf(d.Path, content) != d.Hash {
+			return false
+		}
+	}
+	return true
+}
+
+// preprocess runs the preprocessor for one source, recording the include
+// closure when an on-disk cache will store the result.
+func (fe *frontEnd) preprocess(src Source) *cpp.Result {
+	pp := cpp.New(fe.b.Headers).WithHeaderCache(fe.hc)
+	if fe.cache != nil {
+		pp.TrackIncludes()
+	}
+	for k, v := range fe.b.Predefines {
 		pp.Define(k, v)
 	}
-	res := pp.Process(src.Path, src.Content)
+	return pp.Process(src.Path, src.Content)
+}
+
+// parseOne runs the per-file front end: preprocess (or reuse the cached
+// preprocessed form) then parse. It touches no builder-mutable state, so
+// shards may run concurrently.
+func (fe *frontEnd) parseOne(src Source) parsed {
+	if fe.cache == nil {
+		res := fe.preprocess(src)
+		file, perrs := cparse.ParseFile(src.Path, res.Tokens)
+		errs := make([]error, 0, len(res.Errors)+len(perrs))
+		errs = append(errs, res.Errors...)
+		errs = append(errs, perrs...)
+		return parsed{file: file, macros: res.Macros, errs: errs}
+	}
+	key := analysiscache.KeyOf("fe-v1", fe.predefFP, src.Path, src.Content)
+	var ent frontEntry
+	if fe.cache.Get(key, &ent) && fe.closureValid(ent.Closure) {
+		fe.hits.Add(1)
+		file, perrs := cparse.ParseFile(src.Path, ent.Tokens)
+		errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
+		for _, s := range ent.CppErrors {
+			errs = append(errs, errors.New(s))
+		}
+		errs = append(errs, perrs...)
+		if ent.Macros == nil {
+			ent.Macros = map[string]*cpp.Macro{}
+		}
+		return parsed{file: file, macros: ent.Macros, errs: errs}
+	}
+	fe.misses.Add(1)
+	res := fe.preprocess(src)
+	cppErrs := make([]string, len(res.Errors))
+	for i, e := range res.Errors {
+		cppErrs[i] = e.Error()
+	}
+	// A Put failure (full disk, unwritable dir) only costs the next run a
+	// recompute; the current result is served from memory either way.
+	_ = fe.cache.Put(key, frontEntry{
+		Closure: res.Includes, Tokens: res.Tokens,
+		Macros: res.Macros, CppErrors: cppErrs,
+	})
 	file, perrs := cparse.ParseFile(src.Path, res.Tokens)
 	errs := make([]error, 0, len(res.Errors)+len(perrs))
 	errs = append(errs, res.Errors...)
@@ -135,6 +264,12 @@ func (b *Builder) Build(sources []Source) *Unit {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	hc := b.HeaderCache
+	if hc == nil {
+		hc = cpp.NewHeaderCache()
+	}
+	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines)}
+
 	// Phase 1: preprocess + parse, sharded per file (each file's front end
 	// is independent). Shard results land in their slot by index.
 	results := make([]parsed, len(sorted))
@@ -146,7 +281,7 @@ func (b *Builder) Build(sources []Source) *Unit {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = b.parseOne(sorted[i])
+					results[i] = fe.parseOne(sorted[i])
 				}
 			}()
 		}
@@ -157,9 +292,11 @@ func (b *Builder) Build(sources []Source) *Unit {
 		wg.Wait()
 	} else {
 		for i := range sorted {
-			results[i] = b.parseOne(sorted[i])
+			results[i] = fe.parseOne(sorted[i])
 		}
 	}
+	u.FrontEndCacheHits = int(fe.hits.Load())
+	u.FrontEndCacheMisses = int(fe.misses.Load())
 	// Merge declarations, macros and errors in sorted path order — the exact
 	// order the sequential loop used, so the unit is deterministic.
 	for i, src := range sorted {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/clex"
 )
@@ -29,17 +30,67 @@ type FileProvider interface {
 }
 
 // MapFiles is an in-memory FileProvider.
+//
+// Lookups scan every stored path on a suffix match; prefer NewIndexedFiles
+// for providers consulted once per #include per translation unit.
 type MapFiles map[string]string
 
-// ReadFile implements FileProvider.
+// ReadFile implements FileProvider. Several stored paths can share the
+// requested suffix; the lexicographically smallest path wins, so resolution
+// never depends on map iteration order.
 func (m MapFiles) ReadFile(path string) (string, bool) {
 	if s, ok := m[path]; ok {
 		return s, true
 	}
-	for p, s := range m {
-		if strings.HasSuffix(p, "/"+path) {
-			return s, true
+	best, found := "", false
+	for p := range m {
+		if strings.HasSuffix(p, "/"+path) && (!found || p < best) {
+			best, found = p, true
 		}
+	}
+	if found {
+		return m[best], true
+	}
+	return "", false
+}
+
+// IndexedFiles is an in-memory FileProvider with a precomputed suffix index:
+// every directory-boundary suffix of every stored path maps to the
+// lexicographically smallest path carrying it, so kernel-style
+// <linux/of.h> lookups cost one map probe instead of a scan over all files.
+// The index is immutable after construction and safe for concurrent reads.
+type IndexedFiles struct {
+	files    map[string]string
+	bySuffix map[string]string // suffix → smallest full path
+}
+
+// NewIndexedFiles builds the suffix index over files. The map is retained
+// (not copied); callers must not mutate it afterwards.
+func NewIndexedFiles(files map[string]string) *IndexedFiles {
+	ix := &IndexedFiles{files: files, bySuffix: map[string]string{}}
+	for p := range files {
+		for i := 0; i < len(p); i++ {
+			if p[i] != '/' {
+				continue
+			}
+			sfx := p[i+1:]
+			if cur, ok := ix.bySuffix[sfx]; !ok || p < cur {
+				ix.bySuffix[sfx] = p
+			}
+		}
+	}
+	return ix
+}
+
+// ReadFile implements FileProvider: exact path first, then the
+// directory-boundary suffix index (smallest path wins — the same resolution
+// rule as MapFiles, at O(1) per lookup).
+func (ix *IndexedFiles) ReadFile(path string) (string, bool) {
+	if s, ok := ix.files[path]; ok {
+		return s, true
+	}
+	if p, ok := ix.bySuffix[path]; ok {
+		return ix.files[p], true
 	}
 	return "", false
 }
@@ -68,6 +119,16 @@ func (m *Macro) IsLoopMacro() bool {
 	return false
 }
 
+// IncludeDep records one #include resolution for content-hash cache keys:
+// the path as requested by the directive and the hex SHA-256 of the content
+// served, or "" when the provider could not resolve it. A cached
+// preprocessing result is valid only while every recorded dep resolves to
+// the same content (and every miss still misses).
+type IncludeDep struct {
+	Path string
+	Hash string
+}
+
 // Result is the output of preprocessing one translation unit.
 type Result struct {
 	Tokens []clex.Token
@@ -79,6 +140,9 @@ type Result struct {
 	// our analysis needs), but recorded for diagnostics.
 	MissingIncludes []string
 	Errors          []error
+	// Includes is the transitive include closure (populated only when
+	// TrackIncludes was set), in first-touch order.
+	Includes []IncludeDep
 }
 
 // Preprocessor expands one translation unit.
@@ -86,11 +150,19 @@ type Preprocessor struct {
 	files  FileProvider
 	macros map[string]*Macro
 
+	// hcache, when set, shares lexed header token lines across the
+	// translation units of a run (see HeaderCache).
+	hcache *HeaderCache
+	// trackIncludes records the include closure into Result.Includes.
+	trackIncludes bool
+
 	out      []clex.Token
 	missing  []string
 	errs     []error
 	depth    int // include depth guard
 	included map[string]bool
+	deps     []IncludeDep
+	depSeen  map[string]bool
 }
 
 const maxIncludeDepth = 32
@@ -103,6 +175,21 @@ func New(files FileProvider) *Preprocessor {
 		macros:   map[string]*Macro{},
 		included: map[string]bool{},
 	}
+}
+
+// WithHeaderCache shares header lexing through hc (see HeaderCache) and
+// returns p.
+func (p *Preprocessor) WithHeaderCache(hc *HeaderCache) *Preprocessor {
+	p.hcache = hc
+	return p
+}
+
+// TrackIncludes enables include-closure recording (Result.Includes) and
+// returns p.
+func (p *Preprocessor) TrackIncludes() *Preprocessor {
+	p.trackIncludes = true
+	p.depSeen = map[string]bool{}
+	return p
 }
 
 // Define installs a predefined macro (e.g. __KERNEL__) before processing.
@@ -120,6 +207,7 @@ func (p *Preprocessor) Process(file, src string) *Result {
 		Macros:          p.macros,
 		MissingIncludes: p.missing,
 		Errors:          p.errs,
+		Includes:        p.deps,
 	}
 }
 
@@ -162,8 +250,19 @@ func (p *Preprocessor) processFile(file, src string) {
 	p.depth++
 	defer func() { p.depth-- }()
 
-	toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true})
-	p.errs = append(p.errs, lexErrs...)
+	// Lexing is macro-independent, so included headers (depth > 1 after the
+	// increment above) come pre-lexed from the shared cache when one is
+	// attached; the top-level TU source is unique per file and lexed inline.
+	var lines [][]clex.Token
+	if p.hcache != nil && p.depth > 1 {
+		h := p.hcache.lex(file, src)
+		lines = h.lines
+		p.errs = append(p.errs, h.errs...)
+	} else {
+		toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true})
+		lines = splitLines(toks)
+		p.errs = append(p.errs, lexErrs...)
+	}
 
 	var conds []condState
 	live := func() bool {
@@ -175,7 +274,7 @@ func (p *Preprocessor) processFile(file, src string) {
 		return true
 	}
 
-	for _, line := range splitLines(toks) {
+	for _, line := range lines {
 		if len(line) == 0 {
 			continue
 		}
@@ -186,11 +285,29 @@ func (p *Preprocessor) processFile(file, src string) {
 		if !live() {
 			continue
 		}
-		p.out = append(p.out, p.expandTokens(line, nil)...)
+		// Expand into a pooled scratch buffer, then copy into the output:
+		// the per-line expansion result is transient, so its backing array
+		// is recycled instead of re-allocated for every line of every TU.
+		bp := expandBufPool.Get().(*[]clex.Token)
+		buf := p.expandInto((*bp)[:0], line, nil)
+		p.out = append(p.out, buf...)
+		*bp = buf[:0]
+		expandBufPool.Put(bp)
 	}
 	for _, c := range conds {
 		p.errorf(c.openedAtPos, "unterminated conditional")
 	}
+}
+
+// expandBufPool recycles the scratch buffers used for per-line macro
+// expansion. Buffer contents never survive a Put: the expansion result is
+// copied into the preprocessor output before the buffer is recycled, so the
+// pool cannot affect results — only allocation rate.
+var expandBufPool = sync.Pool{
+	New: func() any {
+		b := make([]clex.Token, 0, 128)
+		return &b
+	},
 }
 
 func (p *Preprocessor) directive(line []clex.Token, conds *[]condState, live func() bool) {
@@ -312,15 +429,37 @@ func (p *Preprocessor) include(rest []clex.Token, pos clex.Pos) {
 	}
 	if p.files == nil {
 		p.missing = append(p.missing, path)
+		p.recordDep(path, "", false)
 		return
 	}
 	src, ok := p.files.ReadFile(path)
 	if !ok {
 		p.missing = append(p.missing, path)
+		p.recordDep(path, "", false)
 		return
 	}
+	p.recordDep(path, src, true)
 	p.included[path] = true
 	p.processFile(path, src)
+}
+
+// recordDep notes one include resolution for the closure fingerprint. A
+// missing include is recorded with an empty hash — the cached result is
+// valid only while that path still fails to resolve.
+func (p *Preprocessor) recordDep(path, content string, resolved bool) {
+	if !p.trackIncludes || p.depSeen[path] {
+		return
+	}
+	p.depSeen[path] = true
+	h := ""
+	if resolved {
+		if p.hcache != nil {
+			h = p.hcache.HashOf(path, content)
+		} else {
+			h = hashContent(content)
+		}
+	}
+	p.deps = append(p.deps, IncludeDep{Path: path, Hash: h})
 }
 
 // includePath reassembles the include operand: either a string literal or a
@@ -346,38 +485,73 @@ func includePath(rest []clex.Token) string {
 
 // --- expansion ---
 
-// expandTokens macro-expands a token slice. hide is the set of macro names
-// currently being expanded (recursion guard, painted-blue rule).
-func (p *Preprocessor) expandTokens(toks []clex.Token, hide map[string]bool) []clex.Token {
-	var out []clex.Token
+// hideSet is the set of macro names currently being expanded (recursion
+// guard, painted-blue rule). It is an immutable linked list threaded down
+// the expansion recursion — pushing a name is one small allocation instead
+// of cloning a map at every nesting level.
+type hideSet struct {
+	name string
+	up   *hideSet
+}
+
+func (h *hideSet) has(name string) bool {
+	for ; h != nil; h = h.up {
+		if h.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// expandInto macro-expands toks, appending the result to dst and returning
+// the extended slice. Appending into a caller-owned destination lets the
+// whole expansion recursion share buffers instead of allocating and copying
+// an intermediate slice per macro level.
+func (p *Preprocessor) expandInto(dst []clex.Token, toks []clex.Token, hide *hideSet) []clex.Token {
 	for i := 0; i < len(toks); i++ {
 		t := toks[i]
-		if t.Kind != clex.Ident {
-			out = append(out, t)
-			continue
-		}
-		if t.Text == "defined" {
-			out = append(out, t)
+		if t.Kind != clex.Ident || t.Text == "defined" {
+			dst = append(dst, t)
 			continue
 		}
 		m := p.macros[t.Text]
-		if m == nil || hide[t.Text] {
-			out = append(out, t)
+		if m == nil || hide.has(t.Text) {
+			dst = append(dst, t)
 			continue
 		}
 		if m.FuncLike {
 			args, consumed, ok := parseArgs(toks[i+1:])
 			if !ok {
-				out = append(out, t) // name not followed by '(': not a call
+				dst = append(dst, t) // name not followed by '(': not a call
 				continue
 			}
 			i += consumed
-			out = append(out, p.expandFuncLike(m, args, t, hide)...)
+			dst = p.expandFuncLikeInto(dst, m, args, t, hide)
 		} else {
-			out = append(out, p.expandObjectLike(m, t, hide)...)
+			dst = p.expandObjectLikeInto(dst, m, t, hide)
 		}
 	}
-	return out
+	return dst
+}
+
+// finishExpansion rewrites the freshly produced expansion range: every token
+// is retargeted to the expansion site (diagnostics point at the use, not the
+// definition) and has the expanding macro prepended to its provenance chain.
+// Tokens arriving with no prior provenance — the common case — share one
+// origin slice instead of allocating one each.
+func finishExpansion(out []clex.Token, macro string, pos clex.Pos) {
+	var shared []string
+	for i := range out {
+		out[i].Pos = pos
+		if len(out[i].Origin) == 0 {
+			if shared == nil {
+				shared = []string{macro}
+			}
+			out[i].Origin = shared
+		} else {
+			out[i].Origin = append([]string{macro}, out[i].Origin...)
+		}
+	}
 }
 
 // parseArgs parses a macro argument list starting at a '(' token. Returns the
@@ -417,43 +591,35 @@ func parseArgs(toks []clex.Token) (args [][]clex.Token, consumed int, ok bool) {
 	return nil, 0, false // unterminated; treat as non-call
 }
 
-func withOrigin(toks []clex.Token, macro string) []clex.Token {
-	out := make([]clex.Token, len(toks))
-	for i, t := range toks {
-		t.Origin = append([]string{macro}, t.Origin...)
-		out[i] = t
-	}
-	return out
+func (p *Preprocessor) expandObjectLikeInto(dst []clex.Token, m *Macro, use clex.Token, hide *hideSet) []clex.Token {
+	mark := len(dst)
+	dst = p.expandInto(dst, m.Body, &hideSet{name: m.Name, up: hide})
+	finishExpansion(dst[mark:], m.Name, use.Pos)
+	return dst
 }
 
-func cloneHide(hide map[string]bool, add string) map[string]bool {
-	h := make(map[string]bool, len(hide)+1)
-	for k := range hide {
-		h[k] = true
-	}
-	h[add] = true
-	return h
-}
-
-func (p *Preprocessor) expandObjectLike(m *Macro, use clex.Token, hide map[string]bool) []clex.Token {
-	body := retarget(m.Body, use.Pos)
-	expanded := p.expandTokens(body, cloneHide(hide, m.Name))
-	return withOrigin(expanded, m.Name)
-}
-
-func (p *Preprocessor) expandFuncLike(m *Macro, args [][]clex.Token, use clex.Token, hide map[string]bool) []clex.Token {
-	param := map[string]int{}
-	for i, name := range m.Params {
-		param[name] = i
-	}
-	rawFor := func(name string) ([]clex.Token, bool) {
-		if idx, ok := param[name]; ok {
-			if idx < len(args) {
-				return args[idx], true
+func (p *Preprocessor) expandFuncLikeInto(dst []clex.Token, m *Macro, args [][]clex.Token, use clex.Token, hide *hideSet) []clex.Token {
+	// paramIndex resolves a body identifier to its parameter slot; the
+	// __VA_ARGS__ pseudo-parameter of a variadic macro gets the slot after
+	// the named ones. Parameter lists are tiny, so a linear scan beats a
+	// per-expansion map.
+	paramIndex := func(name string) int {
+		for i, pn := range m.Params {
+			if pn == name {
+				return i
 			}
-			return nil, true // missing arg expands to nothing
 		}
 		if m.Variadic && name == "__VA_ARGS__" {
+			return len(m.Params)
+		}
+		return -1
+	}
+	rawFor := func(name string) ([]clex.Token, bool) {
+		idx := paramIndex(name)
+		if idx < 0 {
+			return nil, false
+		}
+		if idx == len(m.Params) && m.Variadic && name == "__VA_ARGS__" {
 			var va []clex.Token
 			for i := len(m.Params); i < len(args); i++ {
 				if i > len(m.Params) {
@@ -463,28 +629,35 @@ func (p *Preprocessor) expandFuncLike(m *Macro, args [][]clex.Token, use clex.To
 			}
 			return va, true
 		}
-		return nil, false
+		if idx < len(args) {
+			return args[idx], true
+		}
+		return nil, true // missing arg expands to nothing
 	}
 	// Standard prescan: arguments are macro-expanded before substitution
 	// (with the caller's hide set — the macro being expanded is not yet
 	// painted blue for its own arguments), except where the parameter is an
-	// operand of # or ##, which see the raw spelling.
-	expandedCache := map[string][]clex.Token{}
+	// operand of # or ##, which see the raw spelling. Expansions are
+	// memoized per parameter slot.
+	expCache := make([][]clex.Token, len(m.Params)+1)
+	expDone := make([]bool, len(m.Params)+1)
 	expandedFor := func(name string) ([]clex.Token, bool) {
-		raw, ok := rawFor(name)
-		if !ok {
+		idx := paramIndex(name)
+		if idx < 0 {
 			return nil, false
 		}
-		if exp, hit := expandedCache[name]; hit {
-			return exp, true
+		if !expDone[idx] {
+			raw, _ := rawFor(name)
+			expCache[idx] = p.expandInto(nil, raw, hide)
+			expDone[idx] = true
 		}
-		exp := p.expandTokens(raw, hide)
-		expandedCache[name] = exp
-		return exp, true
+		return expCache[idx], true
 	}
 
-	// Substitute parameters, handling # and ##.
-	var subst []clex.Token
+	// Substitute parameters, handling # and ##, into a pooled scratch
+	// buffer (discarded once expanded below).
+	sp := expandBufPool.Get().(*[]clex.Token)
+	subst := (*sp)[:0]
 	body := m.Body
 	for i := 0; i < len(body); i++ {
 		t := body[i]
@@ -507,11 +680,20 @@ func (p *Preprocessor) expandFuncLike(m *Macro, args [][]clex.Token, use clex.To
 			i += 2
 			continue
 		}
-		subst = append(subst, substituteOne(t, expandedFor)...)
+		if t.Kind == clex.Ident {
+			if arg, ok := expandedFor(t.Text); ok {
+				subst = append(subst, arg...)
+				continue
+			}
+		}
+		subst = append(subst, t)
 	}
-	subst = retarget(subst, use.Pos)
-	expanded := p.expandTokens(subst, cloneHide(hide, m.Name))
-	return withOrigin(expanded, m.Name)
+	mark := len(dst)
+	dst = p.expandInto(dst, subst, &hideSet{name: m.Name, up: hide})
+	finishExpansion(dst[mark:], m.Name, use.Pos)
+	*sp = subst[:0]
+	expandBufPool.Put(sp)
+	return dst
 }
 
 // substituteOne replaces a single body token with its argument tokens when it
@@ -547,17 +729,6 @@ func pasteTokens(left, right []clex.Token, pos clex.Pos) []clex.Token {
 		out = append(out, left[len(left)-1], right[0])
 	}
 	out = append(out, right[1:]...)
-	return out
-}
-
-// retarget rewrites token positions to the expansion site so diagnostics
-// point at the use, not the definition.
-func retarget(toks []clex.Token, pos clex.Pos) []clex.Token {
-	out := make([]clex.Token, len(toks))
-	for i, t := range toks {
-		t.Pos = pos
-		out[i] = t
-	}
 	return out
 }
 
@@ -606,7 +777,7 @@ func (p *Preprocessor) evalCondition(toks []clex.Token, pos clex.Pos) bool {
 		}
 		pre = append(pre, t)
 	}
-	expanded := p.expandTokens(pre, nil)
+	expanded := p.expandInto(nil, pre, nil)
 	ev := condEval{toks: expanded}
 	v := ev.ternary()
 	if ev.bad {

@@ -1,0 +1,94 @@
+package cpp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/clex"
+)
+
+// HeaderCache shares the lexed form of header files across translation
+// units. Kernel TUs include the same headers over and over — without the
+// cache every worker re-lexes linux/of.h (and everything it pulls in) once
+// per source file. With it, each header is lexed and split into logical
+// lines exactly once per run, keyed by path and validated against the exact
+// content served, and the immutable token lines are shared read-only by all
+// preprocessors on all workers.
+//
+// Only lexing is shared; directive evaluation and macro expansion still run
+// per translation unit (they depend on the TU's macro state), so output is
+// byte-identical with and without the cache.
+type HeaderCache struct {
+	mu sync.Mutex
+	m  map[string]*headerTokens
+}
+
+// headerTokens is one header's lexed form. The fields below once are never
+// mutated after ensure completes; consumers copy tokens out of the lines.
+type headerTokens struct {
+	path    string
+	content string
+	once    sync.Once
+	lines   [][]clex.Token
+	errs    []error
+	hash    string // hex sha256 of content (include-closure fingerprinting)
+}
+
+func (e *headerTokens) ensure() {
+	e.once.Do(func() {
+		toks, errs := clex.Tokenize(e.path, e.content, clex.Config{KeepNewlines: true})
+		e.lines = splitLines(toks)
+		e.errs = errs
+		e.hash = hashContent(e.content)
+	})
+}
+
+// NewHeaderCache returns an empty cache, safe for concurrent use.
+func NewHeaderCache() *HeaderCache {
+	return &HeaderCache{m: map[string]*headerTokens{}}
+}
+
+// entry returns the cache slot for (file, src), creating it on first use.
+func (hc *HeaderCache) entry(file, src string) *headerTokens {
+	hc.mu.Lock()
+	e, ok := hc.m[file]
+	if !ok {
+		e = &headerTokens{path: file, content: src}
+		hc.m[file] = e
+	}
+	hc.mu.Unlock()
+	return e
+}
+
+// lex returns the cached lexed form of (file, src), lexing at most once per
+// distinct path. A path served with different content (possible only if the
+// file provider is inconsistent within a run) bypasses the cache.
+func (hc *HeaderCache) lex(file, src string) *headerTokens {
+	e := hc.entry(file, src)
+	if e.content != src {
+		u := &headerTokens{path: file, content: src}
+		u.ensure()
+		return u
+	}
+	e.ensure()
+	return e
+}
+
+// HashOf returns the hex SHA-256 of content, memoized per path so the
+// include-closure recorder hashes each header at most once per run.
+func (hc *HeaderCache) HashOf(path, content string) string {
+	e := hc.entry(path, content)
+	if e.content != content {
+		return hashContent(content)
+	}
+	e.ensure()
+	return e.hash
+}
+
+// hashContent is the content fingerprint used throughout the caching
+// layers: hex SHA-256.
+func hashContent(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}

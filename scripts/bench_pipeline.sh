@@ -1,6 +1,7 @@
 #!/bin/sh
-# bench_pipeline.sh — run the parallel-pipeline benchmark sweep and emit
-# BENCH_pipeline.json so successive PRs can track the perf trajectory.
+# bench_pipeline.sh — run the parallel-pipeline benchmark sweep plus the
+# incremental-cache cold/warm pair and emit BENCH_pipeline.json so successive
+# PRs can track the perf trajectory.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -9,9 +10,12 @@
 #   BENCHTIME  go test -benchtime value (default 5x)
 #
 # The JSON shape is stable:
-#   {"benchmark":"BenchmarkPipelineParallel","benchtime":"5x",
-#    "results":[{"name":"workers=1","iters":5,"ns_per_op":1.6e8,
-#                "mb_per_s":1.0,"reports":357}, ...]}
+#   {"benchtime":"5x",
+#    "results":[{"benchmark":"BenchmarkPipelineParallel","name":"workers=1",
+#                "iters":5,"ns_per_op":1.6e8,"mb_per_s":1.0,
+#                "bytes_per_op":9.0e7,"allocs_per_op":280000,"reports":357},
+#               {"benchmark":"BenchmarkPipelineCache","name":"warm",
+#                "iters":5,"ns_per_op":7.8e6,"unit_hit_rate":1.0,...}, ...]}
 set -e
 cd "$(dirname "$0")/.."
 
@@ -20,31 +24,40 @@ BENCHTIME="${BENCHTIME:-5x}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test . -run '^$' -bench '^BenchmarkPipelineParallel$' -benchtime "$BENCHTIME" | tee "$RAW"
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache)$' \
+    -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^BenchmarkPipelineParallel\// {
+/^Benchmark(PipelineParallel|PipelineCache)\// {
+    bench = $1
+    sub(/\/.*$/, "", bench)
     name = $1
-    sub(/^BenchmarkPipelineParallel\//, "", name)
+    sub(/^Benchmark[A-Za-z]+\//, "", name)
     sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    benches[n] = bench
+    names[n] = name
     iters[n] = $2
     ns[n] = $3
-    mbs[n] = ""
-    reports[n] = ""
+    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""
     for (i = 4; i < NF; i++) {
-        if ($(i + 1) == "MB/s")    mbs[n] = $i
-        if ($(i + 1) == "reports") reports[n] = $i
+        if ($(i + 1) == "MB/s")          mbs[n] = $i
+        if ($(i + 1) == "reports")       reports[n] = $i
+        if ($(i + 1) == "B/op")          bop[n] = $i
+        if ($(i + 1) == "allocs/op")     aop[n] = $i
+        if ($(i + 1) == "unit_hit_rate") hit[n] = $i
     }
-    names[n] = name
     n++
 }
 END {
-    printf "{\n  \"benchmark\": \"BenchmarkPipelineParallel\",\n"
-    printf "  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
+    printf "{\n  \"benchtime\": \"%s\",\n  \"results\": [\n", benchtime
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], iters[i], ns[i]
+        printf "    {\"benchmark\": \"%s\", \"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", \
+            benches[i], names[i], iters[i], ns[i]
         if (mbs[i] != "")     printf ", \"mb_per_s\": %s", mbs[i]
+        if (bop[i] != "")     printf ", \"bytes_per_op\": %s", bop[i]
+        if (aop[i] != "")     printf ", \"allocs_per_op\": %s", aop[i]
+        if (hit[i] != "")     printf ", \"unit_hit_rate\": %s", hit[i]
         if (reports[i] != "") printf ", \"reports\": %s", reports[i]
         printf "}%s\n", (i < n - 1) ? "," : ""
     }
