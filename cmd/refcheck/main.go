@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
+	"repro/internal/difftest"
 	"repro/internal/loader"
 	"repro/internal/patch"
 	"repro/internal/poc"
@@ -41,6 +42,7 @@ func main() {
 	pocDir := flag.String("poc", "", "write use-after-decrease proof-of-concept harnesses into this directory")
 	apidbPath := flag.String("apidb", "", "JSON knowledge-base extension file (see `refcheck -dump-apidb`)")
 	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
+	selftest := flag.Bool("selftest", false, "re-analyze the golden corpus and verify reports and scores against the copies embedded at build time")
 	workers := flag.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
 	verbose := flag.Bool("v", false, "print elapsed wall time, files/sec and cache statistics to stderr")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
@@ -50,6 +52,18 @@ func main() {
 
 	if *dumpAPIDB {
 		if err := apidb.New().SaveExtensions(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *selftest {
+		// With -json the recomputed scores are printed as the
+		// machine-readable quality ledger (scripts/difftest.sh captures it
+		// as BENCH_quality.json); either way drift from the embedded golden
+		// artifacts is a non-zero exit.
+		if err := difftest.Selftest(os.Stdout, *asJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,162 @@
+package analysiscache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestZeroByteEntryIsMiss covers the crash-landing shape a torn write could
+// leave behind (an empty file in the right slot): it must read as a miss and
+// a later Put must repair it.
+func TestZeroByteEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("zero-byte")
+	if err := c.Put(key, payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key[:2], key+".gob")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var v payload
+	if c.Get(key, &v) {
+		t.Fatal("zero-byte entry must be a miss")
+	}
+	if err := c.Put(key, payload{Name: "repaired"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, &v) || v.Name != "repaired" {
+		t.Fatal("Put must repair a zero-byte slot")
+	}
+}
+
+// TestConcurrentWritersSameKey hammers one key from many writers while
+// readers poll it. The atomic-rename contract says a reader sees either a
+// miss or one writer's entry in full — never a torn mix of two writers.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := KeyOf("contended")
+	const writers, rounds = 8, 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := payload{Name: fmt.Sprintf("writer-%d", w), Lines: []int{w, w, w}}
+			for r := 0; r < rounds; r++ {
+				if err := c.Put(key, p); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	checkHit := func(v payload) {
+		t.Helper()
+		if len(v.Lines) != 3 || v.Lines[0] != v.Lines[1] || v.Lines[1] != v.Lines[2] ||
+			v.Name != fmt.Sprintf("writer-%d", v.Lines[0]) {
+			t.Errorf("torn entry observed: %+v", v)
+		}
+	}
+	for polling := true; polling; {
+		select {
+		case <-done:
+			polling = false
+		default:
+			var v payload
+			if c.Get(key, &v) {
+				checkHit(v)
+			}
+		}
+	}
+	var v payload
+	if !c.Get(key, &v) {
+		t.Fatal("expected a hit after all writers finished")
+	}
+	checkHit(v)
+}
+
+// TestUnusableDirDegradesToMisses covers the cache root becoming unusable
+// after Open: every Put fails with an error and every Get is a clean miss —
+// no panic, no partial state.
+func TestUnusableDirDegradesToMisses(t *testing.T) {
+	t.Run("dir-replaced-by-file", func(t *testing.T) {
+		// Deterministic even for root, where chmod is not enforced: a
+		// regular file where the root directory should be makes every
+		// shard MkdirAll and entry Open fail.
+		root := filepath.Join(t.TempDir(), "cache")
+		c, err := Open(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := KeyOf("doomed")
+		if err := c.Put(key, payload{Name: "first"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.RemoveAll(root); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(root, []byte("not a directory"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var v payload
+		if c.Get(key, &v) {
+			t.Fatal("Get through a non-directory root must miss")
+		}
+		if err := c.Put(key, payload{Name: "second"}); err == nil {
+			t.Fatal("Put through a non-directory root must error")
+		}
+		if c.Get(key, &v) {
+			t.Fatal("failed Put must not leave a readable entry")
+		}
+	})
+
+	t.Run("write-permission-revoked", func(t *testing.T) {
+		if os.Geteuid() == 0 {
+			t.Skip("chmod does not restrict root; the dir-replaced-by-file variant covers this")
+		}
+		root := filepath.Join(t.TempDir(), "cache")
+		c, err := Open(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored := KeyOf("kept")
+		if err := c.Put(stored, payload{Name: "kept"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chmod(root, 0o500); err != nil {
+			t.Fatal(err)
+		}
+		defer os.Chmod(root, 0o755)
+		// A fresh key must land in a not-yet-created shard, or its Put
+		// would bypass the read-only root via the existing shard dir.
+		fresh := KeyOf("fresh")
+		for i := 0; fresh[:2] == stored[:2]; i++ {
+			fresh = KeyOf(fmt.Sprintf("fresh-%d", i))
+		}
+		if err := c.Put(fresh, payload{Name: "fresh"}); err == nil {
+			t.Fatal("Put into a read-only root must error")
+		}
+		var v payload
+		if c.Get(fresh, &v) {
+			t.Fatal("entry whose Put failed must miss")
+		}
+		if !c.Get(stored, &v) || v.Name != "kept" {
+			t.Fatal("read-only root must still serve existing entries")
+		}
+	})
+}

@@ -150,7 +150,11 @@ func (l *Lexer) Next() Token {
 		case c == '"':
 			return l.emit(l.lexStringLit(start))
 		default:
-			return l.emit(l.lexPunct(start))
+			if t, ok := l.lexPunct(start); ok {
+				return l.emit(t)
+			}
+			// Invalid byte: reported and consumed by lexPunct; loop so a
+			// long run of garbage is skipped iteratively, not recursively.
 		}
 	}
 }
@@ -330,27 +334,27 @@ var punct1 = map[byte]Kind{
 	'|': Pipe, '^': Caret, '~': Tilde, '.': Dot, '#': Hash,
 }
 
-func (l *Lexer) lexPunct(start Pos) Token {
+func (l *Lexer) lexPunct(start Pos) (Token, bool) {
 	if l.off+3 <= len(l.src) {
 		if k, ok := punct3[l.src[l.off:l.off+3]]; ok {
 			l.advance()
 			l.advance()
 			l.advance()
-			return Token{Kind: k, Text: k.String(), Pos: start}
+			return Token{Kind: k, Text: k.String(), Pos: start}, true
 		}
 	}
 	if l.off+2 <= len(l.src) {
 		if k, ok := punct2[l.src[l.off:l.off+2]]; ok {
 			l.advance()
 			l.advance()
-			return Token{Kind: k, Text: k.String(), Pos: start}
+			return Token{Kind: k, Text: k.String(), Pos: start}, true
 		}
 	}
 	c := l.advance()
 	if k, ok := punct1[c]; ok {
-		return Token{Kind: k, Text: k.String(), Pos: start}
+		return Token{Kind: k, Text: k.String(), Pos: start}, true
 	}
 	l.errorf(start, "unexpected character %q", c)
-	// Skip the bad byte and continue with whatever follows.
-	return l.Next()
+	// The bad byte is consumed; the caller's scan loop continues after it.
+	return Token{}, false
 }

@@ -1,0 +1,29 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestGroundTruthDeterministic extends TestGenerateDeterministic (which
+// checks file bytes) to the rest of the corpus: headers and the
+// planned-bug/bait ground-truth tables must be identical across two runs of
+// the same seed — the property the golden regression gate keys on.
+func TestGroundTruthDeterministic(t *testing.T) {
+	a := Generate(Spec{Seed: 1})
+	b := Generate(Spec{Seed: 1})
+
+	if !reflect.DeepEqual(a.Headers, b.Headers) {
+		t.Error("headers differ between runs of the same seed")
+	}
+	if !reflect.DeepEqual(a.Planned, b.Planned) {
+		t.Error("planned-bug tables differ between runs of the same seed")
+	}
+	if !reflect.DeepEqual(a.Baits, b.Baits) {
+		t.Error("bait tables differ between runs of the same seed")
+	}
+	if len(a.Planned) == 0 || len(a.Baits) == 0 {
+		t.Fatalf("ground truth suspiciously empty: %d planned, %d baits",
+			len(a.Planned), len(a.Baits))
+	}
+}

@@ -34,6 +34,10 @@ var assignOps = map[clex.Kind]bool{
 }
 
 func (p *Parser) parseAssignExpr() cast.Expr {
+	if !p.enterNest() {
+		return p.nestOverflowExpr()
+	}
+	defer p.leaveNest()
 	lhs := p.parseTernary()
 	if assignOps[p.peek().Kind] {
 		op := p.next()
@@ -112,6 +116,10 @@ func (p *Parser) parseBinary(level int) cast.Expr {
 }
 
 func (p *Parser) parseUnary() cast.Expr {
+	if !p.enterNest() {
+		return p.nestOverflowExpr()
+	}
+	defer p.leaveNest()
 	t := p.peek()
 	switch t.Kind {
 	case clex.Plus, clex.Minus, clex.Not, clex.Tilde, clex.Star, clex.Amp,

@@ -49,6 +49,40 @@ type Parser struct {
 
 	typedefs map[string]bool
 	errs     []error
+
+	// nest counts recursive grammar depth (expressions, statements,
+	// initializers, nested struct bodies). The cap keeps adversarial inputs
+	// like ten thousand open parens or braces from overflowing the goroutine
+	// stack; real kernel code nests a couple dozen levels at most.
+	nest      int
+	nestErred bool
+}
+
+const maxNest = 1024
+
+// enterNest guards one level of grammar recursion; callers that get false
+// must recover without recursing (see nestOverflowExpr).
+func (p *Parser) enterNest() bool {
+	if p.nest >= maxNest {
+		if !p.nestErred {
+			p.nestErred = true
+			p.errorf(p.peek().Pos, "construct nests deeper than %d levels; skipping", maxNest)
+		}
+		return false
+	}
+	p.nest++
+	return true
+}
+
+func (p *Parser) leaveNest() { p.nest-- }
+
+// nestOverflowExpr consumes one token — guaranteeing progress for every
+// enclosing parse loop — and yields an error placeholder expression.
+func (p *Parser) nestOverflowExpr() cast.Expr {
+	t := p.next()
+	id := &cast.Ident{Name: "__depth__"}
+	id.StartPos = t.Pos
+	return id
 }
 
 // New returns a parser over the given preprocessed tokens.
@@ -440,6 +474,11 @@ func (p *Parser) parseStructDef() cast.Decl {
 }
 
 func (p *Parser) parseStructField(d *cast.StructDecl) {
+	if !p.enterNest() {
+		p.skipToSemi()
+		return
+	}
+	defer p.leaveNest()
 	p.skipQualifiers()
 	if p.at(clex.Semi) {
 		p.next()
@@ -678,6 +717,10 @@ func (p *Parser) parseGlobalVarRest(ty cast.Type, name clex.Token, isStatic bool
 // parseInitializer parses either a brace initializer list or an assignment
 // expression.
 func (p *Parser) parseInitializer() cast.Expr {
+	if !p.enterNest() {
+		return p.nestOverflowExpr()
+	}
+	defer p.leaveNest()
 	if !p.at(clex.LBrace) {
 		return p.parseAssignExpr()
 	}

@@ -26,6 +26,11 @@ func (p *Parser) parseCompound() *cast.CompoundStmt {
 }
 
 func (p *Parser) parseStmt() cast.Stmt {
+	if !p.enterNest() {
+		p.skipToSemi()
+		return nil
+	}
+	defer p.leaveNest()
 	t := p.peek()
 	switch {
 	case t.Kind == clex.LBrace:

@@ -163,17 +163,34 @@ type Preprocessor struct {
 	included map[string]bool
 	deps     []IncludeDep
 	depSeen  map[string]bool
+
+	// Expansion guards. Hide sets stop self-recursion but not pathological
+	// non-recursive inputs: a chain of distinct macros that each double the
+	// token stream is exponential in the chain length, and a linear chain of
+	// thousands of one-token macros nests the expansion recursion as deep as
+	// the chain. The budget bounds total emitted tokens per Process; the
+	// depth cap bounds stack growth. Real kernel headers sit orders of
+	// magnitude below both limits.
+	expBudget   int
+	expOverflow bool
+	expDepth    int
+	expDepthErr bool
 }
 
-const maxIncludeDepth = 32
+const (
+	maxIncludeDepth = 32
+	maxExpandTokens = 1 << 21
+	maxExpandDepth  = 256
+)
 
 // New returns a preprocessor using the given file provider (may be nil if the
 // unit has no resolvable includes).
 func New(files FileProvider) *Preprocessor {
 	return &Preprocessor{
-		files:    files,
-		macros:   map[string]*Macro{},
-		included: map[string]bool{},
+		files:     files,
+		macros:    map[string]*Macro{},
+		included:  map[string]bool{},
+		expBudget: maxExpandTokens,
 	}
 }
 
@@ -509,19 +526,31 @@ func (h *hideSet) has(name string) bool {
 // an intermediate slice per macro level.
 func (p *Preprocessor) expandInto(dst []clex.Token, toks []clex.Token, hide *hideSet) []clex.Token {
 	for i := 0; i < len(toks); i++ {
+		if p.expOverflow {
+			return dst
+		}
 		t := toks[i]
 		if t.Kind != clex.Ident || t.Text == "defined" {
+			if !p.spend(1, t.Pos) {
+				return dst
+			}
 			dst = append(dst, t)
 			continue
 		}
 		m := p.macros[t.Text]
 		if m == nil || hide.has(t.Text) {
+			if !p.spend(1, t.Pos) {
+				return dst
+			}
 			dst = append(dst, t)
 			continue
 		}
 		if m.FuncLike {
 			args, consumed, ok := parseArgs(toks[i+1:])
 			if !ok {
+				if !p.spend(1, t.Pos) {
+					return dst
+				}
 				dst = append(dst, t) // name not followed by '(': not a call
 				continue
 			}
@@ -532,6 +561,36 @@ func (p *Preprocessor) expandInto(dst []clex.Token, toks []clex.Token, hide *hid
 		}
 	}
 	return dst
+}
+
+// spend debits n tokens from the per-Process expansion budget. On exhaustion
+// it records one diagnostic, flips expOverflow, and every expansion loop
+// drains promptly, leaving a truncated but well-formed token stream.
+func (p *Preprocessor) spend(n int, pos clex.Pos) bool {
+	if p.expOverflow {
+		return false
+	}
+	if n > p.expBudget {
+		p.expOverflow = true
+		p.errorf(pos, "macro expansion exceeds %d tokens; output truncated", maxExpandTokens)
+		return false
+	}
+	p.expBudget -= n
+	return true
+}
+
+// enterExpansion guards recursion depth; when the cap is hit the macro use is
+// left unexpanded (emitted verbatim by the caller) with one diagnostic.
+func (p *Preprocessor) enterExpansion(use clex.Token) bool {
+	if p.expDepth >= maxExpandDepth {
+		if !p.expDepthErr {
+			p.expDepthErr = true
+			p.errorf(use.Pos, "macro expansion nests deeper than %d; %s left unexpanded", maxExpandDepth, use.Text)
+		}
+		return false
+	}
+	p.expDepth++
+	return true
 }
 
 // finishExpansion rewrites the freshly produced expansion range: every token
@@ -592,13 +651,33 @@ func parseArgs(toks []clex.Token) (args [][]clex.Token, consumed int, ok bool) {
 }
 
 func (p *Preprocessor) expandObjectLikeInto(dst []clex.Token, m *Macro, use clex.Token, hide *hideSet) []clex.Token {
+	if !p.enterExpansion(use) {
+		if p.spend(1, use.Pos) {
+			dst = append(dst, use)
+		}
+		return dst
+	}
 	mark := len(dst)
 	dst = p.expandInto(dst, m.Body, &hideSet{name: m.Name, up: hide})
-	finishExpansion(dst[mark:], m.Name, use.Pos)
+	// The provenance retarget below re-walks the freshly expanded range, so
+	// every enclosing macro level pays it again: without charging it to the
+	// budget, a doubling chain does output×depth work after the token budget
+	// is long gone. On overflow the truncated range keeps raw provenance.
+	if p.spend(len(dst)-mark, use.Pos) {
+		finishExpansion(dst[mark:], m.Name, use.Pos)
+	}
+	p.expDepth--
 	return dst
 }
 
 func (p *Preprocessor) expandFuncLikeInto(dst []clex.Token, m *Macro, args [][]clex.Token, use clex.Token, hide *hideSet) []clex.Token {
+	if !p.enterExpansion(use) {
+		if p.spend(1, use.Pos) {
+			dst = append(dst, use)
+		}
+		return dst
+	}
+	defer func() { p.expDepth-- }()
 	// paramIndex resolves a body identifier to its parameter slot; the
 	// __VA_ARGS__ pseudo-parameter of a variadic macro gets the slot after
 	// the named ones. Parameter lists are tiny, so a linear scan beats a
@@ -660,10 +739,16 @@ func (p *Preprocessor) expandFuncLikeInto(dst []clex.Token, m *Macro, args [][]c
 	subst := (*sp)[:0]
 	body := m.Body
 	for i := 0; i < len(body); i++ {
+		if p.expOverflow {
+			break
+		}
 		t := body[i]
 		// Stringize: # param
 		if t.Kind == clex.Hash && i+1 < len(body) && body[i+1].Kind == clex.Ident {
 			if arg, ok := rawFor(body[i+1].Text); ok {
+				if !p.spend(1, use.Pos) {
+					break
+				}
 				subst = append(subst, clex.Token{
 					Kind: clex.StringLit, Text: strconv.Quote(tokensText(arg)), Pos: use.Pos,
 				})
@@ -676,21 +761,33 @@ func (p *Preprocessor) expandFuncLikeInto(dst []clex.Token, m *Macro, args [][]c
 			left := substituteOne(t, rawFor)
 			right := substituteOne(body[i+2], rawFor)
 			pasted := pasteTokens(left, right, use.Pos)
+			if !p.spend(len(pasted), use.Pos) {
+				break
+			}
 			subst = append(subst, pasted...)
 			i += 2
 			continue
 		}
 		if t.Kind == clex.Ident {
 			if arg, ok := expandedFor(t.Text); ok {
+				if !p.spend(len(arg), use.Pos) {
+					break
+				}
 				subst = append(subst, arg...)
 				continue
 			}
+		}
+		if !p.spend(1, use.Pos) {
+			break
 		}
 		subst = append(subst, t)
 	}
 	mark := len(dst)
 	dst = p.expandInto(dst, subst, &hideSet{name: m.Name, up: hide})
-	finishExpansion(dst[mark:], m.Name, use.Pos)
+	// Charge the provenance retarget like expandObjectLikeInto does.
+	if p.spend(len(dst)-mark, use.Pos) {
+		finishExpansion(dst[mark:], m.Name, use.Pos)
+	}
 	*sp = subst[:0]
 	expandBufPool.Put(sp)
 	return dst

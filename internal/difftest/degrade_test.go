@@ -1,0 +1,47 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysiscache"
+)
+
+// TestPipelineSurvivesCacheLoss opens a cache, warms it, then makes the
+// cache directory unusable (replaced by a regular file — deterministic even
+// when the tests run as root, where chmod is not enforced) and re-runs the
+// pipeline through the same handle. The run must degrade to cache misses
+// and still render byte-identically to the uncached baseline.
+func TestPipelineSurvivesCacheLoss(t *testing.T) {
+	_, ss := smallSet(t)
+	want := RenderRun(Run(ss, 1, nil))
+
+	dir := filepath.Join(t.TempDir(), "cache")
+	cache, err := analysiscache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := Run(ss, 1, cache)
+	if got := RenderRun(cold); got != want {
+		t.Fatalf("cold cached run differs from baseline:\n%s", firstDiff(want, got))
+	}
+	warm := Run(ss, 1, cache)
+	if !warm.Cache.UnitHit {
+		t.Fatal("warm run should hit the unit cache")
+	}
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	degraded := Run(ss, 1, cache)
+	if degraded.Cache.UnitHit {
+		t.Fatal("run against an unusable cache dir cannot claim a unit hit")
+	}
+	if got := RenderRun(degraded); got != want {
+		t.Fatalf("degraded run differs from baseline:\n%s", firstDiff(want, got))
+	}
+}

@@ -1,0 +1,232 @@
+// Package difftest is the correctness-tooling layer for the checker
+// pipeline: a differential/metamorphic harness, native fuzz targets, and the
+// ground-truth regression gate.
+//
+// It provides three oracles the repo's other tests cannot express:
+//
+//  1. Differential: the same input is analyzed across the full
+//     {workers 1, N} × {no cache, cold cache, warm cache} matrix and every
+//     configuration must render byte-identically (Matrix).
+//  2. Metamorphic: semantics-preserving source transforms (comments,
+//     whitespace, reordering, include restructuring, identifier renaming)
+//     must leave the report signatures invariant up to relocation, while
+//     bug-injecting/-removing transforms must change exactly the predicted
+//     signatures (see transform.go).
+//  3. Ground truth: per-checker golden reports and precision/recall/F1
+//     scores against internal/corpus's planned bugs are committed to the
+//     repo and re-derived on every run (see scores.go; rebless with
+//     `go test ./internal/difftest -update`).
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysiscache"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cpg"
+)
+
+// SourceSet is one analyzable input: sources plus resolvable headers.
+// Transforms consume and produce SourceSets.
+type SourceSet struct {
+	Sources []cpg.Source
+	Headers map[string]string
+}
+
+// Clone deep-copies the set so transforms never alias the original backing
+// slices/maps.
+func (ss SourceSet) Clone() SourceSet {
+	out := SourceSet{
+		Sources: append([]cpg.Source(nil), ss.Sources...),
+		Headers: make(map[string]string, len(ss.Headers)),
+	}
+	for k, v := range ss.Headers {
+		out.Headers[k] = v
+	}
+	return out
+}
+
+// FromCorpus adapts a generated corpus to a SourceSet.
+func FromCorpus(c *corpus.Corpus) SourceSet {
+	ss := SourceSet{Headers: map[string]string{}}
+	for _, f := range c.Files {
+		ss.Sources = append(ss.Sources, cpg.Source{Path: f.Path, Content: f.Content})
+	}
+	for p, s := range c.Headers {
+		ss.Headers[p] = s
+	}
+	return ss
+}
+
+// Run analyzes the set once with confirmation on. A nil cache disables
+// caching.
+func Run(ss SourceSet, workers int, cache *analysiscache.Cache) *core.Run {
+	return core.CheckSourcesRun(ss.Sources, ss.Headers, core.Options{
+		Workers: workers, Confirm: true, Cache: cache,
+	})
+}
+
+// RenderRun canonicalizes everything a run reports — rendered diagnostics,
+// suggestions, confirmation verdicts, and the full witness event stream — so
+// two runs can be compared byte for byte. reflect.DeepEqual is deliberately
+// not used: cached reports legitimately drop witness CFG block pointers,
+// which no consumer reads.
+func RenderRun(run *core.Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "summary %+v\n", run.Summary)
+	for _, r := range run.Reports {
+		fmt.Fprintf(&b, "%s | confirmed=%v | suggestion=%q\n", r.String(), r.Confirmed, r.Suggestion)
+		for _, ev := range r.Witness {
+			fmt.Fprintf(&b, "  ev %v obj=%q api=%q assign=%q esc=%q pos=%s macro=%q",
+				ev.Op, ev.Obj, ev.API, ev.AssignTarget, ev.EscapesVia, ev.Pos, ev.FromMacro)
+			if ev.Info != nil {
+				fmt.Fprintf(&b, " info=%+v", *ev.Info)
+			}
+			fmt.Fprintf(&b, " nnT=%v nnF=%v\n", ev.NonNullTrue, ev.NonNullFalse)
+		}
+	}
+	return b.String()
+}
+
+// matrixWorkers is the parallel worker count the matrix cross-checks against
+// the sequential run.
+const matrixWorkers = 8
+
+// Matrix runs the pipeline over the set across the full {workers 1, N} ×
+// {no cache, cold, warm} matrix, verifies every configuration renders
+// byte-identically to the sequential uncached baseline (and that warm runs
+// actually hit the unit cache), and returns the baseline run. Cache
+// directories are private temp dirs, removed before returning.
+func Matrix(ss SourceSet) (*core.Run, error) {
+	base := Run(ss, 1, nil)
+	want := RenderRun(base)
+
+	check := func(name string, run *core.Run) error {
+		if got := RenderRun(run); got != want {
+			return fmt.Errorf("difftest: %s differs from sequential uncached baseline:\n%s",
+				name, firstDiff(want, got))
+		}
+		return nil
+	}
+
+	if err := check(fmt.Sprintf("workers=%d no-cache", matrixWorkers), Run(ss, matrixWorkers, nil)); err != nil {
+		return nil, err
+	}
+
+	// Both worker counts see both cache temperatures: cold with 1 then warm
+	// with N on one directory, cold with N then warm with 1 on another.
+	for _, order := range [][2]int{{1, matrixWorkers}, {matrixWorkers, 1}} {
+		dir, err := os.MkdirTemp("", "difftest-cache-")
+		if err != nil {
+			return nil, err
+		}
+		cache, err := analysiscache.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		cold := Run(ss, order[0], cache)
+		warm := Run(ss, order[1], cache)
+		os.RemoveAll(dir)
+		if cold.Cache.UnitHit {
+			return nil, fmt.Errorf("difftest: cold run (workers=%d) claims a unit cache hit", order[0])
+		}
+		if !warm.Cache.UnitHit {
+			return nil, fmt.Errorf("difftest: warm run (workers=%d) missed the unit cache", order[1])
+		}
+		if err := check(fmt.Sprintf("workers=%d cold-cache", order[0]), cold); err != nil {
+			return nil, err
+		}
+		if err := check(fmt.Sprintf("workers=%d warm-cache", order[1]), warm); err != nil {
+			return nil, err
+		}
+	}
+	return base, nil
+}
+
+// firstDiff returns a short context snippet around the first differing line
+// of two renders, keeping matrix failures readable.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		w, g := "", ""
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	return "(renders equal?)"
+}
+
+// Sig is a relocation-invariant report signature: everything that identifies
+// a finding except source coordinates. Semantics-preserving transforms move
+// code around (shifting File/Pos) but must not change the multiset of Sigs.
+type Sig struct {
+	Pattern   string
+	Impact    string
+	Function  string
+	Object    string
+	API       string
+	Confirmed bool
+}
+
+func (s Sig) String() string {
+	return fmt.Sprintf("[%s/%s] %s obj=%q api=%s confirmed=%v",
+		s.Pattern, s.Impact, s.Function, s.Object, s.API, s.Confirmed)
+}
+
+// SigOf extracts the signature of one report.
+func SigOf(r core.Report) Sig {
+	return Sig{
+		Pattern: string(r.Pattern), Impact: r.Impact.String(),
+		Function: r.Function, Object: r.Object, API: r.API,
+		Confirmed: r.Confirmed,
+	}
+}
+
+// SigsOf extracts sorted signatures for a whole report list.
+func SigsOf(reports []core.Report) []Sig {
+	sigs := make([]Sig, len(reports))
+	for i, r := range reports {
+		sigs[i] = SigOf(r)
+	}
+	SortSigs(sigs)
+	return sigs
+}
+
+// SortSigs orders signatures deterministically.
+func SortSigs(sigs []Sig) {
+	sort.Slice(sigs, func(i, j int) bool { return sigs[i].String() < sigs[j].String() })
+}
+
+// DiffSigs compares two signature multisets, returning the elements present
+// only in a and only in b.
+func DiffSigs(a, b []Sig) (onlyA, onlyB []Sig) {
+	count := map[Sig]int{}
+	for _, s := range a {
+		count[s]++
+	}
+	for _, s := range b {
+		count[s]--
+	}
+	for s, n := range count {
+		for ; n > 0; n-- {
+			onlyA = append(onlyA, s)
+		}
+		for ; n < 0; n++ {
+			onlyB = append(onlyB, s)
+		}
+	}
+	SortSigs(onlyA)
+	SortSigs(onlyB)
+	return onlyA, onlyB
+}

@@ -1,0 +1,162 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/clex"
+	"repro/internal/core"
+	"repro/internal/cparse"
+	"repro/internal/cpg"
+	"repro/internal/cpp"
+)
+
+// The fuzz targets cover the front end bottom-up: lexer, preprocessor,
+// parser, then the whole pipeline. Each asserts termination (the fuzz engine
+// catches hangs), no panics, and a target-specific oracle: lexing is
+// print-stable, preprocessing and the full pipeline are deterministic.
+// Checked-in seeds under testdata/fuzz include minimized regression inputs
+// for the three hardening fixes (iterative bad-byte skipping in clex, the
+// expansion token budget and depth cap in cpp, the nesting cap in cparse).
+
+// FuzzLex asserts lex→print→lex stability: printing the token stream and
+// re-lexing it must reproduce the same printed form (and, for error-free
+// input, the exact same token stream).
+func FuzzLex(f *testing.F) {
+	f.Add("int main ( ) { return 0 ; }\n")
+	f.Add("char * s = \"abc\nint x ;\n'\n/* open comment")
+	f.Add("x += 1e10f >> 0x1f ; y = a ... b -> c ;\n")
+	// Regression: long garbage runs must be skipped iteratively, not by
+	// one recursive call per byte.
+	f.Add(strings.Repeat("@", 1<<16))
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		cfg := clex.Config{KeepComments: true, KeepNewlines: true}
+		toks1, errs1 := clex.Tokenize("fuzz.c", src, cfg)
+		s1 := PrintTokens(toks1)
+		toks2, errs2 := clex.Tokenize("fuzz.c", s1, cfg)
+		if s2 := PrintTokens(toks2); s2 != s1 {
+			t.Fatalf("print/lex round-trip unstable:\nfirst:  %q\nsecond: %q", s1, s2)
+		}
+		if len(errs1) == 0 {
+			if len(errs2) != 0 {
+				t.Fatalf("re-lex of clean print introduced errors: %v", errs2)
+			}
+			if len(toks1) != len(toks2) {
+				t.Fatalf("token count changed on re-lex: %d -> %d", len(toks1), len(toks2))
+			}
+			for i := range toks1 {
+				if toks1[i].Kind != toks2[i].Kind || toks1[i].Text != toks2[i].Text {
+					t.Fatalf("token %d changed on re-lex: %v %q -> %v %q",
+						i, toks1[i].Kind, toks1[i].Text, toks2[i].Kind, toks2[i].Text)
+				}
+			}
+		}
+	})
+}
+
+// splitFuzzInput turns one fuzz string into a (header, translation unit)
+// pair at the first "\n%%\n" marker, so the corpus can exercise include
+// resolution; without a marker the whole input is the translation unit.
+func splitFuzzInput(src string) (header, tu string) {
+	if i := strings.Index(src, "\n%%\n"); i >= 0 {
+		return src[:i], src[i+4:]
+	}
+	return "", src
+}
+
+// FuzzPreprocess asserts the preprocessor terminates on arbitrary input
+// (include cycles, pathological macro chains) and is deterministic.
+func FuzzPreprocess(f *testing.F) {
+	f.Add("#define V 1\n\n%%\n#include <linux/fuzz.h>\nint x = V ;\n")
+	f.Add("\n%%\n#define S(x) #x\n#define P(a,b) a ## b\nchar * s = S(hi) ; int P(va, lue) = 3 ;\n")
+	f.Add("\n%%\n#ifdef A\nint x ;\n#else\nint y ;\n#endif\n#undef A\n")
+	// Regression: self-including header (bounded by the include guards).
+	f.Add("#include <linux/fuzz.h>\nint h ;\n%%\n#include <linux/fuzz.h>\n")
+	// Regression: a doubling macro chain is exponential without the
+	// expansion token budget.
+	var double strings.Builder
+	double.WriteString("\n%%\n#define A0 x x\n")
+	for i := 1; i <= 30; i++ {
+		fmt.Fprintf(&double, "#define A%d A%d A%d\n", i, i-1, i-1)
+	}
+	double.WriteString("A30\n")
+	f.Add(double.String())
+	// Regression: a linear chain of one-token macros nests the expansion
+	// recursion as deep as the chain without the depth cap.
+	var chain strings.Builder
+	chain.WriteString("\n%%\n#define M0 0\n")
+	for i := 1; i <= 400; i++ {
+		fmt.Fprintf(&chain, "#define M%d M%d\n", i, i-1)
+	}
+	chain.WriteString("int x = M400 ;\n")
+	f.Add(chain.String())
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<19 {
+			t.Skip("oversized input")
+		}
+		header, tu := splitFuzzInput(src)
+		process := func() *cpp.Result {
+			files := cpp.MapFiles{"include/linux/fuzz.h": header}
+			return cpp.New(files).Process("fuzz.c", tu)
+		}
+		r1, r2 := process(), process()
+		if len(r1.Tokens) != len(r2.Tokens) {
+			t.Fatalf("preprocessing nondeterministic: %d vs %d tokens", len(r1.Tokens), len(r2.Tokens))
+		}
+		for i := range r1.Tokens {
+			if r1.Tokens[i].Text != r2.Tokens[i].Text {
+				t.Fatalf("preprocessing nondeterministic at token %d: %q vs %q",
+					i, r1.Tokens[i].Text, r2.Tokens[i].Text)
+			}
+		}
+	})
+}
+
+// FuzzParse asserts the island parser terminates and returns a file on
+// arbitrary token streams, including deeply nested ones.
+func FuzzParse(f *testing.F) {
+	f.Add("int f ( int a ) { if ( a ) { return a * 2 ; } return 0 ; }\n")
+	f.Add("struct s { int a ; struct s * next ; } ; struct s v = { 1 , 0 } ;\n")
+	f.Add("} } ) ; int ; ; = = 3 (\n")
+	// Regression: deep expression/statement nesting must hit the nest cap,
+	// not the goroutine stack limit.
+	f.Add("int x = " + strings.Repeat("( ", 3000) + "1" + strings.Repeat(" )", 3000) + " ;\n")
+	f.Add("void f ( ) " + strings.Repeat("{ ", 3000) + strings.Repeat("} ", 3000) + "\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<19 {
+			t.Skip("oversized input")
+		}
+		toks, _ := clex.Tokenize("fuzz.c", src, clex.Config{})
+		file, _ := cparse.ParseFile("fuzz.c", toks)
+		if file == nil {
+			t.Fatal("ParseFile returned nil file")
+		}
+	})
+}
+
+// FuzzPipeline runs the entire checker pipeline (preprocess, parse, CFG,
+// CPG, all nine checkers, confirmation) on arbitrary input and asserts it
+// neither crashes nor renders differently across two sequential runs.
+func FuzzPipeline(f *testing.F) {
+	f.Add("#include <linux/of.h>\nstatic int f(void)\n{\n\tstruct device_node *np;\n\n\tnp = of_find_compatible_node(NULL, NULL, \"x\");\n\tif (!np)\n\t\treturn -1;\n\treturn 0;\n}\n")
+	f.Add("#define GET(n) of_node_get(n)\n%%\n#include <linux/fuzz.h>\nstatic void g(struct device_node *dn)\n{\n\tGET(dn);\n\tof_node_put(dn);\n}\n")
+	f.Add("static void h(struct sock *sk)\n{\n\tsock_put(sk);\n\tsk->sk_err = 0;\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		header, tu := splitFuzzInput(src)
+		headers := map[string]string{"include/linux/fuzz.h": header}
+		sources := []cpg.Source{{Path: "fuzz/fuzz.c", Content: tu}}
+		run := func() string {
+			return RenderRun(core.CheckSourcesRun(sources, headers, core.Options{Workers: 1, Confirm: true}))
+		}
+		if r1, r2 := run(), run(); r1 != r2 {
+			t.Fatalf("pipeline nondeterministic:\n%s", firstDiff(r1, r2))
+		}
+	})
+}

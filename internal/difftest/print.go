@@ -1,0 +1,35 @@
+package difftest
+
+import (
+	"strings"
+
+	"repro/internal/clex"
+)
+
+// PrintTokens renders a token stream back to lexable source text: newline
+// tokens become line breaks and every other adjacent pair is separated by a
+// single space, so no two tokens can merge into one on re-lexing (spellings
+// themselves are emitted verbatim). With Config{KeepNewlines: true} input
+// this preserves the line structure the preprocessor's directive handling
+// depends on.
+func PrintTokens(toks []clex.Token) string {
+	var b strings.Builder
+	atLineStart := true
+	for _, t := range toks {
+		if t.Kind == clex.Newline {
+			b.WriteByte('\n')
+			atLineStart = true
+			continue
+		}
+		if !atLineStart {
+			b.WriteByte(' ')
+		}
+		if t.Text != "" {
+			b.WriteString(t.Text)
+		} else {
+			b.WriteString(t.Kind.String())
+		}
+		atLineStart = false
+	}
+	return b.String()
+}

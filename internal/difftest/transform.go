@@ -1,0 +1,313 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/clex"
+	"repro/internal/corpus"
+	"repro/internal/cpg"
+)
+
+// Transform is one source-to-source rewrite used by the metamorphic tests.
+// Preserving transforms keep program semantics, so the checker signature
+// multiset must be invariant (after MapSig, which accounts for deliberate
+// renames); bug-injecting/-removing transforms must change exactly the
+// predicted signatures.
+type Transform struct {
+	Name  string
+	Apply func(SourceSet) SourceSet
+	// MapSig rewrites a baseline signature into the transformed namespace
+	// (identity when nil). Only the identifier-rename transform needs it:
+	// report Objects are variable keys, which that transform renames.
+	MapSig func(Sig) Sig
+}
+
+// PreservingTransforms is the catalog of semantics-preserving rewrites.
+func PreservingTransforms() []Transform {
+	return []Transform{
+		{Name: "comment-inject", Apply: commentInject},
+		{Name: "whitespace-inject", Apply: whitespaceInject},
+		{Name: "macro-wrap", Apply: macroWrap},
+		{Name: "function-reorder", Apply: functionReorder},
+		{Name: "file-relocate", Apply: fileRelocate},
+		{Name: "include-restructure", Apply: includeRestructure},
+		{Name: "identifier-rename", Apply: identifierRename, MapSig: renameSig},
+	}
+}
+
+// commentInject interleaves line and trailing comments through every source
+// file. Whole-line comments go before every third line; statement lines
+// additionally get a trailing line comment.
+func commentInject(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	for i, f := range out.Sources {
+		lines := strings.Split(f.Content, "\n")
+		var b strings.Builder
+		for j, ln := range lines {
+			if j%3 == 0 {
+				fmt.Fprintf(&b, "/* difftest comment %d */\n", j)
+			}
+			b.WriteString(ln)
+			if strings.HasSuffix(strings.TrimRight(ln, " \t"), ";") {
+				b.WriteString(" // difftest trailing")
+			}
+			if j < len(lines)-1 {
+				b.WriteByte('\n')
+			}
+		}
+		out.Sources[i] = cpg.Source{Path: f.Path, Content: b.String()}
+	}
+	return out
+}
+
+// whitespaceInject rewrites indentation (tabs to spaces), appends trailing
+// blanks to statement lines, and doubles the blank line after every
+// top-level close brace.
+func whitespaceInject(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	for i, f := range out.Sources {
+		lines := strings.Split(f.Content, "\n")
+		for j, ln := range lines {
+			k := 0
+			for k < len(ln) && ln[k] == '\t' {
+				k++
+			}
+			ln = strings.Repeat("    ", k) + ln[k:]
+			if strings.HasSuffix(ln, ";") {
+				ln += "  "
+			}
+			if ln == "}" {
+				ln = "}\n"
+			}
+			lines[j] = ln
+		}
+		out.Sources[i] = cpg.Source{Path: f.Path, Content: strings.Join(lines, "\n")}
+	}
+	return out
+}
+
+// macroWrap routes success-return literals through an object-like macro and
+// wraps argument-free helper calls in a transparent function-like macro.
+// Refcounting API calls are deliberately NOT wrapped: the checkers treat
+// macro-injected get/put/break events differently on purpose (that is what
+// provenance is for), so wrapping them is not semantics-preserving from the
+// analysis's point of view.
+func macroWrap(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	const defs = "#define DT_OK 0\n#define DT_STMT(call) call\n"
+	for i, f := range out.Sources {
+		c := f.Content
+		c = strings.Replace(c, "\n\n", "\n\n"+defs+"\n", 1) // after the include line
+		c = strings.ReplaceAll(c, "return 0;", "return DT_OK;")
+		c = strings.ReplaceAll(c, "mark_scanned();", "DT_STMT(mark_scanned());")
+		c = strings.ReplaceAll(c, "disable_controller();", "DT_STMT(disable_controller());")
+		out.Sources[i] = cpg.Source{Path: f.Path, Content: c}
+	}
+	return out
+}
+
+// functionReorder reverses the order of the movable top-level chunks of every
+// file. Chunks holding preprocessor directives or type definitions stay
+// anchored (in order) at the top; everything else — functions and globals —
+// is emitted in reverse.
+func functionReorder(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	for i, f := range out.Sources {
+		chunks := splitChunks(f.Content)
+		var anchored, movable []string
+		for _, ch := range chunks {
+			t := strings.TrimSpace(ch)
+			if strings.Contains(ch, "#") || strings.HasPrefix(t, "struct ") {
+				anchored = append(anchored, ch)
+			} else {
+				movable = append(movable, ch)
+			}
+		}
+		for l, r := 0, len(movable)-1; l < r; l, r = l+1, r-1 {
+			movable[l], movable[r] = movable[r], movable[l]
+		}
+		out.Sources[i] = cpg.Source{
+			Path:    f.Path,
+			Content: strings.Join(append(anchored, movable...), "\n\n") + "\n",
+		}
+	}
+	return out
+}
+
+// fileRelocate reverses the order sources are handed to the pipeline and
+// moves every file under a new tree prefix. Reports carry the new paths, but
+// signatures are path-free and must not change.
+func fileRelocate(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	n := len(out.Sources)
+	rev := make([]cpg.Source, n)
+	for i, f := range out.Sources {
+		rev[n-1-i] = cpg.Source{Path: "relocated/" + f.Path, Content: f.Content}
+	}
+	out.Sources = rev
+	return out
+}
+
+// includeRestructure reroutes <linux/of.h> through a new one-line wrapper
+// header, exercising nested include resolution and the header cache without
+// moving any line numbers in the sources.
+func includeRestructure(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	out.Headers["include/generated/ofwrap.h"] = "#include <linux/of.h>\n"
+	for i, f := range out.Sources {
+		out.Sources[i] = cpg.Source{
+			Path:    f.Path,
+			Content: strings.Replace(f.Content, "#include <linux/of.h>", "#include <generated/ofwrap.h>", 1),
+		}
+	}
+	return out
+}
+
+// renamedIdents maps the corpus templates' local variable, parameter, and
+// label names to fresh spellings. Function names, struct/field names, API
+// names, and generated globals are left alone.
+var renamedIdents = map[string]string{
+	"found": "dt_found", "target": "dt_target", "child": "dt_child",
+	"dn": "dt_dn", "port": "dt_port", "hp": "dt_hp", "sk": "dt_sk",
+	"serial": "dt_serial", "queue": "dt_queue", "np": "dt_np",
+	"next": "dt_next", "evt_node": "dt_evt_node", "crc": "dt_crc",
+	"ctl": "dt_ctl", "parent": "dt_parent", "from": "dt_from",
+	"out": "dt_out",
+}
+
+// identifierRename renames the known local identifiers token-wise (lex, map
+// identifier spellings, print). String literals, field names, and every
+// other token are untouched; line structure is preserved so preprocessor
+// directives survive.
+func identifierRename(ss SourceSet) SourceSet {
+	out := ss.Clone()
+	for i, f := range out.Sources {
+		toks, _ := clex.Tokenize(f.Path, f.Content, clex.Config{KeepComments: true, KeepNewlines: true})
+		for j, t := range toks {
+			if t.Kind == clex.Ident {
+				if to, ok := renamedIdents[t.Text]; ok {
+					toks[j].Text = to
+				}
+			}
+		}
+		out.Sources[i] = cpg.Source{Path: f.Path, Content: PrintTokens(toks)}
+	}
+	return out
+}
+
+// renameSig maps a baseline signature through renamedIdents: report Objects
+// are variable keys (possibly dotted/arrowed paths), so each identifier word
+// inside them is remapped.
+func renameSig(s Sig) Sig {
+	s.Object = mapIdentWords(s.Object)
+	return s
+}
+
+func mapIdentWords(s string) string {
+	var b strings.Builder
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if isWordStart(c) {
+			j := i + 1
+			for j < len(s) && isWordCont(s[j]) {
+				j++
+			}
+			word := s[i:j]
+			if to, ok := renamedIdents[word]; ok {
+				word = to
+			}
+			b.WriteString(word)
+			i = j
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+func isWordStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isWordCont(c byte) bool { return isWordStart(c) || (c >= '0' && c <= '9') }
+
+// splitChunks splits a generated source file into its blank-line separated
+// top-level chunks. Brace depth is tracked (string literals skipped) so a
+// blank line inside a body never splits a chunk.
+func splitChunks(content string) []string {
+	var chunks []string
+	var cur []string
+	depth := 0
+	flush := func() {
+		for len(cur) > 0 && strings.TrimSpace(cur[len(cur)-1]) == "" {
+			cur = cur[:len(cur)-1]
+		}
+		if len(cur) > 0 {
+			chunks = append(chunks, strings.Join(cur, "\n"))
+		}
+		cur = nil
+	}
+	for _, ln := range strings.Split(content, "\n") {
+		if depth == 0 && strings.TrimSpace(ln) == "" {
+			flush()
+			continue
+		}
+		cur = append(cur, ln)
+		inStr := false
+		for k := 0; k < len(ln); k++ {
+			switch ln[k] {
+			case '\\':
+				k++
+			case '"':
+				inStr = !inStr
+			case '{':
+				if !inStr {
+					depth++
+				}
+			case '}':
+				if !inStr {
+					depth--
+				}
+			}
+		}
+	}
+	flush()
+	return chunks
+}
+
+// InjectBug appends the canonical buggy listing for pattern p to the first
+// source file and returns the new set plus the function name the checkers
+// must newly flag (and nothing else may change).
+func InjectBug(ss SourceSet, p corpus.PatternID) (SourceSet, string) {
+	text, fn := corpus.BugListing(p, "dt_injected_"+strings.ToLower(string(p)))
+	out := ss.Clone()
+	out.Sources[0] = cpg.Source{
+		Path:    out.Sources[0].Path,
+		Content: out.Sources[0].Content + text,
+	}
+	return out, fn
+}
+
+// RemoveFunction deletes every chunk of the named file that mentions fn as a
+// call or definition; removing a planned bug's function must remove exactly
+// that function's signatures.
+func RemoveFunction(ss SourceSet, file, fn string) SourceSet {
+	out := ss.Clone()
+	for i, f := range out.Sources {
+		if f.Path != file {
+			continue
+		}
+		var kept []string
+		for _, ch := range splitChunks(f.Content) {
+			if strings.Contains(ch, fn+"(") {
+				continue
+			}
+			kept = append(kept, ch)
+		}
+		out.Sources[i] = cpg.Source{Path: f.Path, Content: strings.Join(kept, "\n\n") + "\n"}
+	}
+	return out
+}

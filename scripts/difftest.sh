@@ -1,0 +1,29 @@
+#!/bin/sh
+# difftest.sh — the correctness-tooling gate: differential/metamorphic tests,
+# the golden ground-truth regression gate, a fuzz smoke pass over all four
+# native fuzz targets, and a refresh of the committed quality ledger.
+#
+# Usage: scripts/difftest.sh [fuzztime]
+#   fuzztime  per-target -fuzztime for the smoke pass (default 10s; use 60s+
+#             before a release, 0 to skip fuzzing entirely)
+#
+# Rebless intentional checker-behaviour changes first with:
+#   go test ./internal/difftest -run TestGoldenGate -update
+set -e
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+echo "== differential / metamorphic / golden gate =="
+go test ./internal/difftest -count=1
+
+if [ "$FUZZTIME" != "0" ]; then
+    for target in FuzzLex FuzzPreprocess FuzzParse FuzzPipeline; do
+        echo "== fuzz smoke: $target ($FUZZTIME) =="
+        go test ./internal/difftest -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME"
+    done
+fi
+
+echo "== quality ledger =="
+go run ./cmd/refcheck -selftest -json > BENCH_quality.json
+echo "wrote BENCH_quality.json"
