@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/cpg"
 	"repro/internal/cpp"
+	"repro/internal/facts"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
 	"repro/internal/refsim"
@@ -433,6 +434,40 @@ func BenchmarkPipelineCache(b *testing.B) {
 			reports = run.Reports
 		}
 		b.ReportMetric(float64(hits)/float64(b.N), "unit_hit_rate")
+		b.ReportMetric(float64(len(reports)), "reports")
+	})
+}
+
+// BenchmarkCheckerPhase isolates the checking phase from the front end on a
+// prebuilt unit, in the two states the facts layer creates: "facts-cold"
+// computes every function's facts and runs the nine pattern queries
+// (CheckUnit on a fresh UnitFacts each iteration); "facts-warm" reuses a
+// fully memoized UnitFacts, so each iteration is the pattern queries alone —
+// the work a -checkers run pays after a facts-cache hit. The gap between the
+// two is the cost the shared facts layer computes exactly once.
+// scripts/bench_pipeline.sh records both in BENCH_pipeline.json as the
+// checker-phase timing.
+func BenchmarkCheckerPhase(b *testing.B) {
+	unit := buildUnit()
+
+	b.Run("facts-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		var reports []core.Report
+		for i := 0; i < b.N; i++ {
+			reports = core.NewEngine().CheckUnit(unit)
+		}
+		b.ReportMetric(float64(len(reports)), "reports")
+	})
+
+	b.Run("facts-warm", func(b *testing.B) {
+		uf := facts.NewUnit(unit)
+		core.NewEngine().CheckUnitFacts(uf) // memoize every function's facts
+		b.ReportAllocs()
+		b.ResetTimer()
+		var reports []core.Report
+		for i := 0; i < b.N; i++ {
+			reports = core.NewEngine().CheckUnitFacts(uf)
+		}
 		b.ReportMetric(float64(len(reports)), "reports")
 	})
 }

@@ -44,6 +44,7 @@ func main() {
 	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
 	selftest := flag.Bool("selftest", false, "re-analyze the golden corpus and verify reports and scores against the copies embedded at build time")
 	workers := flag.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
+	checkersFlag := flag.String("checkers", "", "comma-separated checker subset to run (e.g. P1,P4); default: all registered checkers")
 	verbose := flag.Bool("v", false, "print elapsed wall time, files/sec and cache statistics to stderr")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
@@ -112,7 +113,14 @@ func main() {
 		}
 	}
 
-	opt := core.Options{Workers: *workers, DB: db, ConfigFP: configFP}
+	selected, err := core.ParsePatterns(*checkersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: refcheck -checkers P1,P4 ...")
+		os.Exit(2)
+	}
+
+	opt := core.Options{Workers: *workers, DB: db, ConfigFP: configFP, Checkers: selected}
 	if *cacheDir != "" {
 		c, err := analysiscache.Open(*cacheDir)
 		if err != nil {
@@ -165,8 +173,12 @@ func main() {
 			if cs.UnitHit {
 				fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n", cs.FilesSkipped)
 			} else {
-				fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
-					cs.FileHits, cs.FileMisses, cs.FilesSkipped)
+				factsState := "miss"
+				if cs.FactsHit {
+					factsState = "hit"
+				}
+				fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; facts %s; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
+					factsState, cs.FileHits, cs.FileMisses, cs.FilesSkipped)
 			}
 		}
 	}

@@ -29,7 +29,14 @@ func main() {
 	fast := flag.Bool("fast", false, "smaller background history (quicker word2vec)")
 	workers := flag.Int("workers", 0, "detection-pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory for the detection pipeline (results are identical with or without it)")
+	checkersFlag := flag.String("checkers", "", "comma-separated checker subset for the detection pipeline (e.g. P1,P4); default: all registered checkers")
 	flag.Parse()
+
+	selected, err := core.ParsePatterns(*checkersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(2)
+	}
 
 	background := 0
 	if *fast {
@@ -134,7 +141,7 @@ func main() {
 	for _, f := range c.Files {
 		sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
 	}
-	opt := core.Options{Workers: *workers}
+	opt := core.Options{Workers: *workers, Checkers: selected}
 	if *cacheDir != "" {
 		cache, err := analysiscache.Open(*cacheDir)
 		if err != nil {

@@ -3,9 +3,14 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/cpg"
+	"repro/internal/facts"
 	"repro/internal/semantics"
 )
+
+func init() {
+	Register(P1, func() Checker { return &ReturnErrorChecker{} })
+	Register(P2, func() Checker { return &ReturnNullChecker{} })
+}
 
 // ReturnErrorChecker implements anti-pattern P1 (§5.1.1):
 //
@@ -21,11 +26,13 @@ func (*ReturnErrorChecker) ID() Pattern { return P1 }
 
 // Check scans every bounded path for an increments-on-error call followed by
 // an error block with no balancing decrement.
-func (*ReturnErrorChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+func (*ReturnErrorChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	var out []Report
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, blockAt := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		tr := &ff.Data.Traces[ti]
+		evs := tr.Events
 		for i, ev := range evs {
 			if ev.Op != semantics.OpInc || ev.Info == nil || !ev.Info.IncOnError {
 				continue
@@ -34,14 +41,7 @@ func (*ReturnErrorChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 				continue
 			}
 			// Does this path enter an error block after the call?
-			errIdx := -1
-			for bi := blockAt[i]; bi < len(p); bi++ {
-				if p[bi].IsError {
-					errIdx = bi
-					break
-				}
-			}
-			if errIdx < 0 {
+			if !tr.ErrorAtOrAfter(i) {
 				continue
 			}
 			// Any balancing put later on the path forgives it.
@@ -95,11 +95,13 @@ func (*ReturnNullChecker) ID() Pattern { return P2 }
 
 // Check tracks may-be-NULL references along each path, discharging them at
 // NULL tests (branch-direction aware) and reporting unchecked dereferences.
-func (*ReturnNullChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+func (*ReturnNullChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	var out []Report
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, blockAt := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		tr := &ff.Data.Traces[ti]
+		evs := tr.Events
 		// unchecked: base name → the producing Inc event.
 		unchecked := map[string]semantics.Event{}
 		for i, ev := range evs {
@@ -110,8 +112,7 @@ func (*ReturnNullChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 				}
 			case semantics.OpCond:
 				// Which branch does this path take?
-				facts := condFacts(ev, p, blockAt[i])
-				for _, name := range facts {
+				for _, name := range tr.BranchNonNull(i) {
 					delete(unchecked, name)
 				}
 			case semantics.OpAssign:
@@ -139,26 +140,4 @@ func (*ReturnNullChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 		}
 	}
 	return out
-}
-
-// condFacts returns the names known non-NULL after taking this path's branch
-// at the condition event. blockIdx is the index of the event's block within
-// the path.
-func condFacts(ev semantics.Event, p []*blockT, blockIdx int) []string {
-	nonNull, _ := branchFacts(ev, p, blockIdx)
-	return nonNull
-}
-
-// branchFacts returns the names known non-NULL and known NULL on the branch
-// this path takes at the condition event. Duality: `if (!p)` puts p in
-// NonNullFalse, so taking the true branch means p is NULL.
-func branchFacts(ev semantics.Event, p []*blockT, blockIdx int) (nonNull, null []string) {
-	if blockIdx+1 >= len(p) || ev.Block == nil || len(ev.Block.Succs) == 0 {
-		return nil, nil
-	}
-	next := p[blockIdx+1]
-	if next == ev.Block.Succs[0] {
-		return ev.NonNullTrue, ev.NonNullFalse
-	}
-	return ev.NonNullFalse, ev.NonNullTrue
 }

@@ -4,9 +4,14 @@ import (
 	"fmt"
 
 	"repro/internal/apidb"
-	"repro/internal/cpg"
+	"repro/internal/facts"
 	"repro/internal/semantics"
 )
+
+func init() {
+	Register(P3, func() Checker { return &SmartLoopChecker{} })
+	Register(P4, func() Checker { return &HiddenRefChecker{} })
+}
 
 // SmartLoopChecker implements anti-pattern P3 (§5.2.1):
 //
@@ -23,11 +28,14 @@ func (*SmartLoopChecker) ID() Pattern { return P3 }
 
 // Check computes, along each path, the reference balance of every smartloop
 // iteration variable at user-written break/goto/return exits from the loop.
-func (*SmartLoopChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+func (*SmartLoopChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
+	db := ff.Unit.DB
 	var out []Report
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, blockAt := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		tr := &ff.Data.Traces[ti]
+		evs := tr.Events
 		// balance per loop-injected object; loopOf remembers which macro and
 		// lastInc the most recent acquisition (innermost-loop attribution).
 		balance := map[string]int{}
@@ -40,7 +48,7 @@ func (*SmartLoopChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 			lastEv = &ev
 			switch ev.Op {
 			case semantics.OpInc:
-				if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil && ev.Obj != "" {
+				if ff.SmartLoop(ev) && ev.Obj != "" {
 					balance[ev.Obj]++
 					loopOf[ev.Obj] = ev.FromMacro
 					lastInc[ev.Obj] = i
@@ -54,8 +62,7 @@ func (*SmartLoopChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 			case semantics.OpCond:
 				// A smartloop exits when the iteration variable goes NULL:
 				// on the NULL branch nothing is held any more.
-				_, null := branchFacts(ev, p, blockAt[i])
-				for _, name := range null {
+				for _, name := range tr.BranchNull(i) {
 					for obj := range balance {
 						if semantics.BaseOf(obj) == name {
 							balance[obj] = 0
@@ -91,7 +98,7 @@ func (*SmartLoopChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 					continue
 				}
 				reported[key] = true
-				put := u.DB.Loop(macro).PutAPI
+				put := db.Loop(macro).PutAPI
 				out = append(out, Report{
 					Pattern: P3, Impact: Leak,
 					Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
@@ -120,7 +127,7 @@ func (*SmartLoopChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 				continue
 			}
 			reported[key] = true
-			put := u.DB.Loop(macro).PutAPI
+			put := db.Loop(macro).PutAPI
 			out = append(out, Report{
 				Pattern: P3, Impact: Leak,
 				Function: fn.Def.Name, File: fn.File, Pos: pos,
@@ -151,27 +158,25 @@ type HiddenRefChecker struct{}
 func (*HiddenRefChecker) ID() Pattern { return P4 }
 
 // Check runs both directions of the hidden-refcounting analysis.
-func (c *HiddenRefChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
-	out := c.missingPut(u, fn)
-	out = append(out, c.missingGet(u, fn)...)
+func (c *HiddenRefChecker) Check(ff *facts.FunctionFacts) []Report {
+	out := c.missingPut(ff)
+	out = append(out, c.missingGet(ff)...)
 	return out
 }
 
 // missingPut flags hidden-get references with a put-free path to exit.
-func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
+// Increments another pattern owns — smartloop iterations (P3), stores into
+// long-lived state (P6), paired-but-error-path leaks (P5) — are emitted as
+// tagged candidates for the engine's deferral table instead of being
+// tracked; the live-state analysis below sees exactly the untagged stream.
+func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	var out []Report
 	reported := map[string]bool{}
 	// Whole-function decrement view: when the developer did pair the put
 	// somewhere, a put-free path is an overlooked *location* (P5), not an
-	// overlooked *API* — leave the diagnosis to the P5 checker.
-	var fnDecs []semantics.Event
-	for _, b := range fn.Graph.Blocks {
-		for _, ev := range fn.Events.ByBlok[b] {
-			if ev.Op == semantics.OpDec {
-				fnDecs = append(fnDecs, ev)
-			}
-		}
-	}
+	// overlooked *API*.
+	fnDecs := ff.Decs()
 	pairedSomewhere := func(inc semantics.Event) bool {
 		for _, d := range fnDecs {
 			if decBalances(d, inc) {
@@ -180,8 +185,9 @@ func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
 		}
 		return false
 	}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, blockAt := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		tr := &ff.Data.Traces[ti]
+		evs := tr.Events
 		type tracked struct {
 			ev      semantics.Event
 			balance int
@@ -195,27 +201,48 @@ func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
 				if ev.Info == nil || !ev.Info.ReturnsRef || ev.Info.Class != apidb.Embedded {
 					continue
 				}
-				if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil {
-					continue // smartloop iteration refs are P3's business
+				var why DeferralReason
+				switch {
+				case ff.SmartLoop(ev):
+					why = DeferSmartLoop
+				case ev.Obj == "":
+					// handled below as a discarded reference
+				case ev.EscapesVia != "":
+					why = DeferLongLivedStore
+				case pairedSomewhere(ev) && tr.ErrorAtOrAfter(i):
+					why = DeferPairedErrorPath
+				}
+				if why != "" {
+					// Deferred candidate: emit it tagged so the engine's
+					// table owns the drop, without perturbing the live
+					// tracking the untagged analysis sees. The tag is part
+					// of the dedup key so tagged candidates never shadow a
+					// genuine report at the same position.
+					key := ev.Pos.String() + "|" + ev.Obj + "|" + string(why)
+					if reported[key] {
+						continue
+					}
+					reported[key] = true
+					out = append(out, Report{
+						Pattern: P4, Impact: Leak,
+						Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
+						Object: ev.Obj, API: ev.API,
+						Message:    fmt.Sprintf("%s returns a reference hidden in %s that is never put on this path", ev.API, ev.Obj),
+						Suggestion: fmt.Sprintf("%s(%s); /* before every exit on this path */", putNameFor(ff.Unit.DB, ev), ev.Obj),
+						Witness:    evs,
+						Deferred:   why,
+					})
+					continue
 				}
 				if ev.Obj == "" {
 					dropped = append(dropped, ev)
-					continue
-				}
-				if ev.EscapesVia != "" {
-					continue // stored into long-lived state: P6's business
-				}
-				if pairedSomewhere(ev) && pathHitsErrorAfter(p, blockAt[i]) {
-					// Paired elsewhere and leaking through an error block:
-					// that is exactly P5's overlooked-location diagnosis.
 					continue
 				}
 				live[ev.Obj] = &tracked{ev: ev, balance: 1}
 			case semantics.OpCond:
 				// The branch where the pointer is known NULL holds no
 				// reference — the find failed, nothing to put.
-				_, null := branchFacts(ev, p, blockAt[i])
-				for _, name := range null {
+				for _, name := range tr.BranchNull(i) {
 					for obj, t := range live {
 						if semantics.BaseOf(obj) == name {
 							t.dead = true
@@ -260,7 +287,7 @@ func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
 				Function: fn.Def.Name, File: fn.File, Pos: t.ev.Pos,
 				Object: obj, API: t.ev.API,
 				Message:    fmt.Sprintf("%s returns a reference hidden in %s that is never put on this path", t.ev.API, obj),
-				Suggestion: fmt.Sprintf("%s(%s); /* before every exit on this path */", putNameFor(u.DB, t.ev), obj),
+				Suggestion: fmt.Sprintf("%s(%s); /* before every exit on this path */", putNameFor(ff.Unit.DB, t.ev), obj),
 				Witness:    evs,
 			})
 		}
@@ -275,7 +302,7 @@ func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
 				Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
 				Object: "", API: ev.API,
 				Message:    fmt.Sprintf("the reference returned by %s is discarded at the call site", ev.API),
-				Suggestion: fmt.Sprintf("capture the result and %s it when done", putNameFor(u.DB, ev)),
+				Suggestion: fmt.Sprintf("capture the result and %s it when done", putNameFor(ff.Unit.DB, ev)),
 				Witness:    evs,
 			})
 		}
@@ -285,15 +312,12 @@ func (*HiddenRefChecker) missingPut(u *cpg.Unit, fn *cpg.Function) []Report {
 
 // missingGet flags hidden cursor puts of caller-owned parameters with no
 // prior local get (the of_node_get-on-from lesson from Listing 4).
-func (*HiddenRefChecker) missingGet(u *cpg.Unit, fn *cpg.Function) []Report {
+func (*HiddenRefChecker) missingGet(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	var out []Report
-	params := map[string]bool{}
-	for _, prm := range fn.Def.Params {
-		params[prm.Name] = true
-	}
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, _ := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		evs := ff.Data.Traces[ti].Events
 		got := map[string]bool{}
 		for _, ev := range evs {
 			switch ev.Op {
@@ -306,7 +330,7 @@ func (*HiddenRefChecker) missingGet(u *cpg.Unit, fn *cpg.Function) []Report {
 					continue
 				}
 				base := semantics.BaseOf(ev.Obj)
-				if !params[base] || got[base] {
+				if !ff.Params[base] || got[base] {
 					continue
 				}
 				key := ev.Pos.String() + "|" + ev.Obj
@@ -335,15 +359,4 @@ func putNameFor(db *apidb.DB, ev semantics.Event) string {
 	}
 	_ = db
 	return "put"
-}
-
-// pathHitsErrorAfter reports whether the path visits an error-handling block
-// at or after the given block index.
-func pathHitsErrorAfter(p []*blockT, from int) bool {
-	for i := from; i < len(p); i++ {
-		if p[i].IsError {
-			return true
-		}
-	}
-	return false
 }

@@ -7,8 +7,15 @@ import (
 
 	"repro/internal/apidb"
 	"repro/internal/cpg"
+	"repro/internal/facts"
 	"repro/internal/semantics"
 )
+
+func init() {
+	Register(P5, func() Checker { return &ErrorHandleChecker{} })
+	Register(P6, func() Checker { return &InterPairedChecker{} })
+	Register(P7, func() Checker { return &DirectFreeChecker{} })
+}
 
 // ErrorHandleChecker implements anti-pattern P5 (§5.3.1):
 //
@@ -24,29 +31,36 @@ func (*ErrorHandleChecker) ID() Pattern { return P5 }
 
 // Check reports increments that are balanced on at least one path (showing
 // developer intent) but unbalanced on a path through an error block.
-func (*ErrorHandleChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+// Increments another pattern owns — increments-on-error APIs (P1) and
+// smartloop iterations (P3) — are emitted as tagged candidates for the
+// engine's deferral table instead of being skipped inline.
+func (*ErrorHandleChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	type state struct {
 		ev              semantics.Event
+		why             DeferralReason
 		balancedPath    bool
 		errorLeakEvents []semantics.Event
 	}
 	incs := map[string]*state{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, blockAt := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		tr := &ff.Data.Traces[ti]
+		evs := tr.Events
 		for i, ev := range evs {
 			if ev.Op != semantics.OpInc || ev.Obj == "" || ev.Info == nil {
 				continue
 			}
-			if ev.Info.IncOnError {
-				continue // P1's specialty
-			}
-			if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil {
-				continue // P3's specialty
+			var why DeferralReason
+			switch {
+			case ev.Info.IncOnError:
+				why = DeferIncOnError
+			case ff.SmartLoop(ev):
+				why = DeferSmartLoop
 			}
 			key := ev.Pos.String() + "|" + ev.Obj
 			st := incs[key]
 			if st == nil {
-				st = &state{ev: ev}
+				st = &state{ev: ev, why: why}
 				incs[key] = st
 			}
 			balanced := false
@@ -65,8 +79,7 @@ func (*ErrorHandleChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 				case semantics.OpCond:
 					// On the branch where the object is known NULL there is
 					// no reference to balance.
-					_, null := branchFacts(evs[j], p, blockAt[j])
-					for _, name := range null {
+					for _, name := range tr.BranchNull(j) {
 						if name == semantics.BaseOf(ev.Obj) {
 							nullOnPath = true
 						}
@@ -82,11 +95,8 @@ func (*ErrorHandleChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 			}
 			// Unbalanced: does the path run through an error block after
 			// the increment?
-			for bi := blockAt[i] + 1; bi < len(p); bi++ {
-				if p[bi].IsError {
-					st.errorLeakEvents = evs
-					break
-				}
+			if tr.ErrorAfter(i) {
+				st.errorLeakEvents = evs
 			}
 		}
 	}
@@ -112,6 +122,7 @@ func (*ErrorHandleChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 			Message:    fmt.Sprintf("%s on %s is balanced on the normal path but leaks through an error-handling path", st.ev.API, st.ev.Obj),
 			Suggestion: fmt.Sprintf("add %s(%s) to the error-handling path", pair, st.ev.Obj),
 			Witness:    st.errorLeakEvents,
+			Deferred:   st.why,
 		})
 	}
 	return out
@@ -132,7 +143,7 @@ type InterPairedChecker struct{}
 func (*InterPairedChecker) ID() Pattern { return P6 }
 
 // Check is unused; P6 is unit-scoped.
-func (*InterPairedChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report { return nil }
+func (*InterPairedChecker) Check(ff *facts.FunctionFacts) []Report { return nil }
 
 // namePairSuffixes are recognized acquire→release name conventions.
 var namePairSuffixes = [][2]string{
@@ -146,14 +157,15 @@ var namePairSuffixes = [][2]string{
 }
 
 // CheckUnit inspects callback bindings and name-paired functions.
-func (c *InterPairedChecker) CheckUnit(u *cpg.Unit) []Report {
+func (c *InterPairedChecker) CheckUnit(uf *facts.UnitFacts) []Report {
+	u := uf.Unit
 	var out []Report
 	seen := map[string]bool{}
 	for _, cb := range u.CallbackBindings() {
 		if cb.Acquire == nil {
 			continue
 		}
-		out = append(out, c.checkPair(u, cb.Acquire, cb.Release,
+		out = append(out, c.checkPair(uf, cb.Acquire, cb.Release,
 			fmt.Sprintf("%s.%s/%s", cb.Pair.Struct, cb.Pair.Acquire, cb.Pair.Release), seen)...)
 	}
 	// Name-paired conventions.
@@ -167,7 +179,7 @@ func (c *InterPairedChecker) CheckUnit(u *cpg.Unit) []Report {
 			if rel == nil {
 				continue // no release counterpart defined here: skip (cross-TU)
 			}
-			out = append(out, c.checkPair(u, u.Functions[name], rel,
+			out = append(out, c.checkPair(uf, u.Functions[name], rel,
 				name+"/"+rel.Def.Name, seen)...)
 		}
 	}
@@ -175,23 +187,27 @@ func (c *InterPairedChecker) CheckUnit(u *cpg.Unit) []Report {
 }
 
 // checkPair reports acquire-side increments kept past acquire with no
-// family-matching decrement in release.
-func (*InterPairedChecker) checkPair(u *cpg.Unit, acq, rel *cpg.Function, pairDesc string, seen map[string]bool) []Report {
-	if acq.Graph == nil || acq.Events == nil {
-		return nil
+// family-matching decrement in release. Smartloop iteration increments are
+// emitted as tagged candidates (P3 owns them) rather than skipped inline.
+func (*InterPairedChecker) checkPair(uf *facts.UnitFacts, acq, rel *cpg.Function, pairDesc string, seen map[string]bool) []Report {
+	ffAcq := uf.Function(acq.Def.Name)
+	if ffAcq == nil {
+		return nil // prototype: no body to analyze
 	}
 	// Collect unbalanced increments in acquire (whole-function view).
-	var kept []semantics.Event
-	var all []semantics.Event
-	for _, b := range acq.Graph.Blocks {
-		all = append(all, acq.Events.ByBlok[b]...)
+	all := ffAcq.All()
+	type keptInc struct {
+		ev  semantics.Event
+		why DeferralReason
 	}
+	var kept []keptInc
 	for _, ev := range all {
 		if ev.Op != semantics.OpInc || ev.Info == nil {
 			continue
 		}
-		if ev.FromMacro != "" && u.DB.Loop(ev.FromMacro) != nil {
-			continue
+		var why DeferralReason
+		if uf.SmartLoop(ev) {
+			why = DeferSmartLoop
 		}
 		balanced := false
 		for _, other := range all {
@@ -200,15 +216,16 @@ func (*InterPairedChecker) checkPair(u *cpg.Unit, acq, rel *cpg.Function, pairDe
 			}
 		}
 		if !balanced {
-			kept = append(kept, ev)
+			kept = append(kept, keptInc{ev: ev, why: why})
 		}
 	}
 	var out []Report
-	for _, ev := range kept {
-		if releaseHasFamilyDec(u, rel, ev) {
+	for _, ki := range kept {
+		ev := ki.ev
+		if releaseHasFamilyDec(uf, rel, ev) {
 			continue
 		}
-		key := ev.Pos.String() + "|" + ev.Obj + "|P6"
+		key := ev.Pos.String() + "|" + ev.Obj + "|P6|" + string(ki.why)
 		if seen[key] {
 			continue
 		}
@@ -228,6 +245,7 @@ func (*InterPairedChecker) checkPair(u *cpg.Unit, acq, rel *cpg.Function, pairDe
 			Message:    fmt.Sprintf("%s keeps a reference (%s) but the paired callback %s (%s) never puts it", acq.Def.Name, ev.API, relName, pairDesc),
 			Suggestion: fmt.Sprintf("call %s in %s", pair, relName),
 			Witness:    all,
+			Deferred:   ki.why,
 		})
 	}
 	return out
@@ -235,21 +253,20 @@ func (*InterPairedChecker) checkPair(u *cpg.Unit, acq, rel *cpg.Function, pairDe
 
 // releaseHasFamilyDec reports whether rel calls the decrement family that
 // balances inc (the pair API, or any dec on the same counted struct).
-func releaseHasFamilyDec(u *cpg.Unit, rel *cpg.Function, inc semantics.Event) bool {
-	if rel == nil || rel.Events == nil {
+func releaseHasFamilyDec(uf *facts.UnitFacts, rel *cpg.Function, inc semantics.Event) bool {
+	if rel == nil {
 		return false
 	}
-	for _, b := range rel.Graph.Blocks {
-		for _, ev := range rel.Events.ByBlok[b] {
-			if ev.Op != semantics.OpDec {
-				continue
-			}
-			if inc.Info.Pair != "" && ev.API == inc.Info.Pair {
-				return true
-			}
-			if ev.Info != nil && inc.Info.Struct != "" && ev.Info.Struct == inc.Info.Struct {
-				return true
-			}
+	ffRel := uf.Function(rel.Def.Name)
+	if ffRel == nil {
+		return false
+	}
+	for _, ev := range ffRel.Decs() {
+		if inc.Info.Pair != "" && ev.API == inc.Info.Pair {
+			return true
+		}
+		if ev.Info != nil && inc.Info.Struct != "" && ev.Info.Struct == inc.Info.Struct {
+			return true
 		}
 	}
 	return false
@@ -268,12 +285,13 @@ func (*DirectFreeChecker) ID() Pattern { return P7 }
 
 // Check flags kfree-family calls whose operand is a refcounted object —
 // either by declared type or because a get was observed earlier on the path.
-func (*DirectFreeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
-	types := varTypes(fn)
+func (*DirectFreeChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
+	types := ff.VarTypes
 	var out []Report
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, _ := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		evs := ff.Data.Traces[ti].Events
 		got := map[string]bool{}
 		for _, ev := range evs {
 			switch ev.Op {
@@ -286,7 +304,7 @@ func (*DirectFreeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 				if base == "" {
 					continue
 				}
-				counted := isRefStructVar(u.DB, types, base) || got[base]
+				counted := isRefStructVar(ff.Unit.DB, types, base) || got[base]
 				if !counted {
 					continue
 				}
@@ -294,7 +312,7 @@ func (*DirectFreeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
 					continue
 				}
 				reported[ev.Pos.String()] = true
-				put := putExprFor(u, types, base)
+				put := putExprFor(ff.Unit, types, base)
 				out = append(out, Report{
 					Pattern: P7, Impact: Leak,
 					Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,

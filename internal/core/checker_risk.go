@@ -3,9 +3,14 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/cpg"
+	"repro/internal/facts"
 	"repro/internal/semantics"
 )
+
+func init() {
+	Register(P8, func() Checker { return &UADChecker{} })
+	Register(P9, func() Checker { return &EscapeChecker{} })
+}
 
 // UADChecker implements anti-pattern P8 (§5.4.1, use-after-decrease):
 //
@@ -24,11 +29,12 @@ func (*UADChecker) ID() Pattern { return P8 }
 
 // Check reports dereferences of an object after a may-free decrement on the
 // same path, with no intervening reassignment or re-acquisition.
-func (*UADChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
+func (*UADChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
 	var out []Report
 	reported := map[string]bool{}
-	for _, p := range fn.Graph.Paths(0) {
-		evs, _ := eventsOnPath(fn.Events, p)
+	for ti := range ff.Data.Traces {
+		evs := ff.Data.Traces[ti].Events
 		// putAt: base name → the Dec event that may have freed it.
 		putAt := map[string]semantics.Event{}
 		for _, ev := range evs {
@@ -83,36 +89,25 @@ type EscapeChecker struct{}
 func (*EscapeChecker) ID() Pattern { return P9 }
 
 // Check reports escaping assignments of refcounted pointers with no
-// balancing increment anywhere in the function.
-func (*EscapeChecker) Check(u *cpg.Unit, fn *cpg.Function) []Report {
-	types := varTypes(fn)
-	// Whole-function event view: an inc anywhere (before or after the
-	// escape point — "around", per the paper) forgives the escape.
-	var all []semantics.Event
-	for _, b := range fn.Graph.Blocks {
-		all = append(all, fn.Events.ByBlok[b]...)
-	}
-	incsOf := map[string]bool{}
-	ownedRef := map[string]bool{} // locally acquired references (hidden gets)
-	for _, ev := range all {
-		if ev.Op == semantics.OpInc && ev.Obj != "" {
-			incsOf[semantics.BaseOf(ev.Obj)] = true
-			if ev.Info != nil && ev.Info.ReturnsRef {
-				ownedRef[semantics.BaseOf(ev.Obj)] = true
-			}
-		}
-	}
+// balancing increment anywhere in the function. The whole-function views —
+// the block-ordered event stream, the incremented-base and locally-owned
+// sets — come precomputed from the facts layer.
+func (*EscapeChecker) Check(ff *facts.FunctionFacts) []Report {
+	fn := ff.Fn
+	types := ff.VarTypes
+	// An inc anywhere (before or after the escape point — "around", per the
+	// paper) forgives the escape.
+	incsOf := ff.Data.IncBases
+	ownedRef := ff.Data.OwnedBases // locally acquired references (hidden gets)
+	all := ff.All()
 	var out []Report
 	reported := map[string]bool{}
-	for _, ev := range all {
-		if ev.Op != semantics.OpAssign || ev.EscapesVia == "" {
-			continue
-		}
+	for _, ev := range ff.Escapes() {
 		src := semantics.BaseOf(ev.Obj)
 		// The escaping value must be a counted pointer: declared as a
 		// pointer to a refcounted struct and NOT a locally owned reference
 		// (escaping a locally acquired reference transfers ownership).
-		if !isRefStructVar(u.DB, types, src) || ownedRef[src] {
+		if !isRefStructVar(ff.Unit.DB, types, src) || ownedRef[src] {
 			continue
 		}
 		if incsOf[src] {

@@ -2,33 +2,39 @@ package core
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/cast"
-	"repro/internal/cfg"
 	"repro/internal/cpg"
 	"repro/internal/cpp"
+	"repro/internal/facts"
 	"repro/internal/refsim"
 	"repro/internal/semantics"
 )
 
-// Checker is one anti-pattern detector. Function-scoped checkers receive one
-// function at a time; unit-scoped checkers (P6) receive the whole unit via
-// CheckUnit and return nil from Check.
+// Checker is one anti-pattern detector, written as a query over the shared
+// facts layer. Function-scoped checkers receive one function's immutable
+// FunctionFacts at a time; unit-scoped checkers (P6) receive the whole unit
+// via CheckUnit and return nil from Check.
+//
+// Checkers that own only part of a diagnosis emit candidates tagged with a
+// DeferralReason instead of skipping them inline — the engine's precedence
+// table (precedence.go) drops deferred candidates after collection.
 type Checker interface {
 	ID() Pattern
-	Check(u *cpg.Unit, fn *cpg.Function) []Report
+	Check(ff *facts.FunctionFacts) []Report
 }
 
 // UnitChecker is implemented by checkers that need whole-unit context.
 type UnitChecker interface {
-	CheckUnit(u *cpg.Unit) []Report
+	CheckUnit(uf *facts.UnitFacts) []Report
 }
 
-// Engine runs a checker suite over units.
+// Engine runs a checker suite over units. Engines are built from the pass
+// registry — NewEngine (all registered checkers) or NewEngineFor (a subset)
+// in registry.go.
 type Engine struct {
 	Checkers []Checker
 	// Workers bounds the per-function checking concurrency: 0 means
@@ -40,60 +46,50 @@ type Engine struct {
 	Workers int
 }
 
-// NewEngine returns an engine with all nine checkers in pattern order.
-func NewEngine() *Engine {
-	return &Engine{Checkers: []Checker{
-		&ReturnErrorChecker{}, // P1
-		&ReturnNullChecker{},  // P2
-		&SmartLoopChecker{},   // P3
-		&HiddenRefChecker{},   // P4
-		&ErrorHandleChecker{}, // P5
-		&InterPairedChecker{}, // P6
-		&DirectFreeChecker{},  // P7
-		&UADChecker{},         // P8
-		&EscapeChecker{},      // P9
-	}}
+// CheckUnit computes the unit's facts and runs every checker over them; see
+// CheckUnitFacts for the engine proper.
+func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
+	return e.CheckUnitFacts(facts.NewUnit(u))
 }
 
-// CheckUnit runs every checker over the unit and returns deduplicated,
-// position-sorted reports. Cross-pattern suppression keeps the most specific
-// diagnosis: P1 (deviation) beats P5/P4 on the same (function, object), and
-// P4 beats P5.
-func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
+// CheckUnitFacts runs every checker over the shared facts layer and returns
+// deduplicated, position-sorted reports. Each function's facts are computed
+// exactly once (UnitFacts memoizes under sync.Once) no matter how many
+// checkers or workers consume them. After collection the engine applies the
+// deferral table, then cross-pattern rank suppression: P1 (deviation) beats
+// P5/P4 on the same (function, object), and P4 beats P5.
+func (e *Engine) CheckUnitFacts(uf *facts.UnitFacts) []Report {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Functions with bodies, in name order — the unit of work.
-	var fns []*cpg.Function
-	for _, name := range u.FunctionNames() {
-		if fn := u.Functions[name]; fn.Graph != nil {
-			fns = append(fns, fn)
-		}
-	}
+	// Defined functions in name order — the unit of work.
+	fns := uf.FunctionNames()
 
 	// fnResults[fi][ci] holds checker ci's reports for function fi; each
 	// (function, checker) cell is written by exactly one worker.
 	fnResults := make([][][]Report, len(fns))
 	checkFn := func(fi int) {
+		ff := uf.Function(fns[fi])
 		cell := make([][]Report, len(e.Checkers))
 		for ci, c := range e.Checkers {
 			if _, unit := c.(UnitChecker); unit {
 				continue
 			}
-			cell[ci] = c.Check(u, fns[fi])
+			cell[ci] = c.Check(ff)
 		}
 		fnResults[fi] = cell
 	}
 
 	// Unit-scoped checkers (P6) stay on the coordinating goroutine while
-	// the function queue drains on workers.
+	// the function queue drains on workers; concurrent facts access is
+	// safe because UnitFacts memoizes per function.
 	unitResults := make([][]Report, len(e.Checkers))
 	runUnitScoped := func() {
 		for ci, c := range e.Checkers {
 			if uc, ok := c.(UnitChecker); ok {
-				unitResults[ci] = uc.CheckUnit(u)
+				unitResults[ci] = uc.CheckUnit(uf)
 			}
 		}
 	}
@@ -136,59 +132,7 @@ func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
 			all = append(all, fnResults[fi][ci]...)
 		}
 	}
-	return finalize(all)
-}
-
-// suppression precedence: lower value wins on the same (function, object).
-var precedence = map[Pattern]int{
-	P1: 0, P2: 0, P3: 0, P7: 0, P8: 0, P9: 0, // specific diagnoses
-	P4: 1,
-	P5: 2,
-	P6: 2,
-}
-
-func finalize(reports []Report) []Report {
-	// Exact-duplicate removal.
-	seen := map[string]bool{}
-	var uniq []Report
-	for _, r := range reports {
-		if seen[r.Key()] {
-			continue
-		}
-		seen[r.Key()] = true
-		uniq = append(uniq, r)
-	}
-	// Cross-pattern suppression on (function, object, impact-family).
-	best := map[string]int{}
-	objKey := func(r Report) string { return r.File + "|" + r.Function + "|" + r.Object }
-	for _, r := range uniq {
-		k := objKey(r)
-		p := precedence[r.Pattern]
-		if cur, ok := best[k]; !ok || p < cur {
-			best[k] = p
-		}
-	}
-	var out []Report
-	for _, r := range uniq {
-		if r.Object != "" && precedence[r.Pattern] > best[objKey(r)] {
-			continue
-		}
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pattern != b.Pattern {
-			return a.Pattern < b.Pattern
-		}
-		return a.Object < b.Object
-	})
-	return out
+	return finalize(applyDeferrals(all))
 }
 
 // Options configures the one-call pipeline.
@@ -206,13 +150,20 @@ type Options struct {
 	// means a fresh apidb.New().
 	DB *apidb.DB
 	// Cache enables the incremental analysis cache (unit-level report
-	// reuse plus per-file front-end reuse); nil disables caching.
+	// reuse, per-function facts reuse, per-file front-end reuse); nil
+	// disables caching.
 	Cache *analysiscache.Cache
 	// ConfigFP fingerprints checker configuration that is not derivable
 	// from the sources — e.g. the content of an -apidb extension file. It
 	// is folded into every cache key; callers with differing configs must
 	// pass differing fingerprints (or distinct cache directories).
 	ConfigFP string
+	// Checkers selects a subset of registered checkers by pattern ID; nil
+	// or empty runs every registered checker. The selection is folded into
+	// the unit-level cache key, so subset runs never poison full-run
+	// entries. Unknown patterns panic — CLI callers validate user input
+	// with ParsePatterns first.
+	Checkers []Pattern
 }
 
 // CheckSources is the one-call entry point: build a unit from sources and
@@ -266,41 +217,8 @@ func ConfirmReports(reports []Report, workers int) int {
 
 // --- shared helpers for checkers ---
 
-// blockT and castType abbreviate cfg.Block / cast.Type in checker
-// signatures.
-type (
-	blockT   = cfg.Block
-	castType = cast.Type
-)
-
-// eventsOnPath flattens a path's events in block order, also returning the
-// path index of each event's block (for branch-direction queries).
-func eventsOnPath(fe *semantics.FuncEvents, p cfg.Path) (evs []semantics.Event, blockAt []int) {
-	for i, b := range p {
-		for _, ev := range fe.ByBlok[b] {
-			evs = append(evs, ev)
-			blockAt = append(blockAt, i)
-		}
-	}
-	return evs, blockAt
-}
-
-// varTypes resolves local and parameter declared types for a function.
-func varTypes(fn *cpg.Function) map[string]cast.Type {
-	out := map[string]cast.Type{}
-	for _, p := range fn.Def.Params {
-		out[p.Name] = p.Type
-	}
-	if fn.Def.Body != nil {
-		cast.Walk(fn.Def.Body, func(n cast.Node) bool {
-			if d, ok := n.(*cast.DeclStmt); ok {
-				out[d.Name] = d.Type
-			}
-			return true
-		})
-	}
-	return out
-}
+// castType abbreviates cast.Type in checker signatures.
+type castType = cast.Type
 
 // isRefStructVar reports whether the named variable's declared type is a
 // pointer to a refcounted structure.

@@ -83,6 +83,12 @@ type Report struct {
 
 	// Confirmed is set by dynamic confirmation (refsim replay).
 	Confirmed bool
+
+	// Deferred, when non-empty, marks this report as a candidate another
+	// pattern owns (see the deferral table in precedence.go); the engine
+	// drops tagged candidates after collection, so reports that reach
+	// callers always have it empty.
+	Deferred DeferralReason
 }
 
 // Subsystem returns the top-level tree ("drivers", "net", "arch", ...) the

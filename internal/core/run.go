@@ -5,7 +5,9 @@ import (
 	"encoding/hex"
 	"sort"
 
+	"repro/internal/analysiscache"
 	"repro/internal/cpg"
+	"repro/internal/facts"
 	"repro/internal/semantics"
 )
 
@@ -25,6 +27,12 @@ type CacheStats struct {
 	// UnitHit is true when the whole run was served from the unit-level
 	// report cache (no preprocessing, parsing, or checking happened).
 	UnitHit bool
+	// FactsHit is true when a unit-level miss reused the per-function
+	// facts entry: path enumeration and event normalization were decoded
+	// from disk instead of recomputed, and only the per-pattern queries
+	// ran. This is what makes a -checkers subset run cheap against a cache
+	// warmed by a full run (the two have different unit keys by design).
+	FactsHit bool
 	// FileHits / FileMisses count per-file front-end cache reuse during a
 	// unit-level miss.
 	FileHits   int
@@ -54,13 +62,12 @@ type unitEntry struct {
 	Reports []Report
 }
 
-// unitCacheKey fingerprints everything that can influence the report list:
-// a format version, the caller's checker-config fingerprint, and the full
-// sorted corpus content (sources and headers). Analysis has cross-file
-// dependencies — API discovery and the inter-paired checker read the whole
-// unit — so the unit-level key must cover every file; per-file keys would be
+// corpusFP fingerprints the full sorted corpus content (sources and
+// headers). Analysis has cross-file dependencies — API discovery, the
+// inter-paired checker, and the facts layer read the whole unit — so every
+// unit-scoped cache key must cover every file; per-file keys would be
 // unsound.
-func unitCacheKey(configFP string, sources []cpg.Source, headers map[string]string) string {
+func corpusFP(sources []cpg.Source, headers map[string]string) string {
 	h := sha256.New()
 	add := func(s string) {
 		var n [8]byte
@@ -71,8 +78,6 @@ func unitCacheKey(configFP string, sources []cpg.Source, headers map[string]stri
 		h.Write(n[:])
 		h.Write([]byte(s))
 	}
-	add("unit-v1")
-	add(configFP)
 	sorted := append([]cpg.Source(nil), sources...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
 	for _, s := range sorted {
@@ -91,11 +96,29 @@ func unitCacheKey(configFP string, sources []cpg.Source, headers map[string]stri
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// unitCacheKey fingerprints everything that can influence the report list:
+// a format version, the caller's checker-config fingerprint, the engine's
+// checker selection (so -checkers subset runs never collide with full
+// runs), and the full corpus content.
+func unitCacheKey(configFP, checkersFP, corpus string) string {
+	return analysiscache.KeyOf("unit-v2", configFP, checkersFP, corpus)
+}
+
+// factsCacheKey fingerprints the per-function facts entry. The checker
+// selection is deliberately absent: facts are checker-independent, which is
+// exactly why a subset run can reuse the facts a full run computed (and vice
+// versa) even though their unit-level keys differ.
+func factsCacheKey(configFP, corpus string) string {
+	return analysiscache.KeyOf("facts-v1", configFP, corpus)
+}
+
 // stripWitnessBlocks deep-copies reports with each witness event's CFG block
 // pointer cleared. Blocks form cycles (Succs/Preds), which gob cannot
 // encode, and nothing downstream of finalize reads them — refsim replays on
 // Op/Obj/API/Info, patch generation on Pos — so cached reports round-trip to
-// the same rendered output.
+// the same rendered output. The facts layer already strips blocks from its
+// normalized traces; this remains as a guard for checkers that attach events
+// from elsewhere.
 func stripWitnessBlocks(reports []Report) []Report {
 	out := append([]Report(nil), reports...)
 	for i := range out {
@@ -125,15 +148,26 @@ func summarize(u *cpg.Unit) UnitSummary {
 // CheckSourcesRun is the cache-aware pipeline entry point. With no cache in
 // opt it behaves exactly like CheckSourcesOpts. With opt.Cache set it first
 // consults the unit-level report cache (an unchanged corpus skips the whole
-// pipeline), and on a miss threads the per-file front-end cache through the
-// CPG builder so only changed files are re-preprocessed. Reports are
-// byte-identical across {no cache, cold cache, warm cache, partial hit} at
-// any worker count.
+// pipeline); on a miss it threads the per-file front-end cache through the
+// CPG builder so only changed files are re-preprocessed, and preloads the
+// per-function facts entry so checking skips path enumeration and event
+// normalization. Reports are byte-identical across {no cache, cold cache,
+// warm cache, facts-only hit, partial hit} at any worker count.
 func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Options) *Run {
+	engine, err := NewEngineFor(opt.Checkers)
+	if err != nil {
+		// Programmer error: library callers pass validated selections (CLI
+		// input goes through ParsePatterns first).
+		panic("core: " + err.Error())
+	}
+	engine.Workers = opt.Workers
+
 	run := &Run{}
-	var key string
+	var key, fKey string
 	if opt.Cache != nil {
-		key = unitCacheKey(opt.ConfigFP, sources, headers)
+		corpus := corpusFP(sources, headers)
+		key = unitCacheKey(opt.ConfigFP, engine.patternsFP(), corpus)
+		fKey = factsCacheKey(opt.ConfigFP, corpus)
 		var ent unitEntry
 		if opt.Cache.Get(key, &ent) {
 			run.Reports = ent.Reports
@@ -151,12 +185,22 @@ func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Option
 		b.Headers = newHeaderProvider(headers)
 	}
 	u := b.Build(sources)
-	reports := (&Engine{Checkers: NewEngine().Checkers, Workers: opt.Workers}).CheckUnit(u)
+
+	uf := facts.NewUnit(u)
+	factsHit := false
+	if opt.Cache != nil {
+		var snap map[string]*facts.Data
+		if opt.Cache.Get(fKey, &snap) {
+			factsHit = uf.Preload(snap)
+		}
+	}
+	reports := engine.CheckUnitFacts(uf)
 
 	run.Unit = u
 	run.Reports = reports
 	run.Summary = summarize(u)
 	run.Cache = CacheStats{
+		FactsHit:     factsHit,
 		FileHits:     u.FrontEndCacheHits,
 		FileMisses:   u.FrontEndCacheMisses,
 		FilesSkipped: u.FrontEndCacheHits,
@@ -165,6 +209,12 @@ func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Option
 		// Store before confirmation so the entry is confirmation-agnostic; a
 		// Put failure only costs the next run a recompute.
 		_ = opt.Cache.Put(key, unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)})
+		if !factsHit {
+			// Snapshot forces any still-uncomputed functions (a subset run
+			// with only unit-scoped checkers may not have touched them all)
+			// so the facts entry always covers the whole unit.
+			_ = opt.Cache.Put(fKey, uf.Snapshot())
+		}
 	}
 	if opt.Confirm {
 		ConfirmReports(run.Reports, opt.Workers)

@@ -390,6 +390,19 @@ func (u *Unit) FunctionNames() []string {
 	return names
 }
 
+// DefinedFunctions returns the functions that have bodies (and therefore
+// graphs and event streams), in sorted name order — the unit of work for the
+// facts layer and the checker engine. Prototypes are excluded.
+func (u *Unit) DefinedFunctions() []*Function {
+	var out []*Function
+	for _, name := range u.FunctionNames() {
+		if fn := u.Functions[name]; fn.Graph != nil {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
 // CallbackBindings resolves driver-ops designated initializers against the
 // DB's inter-paired callback table.
 func (u *Unit) CallbackBindings() []CallbackBinding {

@@ -1,0 +1,87 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/analysiscache"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// runOpts analyzes the set with an explicit checker selection.
+func runOpts(ss SourceSet, cache *analysiscache.Cache, checkers []core.Pattern) *core.Run {
+	return core.CheckSourcesRun(ss.Sources, ss.Headers, core.Options{
+		Workers: 1, Confirm: true, Cache: cache, Checkers: checkers,
+	})
+}
+
+// TestCheckerSubsetCacheIsolation proves the two cache-key claims the
+// -checkers flag depends on: subset runs and full runs never share a
+// unit-level entry (no poisoning in either direction), while both share the
+// checker-independent facts entry (a subset run against a full-run cache
+// skips straight to the pattern queries).
+func TestCheckerSubsetCacheIsolation(t *testing.T) {
+	ss := FromCorpus(corpus.Generate(corpus.Spec{Seed: 1}))
+	subset := []core.Pattern{core.P1, core.P4}
+
+	cache, err := analysiscache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncached references for both selections.
+	fullRef := RenderRun(runOpts(ss, nil, nil))
+	subsetRef := RenderRun(runOpts(ss, nil, subset))
+	if fullRef == subsetRef {
+		t.Fatal("fixture too weak: full and subset runs render identically")
+	}
+
+	// Cold full run populates the unit entry and the facts entry.
+	cold := runOpts(ss, cache, nil)
+	if cold.Cache.UnitHit || cold.Cache.FactsHit {
+		t.Fatalf("cold run hit the cache: %+v", cold.Cache)
+	}
+	if got := RenderRun(cold); got != fullRef {
+		t.Fatalf("cold cached run differs from uncached run:\n%s", firstDiff(fullRef, got))
+	}
+
+	// Subset run against the full-run cache: different unit key (miss), same
+	// facts key (hit), byte-identical to the uncached subset run.
+	sub := runOpts(ss, cache, subset)
+	if sub.Cache.UnitHit {
+		t.Fatal("subset run must not reuse the full run's unit entry")
+	}
+	if !sub.Cache.FactsHit {
+		t.Fatal("subset run should reuse the checker-independent facts entry")
+	}
+	if got := RenderRun(sub); got != subsetRef {
+		t.Fatalf("cached subset run differs from uncached subset run:\n%s", firstDiff(subsetRef, got))
+	}
+
+	// The subset run must not have poisoned the full-run entry…
+	warmFull := runOpts(ss, cache, nil)
+	if !warmFull.Cache.UnitHit {
+		t.Fatal("full rerun missed its unit entry after a subset run")
+	}
+	if got := RenderRun(warmFull); got != fullRef {
+		t.Fatalf("warm full run differs from baseline:\n%s", firstDiff(fullRef, got))
+	}
+	// …and the subset run now has its own warm entry.
+	warmSub := runOpts(ss, cache, subset)
+	if !warmSub.Cache.UnitHit {
+		t.Fatal("subset rerun missed its own unit entry")
+	}
+	if got := RenderRun(warmSub); got != subsetRef {
+		t.Fatalf("warm subset run differs from subset baseline:\n%s", firstDiff(subsetRef, got))
+	}
+
+	// Spelling the full selection explicitly is the same engine — and the
+	// same cache entry — as the nil default.
+	explicit := runOpts(ss, cache, core.RegisteredPatterns())
+	if !explicit.Cache.UnitHit {
+		t.Fatal("explicit full selection should share the default selection's unit entry")
+	}
+	if got := RenderRun(explicit); got != fullRef {
+		t.Fatalf("explicit full selection differs from default:\n%s", firstDiff(fullRef, got))
+	}
+}

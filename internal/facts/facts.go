@@ -1,0 +1,332 @@
+// Package facts is the shared analysis-facts layer between the code property
+// graph and the anti-pattern checkers.
+//
+// The nine checkers in internal/core all consume the same underlying facts —
+// per-function refcount event traces, acyclic path enumerations, escape/store
+// sets, and apidb classifications of call sites — but historically each
+// re-derived them with a private CPG walk. This package computes them exactly
+// once per function (UnitFacts memoizes with sync.Once, so the parallel
+// engine gets exactly-once semantics at any worker count) and hands the same
+// immutable FunctionFacts value to every checker.
+//
+// The serializable portion (Data) is fully self-contained: CFG block pointers
+// are stripped, branch directions and error-block reachability are resolved
+// at compute time, so a Data round-trips through gob (the analysiscache
+// facts-entry kind) and reproduces byte-identical reports. Checkers must
+// treat every slice and map reachable from FunctionFacts as read-only.
+package facts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cast"
+	"repro/internal/cpg"
+	"repro/internal/semantics"
+)
+
+// Branch direction of an event along one concrete path (Trace.Branch).
+const (
+	TookUnknown int8 = iota // path ends at the block, or no successors
+	TookTrue
+	TookFalse
+)
+
+// Trace is one acyclic path's normalized event stream: the path's events in
+// block order with every path-dependent question — which branch was taken,
+// whether error handling lies ahead — pre-resolved, so no consumer needs the
+// CFG blocks themselves.
+type Trace struct {
+	// Events holds the path's events in block order, with CFG block
+	// pointers stripped (blocks form cycles gob cannot encode, and the
+	// resolved fields below replace every query that needed them).
+	Events []semantics.Event
+	// BlockAt is the path position of each event's block.
+	BlockAt []int
+	// ErrFrom[k] reports whether the path visits an error-handling block
+	// at or after path position k; the extra index len(path) is always
+	// false, so BlockAt[i]+1 is always a valid strict-after query.
+	ErrFrom []bool
+	// Branch is the branch direction the path takes at each event's block
+	// (meaningful for OpCond events; TookUnknown at path end).
+	Branch []int8
+}
+
+// ErrorAtOrAfter reports whether the path visits an error block at or after
+// event i's block (inclusive).
+func (tr *Trace) ErrorAtOrAfter(i int) bool { return tr.ErrFrom[tr.BlockAt[i]] }
+
+// ErrorAfter reports whether the path visits an error block strictly after
+// event i's block.
+func (tr *Trace) ErrorAfter(i int) bool { return tr.ErrFrom[tr.BlockAt[i]+1] }
+
+// BranchNonNull returns the names known non-NULL after event i's branch on
+// this path (OpCond events; nil otherwise).
+func (tr *Trace) BranchNonNull(i int) []string {
+	switch tr.Branch[i] {
+	case TookTrue:
+		return tr.Events[i].NonNullTrue
+	case TookFalse:
+		return tr.Events[i].NonNullFalse
+	}
+	return nil
+}
+
+// BranchNull returns the names known NULL after event i's branch on this
+// path — the duality of BranchNonNull.
+func (tr *Trace) BranchNull(i int) []string {
+	switch tr.Branch[i] {
+	case TookTrue:
+		return tr.Events[i].NonNullFalse
+	case TookFalse:
+		return tr.Events[i].NonNullTrue
+	}
+	return nil
+}
+
+// Data is the serializable per-function fact set: everything derived from
+// the function's CFG and events that checkers query, in a form that survives
+// a gob round-trip through the analysis cache. Maps and slices are left nil
+// when empty so computed and decoded values are indistinguishable.
+type Data struct {
+	// Traces enumerates the function's bounded acyclic paths
+	// (cfg.Graph.Paths semantics), normalized per Trace.
+	Traces []Trace
+	// All is the whole-function event view in CFG block order, blocks
+	// stripped — the order checkers historically built by walking
+	// Graph.Blocks.
+	All []semantics.Event
+	// DecIdx and EscapeIdx index All: decrement events, and escaping
+	// assignments (OpAssign with EscapesVia set).
+	DecIdx    []int
+	EscapeIdx []int
+	// IncBases are base names incremented anywhere in the function;
+	// OwnedBases is the subset whose increment came from a returns-ref API
+	// (a locally acquired reference).
+	IncBases   map[string]bool
+	OwnedBases map[string]bool
+}
+
+// FunctionFacts is the immutable per-function value handed to every checker:
+// the serializable Data plus cheap recomputed views (declared variable types,
+// parameter set) and back-references into the unit.
+type FunctionFacts struct {
+	Unit *cpg.Unit
+	Fn   *cpg.Function
+	Data *Data
+
+	// VarTypes maps local and parameter names to their declared types.
+	VarTypes map[string]cast.Type
+	// Params is the function's parameter name set.
+	Params map[string]bool
+}
+
+// Traces returns the normalized path traces.
+func (ff *FunctionFacts) Traces() []Trace { return ff.Data.Traces }
+
+// All returns the whole-function event view in block order.
+func (ff *FunctionFacts) All() []semantics.Event { return ff.Data.All }
+
+// Decs returns the function's decrement events in block order.
+func (ff *FunctionFacts) Decs() []semantics.Event {
+	out := make([]semantics.Event, len(ff.Data.DecIdx))
+	for i, di := range ff.Data.DecIdx {
+		out[i] = ff.Data.All[di]
+	}
+	return out
+}
+
+// Escapes returns the function's escaping assignments in block order.
+func (ff *FunctionFacts) Escapes() []semantics.Event {
+	out := make([]semantics.Event, len(ff.Data.EscapeIdx))
+	for i, ei := range ff.Data.EscapeIdx {
+		out[i] = ff.Data.All[ei]
+	}
+	return out
+}
+
+// SmartLoop reports whether the event was injected by a registered smartloop
+// macro (for_each_*-style iterators that hold a reference per iteration).
+func (ff *FunctionFacts) SmartLoop(ev semantics.Event) bool {
+	return ev.FromMacro != "" && ff.Unit.DB.Loop(ev.FromMacro) != nil
+}
+
+// slot memoizes one function's facts; pre holds a cache-preloaded Data that
+// the first Function call adopts instead of computing.
+type slot struct {
+	once sync.Once
+	ff   *FunctionFacts
+	pre  *Data
+}
+
+// UnitFacts owns the lazily computed facts of every defined function in a
+// unit. It is safe for concurrent use: each function's facts are computed
+// exactly once no matter how many checkers or workers ask.
+type UnitFacts struct {
+	Unit *cpg.Unit
+
+	names    []string
+	slots    map[string]*slot
+	computes atomic.Int64
+}
+
+// NewUnit prepares (but does not compute) facts for every defined function.
+func NewUnit(u *cpg.Unit) *UnitFacts {
+	uf := &UnitFacts{Unit: u, slots: map[string]*slot{}}
+	for _, fn := range u.DefinedFunctions() {
+		uf.names = append(uf.names, fn.Def.Name)
+		uf.slots[fn.Def.Name] = &slot{}
+	}
+	return uf
+}
+
+// FunctionNames returns the defined (body-carrying) function names in sorted
+// order — the engine's unit of work.
+func (uf *UnitFacts) FunctionNames() []string { return uf.names }
+
+// Function returns the named function's facts, computing them on first use.
+// It returns nil for prototypes and unknown names.
+func (uf *UnitFacts) Function(name string) *FunctionFacts {
+	s := uf.slots[name]
+	if s == nil {
+		return nil
+	}
+	s.once.Do(func() {
+		fn := uf.Unit.Functions[name]
+		d := s.pre
+		if d == nil {
+			d = computeData(fn)
+			uf.computes.Add(1)
+		}
+		s.ff = &FunctionFacts{
+			Unit:     uf.Unit,
+			Fn:       fn,
+			Data:     d,
+			VarTypes: varTypes(fn),
+			Params:   paramSet(fn),
+		}
+	})
+	return s.ff
+}
+
+// Computes returns how many functions' facts were computed (as opposed to
+// preloaded) so far — the memoization tests assert it equals the defined
+// function count exactly once per unit at any worker count.
+func (uf *UnitFacts) Computes() int64 { return uf.computes.Load() }
+
+// SmartLoop is FunctionFacts.SmartLoop for unit-scoped checkers.
+func (uf *UnitFacts) SmartLoop(ev semantics.Event) bool {
+	return ev.FromMacro != "" && uf.Unit.DB.Loop(ev.FromMacro) != nil
+}
+
+// Preload seeds not-yet-computed slots from a cached snapshot, returning
+// true only when the snapshot covered every defined function. It must be
+// called before checking starts; slots already computed keep their value.
+func (uf *UnitFacts) Preload(snap map[string]*Data) bool {
+	if len(snap) == 0 {
+		return false
+	}
+	complete := true
+	for name, s := range uf.slots {
+		if d := snap[name]; d != nil {
+			s.pre = d
+		} else {
+			complete = false
+		}
+	}
+	return complete
+}
+
+// Snapshot returns every defined function's serializable facts (forcing any
+// not yet computed), keyed by function name — the analysiscache facts entry.
+func (uf *UnitFacts) Snapshot() map[string]*Data {
+	out := make(map[string]*Data, len(uf.names))
+	for _, name := range uf.names {
+		out[name] = uf.Function(name).Data
+	}
+	return out
+}
+
+// computeData derives one function's serializable facts. The trace
+// flattening mirrors the engine's historical per-checker walk exactly: for
+// each path, events in block order with their path positions, branch
+// directions resolved against the successor actually taken, and error-block
+// reachability precomputed as a suffix scan.
+func computeData(fn *cpg.Function) *Data {
+	d := &Data{}
+	for _, p := range fn.Graph.Paths(0) {
+		var tr Trace
+		for bi, b := range p {
+			for _, ev := range fn.Events.ByBlok[b] {
+				br := TookUnknown
+				if bi+1 < len(p) {
+					switch semantics.BranchTaken(ev, p[bi+1]) {
+					case 1:
+						br = TookTrue
+					case -1:
+						br = TookFalse
+					}
+				}
+				ev.Block = nil
+				tr.Events = append(tr.Events, ev)
+				tr.BlockAt = append(tr.BlockAt, bi)
+				tr.Branch = append(tr.Branch, br)
+			}
+		}
+		tr.ErrFrom = make([]bool, len(p)+1)
+		for k := len(p) - 1; k >= 0; k-- {
+			tr.ErrFrom[k] = tr.ErrFrom[k+1] || p[k].IsError
+		}
+		d.Traces = append(d.Traces, tr)
+	}
+	for _, b := range fn.Graph.Blocks {
+		for _, ev := range fn.Events.ByBlok[b] {
+			ev.Block = nil
+			i := len(d.All)
+			switch {
+			case ev.Op == semantics.OpDec:
+				d.DecIdx = append(d.DecIdx, i)
+			case ev.Op == semantics.OpAssign && ev.EscapesVia != "":
+				d.EscapeIdx = append(d.EscapeIdx, i)
+			case ev.Op == semantics.OpInc && ev.Obj != "":
+				base := semantics.BaseOf(ev.Obj)
+				if d.IncBases == nil {
+					d.IncBases = map[string]bool{}
+				}
+				d.IncBases[base] = true
+				if ev.Info != nil && ev.Info.ReturnsRef {
+					if d.OwnedBases == nil {
+						d.OwnedBases = map[string]bool{}
+					}
+					d.OwnedBases[base] = true
+				}
+			}
+			d.All = append(d.All, ev)
+		}
+	}
+	return d
+}
+
+func varTypes(fn *cpg.Function) map[string]cast.Type {
+	out := map[string]cast.Type{}
+	for _, p := range fn.Def.Params {
+		out[p.Name] = p.Type
+	}
+	if fn.Def.Body != nil {
+		cast.Walk(fn.Def.Body, func(n cast.Node) bool {
+			if d, ok := n.(*cast.DeclStmt); ok {
+				out[d.Name] = d.Type
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func paramSet(fn *cpg.Function) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range fn.Def.Params {
+		out[p.Name] = true
+	}
+	return out
+}

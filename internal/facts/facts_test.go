@@ -1,0 +1,202 @@
+package facts_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/cpg"
+	"repro/internal/facts"
+)
+
+// fixture has a hidden-get leak, a paired-error-path function, and a
+// refcount-free function, so traces exercise conditions, error blocks, and
+// the empty case.
+const fixtureSrc = `
+static int f_leak(void)
+{
+	struct device_node *np = of_find_node_by_path("/soc");
+	if (!np)
+		return -ENODEV;
+	use_node(np);
+	return 0;
+}
+
+static int f_err(struct device_node *np)
+{
+	int err;
+	of_node_get(np);
+	err = register_thing(np);
+	if (err)
+		goto fail;
+	of_node_put(np);
+	return 0;
+fail:
+	return err;
+}
+
+static void f_plain(int x)
+{
+	use(x);
+}
+`
+
+func buildFixture(t *testing.T) *cpg.Unit {
+	t.Helper()
+	b := &cpg.Builder{}
+	return b.Build([]cpg.Source{{Path: "drivers/x/fixture.c", Content: fixtureSrc}})
+}
+
+// TestMemoizedExactlyOnce hammers every function slot from many goroutines
+// and asserts each function's facts were computed exactly once and every
+// caller saw the same value. Run with -race this is the engine's
+// exactly-once guarantee at any worker count.
+func TestMemoizedExactlyOnce(t *testing.T) {
+	uf := facts.NewUnit(buildFixture(t))
+	names := uf.FunctionNames()
+	if len(names) != 3 {
+		t.Fatalf("FunctionNames = %v, want 3 defined functions", names)
+	}
+	first := make([]*facts.FunctionFacts, len(names))
+	for i, n := range names {
+		first[i] = uf.Function(n)
+		if first[i] == nil {
+			t.Fatalf("Function(%q) = nil", n)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, n := range names {
+				if ff := uf.Function(n); ff != first[i] {
+					t.Errorf("Function(%q) returned a different value concurrently", n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := uf.Computes(); got != int64(len(names)) {
+		t.Fatalf("Computes = %d, want exactly %d (one per defined function)", got, len(names))
+	}
+	if uf.Function("no_such_function") != nil {
+		t.Fatal("unknown function should yield nil facts")
+	}
+}
+
+// TestTraceSchema checks the structural invariants every checker relies on:
+// parallel slices, stripped CFG blocks, monotone block positions, and the
+// ErrFrom suffix property.
+func TestTraceSchema(t *testing.T) {
+	uf := facts.NewUnit(buildFixture(t))
+	sawError := false
+	for _, name := range uf.FunctionNames() {
+		ff := uf.Function(name)
+		for ti, tr := range ff.Traces() {
+			if len(tr.Events) != len(tr.BlockAt) || len(tr.Events) != len(tr.Branch) {
+				t.Fatalf("%s trace %d: slice lengths diverge (%d events, %d blockAt, %d branch)",
+					name, ti, len(tr.Events), len(tr.BlockAt), len(tr.Branch))
+			}
+			for i, ev := range tr.Events {
+				if ev.Block != nil {
+					t.Fatalf("%s trace %d event %d: CFG block not stripped", name, ti, i)
+				}
+				if i > 0 && tr.BlockAt[i] < tr.BlockAt[i-1] {
+					t.Fatalf("%s trace %d: BlockAt not monotone at %d", name, ti, i)
+				}
+				// ErrorAtOrAfter true whenever ErrorAfter is: the inclusive
+				// query can only add the event's own block.
+				if tr.ErrorAfter(i) && !tr.ErrorAtOrAfter(i) {
+					t.Fatalf("%s trace %d event %d: ErrorAfter without ErrorAtOrAfter", name, ti, i)
+				}
+			}
+			if n := len(tr.ErrFrom); n > 0 && tr.ErrFrom[n-1] {
+				t.Fatalf("%s trace %d: ErrFrom sentinel must be false", name, ti)
+			}
+			for k := 0; k+1 < len(tr.ErrFrom); k++ {
+				if tr.ErrFrom[k+1] && !tr.ErrFrom[k] {
+					t.Fatalf("%s trace %d: ErrFrom not a suffix-or at %d", name, ti, k)
+				}
+				sawError = sawError || tr.ErrFrom[k]
+			}
+		}
+		for _, ev := range ff.All() {
+			if ev.Block != nil {
+				t.Fatalf("%s: All() event carries a CFG block", name)
+			}
+		}
+	}
+	if !sawError {
+		t.Fatal("fixture should produce at least one path through an error block")
+	}
+}
+
+// TestSnapshotGobRoundTrip proves the facts cache entry is faithful: a
+// Snapshot survives gob and a fresh unit preloaded from it serves identical
+// Data without computing anything.
+func TestSnapshotGobRoundTrip(t *testing.T) {
+	u := buildFixture(t)
+	uf := facts.NewUnit(u)
+	snap := uf.Snapshot()
+
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var decoded map[string]*facts.Data
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	for name, d := range snap {
+		want, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(decoded[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s: decoded facts differ from computed:\nwant %s\ngot  %s", name, want, got)
+		}
+	}
+
+	uf2 := facts.NewUnit(u)
+	if !uf2.Preload(decoded) {
+		t.Fatal("Preload of a complete snapshot should report true")
+	}
+	for _, name := range uf2.FunctionNames() {
+		if uf2.Function(name).Data != decoded[name] {
+			t.Fatalf("%s: preloaded slot did not adopt the snapshot Data", name)
+		}
+	}
+	if got := uf2.Computes(); got != 0 {
+		t.Fatalf("Computes after full preload = %d, want 0", got)
+	}
+}
+
+// TestPreloadIncomplete: a snapshot missing any function must not count as a
+// facts hit (the missing function would silently recompute and the cache
+// stats would lie).
+func TestPreloadIncomplete(t *testing.T) {
+	u := buildFixture(t)
+	snap := facts.NewUnit(u).Snapshot()
+	delete(snap, "f_plain")
+
+	uf := facts.NewUnit(u)
+	if uf.Preload(snap) {
+		t.Fatal("Preload of an incomplete snapshot should report false")
+	}
+	if uf.Function("f_plain") == nil {
+		t.Fatal("missing function must still compute on demand")
+	}
+	if got := uf.Computes(); got != 1 {
+		t.Fatalf("Computes = %d, want 1 (only the missing function)", got)
+	}
+	if uf2 := facts.NewUnit(u); uf2.Preload(nil) {
+		t.Fatal("Preload(nil) should report false")
+	}
+}

@@ -158,6 +158,25 @@ func BaseOf(key string) string {
 	return key
 }
 
+// BranchTaken resolves a condition event against the successor block a path
+// actually takes: +1 when the path follows the true branch, -1 for the false
+// branch, 0 when unresolvable (path ends at the block, or it has no
+// successors). next is the block following the event's block on the path
+// (nil at path end), and the event must still carry its Block pointer —
+// internal/facts resolves branches at compute time, before it strips blocks
+// from the normalized traces. The NULL-duality (`if (!p)` puts p in
+// NonNullFalse, so the true branch means p is NULL) is applied by the
+// facts-layer accessors over the resolved direction.
+func BranchTaken(ev Event, next *cfg.Block) int {
+	if next == nil || ev.Block == nil || len(ev.Block.Succs) == 0 {
+		return 0
+	}
+	if next == ev.Block.Succs[0] {
+		return 1
+	}
+	return -1
+}
+
 func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Event {
 	var evs []Event
 	origin := s.MacroOrigin()

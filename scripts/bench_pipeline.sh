@@ -1,7 +1,8 @@
 #!/bin/sh
-# bench_pipeline.sh — run the parallel-pipeline benchmark sweep plus the
-# incremental-cache cold/warm pair and emit BENCH_pipeline.json so successive
-# PRs can track the perf trajectory.
+# bench_pipeline.sh — run the parallel-pipeline benchmark sweep, the
+# incremental-cache cold/warm pair, and the checker-phase timing (facts-cold
+# vs facts-warm on a prebuilt unit) and emit BENCH_pipeline.json so
+# successive PRs can track the perf trajectory.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -15,7 +16,9 @@
 #                "iters":5,"ns_per_op":1.6e8,"mb_per_s":1.0,
 #                "bytes_per_op":9.0e7,"allocs_per_op":280000,"reports":357},
 #               {"benchmark":"BenchmarkPipelineCache","name":"warm",
-#                "iters":5,"ns_per_op":7.8e6,"unit_hit_rate":1.0,...}, ...]}
+#                "iters":5,"ns_per_op":7.8e6,"unit_hit_rate":1.0,...},
+#               {"benchmark":"BenchmarkCheckerPhase","name":"facts-warm",
+#                "iters":5,"ns_per_op":1.1e7,"reports":357,...}, ...]}
 set -e
 cd "$(dirname "$0")/.."
 
@@ -24,12 +27,12 @@ BENCHTIME="${BENCHTIME:-5x}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache)$' \
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkCheckerPhase)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^Benchmark(PipelineParallel|PipelineCache)\// {
+/^Benchmark(PipelineParallel|PipelineCache|CheckerPhase)\// {
     bench = $1
     sub(/\/.*$/, "", bench)
     name = $1

@@ -1,10 +1,17 @@
 #!/bin/sh
-# verify.sh — the tier-1 gate: vet, build, and the full test suite, then the
-# suite again under the race detector (the pipeline is parallel by default,
-# so a data race is a correctness bug, not a flake).
-# Run before every commit; CI runs the same four commands.
+# verify.sh — the tier-1 gate: format check, vet, build, and the full test
+# suite, then the suite again under the race detector (the pipeline is
+# parallel by default, so a data race is a correctness bug, not a flake).
+# Run before every commit; CI runs the same commands.
 set -e
 cd "$(dirname "$0")/.."
+
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go build ./...
