@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -22,10 +23,23 @@ import (
 	"repro/internal/facts"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/refsim"
 	"repro/internal/study"
 	"repro/internal/word2vec"
 )
+
+// benchAnalyze runs the pipeline with a trace attached (so cache benchmarks
+// can read hit metrics), failing the benchmark on error.
+func benchAnalyze(b *testing.B, sources []cpg.Source, headers map[string]string, opt core.Options) *core.Run {
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: sources, Headers: headers, Options: opt, Trace: obs.New("bench"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
 
 // Shared fixtures: the benchmarked pipelines are deterministic, so heavyweight
 // inputs are built once and reused across iterations; per-iteration work is
@@ -356,10 +370,11 @@ func BenchmarkPipelineParallel(b *testing.B) {
 			b.ReportAllocs()
 			var reports []core.Report
 			for i := 0; i < b.N; i++ {
-				_, reports = core.CheckSourcesOpts(sources, headers, core.Options{
+				run := benchAnalyze(b, sources, headers, core.Options{
 					Workers: workers,
 					Confirm: true,
 				})
+				reports = run.Reports
 			}
 			b.ReportMetric(float64(len(reports)), "reports")
 			b.ReportMetric(float64(workers), "workers")
@@ -399,9 +414,9 @@ func BenchmarkPipelineCache(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.StartTimer()
-			run := core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true})
+			run := benchAnalyze(b, sources, headers, core.Options{Cache: cache, Confirm: true})
 			b.StopTimer()
-			if run.Cache.UnitHit {
+			if run.Metric("cache.unit.hit") > 0 {
 				hits++
 			}
 			os.RemoveAll(dir)
@@ -420,15 +435,15 @@ func BenchmarkPipelineCache(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true}) // populate
+		benchAnalyze(b, sources, headers, core.Options{Cache: cache, Confirm: true}) // populate
 		b.SetBytes(int64(bytes))
 		b.ReportAllocs()
 		b.ResetTimer()
 		hits := 0
 		var reports []core.Report
 		for i := 0; i < b.N; i++ {
-			run := core.CheckSourcesRun(sources, headers, core.Options{Cache: cache, Confirm: true})
-			if run.Cache.UnitHit {
+			run := benchAnalyze(b, sources, headers, core.Options{Cache: cache, Confirm: true})
+			if run.Metric("cache.unit.hit") > 0 {
 				hits++
 			}
 			reports = run.Reports
@@ -436,6 +451,45 @@ func BenchmarkPipelineCache(b *testing.B) {
 		b.ReportMetric(float64(hits)/float64(b.N), "unit_hit_rate")
 		b.ReportMetric(float64(len(reports)), "reports")
 	})
+}
+
+// BenchmarkPipelineObs measures the observability tax on the full pipeline:
+// "off" runs untraced (obs.Nop(); every span/counter call is a nil-receiver
+// no-op), "on" runs with a live trace recording every span and counter in
+// the catalog. The PR-5 budget is <5% overhead for "off" relative to the
+// pre-obs pipeline and the on/off gap stays small because span creation is
+// per-TU/per-function, not per-token. scripts/bench_pipeline.sh records both
+// in BENCH_pipeline.json so the tax is tracked release over release.
+func BenchmarkPipelineObs(b *testing.B) {
+	c, sources := kernelCorpus()
+	bytes := 0
+	for _, f := range c.Files {
+		bytes += len(f.Content)
+	}
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+	opt := core.Options{Confirm: true}
+
+	run := func(b *testing.B, tr func() *obs.Trace) {
+		b.SetBytes(int64(bytes))
+		b.ReportAllocs()
+		var reports []core.Report
+		for i := 0; i < b.N; i++ {
+			r, err := core.Analyze(context.Background(), core.Request{
+				Sources: sources, Headers: headers, Options: opt, Trace: tr(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reports = r.Reports
+		}
+		b.ReportMetric(float64(len(reports)), "reports")
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, obs.Nop) })
+	b.Run("on", func(b *testing.B) { run(b, func() *obs.Trace { return obs.New("bench") }) })
 }
 
 // BenchmarkCheckerPhase isolates the checking phase from the front end on a

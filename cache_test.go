@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/analysiscache"
 	"repro/internal/core"
 	"repro/internal/cpg"
+	"repro/internal/obs"
 )
 
 // renderRun canonicalizes everything a run reports — rendered diagnostics,
@@ -53,7 +55,13 @@ func runWithCache(t *testing.T, sources []cpg.Source, headers map[string]string,
 		}
 		opt.Cache = c
 	}
-	return core.CheckSourcesRun(sources, headers, opt)
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: sources, Headers: headers, Options: opt, Trace: obs.New("cache-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
 }
 
 // TestCacheDeterminismMatrix is the PR's central guarantee: rendered reports
@@ -73,16 +81,16 @@ func TestCacheDeterminismMatrix(t *testing.T) {
 		}
 		dir := t.TempDir()
 		cold := runWithCache(t, sources, headers, workers, dir)
-		if cold.Cache.UnitHit {
+		if cold.Metric("cache.unit.hit") != 0 {
 			t.Errorf("workers=%d: cold run claims a unit hit", workers)
 		}
 		if got := renderRun(cold); got != base {
 			t.Errorf("workers=%d cold-cache differs from baseline", workers)
 		}
 		warm := runWithCache(t, sources, headers, workers, dir)
-		if !warm.Cache.UnitHit || warm.Cache.FilesSkipped != len(sources) {
-			t.Errorf("workers=%d: warm run stats %+v, want a full unit hit over %d files",
-				workers, warm.Cache, len(sources))
+		if warm.Metric("cache.unit.hit") != 1 || warm.Metric("pipeline.files_skipped") != int64(len(sources)) {
+			t.Errorf("workers=%d: warm run hit=%d skipped=%d, want a full unit hit over %d files",
+				workers, warm.Metric("cache.unit.hit"), warm.Metric("pipeline.files_skipped"), len(sources))
 		}
 		if got := renderRun(warm); got != base {
 			t.Errorf("workers=%d warm-cache differs from baseline", workers)
@@ -106,11 +114,12 @@ func TestCacheOneFileInvalidation(t *testing.T) {
 
 	want := renderRun(runWithCache(t, edited, headers, 1, ""))
 	got := runWithCache(t, edited, headers, 8, dir)
-	if got.Cache.UnitHit {
+	if got.Metric("cache.unit.hit") != 0 {
 		t.Fatal("edited corpus must miss the unit cache")
 	}
-	if got.Cache.FileMisses != 1 || got.Cache.FileHits != len(sources)-1 {
-		t.Errorf("front-end stats %+v, want exactly 1 miss and %d hits", got.Cache, len(sources)-1)
+	if got.Metric("frontend.cache.miss") != 1 || got.Metric("frontend.cache.hit") != int64(len(sources)-1) {
+		t.Errorf("front-end stats hit=%d miss=%d, want exactly 1 miss and %d hits",
+			got.Metric("frontend.cache.hit"), got.Metric("frontend.cache.miss"), len(sources)-1)
 	}
 	if renderRun(got) != want {
 		t.Error("partially-invalidated cached run differs from uncached run over the edited corpus")
@@ -118,7 +127,7 @@ func TestCacheOneFileInvalidation(t *testing.T) {
 
 	// The edited corpus is now cached too; the original corpus entry must
 	// still be intact (keys are content-addressed, not per-path slots).
-	if again := runWithCache(t, sources, headers, 8, dir); !again.Cache.UnitHit {
+	if again := runWithCache(t, sources, headers, 8, dir); again.Metric("cache.unit.hit") != 1 {
 		t.Error("original corpus entry was clobbered by the edited run")
 	}
 }
@@ -151,15 +160,19 @@ func TestCacheCorruptionFallsBack(t *testing.T) {
 	}
 
 	run := runWithCache(t, sources, headers, 8, dir)
-	if run.Cache.UnitHit || run.Cache.FileHits != 0 {
-		t.Errorf("corrupt cache produced hits: %+v", run.Cache)
+	if run.Metric("cache.unit.hit") != 0 || run.Metric("frontend.cache.hit") != 0 {
+		t.Errorf("corrupt cache produced hits: unit=%d frontend=%d",
+			run.Metric("cache.unit.hit"), run.Metric("frontend.cache.hit"))
+	}
+	if run.Metric("cache.read.corrupt") == 0 {
+		t.Error("corrupt entries were read but cache.read.corrupt is zero")
 	}
 	if renderRun(run) != base {
 		t.Error("corrupt-cache run differs from baseline")
 	}
 
 	// The rewritten entries must be valid again.
-	if again := runWithCache(t, sources, headers, 8, dir); !again.Cache.UnitHit {
+	if again := runWithCache(t, sources, headers, 8, dir); again.Metric("cache.unit.hit") != 1 {
 		t.Error("cache did not repair itself after corruption")
 	}
 }
@@ -173,16 +186,24 @@ func TestCacheConfigFingerprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-a"})
-	if a.Cache.UnitHit {
+	runFP := func(fp string) *core.Run {
+		run, err := core.Analyze(context.Background(), core.Request{
+			Sources: sources, Headers: headers,
+			Options: core.Options{Workers: 8, Cache: cache, ConfigFP: fp},
+			Trace:   obs.New("cache-test"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	if a := runFP("cfg-a"); a.Metric("cache.unit.hit") != 0 {
 		t.Fatal("first run cannot hit")
 	}
-	b := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-b"})
-	if b.Cache.UnitHit {
+	if b := runFP("cfg-b"); b.Metric("cache.unit.hit") != 0 {
 		t.Error("different ConfigFP must not share unit entries")
 	}
-	c := core.CheckSourcesRun(sources, headers, core.Options{Workers: 8, Cache: cache, ConfigFP: "cfg-a"})
-	if !c.Cache.UnitHit {
+	if c := runFP("cfg-a"); c.Metric("cache.unit.hit") != 1 {
 		t.Error("same ConfigFP must hit the warm entry")
 	}
 }

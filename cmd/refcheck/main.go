@@ -11,15 +11,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/analysiscache"
@@ -29,6 +35,7 @@ import (
 	"repro/internal/cpg"
 	"repro/internal/difftest"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/patch"
 	"repro/internal/poc"
 )
@@ -49,7 +56,18 @@ func main() {
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after analysis) to this file")
+	statsJSON := flag.String("stats-json", "", "write the run's span/counter statistics as JSON to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
+	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the lifetime of the run")
 	flag.Parse()
+
+	if *pprofHTTP != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofHTTP, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "refcheck: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	if *dumpAPIDB {
 		if err := apidb.New().SaveExtensions(os.Stdout); err != nil {
@@ -63,8 +81,15 @@ func main() {
 		// With -json the recomputed scores are printed as the
 		// machine-readable quality ledger (scripts/difftest.sh captures it
 		// as BENCH_quality.json); either way drift from the embedded golden
-		// artifacts is a non-zero exit.
-		if err := difftest.Selftest(os.Stdout, *asJSON); err != nil {
+		// artifacts is a non-zero exit. A trace may be attached, proving
+		// the golden artifacts are identical with observability enabled.
+		tr := obs.Nop()
+		if *traceOut != "" || *statsJSON != "" || *verbose {
+			tr = obs.New("refcheck-selftest")
+		}
+		err := difftest.SelftestTrace(os.Stdout, *asJSON, tr)
+		exportObs(tr, *verbose, *statsJSON, *traceOut)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
 		}
@@ -142,10 +167,39 @@ func main() {
 		}
 	}
 
+	// Observability costs nothing when disabled, so the trace is created
+	// only when some consumer (-v, -stats-json, -trace-out) wants it.
+	tr := obs.Nop()
+	if *verbose || *statsJSON != "" || *traceOut != "" {
+		tr = obs.New("refcheck")
+	}
+
+	// Interrupts cancel the pipeline at the next phase or work-queue
+	// boundary: the workers drain, and the partial run is discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	run := core.CheckSourcesRun(sources, headers, opt)
-	reports := run.Reports
+	run, err := core.Analyze(ctx, core.Request{
+		Sources: sources, Headers: headers, Options: opt, Trace: tr,
+	})
 	elapsed := time.Since(start)
+	tr.Done()
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrUnknownPattern):
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			fmt.Fprintln(os.Stderr, "usage: refcheck -checkers P1,P4 ...")
+			os.Exit(2)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "refcheck: interrupted")
+			os.Exit(130)
+		default:
+			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	reports := run.Reports
 
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -169,19 +223,21 @@ func main() {
 			len(sources), elapsed.Round(time.Millisecond),
 			float64(len(sources))/elapsed.Seconds(), *workers)
 		if opt.Cache != nil {
-			cs := run.Cache
-			if cs.UnitHit {
-				fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n", cs.FilesSkipped)
+			if run.Metric("cache.unit.hit") > 0 {
+				fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n",
+					run.Metric("pipeline.files_skipped"))
 			} else {
 				factsState := "miss"
-				if cs.FactsHit {
+				if run.Metric("cache.facts.hit") > 0 {
 					factsState = "hit"
 				}
 				fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; facts %s; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
-					factsState, cs.FileHits, cs.FileMisses, cs.FilesSkipped)
+					factsState, run.Metric("frontend.cache.hit"), run.Metric("frontend.cache.miss"),
+					run.Metric("frontend.cache.hit"))
 			}
 		}
 	}
+	exportObs(tr, *verbose, *statsJSON, *traceOut)
 
 	if *pattern != "" {
 		var filtered []core.Report
@@ -303,4 +359,41 @@ func main() {
 	fmt.Printf("analyzed %d files, %d functions (discovered: %d structs, %d APIs, %d smartloops)\n",
 		run.Summary.Files, run.Summary.Functions,
 		run.Summary.DiscoveredStructs, run.Summary.DiscoveredAPIs, run.Summary.DiscoveredLoops)
+}
+
+// exportObs drains a finished trace to the configured sinks: a human phase +
+// metric summary on stderr (-v), span/counter statistics as JSON
+// (-stats-json), and a Chrome trace-event file (-trace-out). All three are
+// no-ops on an obs.Nop() trace.
+func exportObs(tr *obs.Trace, verbose bool, statsJSON, traceOut string) {
+	tr.Done()
+	if verbose {
+		obs.WriteSummary(os.Stderr, tr)
+	}
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err == nil {
+			err = obs.WriteStatsJSON(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: stats-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: trace-out: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

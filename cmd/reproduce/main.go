@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/cpg"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
+	"repro/internal/obs"
 	"repro/internal/study"
 	"repro/internal/word2vec"
 )
@@ -30,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 0, "detection-pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory for the detection pipeline (results are identical with or without it)")
 	checkersFlag := flag.String("checkers", "", "comma-separated checker subset for the detection pipeline (e.g. P1,P4); default: all registered checkers")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the detection pipeline to FILE (load in Perfetto / chrome://tracing)")
 	flag.Parse()
 
 	selected, err := core.ParsePatterns(*checkersFlag)
@@ -150,7 +153,31 @@ func main() {
 		}
 		opt.Cache = cache
 	}
-	run := core.CheckSourcesRun(sources, c.Headers, opt)
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.New("reproduce")
+	}
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: sources, Headers: c.Headers, Options: opt, Trace: tr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
+	}
+	if *traceOut != "" {
+		tr.Done()
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			err = obs.WriteChromeTrace(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	reports := run.Reports
 	nb := study.EvaluateNewBugsWorkers(c, reports, *workers)
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -29,10 +30,13 @@ struct nvmem_device *__nvmem_device_get(void *data)
 
 func main() {
 	sources := []cpg.Source{{Path: "drivers/nvmem/core.c", Content: listing1}}
-	unit, reports := core.CheckSources(sources, nil)
+	run, err := core.Analyze(context.Background(), core.Request{Sources: sources})
+	if err != nil {
+		panic(err)
+	}
 
-	fmt.Printf("analyzed %d function(s); %d report(s):\n\n", len(unit.Functions), len(reports))
-	for _, r := range reports {
+	fmt.Printf("analyzed %d function(s); %d report(s):\n\n", len(run.Unit.Functions), len(run.Reports))
+	for _, r := range run.Reports {
 		fmt.Printf("%s\n", r.String())
 		fmt.Printf("  anti-pattern: %s   impact: %s   object: %s\n", r.Pattern, r.Impact, r.Object)
 		fmt.Printf("  suggestion:   %s\n\n", strings.ReplaceAll(r.Suggestion, "\n", " "))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -35,8 +36,13 @@ void ping_unhash(struct sock *sk)
 
 func demo(title, src string) {
 	fmt.Printf("== %s ==\n", title)
-	_, reports := core.CheckSources([]cpg.Source{{Path: "demo.c", Content: src}}, nil)
-	for _, r := range reports {
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "demo.c", Content: src}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range run.Reports {
 		if r.Pattern != core.P8 {
 			continue
 		}

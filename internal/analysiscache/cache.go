@@ -10,23 +10,37 @@
 // The cache is defensive by construction: any read error, decode error,
 // truncated file, or corrupt payload is reported as a miss, and the caller
 // falls back to full re-analysis. A broken cache can cost time, never
-// correctness.
+// correctness. Load distinguishes the failure modes for observability and
+// error handling — a missing entry wraps fs.ErrNotExist, a present-but-
+// undecodable entry wraps ErrCorrupt — while Get collapses both to a boolean
+// miss.
 package analysiscache
 
 import (
 	"crypto/sha256"
 	"encoding/gob"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
+
+// ErrCorrupt is the sentinel wrapped by Load when an entry exists on disk
+// but cannot be decoded (truncated write, bit rot, gob schema drift).
+// Callers distinguish it from a plain miss with errors.Is; the cache itself
+// always degrades a corrupt entry to a miss.
+var ErrCorrupt = errors.New("analysiscache: corrupt entry")
 
 // Cache is a directory of gob-encoded entries, safe for concurrent use by
 // multiple goroutines (and, because writes are atomic renames, by multiple
 // processes sharing the directory).
 type Cache struct {
 	dir string
+	reg *obs.Registry
 }
 
 // Open prepares dir as a cache root, creating it if needed.
@@ -40,28 +54,64 @@ func Open(dir string) (*Cache, error) {
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
+// WithRegistry returns a view of the cache that counts every read and write
+// into reg (cache.read.hit / cache.read.miss / cache.read.corrupt /
+// cache.write / cache.write.error). The receiver is not mutated, so one
+// shared cache directory can serve traced and untraced runs concurrently.
+func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
+	return &Cache{dir: c.dir, reg: reg}
+}
+
 // path shards entries by the first key byte to keep directories small.
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key[:2], key+".gob")
 }
 
-// Get decodes the entry for key into v. Any failure — missing file, short
-// read, gob mismatch — is a miss.
-func (c *Cache) Get(key string, v any) bool {
+// Load decodes the entry for key into v. A missing (or unreadable) entry
+// returns an error wrapping fs.ErrNotExist; an entry that exists but fails
+// to decode returns an error wrapping ErrCorrupt. Both are misses to Get.
+func (c *Cache) Load(key string, v any) error {
 	if len(key) < 2 {
-		return false
+		c.reg.Add("cache.read.miss", 1)
+		return fmt.Errorf("analysiscache: short key %q: %w", key, fs.ErrNotExist)
 	}
 	f, err := os.Open(c.path(key))
 	if err != nil {
-		return false
+		c.reg.Add("cache.read.miss", 1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("analysiscache: %w", err)
+		}
+		// Unreadable-but-present (permissions, I/O error) still reads as
+		// not-found to callers: the entry cannot be served.
+		return fmt.Errorf("analysiscache: %v: %w", err, fs.ErrNotExist)
 	}
 	defer f.Close()
-	return gob.NewDecoder(f).Decode(v) == nil
+	if err := gob.NewDecoder(f).Decode(v); err != nil {
+		c.reg.Add("cache.read.corrupt", 1)
+		return fmt.Errorf("%w: key %s…: %v", ErrCorrupt, key[:8], err)
+	}
+	c.reg.Add("cache.read.hit", 1)
+	return nil
+}
+
+// Get decodes the entry for key into v. Any failure — missing file, short
+// read, gob mismatch — is a miss.
+func (c *Cache) Get(key string, v any) bool {
+	return c.Load(key, v) == nil
 }
 
 // Put stores v under key. The entry is written to a temp file and renamed
 // into place, so concurrent readers never observe a partial entry.
 func (c *Cache) Put(key string, v any) error {
+	if err := c.put(key, v); err != nil {
+		c.reg.Add("cache.write.error", 1)
+		return err
+	}
+	c.reg.Add("cache.write", 1)
+	return nil
+}
+
+func (c *Cache) put(key string, v any) error {
 	if len(key) < 2 {
 		return fmt.Errorf("analysiscache: short key %q", key)
 	}

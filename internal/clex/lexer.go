@@ -1,12 +1,28 @@
 package clex
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Config controls optional token retention. The preprocessor needs newlines
 // (directives are line-oriented); the parser does not.
 type Config struct {
 	KeepComments bool
 	KeepNewlines bool
+	// Stats, when non-nil, accumulates lexer work counters (tokens and
+	// diagnostics produced). Purely observational: it never changes the
+	// token stream.
+	Stats *Stats
+}
+
+// Stats counts lexer work across Tokenize calls. Fields are atomic so one
+// Stats value can be shared by every worker of a parallel front end; the
+// totals are deterministic at any worker count because the set of buffers
+// lexed is.
+type Stats struct {
+	Tokens atomic.Int64
+	Errors atomic.Int64
 }
 
 // Lexer tokenizes a single source buffer.
@@ -40,6 +56,10 @@ func Tokenize(file, src string, cfg Config) ([]Token, []error) {
 	for {
 		t := l.Next()
 		if t.Kind == EOF {
+			if cfg.Stats != nil {
+				cfg.Stats.Tokens.Add(int64(len(toks)))
+				cfg.Stats.Errors.Add(int64(len(l.errs)))
+			}
 			return toks, l.errs
 		}
 		toks = append(toks, t)

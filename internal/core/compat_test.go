@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestDeprecatedEntryPointsMatchAnalyze is the one compatibility test for the
+// pre-Analyze API surface. CheckSources, CheckSourcesOpts, and
+// CheckSourcesRun are kept as thin wrappers for out-of-tree callers; this
+// pins that they keep producing exactly what Analyze produces, so the
+// wrappers can never drift from the real entry point.
+func TestDeprecatedEntryPointsMatchAnalyze(t *testing.T) {
+	sources, headers := parallelSources()
+	opt := Options{Workers: 2, Confirm: true}
+
+	want, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers, Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Reports) == 0 {
+		t.Fatal("baseline Analyze produced no reports")
+	}
+
+	run := CheckSourcesRun(sources, headers, opt)
+	if !reflect.DeepEqual(run.Reports, want.Reports) {
+		t.Error("CheckSourcesRun reports differ from Analyze")
+	}
+	if run.Summary != want.Summary {
+		t.Errorf("CheckSourcesRun summary %+v, want %+v", run.Summary, want.Summary)
+	}
+
+	u, reports := CheckSourcesOpts(sources, headers, opt)
+	if !reflect.DeepEqual(reports, want.Reports) {
+		t.Error("CheckSourcesOpts reports differ from Analyze")
+	}
+	if len(u.Functions) != len(want.Unit.Functions) {
+		t.Errorf("CheckSourcesOpts unit has %d functions, Analyze %d",
+			len(u.Functions), len(want.Unit.Functions))
+	}
+
+	// CheckSources uses default options (no confirmation), so compare
+	// against an unconfirmed Analyze run.
+	plain, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reports = CheckSources(sources, headers)
+	if !reflect.DeepEqual(reports, plain.Reports) {
+		t.Error("CheckSources reports differ from Analyze with default options")
+	}
+}

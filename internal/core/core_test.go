@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,8 +11,13 @@ import (
 // check runs the full engine over one source file at the given path.
 func check(t *testing.T, path, src string) []Report {
 	t.Helper()
-	_, reports := CheckSources([]cpg.Source{{Path: path, Content: src}}, nil)
-	return reports
+	run, err := Analyze(context.Background(), Request{
+		Sources: []cpg.Source{{Path: path, Content: src}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Reports
 }
 
 func withPattern(reports []Report, p Pattern) []Report {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cpg"
 	"repro/internal/cpp"
 	"repro/internal/facts"
+	"repro/internal/obs"
 	"repro/internal/refsim"
 	"repro/internal/semantics"
 )
@@ -44,6 +46,11 @@ type Engine struct {
 	// sequential (checker-major, function-name) order before finalize, so
 	// the report list is byte-identical at any worker count.
 	Workers int
+	// Obs, when non-nil, is the parent span the engine hangs per-function
+	// "fn" spans and checker counters off (checker.functions, reports.total,
+	// reports.<pattern>, deferrals.<pattern>.<reason>). Nil disables at
+	// effectively zero cost; reports are byte-identical either way.
+	Obs *obs.Span
 }
 
 // CheckUnit computes the unit's facts and runs every checker over them; see
@@ -53,33 +60,50 @@ func (e *Engine) CheckUnit(u *cpg.Unit) []Report {
 }
 
 // CheckUnitFacts runs every checker over the shared facts layer and returns
-// deduplicated, position-sorted reports. Each function's facts are computed
-// exactly once (UnitFacts memoizes under sync.Once) no matter how many
-// checkers or workers consume them. After collection the engine applies the
-// deferral table, then cross-pattern rank suppression: P1 (deviation) beats
-// P5/P4 on the same (function, object), and P4 beats P5.
+// deduplicated, position-sorted reports. It is CheckUnitFactsContext with a
+// background context.
 func (e *Engine) CheckUnitFacts(uf *facts.UnitFacts) []Report {
+	return e.CheckUnitFactsContext(context.Background(), uf)
+}
+
+// CheckUnitFactsContext runs every checker over the shared facts layer and
+// returns deduplicated, position-sorted reports. Each function's facts are
+// computed exactly once (UnitFacts memoizes under sync.Once) no matter how
+// many checkers or workers consume them. After collection the engine applies
+// the deferral table, then cross-pattern rank suppression: P1 (deviation)
+// beats P5/P4 on the same (function, object), and P4 beats P5.
+//
+// When ctx is cancelled mid-check the work queue drains cleanly and the
+// return covers only the functions checked before cancellation; callers that
+// must distinguish a partial result check ctx.Err().
+func (e *Engine) CheckUnitFactsContext(ctx context.Context, uf *facts.UnitFacts) []Report {
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	reg := e.Obs.Reg()
 
 	// Defined functions in name order — the unit of work.
 	fns := uf.FunctionNames()
 
 	// fnResults[fi][ci] holds checker ci's reports for function fi; each
-	// (function, checker) cell is written by exactly one worker.
+	// (function, checker) cell is written by exactly one worker. A nil cell
+	// marks a function skipped by cancellation.
 	fnResults := make([][][]Report, len(fns))
 	checkFn := func(fi int) {
+		sp := e.Obs.Child("fn").Str("name", fns[fi])
 		ff := uf.Function(fns[fi])
 		cell := make([][]Report, len(e.Checkers))
+		found := 0
 		for ci, c := range e.Checkers {
 			if _, unit := c.(UnitChecker); unit {
 				continue
 			}
 			cell[ci] = c.Check(ff)
+			found += len(cell[ci])
 		}
 		fnResults[fi] = cell
+		sp.Int("candidates", found).End()
 	}
 
 	// Unit-scoped checkers (P6) stay on the coordinating goroutine while
@@ -89,11 +113,14 @@ func (e *Engine) CheckUnitFacts(uf *facts.UnitFacts) []Report {
 	runUnitScoped := func() {
 		for ci, c := range e.Checkers {
 			if uc, ok := c.(UnitChecker); ok {
+				sp := e.Obs.Child("pass").Str("pattern", string(c.ID()))
 				unitResults[ci] = uc.CheckUnit(uf)
+				sp.Int("candidates", len(unitResults[ci])).End()
 			}
 		}
 	}
 
+	checked := 0
 	if workers > 1 && len(fns) > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan int)
@@ -107,15 +134,25 @@ func (e *Engine) CheckUnitFacts(uf *facts.UnitFacts) []Report {
 			}()
 		}
 		runUnitScoped()
+	feed:
 		for fi := range fns {
-			jobs <- fi
+			select {
+			case jobs <- fi:
+				checked++
+			case <-ctx.Done():
+				break feed
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	} else {
 		runUnitScoped()
 		for fi := range fns {
+			if ctx.Err() != nil {
+				break
+			}
 			checkFn(fi)
+			checked++
 		}
 	}
 
@@ -129,10 +166,21 @@ func (e *Engine) CheckUnitFacts(uf *facts.UnitFacts) []Report {
 			continue
 		}
 		for fi := range fns {
+			if fnResults[fi] == nil {
+				continue
+			}
 			all = append(all, fnResults[fi][ci]...)
 		}
 	}
-	return finalize(applyDeferrals(all))
+	out := finalize(applyDeferrals(all, reg))
+	if reg != nil {
+		reg.Add("checker.functions", int64(checked))
+		reg.Add("reports.total", int64(len(out)))
+		for _, r := range out {
+			reg.Add("reports."+string(r.Pattern), 1)
+		}
+	}
+	return out
 }
 
 // Options configures the one-call pipeline.
@@ -166,16 +214,22 @@ type Options struct {
 	Checkers []Pattern
 }
 
-// CheckSources is the one-call entry point: build a unit from sources and
-// check it with default options.
+// CheckSources builds a unit from sources and checks it with default
+// options.
+//
+// Deprecated: use Analyze, which adds cancellation, observability, and
+// error returns. CheckSources remains as a thin compatibility wrapper.
 func CheckSources(sources []cpg.Source, headers map[string]string) (*cpg.Unit, []Report) {
 	return CheckSourcesOpts(sources, headers, Options{})
 }
 
 // CheckSourcesOpts builds a unit from sources, checks it, and optionally
-// confirms the reports, with opt.Workers threaded through every stage. It is
-// CheckSourcesRun without the run metadata; note that on a unit-level cache
-// hit the returned Unit is nil.
+// confirms the reports, with opt.Workers threaded through every stage. Note
+// that on a unit-level cache hit the returned Unit is nil.
+//
+// Deprecated: use Analyze. Like the historical entry point, this wrapper
+// panics on an invalid opt.Checkers selection instead of returning the
+// error.
 func CheckSourcesOpts(sources []cpg.Source, headers map[string]string, opt Options) (*cpg.Unit, []Report) {
 	run := CheckSourcesRun(sources, headers, opt)
 	return run.Unit, run.Reports
@@ -193,6 +247,13 @@ func newHeaderProvider(headers map[string]string) cpp.FileProvider {
 // are a pure function of (witness, claim), so the worker count cannot change
 // the outcome.
 func ConfirmReports(reports []Report, workers int) int {
+	return ConfirmReportsSpan(reports, workers, nil)
+}
+
+// ConfirmReportsSpan is ConfirmReports under an observability span: when
+// parent is non-nil the replay batch appears as a "refsim" child span and
+// counts refsim.replays / refsim.confirmed into the span's registry.
+func ConfirmReportsSpan(reports []Report, workers int, parent *obs.Span) int {
 	jobs := make([]refsim.Job, len(reports))
 	for i, r := range reports {
 		jobs[i] = refsim.Job{
@@ -204,7 +265,7 @@ func ConfirmReports(reports []Report, workers int) int {
 			},
 		}
 	}
-	verdicts := refsim.ReplayAll(jobs, workers)
+	verdicts := refsim.ReplayAllSpan(jobs, workers, parent)
 	n := 0
 	for i := range reports {
 		reports[i].Confirmed = verdicts[i].Confirmed

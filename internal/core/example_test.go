@@ -1,15 +1,16 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/cpg"
 )
 
-// ExampleCheckSources runs the nine checkers over the paper's Listing 1
-// shape and prints the report.
-func ExampleCheckSources() {
+// ExampleAnalyze runs the nine checkers over the paper's Listing 1 shape and
+// prints the report.
+func ExampleAnalyze() {
 	src := `
 struct nvmem_device *__nvmem_device_get(void *data)
 {
@@ -21,8 +22,13 @@ struct nvmem_device *__nvmem_device_get(void *data)
 	return to_nvmem_device(dev);
 }
 `
-	_, reports := core.CheckSources([]cpg.Source{{Path: "drivers/nvmem/core.c", Content: src}}, nil)
-	for _, r := range reports {
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "drivers/nvmem/core.c", Content: src}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range run.Reports {
 		fmt.Printf("%s/%s in %s: object %s via %s\n",
 			r.Pattern, r.Impact, r.Function, r.Object, r.API)
 	}

@@ -1,12 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
 
 	"repro/internal/cpg"
 )
+
+// analyzeReports runs Analyze and returns just the report list; test shorthand
+// for the many determinism cross-checks below.
+func analyzeReports(t testing.TB, sources []cpg.Source, headers map[string]string, opt Options) []Report {
+	t.Helper()
+	run, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers, Options: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Reports
+}
 
 // parallelSources is a small multi-file tree with at least one instance of
 // several patterns, so the parallel engine has real work to interleave.
@@ -58,13 +70,13 @@ static int d_check(void)
 // races at awkward small worker counts.
 func TestPipelineParallelMatchesSequentialSmall(t *testing.T) {
 	sources, headers := parallelSources()
-	_, want := CheckSourcesOpts(sources, headers, Options{Workers: 1, Confirm: true})
+	want := analyzeReports(t, sources, headers, Options{Workers: 1, Confirm: true})
 	if len(want) == 0 {
 		t.Fatal("no reports from sequential run")
 	}
 	for _, workers := range []int{2, 3, 8} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			_, got := CheckSourcesOpts(sources, headers, Options{Workers: workers, Confirm: true})
+			got := analyzeReports(t, sources, headers, Options{Workers: workers, Confirm: true})
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("reports differ from sequential:\n  got  %+v\n  want %+v", got, want)
 			}
@@ -76,8 +88,8 @@ func TestPipelineParallelMatchesSequentialSmall(t *testing.T) {
 // in place, identically at any worker count.
 func TestConfirmReports(t *testing.T) {
 	sources, headers := parallelSources()
-	_, seq := CheckSourcesOpts(sources, headers, Options{Workers: 1})
-	_, par := CheckSourcesOpts(sources, headers, Options{Workers: 1})
+	seq := analyzeReports(t, sources, headers, Options{Workers: 1})
+	par := analyzeReports(t, sources, headers, Options{Workers: 1})
 	nSeq := ConfirmReports(seq, 1)
 	nPar := ConfirmReports(par, 4)
 	if nSeq != nPar {

@@ -1,6 +1,10 @@
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/obs"
+)
 
 // This file is the single home of cross-pattern precedence: which pattern
 // owns a diagnosis when several checkers can describe the same underlying
@@ -79,13 +83,15 @@ var deferralSet = func() map[Pattern]map[DeferralReason]bool {
 }()
 
 // applyDeferrals drops candidates whose (pattern, reason) tag appears in the
-// deferral table. Candidates tagged with a reason the table does not map for
-// their pattern survive untouched — an unknown tag must be visible, not
-// silently eaten.
-func applyDeferrals(reports []Report) []Report {
+// deferral table, counting each drop into reg (nil-safe) as
+// deferrals.<pattern>.<reason>. Candidates tagged with a reason the table
+// does not map for their pattern survive untouched — an unknown tag must be
+// visible, not silently eaten.
+func applyDeferrals(reports []Report, reg *obs.Registry) []Report {
 	var out []Report
 	for _, r := range reports {
 		if r.Deferred != "" && deferralSet[r.Pattern][r.Deferred] {
+			reg.Add("deferrals."+string(r.Pattern)+"."+string(r.Deferred), 1)
 			continue
 		}
 		out = append(out, r)

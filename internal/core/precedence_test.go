@@ -3,6 +3,8 @@ package core
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestDeferralTableContents pins the declarative precedence table to exactly
@@ -34,11 +36,18 @@ func TestApplyDeferrals(t *testing.T) {
 		{Pattern: P1, Deferred: DeferSmartLoop, Message: "unmapped tag survives"},
 		{Pattern: P4, Message: "untagged survives"},
 	}
-	out := applyDeferrals(append(tabled, kept...))
+	reg := obs.NewRegistry()
+	out := applyDeferrals(append(tabled, kept...), reg)
 	if !reflect.DeepEqual(out, kept) {
 		t.Fatalf("applyDeferrals = %+v, want only %+v", out, kept)
 	}
-	if applyDeferrals(nil) != nil {
+	for _, r := range DeferralTable() {
+		name := "deferrals." + string(r.From) + "." + string(r.Reason)
+		if reg.Counter(name) != 1 {
+			t.Errorf("counter %s = %d, want 1", name, reg.Counter(name))
+		}
+	}
+	if applyDeferrals(nil, nil) != nil {
 		t.Fatal("applyDeferrals(nil) should be nil")
 	}
 }

@@ -1,10 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrUnknownPattern is the sentinel wrapped by every checker-selection error
+// (NewEngineFor, ParsePatterns, Analyze). CLIs match it with errors.Is to
+// print a usage error instead of a stack trace.
+var ErrUnknownPattern = errors.New("unknown checker pattern")
 
 // registry maps pattern IDs to checker constructors. Each NewEngine call
 // instantiates fresh checkers, so registered implementations may carry
@@ -106,7 +112,7 @@ func NewEngineFor(patterns []Pattern) (*Engine, error) {
 	sel := make([]Pattern, 0, len(patterns))
 	for _, p := range patterns {
 		if registry[p] == nil {
-			return nil, fmt.Errorf("unknown checker pattern %q (registered: %s)", p, registeredIDs())
+			return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownPattern, p, registeredIDs())
 		}
 		if !seen[p] {
 			seen[p] = true
@@ -137,7 +143,7 @@ func ParsePatterns(s string) ([]Pattern, error) {
 		}
 		p := Pattern(f)
 		if registry[p] == nil {
-			return nil, fmt.Errorf("unknown checker pattern %q (registered: %s)", f, registeredIDs())
+			return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownPattern, f, registeredIDs())
 		}
 		out = append(out, p)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -42,12 +44,12 @@ func TestRegistryToyCheckerRoundTrip(t *testing.T) {
 	// With the toy pass in the suite, reports must still be deterministic
 	// across worker counts, and the toy pass must have run per function.
 	sources, headers := parallelSources()
-	_, seq := CheckSourcesOpts(sources, headers, Options{Workers: 1})
+	seq := analyzeReports(t, sources, headers, Options{Workers: 1})
 	if len(withPattern(seq, "P10")) == 0 {
 		t.Fatal("toy checker produced no reports")
 	}
 	for _, w := range []int{2, 8} {
-		_, par := CheckSourcesOpts(sources, headers, Options{Workers: w})
+		par := analyzeReports(t, sources, headers, Options{Workers: w})
 		if !reflect.DeepEqual(seq, par) {
 			t.Fatalf("workers=%d reports differ from sequential with toy checker registered", w)
 		}
@@ -78,6 +80,8 @@ func TestNewEngineForSelection(t *testing.T) {
 	if _, err := NewEngineFor([]Pattern{"P77"}); err == nil ||
 		!strings.Contains(err.Error(), `unknown checker pattern "P77"`) {
 		t.Fatalf("unknown pattern error = %v", err)
+	} else if !errors.Is(err, ErrUnknownPattern) {
+		t.Fatalf("NewEngineFor error %v does not wrap ErrUnknownPattern", err)
 	}
 	if e := NewEngine(); len(e.Checkers) != 9 {
 		t.Fatalf("NewEngine has %d checkers, want the 9 built-ins", len(e.Checkers))
@@ -96,6 +100,9 @@ func TestParsePatterns(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown pattern should be an error")
 	}
+	if !errors.Is(err, ErrUnknownPattern) {
+		t.Fatalf("ParsePatterns error %v does not wrap ErrUnknownPattern", err)
+	}
 	// The usage error must name every registered ID so the CLI message is
 	// self-explanatory.
 	for _, p := range RegisteredPatterns() {
@@ -110,7 +117,11 @@ func TestParsePatterns(t *testing.T) {
 // worker count or how many checkers consume the facts.
 func TestEngineFactsComputedOnce(t *testing.T) {
 	sources, headers := parallelSources()
-	u, _ := CheckSources(sources, headers)
+	run, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := run.Unit
 	for _, workers := range []int{1, 8} {
 		uf := facts.NewUnit(u)
 		e := NewEngine()

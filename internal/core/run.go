@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/analysiscache"
 	"repro/internal/cpg"
 	"repro/internal/facts"
+	"repro/internal/obs"
 	"repro/internal/semantics"
 )
 
@@ -22,34 +24,41 @@ type UnitSummary struct {
 	DiscoveredDeviations int
 }
 
-// CacheStats describes what the incremental cache contributed to one run.
-type CacheStats struct {
-	// UnitHit is true when the whole run was served from the unit-level
-	// report cache (no preprocessing, parsing, or checking happened).
-	UnitHit bool
-	// FactsHit is true when a unit-level miss reused the per-function
-	// facts entry: path enumeration and event normalization were decoded
-	// from disk instead of recomputed, and only the per-pattern queries
-	// ran. This is what makes a -checkers subset run cheap against a cache
-	// warmed by a full run (the two have different unit keys by design).
-	FactsHit bool
-	// FileHits / FileMisses count per-file front-end cache reuse during a
-	// unit-level miss.
-	FileHits   int
-	FileMisses int
-	// FilesSkipped is the number of source files whose analysis was fully
-	// or partially skipped (all of them on a unit hit, the front-end hits
-	// otherwise).
-	FilesSkipped int
+// Request bundles one analysis run's inputs for Analyze.
+type Request struct {
+	// Sources are the translation units to analyze.
+	Sources []cpg.Source
+	// Headers maps include paths to content; nil skips unresolvable
+	// includes.
+	Headers map[string]string
+	// Options carries the pipeline knobs (workers, cache, checker
+	// selection, confirmation) unchanged from the historical entry points.
+	Options Options
+	// Trace, when non-nil, receives the run's observability data: phase
+	// and per-unit spans plus the counter/histogram registry (see package
+	// obs). obs.Nop() — or simply leaving it nil — disables observability
+	// at effectively zero cost; reports are byte-identical either way.
+	Trace *obs.Trace
 }
 
-// Run is the result of CheckSourcesRun: the reports plus everything a CLI
-// prints about the run. Unit is nil when the unit-level cache hit.
+// Run is the result of one analysis: the reports plus everything a CLI
+// prints about the run. Unit is nil when the unit-level cache hit. Trace
+// aliases the request's trace so callers holding only the Run can reach the
+// metrics.
 type Run struct {
 	Unit    *cpg.Unit
 	Reports []Report
 	Summary UnitSummary
-	Cache   CacheStats
+	Trace   *obs.Trace
+}
+
+// Metric returns a counter from the run's trace registry (0 when the run
+// was untraced). It is the cache-visibility API that replaced the old
+// CacheStats struct: cache.unit.hit, cache.facts.hit, frontend.cache.hit,
+// frontend.cache.miss, pipeline.files_skipped, and every other counter in
+// the catalog (see internal/obs).
+func (r *Run) Metric(name string) int64 {
+	return r.Trace.Reg().Counter(name)
 }
 
 // unitEntry is the persisted whole-run result. Reports are stored before
@@ -145,79 +154,135 @@ func summarize(u *cpg.Unit) UnitSummary {
 	}
 }
 
-// CheckSourcesRun is the cache-aware pipeline entry point. With no cache in
-// opt it behaves exactly like CheckSourcesOpts. With opt.Cache set it first
-// consults the unit-level report cache (an unchanged corpus skips the whole
-// pipeline); on a miss it threads the per-file front-end cache through the
-// CPG builder so only changed files are re-preprocessed, and preloads the
-// per-function facts entry so checking skips path enumeration and event
-// normalization. Reports are byte-identical across {no cache, cold cache,
-// warm cache, facts-only hit, partial hit} at any worker count.
-func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Options) *Run {
+// Analyze is the pipeline entry point: it builds a unit from the request's
+// sources, checks it, and optionally confirms the reports, honoring ctx at
+// every phase and work-queue boundary.
+//
+// With no cache in the options it runs the full pipeline. With a cache set
+// it first consults the unit-level report cache (an unchanged corpus skips
+// the whole pipeline); on a miss it threads the per-file front-end cache
+// through the CPG builder so only changed files are re-preprocessed, and
+// preloads the per-function facts entry so checking skips path enumeration
+// and event normalization. Reports are byte-identical across {no cache,
+// cold cache, warm cache, facts-only hit, partial hit} at any worker count,
+// with or without a trace attached.
+//
+// An invalid checker selection returns an error wrapping ErrUnknownPattern.
+// Cancellation drains the work queues cleanly and returns the partial Run
+// alongside ctx.Err(); nothing partial is ever written to the cache.
+func Analyze(ctx context.Context, req Request) (*Run, error) {
+	opt := req.Options
 	engine, err := NewEngineFor(opt.Checkers)
 	if err != nil {
-		// Programmer error: library callers pass validated selections (CLI
-		// input goes through ParsePatterns first).
-		panic("core: " + err.Error())
+		return nil, err
 	}
 	engine.Workers = opt.Workers
 
-	run := &Run{}
+	tr := req.Trace
+	root := tr.Root()
+	reg := tr.Reg()
+	cache := opt.Cache
+	if cache != nil && reg != nil {
+		cache = cache.WithRegistry(reg)
+	}
+
+	run := &Run{Trace: tr}
 	var key, fKey string
-	if opt.Cache != nil {
-		corpus := corpusFP(sources, headers)
+	if cache != nil {
+		sp := root.Child("phase:cache-lookup")
+		corpus := corpusFP(req.Sources, req.Headers)
 		key = unitCacheKey(opt.ConfigFP, engine.patternsFP(), corpus)
 		fKey = factsCacheKey(opt.ConfigFP, corpus)
 		var ent unitEntry
-		if opt.Cache.Get(key, &ent) {
+		hit := cache.Get(key, &ent)
+		sp.End()
+		if hit {
+			reg.Add("cache.unit.hit", 1)
+			reg.Add("pipeline.files_skipped", int64(len(req.Sources)))
 			run.Reports = ent.Reports
 			run.Summary = ent.Summary
-			run.Cache = CacheStats{UnitHit: true, FilesSkipped: len(sources)}
 			if opt.Confirm {
-				ConfirmReports(run.Reports, opt.Workers)
+				csp := root.Child("phase:confirm")
+				ConfirmReportsSpan(run.Reports, opt.Workers, csp)
+				csp.End()
 			}
-			return run
+			return run, ctx.Err()
 		}
+		reg.Add("cache.unit.miss", 1)
+	}
+	if err := ctx.Err(); err != nil {
+		return run, err
 	}
 
-	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Cache: opt.Cache}
-	if headers != nil {
-		b.Headers = newHeaderProvider(headers)
+	bsp := root.Child("phase:build")
+	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Cache: cache, Obs: bsp}
+	if req.Headers != nil {
+		b.Headers = newHeaderProvider(req.Headers)
 	}
-	u := b.Build(sources)
+	u := b.BuildContext(ctx, req.Sources)
+	bsp.End()
+	run.Unit = u
+	run.Summary = summarize(u)
+	if err := ctx.Err(); err != nil {
+		return run, err
+	}
 
 	uf := facts.NewUnit(u)
 	factsHit := false
-	if opt.Cache != nil {
+	if cache != nil {
 		var snap map[string]*facts.Data
-		if opt.Cache.Get(fKey, &snap) {
+		if cache.Get(fKey, &snap) {
 			factsHit = uf.Preload(snap)
 		}
+		if factsHit {
+			reg.Add("cache.facts.hit", 1)
+		} else {
+			reg.Add("cache.facts.miss", 1)
+		}
 	}
-	reports := engine.CheckUnitFacts(uf)
-
-	run.Unit = u
+	csp := root.Child("phase:check")
+	engine.Obs = csp
+	reports := engine.CheckUnitFactsContext(ctx, uf)
+	csp.End()
+	uf.Observe(reg)
 	run.Reports = reports
-	run.Summary = summarize(u)
-	run.Cache = CacheStats{
-		FactsHit:     factsHit,
-		FileHits:     u.FrontEndCacheHits,
-		FileMisses:   u.FrontEndCacheMisses,
-		FilesSkipped: u.FrontEndCacheHits,
+	if err := ctx.Err(); err != nil {
+		// A cancelled check may have skipped functions; the partial report
+		// list must never be cached under the full corpus key.
+		return run, err
 	}
-	if opt.Cache != nil {
+
+	if cache != nil {
+		ssp := root.Child("phase:cache-store")
 		// Store before confirmation so the entry is confirmation-agnostic; a
 		// Put failure only costs the next run a recompute.
-		_ = opt.Cache.Put(key, unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)})
+		_ = cache.Put(key, unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)})
 		if !factsHit {
 			// Snapshot forces any still-uncomputed functions (a subset run
 			// with only unit-scoped checkers may not have touched them all)
 			// so the facts entry always covers the whole unit.
-			_ = opt.Cache.Put(fKey, uf.Snapshot())
+			_ = cache.Put(fKey, uf.Snapshot())
 		}
+		ssp.End()
 	}
 	if opt.Confirm {
-		ConfirmReports(run.Reports, opt.Workers)
+		fsp := root.Child("phase:confirm")
+		ConfirmReportsSpan(run.Reports, opt.Workers, fsp)
+		fsp.End()
+	}
+	return run, ctx.Err()
+}
+
+// CheckSourcesRun is the historical cache-aware entry point.
+//
+// Deprecated: use Analyze, which adds cancellation, observability, and an
+// error return. Like the historical entry point, this wrapper panics on an
+// invalid opt.Checkers selection — library callers pass validated
+// selections (CLI input goes through ParsePatterns first).
+func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Options) *Run {
+	run, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers, Options: opt})
+	if err != nil {
+		panic("core: " + err.Error())
 	}
 	return run
 }

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -16,8 +17,13 @@ func TestListingsBehaveAsPublished(t *testing.T) {
 	for _, l := range Listings() {
 		l := l
 		t.Run(l.Title, func(t *testing.T) {
-			_, reports := core.CheckSources(
-				[]cpg.Source{{Path: l.Path, Content: l.Source}}, nil)
+			run, err := core.Analyze(context.Background(), core.Request{
+				Sources: []cpg.Source{{Path: l.Path, Content: l.Source}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports := run.Reports
 			var hit *core.Report
 			for i := range reports {
 				if string(reports[i].Pattern) == l.ExpectPattern &&

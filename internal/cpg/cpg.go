@@ -10,12 +10,13 @@
 package cpg
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/analysiscache"
 	"repro/internal/apidb"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/clex"
 	"repro/internal/cparse"
 	"repro/internal/cpp"
+	"repro/internal/obs"
 	"repro/internal/semantics"
 )
 
@@ -67,11 +69,6 @@ type Unit struct {
 	DiscoveredAPIs       []string
 	DiscoveredLoops      []string
 	DiscoveredDeviations []string
-
-	// Front-end cache statistics for this build (zero when no cache was
-	// attached): files whose preprocessed form was reused vs recomputed.
-	FrontEndCacheHits   int
-	FrontEndCacheMisses int
 }
 
 // Source is one input file.
@@ -107,6 +104,13 @@ type Builder struct {
 	// cross-file dependencies — which keeps cached and uncached builds
 	// byte-identical by construction.
 	Cache *analysiscache.Cache
+	// Obs, when non-nil, is the parent span the build hangs its spans and
+	// counters off: a child span per translation unit plus front-end
+	// counters (frontend.cache.hit/miss, frontend.tokens,
+	// frontend.macro_expansions, headercache.hit/miss, lex.tokens) and the
+	// frontend.tu_ms histogram. Nil (or a span from obs.Nop()) disables all
+	// of it at effectively zero cost; the Unit is byte-identical either way.
+	Obs *obs.Span
 }
 
 // parsed is one file's phase-1 output, produced by any worker and merged on
@@ -136,8 +140,12 @@ type frontEnd struct {
 	cache    *analysiscache.Cache
 	predefFP string
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// reg receives the front-end counters; nil-safe, so the uninstrumented
+	// path pays only a nil check per event. Counter totals are deterministic
+	// at any worker count for a given cache state: which worker processes a
+	// file varies, but the set of files (and which of them hit) does not.
+	reg      *obs.Registry
+	lexStats clex.Stats
 }
 
 // predefFingerprint canonicalizes the predefine table for cache keys.
@@ -185,13 +193,19 @@ func (fe *frontEnd) closureValid(deps []cpp.IncludeDep) bool {
 // closure when an on-disk cache will store the result.
 func (fe *frontEnd) preprocess(src Source) *cpp.Result {
 	pp := cpp.New(fe.b.Headers).WithHeaderCache(fe.hc)
+	if fe.reg != nil {
+		pp.WithLexStats(&fe.lexStats)
+	}
 	if fe.cache != nil {
 		pp.TrackIncludes()
 	}
 	for k, v := range fe.b.Predefines {
 		pp.Define(k, v)
 	}
-	return pp.Process(src.Path, src.Content)
+	res := pp.Process(src.Path, src.Content)
+	fe.reg.Add("frontend.tokens", int64(len(res.Tokens)))
+	fe.reg.Add("frontend.macro_expansions", int64(res.Stats.Expansions))
+	return res
 }
 
 // parseOne runs the per-file front end: preprocess (or reuse the cached
@@ -209,7 +223,7 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 	key := analysiscache.KeyOf("fe-v1", fe.predefFP, src.Path, src.Content)
 	var ent frontEntry
 	if fe.cache.Get(key, &ent) && fe.closureValid(ent.Closure) {
-		fe.hits.Add(1)
+		fe.reg.Add("frontend.cache.hit", 1)
 		file, perrs := cparse.ParseFile(src.Path, ent.Tokens)
 		errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
 		for _, s := range ent.CppErrors {
@@ -221,7 +235,7 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 		}
 		return parsed{file: file, macros: ent.Macros, errs: errs}
 	}
-	fe.misses.Add(1)
+	fe.reg.Add("frontend.cache.miss", 1)
 	res := fe.preprocess(src)
 	cppErrs := make([]string, len(res.Errors))
 	for i, e := range res.Errors {
@@ -242,8 +256,33 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 
 // Build preprocesses, parses and analyzes the sources into a Unit. Inputs
 // are merged in path order so results are deterministic regardless of the
-// worker count.
+// worker count. It is BuildContext with a background context.
 func (b *Builder) Build(sources []Source) *Unit {
+	return b.BuildContext(context.Background(), sources)
+}
+
+// parseTU runs the per-file front end under a "tu" span, feeding the per-TU
+// wall time into the frontend.tu_ms histogram.
+func (fe *frontEnd) parseTU(src Source) parsed {
+	sp := fe.b.Obs.Child("tu").Str("path", src.Path)
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
+	p := fe.parseOne(src)
+	if sp != nil {
+		fe.reg.Observe("frontend.tu_ms", float64(time.Since(t0).Microseconds())/1e3)
+	}
+	sp.End()
+	return p
+}
+
+// BuildContext is Build with cancellation. When ctx is cancelled mid-build,
+// the work queues drain cleanly (no goroutine leaks) and the returned Unit
+// holds whatever completed: unfed files are simply absent, unfed functions
+// keep nil Graph/Events and are excluded by DefinedFunctions. Callers that
+// care about partial results check ctx.Err() themselves.
+func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 	db := b.DB
 	if db == nil {
 		db = apidb.New()
@@ -268,7 +307,11 @@ func (b *Builder) Build(sources []Source) *Unit {
 	if hc == nil {
 		hc = cpp.NewHeaderCache()
 	}
-	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines)}
+	reg := b.Obs.Reg()
+	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines), reg: reg}
+	// The header cache may be shared across builds, so charge this build the
+	// delta of its counters, not their absolute values.
+	hc0 := hc.Stats()
 
 	// Phase 1: preprocess + parse, sharded per file (each file's front end
 	// is independent). Shard results land in their slot by index.
@@ -281,26 +324,42 @@ func (b *Builder) Build(sources []Source) *Unit {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = fe.parseOne(sorted[i])
+					results[i] = fe.parseTU(sorted[i])
 				}
 			}()
 		}
+	feedFiles:
 		for i := range sorted {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				break feedFiles
+			}
 		}
 		close(jobs)
 		wg.Wait()
 	} else {
 		for i := range sorted {
-			results[i] = fe.parseOne(sorted[i])
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = fe.parseTU(sorted[i])
 		}
 	}
-	u.FrontEndCacheHits = int(fe.hits.Load())
-	u.FrontEndCacheMisses = int(fe.misses.Load())
+	if reg != nil {
+		hc1 := hc.Stats()
+		reg.Add("headercache.hit", hc1.Hits-hc0.Hits)
+		reg.Add("headercache.miss", hc1.Misses-hc0.Misses)
+		reg.Add("lex.tokens", (hc1.TokensLexed-hc0.TokensLexed)+fe.lexStats.Tokens.Load())
+	}
 	// Merge declarations, macros and errors in sorted path order — the exact
-	// order the sequential loop used, so the unit is deterministic.
+	// order the sequential loop used, so the unit is deterministic. A nil
+	// file marks a TU skipped by cancellation.
 	for i, src := range sorted {
 		p := results[i]
+		if p.file == nil {
+			continue
+		}
 		u.Errors = append(u.Errors, p.errs...)
 		for name, m := range p.macros {
 			u.Macros[name] = m
@@ -322,18 +381,25 @@ func (b *Builder) Build(sources []Source) *Unit {
 
 	// Phase 2: lexer-parsing discovery (§6.1) — structures, wrapper APIs,
 	// smartloops — before event extraction so events see the full DB.
+	disc := b.Obs.Child("discovery")
 	u.DiscoveredStructs = db.DiscoverStructs(u.Files)
 	u.DiscoveredAPIs = db.DiscoverAPIs(u.Files)
 	u.DiscoveredLoops = db.DiscoverLoops(u.Macros)
 	u.DiscoveredDeviations = db.DiscoverDeviations(u.Files)
+	disc.Int("structs", len(u.DiscoveredStructs)).
+		Int("apis", len(u.DiscoveredAPIs)).
+		Int("loops", len(u.DiscoveredLoops)).
+		End()
 
 	// Phase 3: CFGs, events, call graph.
+	sem := b.Obs.Child("semantics")
 	globals := make(map[string]bool, len(u.Globals))
 	for name := range u.Globals {
 		globals[name] = true
 	}
 	ext := &semantics.Extractor{DB: db, GlobalNames: globals}
 	names := u.FunctionNames()
+	analyzed := 0
 	if workers > 1 && len(names) > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan *Function)
@@ -347,9 +413,17 @@ func (b *Builder) Build(sources []Source) *Unit {
 				}
 			}()
 		}
+	feedFuncs:
 		for _, name := range names {
-			if fn := u.Functions[name]; fn.Def.Body != nil {
-				jobs <- fn
+			fn := u.Functions[name]
+			if fn.Def.Body == nil {
+				continue
+			}
+			select {
+			case jobs <- fn:
+				analyzed++
+			case <-ctx.Done():
+				break feedFuncs
 			}
 		}
 		close(jobs)
@@ -360,12 +434,18 @@ func (b *Builder) Build(sources []Source) *Unit {
 			if fn.Def.Body == nil {
 				continue
 			}
+			if ctx.Err() != nil {
+				break
+			}
 			fn.Graph = cfg.Build(fn.Def)
 			fn.Events = ext.Extract(fn.Graph)
+			analyzed++
 		}
 	}
+	sem.Int("functions", analyzed).End()
 	// The call graph is assembled sequentially in name order so Calls slices
 	// are deterministic.
+	cg := b.Obs.Child("callgraph")
 	for _, name := range names {
 		fn := u.Functions[name]
 		if fn.Def.Body == nil {
@@ -377,6 +457,7 @@ func (b *Builder) Build(sources []Source) *Unit {
 			}
 		}
 	}
+	cg.End()
 	return u
 }
 

@@ -14,6 +14,7 @@
 package cpp
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -21,6 +22,14 @@ import (
 
 	"repro/internal/clex"
 )
+
+// ErrBudgetExceeded is the sentinel wrapped by the diagnostics the expansion
+// guards produce: the per-Process token budget (a doubling macro chain) and
+// the expansion depth cap (a deep linear chain). The preprocessor degrades
+// to a truncated but well-formed token stream either way; callers that need
+// to distinguish "pathological input" from ordinary diagnostics test with
+// errors.Is(err, cpp.ErrBudgetExceeded).
+var ErrBudgetExceeded = errors.New("cpp: macro expansion budget exceeded")
 
 // FileProvider resolves #include paths. Includes are resolved by exact path
 // first, then by suffix match (kernel-style <linux/of.h> names).
@@ -143,6 +152,24 @@ type Result struct {
 	// Includes is the transitive include closure (populated only when
 	// TrackIncludes was set), in first-touch order.
 	Includes []IncludeDep
+	// Stats counts the preprocessing work this translation unit cost;
+	// purely observational (the obs layer aggregates it per run).
+	Stats Stats
+}
+
+// Stats counts one translation unit's preprocessing work. All quantities
+// are deterministic functions of the input, so per-run aggregates compare
+// equal across worker counts.
+type Stats struct {
+	// Expansions is the number of macro expansions performed (object- and
+	// function-like uses that actually expanded).
+	Expansions int
+	// ExpandedTokens is the total token count charged to the expansion
+	// budget — every token that passed through the expansion machinery.
+	ExpandedTokens int
+	// IncludesResolved / IncludesMissing count #include resolutions.
+	IncludesResolved int
+	IncludesMissing  int
 }
 
 // Preprocessor expands one translation unit.
@@ -153,6 +180,12 @@ type Preprocessor struct {
 	// hcache, when set, shares lexed header token lines across the
 	// translation units of a run (see HeaderCache).
 	hcache *HeaderCache
+	// lexStats, when set, accumulates lexer counters for buffers this
+	// preprocessor lexes inline (the TU itself, and headers when no header
+	// cache is attached).
+	lexStats *clex.Stats
+	// stats counts this Process call's work (copied into Result.Stats).
+	stats Stats
 	// trackIncludes records the include closure into Result.Includes.
 	trackIncludes bool
 
@@ -201,6 +234,13 @@ func (p *Preprocessor) WithHeaderCache(hc *HeaderCache) *Preprocessor {
 	return p
 }
 
+// WithLexStats accumulates lexer counters for inline-lexed buffers into st
+// and returns p (see clex.Stats).
+func (p *Preprocessor) WithLexStats(st *clex.Stats) *Preprocessor {
+	p.lexStats = st
+	return p
+}
+
 // TrackIncludes enables include-closure recording (Result.Includes) and
 // returns p.
 func (p *Preprocessor) TrackIncludes() *Preprocessor {
@@ -219,12 +259,14 @@ func (p *Preprocessor) Define(name, body string) {
 // stream.
 func (p *Preprocessor) Process(file, src string) *Result {
 	p.processFile(file, src)
+	p.stats.ExpandedTokens = maxExpandTokens - p.expBudget
 	return &Result{
 		Tokens:          p.out,
 		Macros:          p.macros,
 		MissingIncludes: p.missing,
 		Errors:          p.errs,
 		Includes:        p.deps,
+		Stats:           p.stats,
 	}
 }
 
@@ -276,7 +318,7 @@ func (p *Preprocessor) processFile(file, src string) {
 		lines = h.lines
 		p.errs = append(p.errs, h.errs...)
 	} else {
-		toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true})
+		toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true, Stats: p.lexStats})
 		lines = splitLines(toks)
 		p.errs = append(p.errs, lexErrs...)
 	}
@@ -446,15 +488,18 @@ func (p *Preprocessor) include(rest []clex.Token, pos clex.Pos) {
 	}
 	if p.files == nil {
 		p.missing = append(p.missing, path)
+		p.stats.IncludesMissing++
 		p.recordDep(path, "", false)
 		return
 	}
 	src, ok := p.files.ReadFile(path)
 	if !ok {
 		p.missing = append(p.missing, path)
+		p.stats.IncludesMissing++
 		p.recordDep(path, "", false)
 		return
 	}
+	p.stats.IncludesResolved++
 	p.recordDep(path, src, true)
 	p.included[path] = true
 	p.processFile(path, src)
@@ -572,7 +617,8 @@ func (p *Preprocessor) spend(n int, pos clex.Pos) bool {
 	}
 	if n > p.expBudget {
 		p.expOverflow = true
-		p.errorf(pos, "macro expansion exceeds %d tokens; output truncated", maxExpandTokens)
+		p.errs = append(p.errs, fmt.Errorf("%s: macro expansion exceeds %d tokens; output truncated: %w",
+			pos, maxExpandTokens, ErrBudgetExceeded))
 		return false
 	}
 	p.expBudget -= n
@@ -585,11 +631,13 @@ func (p *Preprocessor) enterExpansion(use clex.Token) bool {
 	if p.expDepth >= maxExpandDepth {
 		if !p.expDepthErr {
 			p.expDepthErr = true
-			p.errorf(use.Pos, "macro expansion nests deeper than %d; %s left unexpanded", maxExpandDepth, use.Text)
+			p.errs = append(p.errs, fmt.Errorf("%s: macro expansion nests deeper than %d; %s left unexpanded: %w",
+				use.Pos, maxExpandDepth, use.Text, ErrBudgetExceeded))
 		}
 		return false
 	}
 	p.expDepth++
+	p.stats.Expansions++
 	return true
 }
 

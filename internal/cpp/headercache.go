@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/clex"
 )
@@ -22,6 +23,30 @@ import (
 type HeaderCache struct {
 	mu sync.Mutex
 	m  map[string]*headerTokens
+
+	// Observational counters: hits/misses of the per-path slot table, and
+	// lexer work for the headers this cache lexed. Misses equal the number
+	// of distinct (path, content) headers, so both totals are deterministic
+	// at any worker count.
+	hits, misses atomic.Int64
+	lexStats     clex.Stats
+}
+
+// CacheStats is a point-in-time snapshot of a HeaderCache's counters.
+type CacheStats struct {
+	Hits, Misses int64
+	TokensLexed  int64
+}
+
+// Stats returns the cache's counters so far. For a Builder-owned per-run
+// cache this is the run's header-lexing work; a cache shared across builds
+// accumulates (callers snapshot before/after and subtract).
+func (hc *HeaderCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:        hc.hits.Load(),
+		Misses:      hc.misses.Load(),
+		TokensLexed: hc.lexStats.Tokens.Load(),
+	}
 }
 
 // headerTokens is one header's lexed form. The fields below once are never
@@ -35,13 +60,31 @@ type headerTokens struct {
 	hash    string // hex sha256 of content (include-closure fingerprinting)
 }
 
-func (e *headerTokens) ensure() {
+// ensure lexes the header exactly once. The caller that triggers the lex is
+// charged a miss; every later (or concurrently blocked) caller is a hit.
+// Which caller lands the miss is scheduling-dependent, but the totals are
+// not: misses = distinct headers lexed, hits = ensure calls − misses.
+func (e *headerTokens) ensure(hc *HeaderCache) {
+	fresh := false
 	e.once.Do(func() {
-		toks, errs := clex.Tokenize(e.path, e.content, clex.Config{KeepNewlines: true})
+		fresh = true
+		var st *clex.Stats
+		if hc != nil {
+			st = &hc.lexStats
+		}
+		toks, errs := clex.Tokenize(e.path, e.content, clex.Config{KeepNewlines: true, Stats: st})
 		e.lines = splitLines(toks)
 		e.errs = errs
 		e.hash = hashContent(e.content)
 	})
+	if hc == nil {
+		return
+	}
+	if fresh {
+		hc.misses.Add(1)
+	} else {
+		hc.hits.Add(1)
+	}
 }
 
 // NewHeaderCache returns an empty cache, safe for concurrent use.
@@ -68,10 +111,10 @@ func (hc *HeaderCache) lex(file, src string) *headerTokens {
 	e := hc.entry(file, src)
 	if e.content != src {
 		u := &headerTokens{path: file, content: src}
-		u.ensure()
+		u.ensure(hc)
 		return u
 	}
-	e.ensure()
+	e.ensure(hc)
 	return e
 }
 
@@ -82,7 +125,7 @@ func (hc *HeaderCache) HashOf(path, content string) string {
 	if e.content != content {
 		return hashContent(content)
 	}
-	e.ensure()
+	e.ensure(hc)
 	return e.hash
 }
 

@@ -27,7 +27,7 @@ func TestPipelineSurvivesCacheLoss(t *testing.T) {
 		t.Fatalf("cold cached run differs from baseline:\n%s", firstDiff(want, got))
 	}
 	warm := Run(ss, 1, cache)
-	if !warm.Cache.UnitHit {
+	if warm.Metric("cache.unit.hit") != 1 {
 		t.Fatal("warm run should hit the unit cache")
 	}
 
@@ -38,7 +38,7 @@ func TestPipelineSurvivesCacheLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	degraded := Run(ss, 1, cache)
-	if degraded.Cache.UnitHit {
+	if degraded.Metric("cache.unit.hit") != 0 {
 		t.Fatal("run against an unusable cache dir cannot claim a unit hit")
 	}
 	if got := RenderRun(degraded); got != want {

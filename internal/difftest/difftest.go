@@ -19,6 +19,7 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
+	"repro/internal/obs"
 )
 
 // SourceSet is one analyzable input: sources plus resolvable headers.
@@ -62,12 +64,29 @@ func FromCorpus(c *corpus.Corpus) SourceSet {
 	return ss
 }
 
-// Run analyzes the set once with confirmation on. A nil cache disables
-// caching.
+// Run analyzes the set once with confirmation on and a fresh trace attached
+// (so matrix checks can interrogate cache behavior through run metrics). A
+// nil cache disables caching.
 func Run(ss SourceSet, workers int, cache *analysiscache.Cache) *core.Run {
-	return core.CheckSourcesRun(ss.Sources, ss.Headers, core.Options{
-		Workers: workers, Confirm: true, Cache: cache,
+	return RunTrace(ss, workers, cache, obs.New("difftest"))
+}
+
+// RunTrace is Run recording into a caller-supplied trace (obs.Nop()
+// disables observability; Run.Metric then reads 0 for everything).
+func RunTrace(ss SourceSet, workers int, cache *analysiscache.Cache, tr *obs.Trace) *core.Run {
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: ss.Sources,
+		Headers: ss.Headers,
+		Options: core.Options{Workers: workers, Confirm: true, Cache: cache},
+		Trace:   tr,
 	})
+	if err != nil {
+		// Background context and a validated (nil) checker selection: an
+		// error here is a harness bug, not an input property.
+		panic("difftest: " + err.Error())
+	}
+	tr.Done()
+	return run
 }
 
 // RenderRun canonicalizes everything a run reports — rendered diagnostics,
@@ -99,8 +118,11 @@ const matrixWorkers = 8
 // Matrix runs the pipeline over the set across the full {workers 1, N} ×
 // {no cache, cold, warm} matrix, verifies every configuration renders
 // byte-identically to the sequential uncached baseline (and that warm runs
-// actually hit the unit cache), and returns the baseline run. Cache
-// directories are private temp dirs, removed before returning.
+// actually hit the unit cache), and returns the baseline run. Because every
+// run carries a trace, the matrix doubles as the observability determinism
+// oracle: for a given cache state, the span tree and every counter must be
+// independent of the worker count. Cache directories are private temp dirs,
+// removed before returning.
 func Matrix(ss SourceSet) (*core.Run, error) {
 	base := Run(ss, 1, nil)
 	want := RenderRun(base)
@@ -113,12 +135,19 @@ func Matrix(ss SourceSet) (*core.Run, error) {
 		return nil
 	}
 
-	if err := check(fmt.Sprintf("workers=%d no-cache", matrixWorkers), Run(ss, matrixWorkers, nil)); err != nil {
+	noCacheN := Run(ss, matrixWorkers, nil)
+	if err := check(fmt.Sprintf("workers=%d no-cache", matrixWorkers), noCacheN); err != nil {
+		return nil, err
+	}
+	if err := sameObs("no-cache", base, noCacheN); err != nil {
 		return nil, err
 	}
 
 	// Both worker counts see both cache temperatures: cold with 1 then warm
-	// with N on one directory, cold with N then warm with 1 on another.
+	// with N on one directory, cold with N then warm with 1 on another. The
+	// pairs run on separate empty directories, so cold-1/cold-N (and
+	// warm-1/warm-N) are same-cache-state runs the obs oracle can compare.
+	runs := map[string]*core.Run{}
 	for _, order := range [][2]int{{1, matrixWorkers}, {matrixWorkers, 1}} {
 		dir, err := os.MkdirTemp("", "difftest-cache-")
 		if err != nil {
@@ -132,10 +161,10 @@ func Matrix(ss SourceSet) (*core.Run, error) {
 		cold := Run(ss, order[0], cache)
 		warm := Run(ss, order[1], cache)
 		os.RemoveAll(dir)
-		if cold.Cache.UnitHit {
+		if cold.Metric("cache.unit.hit") != 0 {
 			return nil, fmt.Errorf("difftest: cold run (workers=%d) claims a unit cache hit", order[0])
 		}
-		if !warm.Cache.UnitHit {
+		if warm.Metric("cache.unit.hit") != 1 {
 			return nil, fmt.Errorf("difftest: warm run (workers=%d) missed the unit cache", order[1])
 		}
 		if err := check(fmt.Sprintf("workers=%d cold-cache", order[0]), cold); err != nil {
@@ -144,8 +173,38 @@ func Matrix(ss SourceSet) (*core.Run, error) {
 		if err := check(fmt.Sprintf("workers=%d warm-cache", order[1]), warm); err != nil {
 			return nil, err
 		}
+		runs[fmt.Sprintf("cold-%d", order[0])] = cold
+		runs[fmt.Sprintf("warm-%d", order[1])] = warm
+	}
+	if err := sameObs("cold-cache", runs["cold-1"], runs[fmt.Sprintf("cold-%d", matrixWorkers)]); err != nil {
+		return nil, err
+	}
+	if err := sameObs("warm-cache", runs["warm-1"], runs[fmt.Sprintf("warm-%d", matrixWorkers)]); err != nil {
+		return nil, err
 	}
 	return base, nil
+}
+
+// sameObs verifies two same-cache-state runs produced an identical span tree
+// and identical counters — the per-worker span/counter merge must hide the
+// worker count entirely. Timings (gauges, histograms) are exempt: wall time
+// legitimately differs.
+func sameObs(state string, a, b *core.Run) error {
+	if ta, tb := obs.Tree(a.Trace), obs.Tree(b.Trace); ta != tb {
+		return fmt.Errorf("difftest: %s span tree depends on worker count:\n%s", state, firstDiff(ta, tb))
+	}
+	ca, cb := a.Trace.Reg().Counters(), b.Trace.Reg().Counters()
+	for k, v := range ca {
+		if cb[k] != v {
+			return fmt.Errorf("difftest: %s counter %s depends on worker count: %d vs %d", state, k, v, cb[k])
+		}
+	}
+	for k, v := range cb {
+		if _, ok := ca[k]; !ok {
+			return fmt.Errorf("difftest: %s counter %s only present in one run (= %d)", state, k, v)
+		}
+	}
+	return nil
 }
 
 // firstDiff returns a short context snippet around the first differing line

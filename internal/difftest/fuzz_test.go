@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -153,7 +154,14 @@ func FuzzPipeline(f *testing.F) {
 		headers := map[string]string{"include/linux/fuzz.h": header}
 		sources := []cpg.Source{{Path: "fuzz/fuzz.c", Content: tu}}
 		run := func() string {
-			return RenderRun(core.CheckSourcesRun(sources, headers, core.Options{Workers: 1, Confirm: true}))
+			r, err := core.Analyze(context.Background(), core.Request{
+				Sources: sources, Headers: headers,
+				Options: core.Options{Workers: 1, Confirm: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return RenderRun(r)
 		}
 		if r1, r2 := run(), run(); r1 != r2 {
 			t.Fatalf("pipeline nondeterministic:\n%s", firstDiff(r1, r2))

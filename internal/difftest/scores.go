@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // GoldenSeed pins the corpus the regression gate is blessed against.
@@ -143,9 +144,16 @@ func goldenCorpus() *corpus.Corpus {
 // ComputeGolden analyzes the golden corpus and returns the artifact set the
 // gate compares: one reports_PN.txt render per checker plus scores.json.
 func ComputeGolden() (map[string]string, Scores) {
+	return ComputeGoldenTrace(obs.Nop())
+}
+
+// ComputeGoldenTrace is ComputeGolden with the analysis recorded into tr —
+// the artifacts are byte-identical with observability on or off, which is
+// exactly what `refcheck -selftest -trace-out` proves.
+func ComputeGoldenTrace(tr *obs.Trace) (map[string]string, Scores) {
 	c := goldenCorpus()
 	ss := FromCorpus(c)
-	run := Run(ss, 0, nil)
+	run := RunTrace(ss, 0, nil, tr)
 	sc := ComputeScores(c, GoldenSeed, run.Reports)
 
 	files := map[string]string{}
@@ -166,7 +174,14 @@ var goldenFS embed.FS
 // recomputed scores are printed as JSON (the BENCH_quality.json payload);
 // otherwise a per-pattern table is printed. Returns an error on any drift.
 func Selftest(w io.Writer, jsonOut bool) error {
-	got, sc := ComputeGolden()
+	return SelftestTrace(w, jsonOut, obs.Nop())
+}
+
+// SelftestTrace is Selftest with the golden re-analysis recorded into tr,
+// so the gate can simultaneously prove the artifacts and exercise the
+// exporters against a full-pipeline trace.
+func SelftestTrace(w io.Writer, jsonOut bool, tr *obs.Trace) error {
+	got, sc := ComputeGoldenTrace(tr)
 	var drift []string
 	for name, want := range readGolden() {
 		if got[name] != want {

@@ -1,18 +1,26 @@
 package difftest
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysiscache"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // runOpts analyzes the set with an explicit checker selection.
 func runOpts(ss SourceSet, cache *analysiscache.Cache, checkers []core.Pattern) *core.Run {
-	return core.CheckSourcesRun(ss.Sources, ss.Headers, core.Options{
-		Workers: 1, Confirm: true, Cache: cache, Checkers: checkers,
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: ss.Sources, Headers: ss.Headers,
+		Options: core.Options{Workers: 1, Confirm: true, Cache: cache, Checkers: checkers},
+		Trace:   obs.New("subset-test"),
 	})
+	if err != nil {
+		panic("difftest: " + err.Error())
+	}
+	return run
 }
 
 // TestCheckerSubsetCacheIsolation proves the two cache-key claims the
@@ -38,8 +46,9 @@ func TestCheckerSubsetCacheIsolation(t *testing.T) {
 
 	// Cold full run populates the unit entry and the facts entry.
 	cold := runOpts(ss, cache, nil)
-	if cold.Cache.UnitHit || cold.Cache.FactsHit {
-		t.Fatalf("cold run hit the cache: %+v", cold.Cache)
+	if cold.Metric("cache.unit.hit") != 0 || cold.Metric("cache.facts.hit") != 0 {
+		t.Fatalf("cold run hit the cache: unit=%d facts=%d",
+			cold.Metric("cache.unit.hit"), cold.Metric("cache.facts.hit"))
 	}
 	if got := RenderRun(cold); got != fullRef {
 		t.Fatalf("cold cached run differs from uncached run:\n%s", firstDiff(fullRef, got))
@@ -48,10 +57,10 @@ func TestCheckerSubsetCacheIsolation(t *testing.T) {
 	// Subset run against the full-run cache: different unit key (miss), same
 	// facts key (hit), byte-identical to the uncached subset run.
 	sub := runOpts(ss, cache, subset)
-	if sub.Cache.UnitHit {
+	if sub.Metric("cache.unit.hit") != 0 {
 		t.Fatal("subset run must not reuse the full run's unit entry")
 	}
-	if !sub.Cache.FactsHit {
+	if sub.Metric("cache.facts.hit") != 1 {
 		t.Fatal("subset run should reuse the checker-independent facts entry")
 	}
 	if got := RenderRun(sub); got != subsetRef {
@@ -60,7 +69,7 @@ func TestCheckerSubsetCacheIsolation(t *testing.T) {
 
 	// The subset run must not have poisoned the full-run entry…
 	warmFull := runOpts(ss, cache, nil)
-	if !warmFull.Cache.UnitHit {
+	if warmFull.Metric("cache.unit.hit") != 1 {
 		t.Fatal("full rerun missed its unit entry after a subset run")
 	}
 	if got := RenderRun(warmFull); got != fullRef {
@@ -68,7 +77,7 @@ func TestCheckerSubsetCacheIsolation(t *testing.T) {
 	}
 	// …and the subset run now has its own warm entry.
 	warmSub := runOpts(ss, cache, subset)
-	if !warmSub.Cache.UnitHit {
+	if warmSub.Metric("cache.unit.hit") != 1 {
 		t.Fatal("subset rerun missed its own unit entry")
 	}
 	if got := RenderRun(warmSub); got != subsetRef {
@@ -78,7 +87,7 @@ func TestCheckerSubsetCacheIsolation(t *testing.T) {
 	// Spelling the full selection explicitly is the same engine — and the
 	// same cache entry — as the nil default.
 	explicit := runOpts(ss, cache, core.RegisteredPatterns())
-	if !explicit.Cache.UnitHit {
+	if explicit.Metric("cache.unit.hit") != 1 {
 		t.Fatal("explicit full selection should share the default selection's unit entry")
 	}
 	if got := RenderRun(explicit); got != fullRef {

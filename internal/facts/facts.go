@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/cast"
 	"repro/internal/cpg"
+	"repro/internal/obs"
 	"repro/internal/semantics"
 )
 
@@ -213,6 +214,26 @@ func (uf *UnitFacts) Function(name string) *FunctionFacts {
 // preloaded) so far — the memoization tests assert it equals the defined
 // function count exactly once per unit at any worker count.
 func (uf *UnitFacts) Computes() int64 { return uf.computes.Load() }
+
+// Observe records the facts layer's work into reg: facts.computed counts
+// functions whose facts were derived from the CPG this run, facts.preloaded
+// counts functions served from a cache snapshot. Call after checking
+// completes; both totals are deterministic at any worker count because the
+// memoization is exactly-once.
+func (uf *UnitFacts) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	computed := uf.computes.Load()
+	reg.Add("facts.computed", computed)
+	preloaded := int64(0)
+	for _, s := range uf.slots {
+		if s.pre != nil && s.ff != nil && s.ff.Data == s.pre {
+			preloaded++
+		}
+	}
+	reg.Add("facts.preloaded", preloaded)
+}
 
 // SmartLoop is FunctionFacts.SmartLoop for unit-scoped checkers.
 func (uf *UnitFacts) SmartLoop(ev semantics.Event) bool {

@@ -1,0 +1,227 @@
+// Package obs is the pipeline's observability layer: hierarchical spans with
+// monotonic timings, a registry of counters/gauges/histograms, and exporters
+// (human summary, machine-readable stats JSON, Chrome trace-event JSON).
+//
+// It is stdlib-only and deliberately tiny — just enough structure that every
+// stage of the lexer→cpp→cparse→CPG→facts→checkers→refsim pipeline can be
+// measured instead of guessed at.
+//
+// # Nop path
+//
+// Nop() returns a nil *Trace; every method on a nil *Trace, *Span, or
+// *Registry is a no-op that performs zero allocations, so instrumented code
+// never branches on "is observability on" — it just calls through. Reports
+// are byte-identical with observability on or off because the layer only
+// observes; nothing reads it back into the analysis.
+//
+// # Determinism under the worker pool
+//
+// Spans may be created and ended concurrently from any worker goroutine
+// (creation appends under a mutex, exactly like the engine's per-worker
+// report buffers). Arrival order is therefore nondeterministic, but every
+// exporter orders spans canonically — parent before child, siblings by
+// (name, attributes) — mirroring how per-worker report buffers are merged
+// back into sequential order. Tree() output and counter values are identical
+// at any worker count; only timings vary.
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Attributes should be deterministic facts about
+// the work (a file path, a function name), never timings or worker IDs, so
+// exported span trees compare equal across runs.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Trace is one run's span collection plus its metric registry. The zero
+// value is not usable; construct with New. A nil *Trace (obs.Nop()) is the
+// disabled path: every method no-ops.
+type Trace struct {
+	name string
+	t0   time.Time
+	reg  *Registry
+	root *Span
+
+	mu    sync.Mutex
+	spans []*Span
+	ids   atomic.Int64
+}
+
+// New starts a trace whose root span is named name. The root is open until
+// Done (exporters treat still-open spans as ending at export time, so
+// forgetting Done only inflates the root's duration).
+func New(name string) *Trace {
+	tr := &Trace{name: name, t0: time.Now(), reg: NewRegistry()}
+	tr.root = tr.newSpan(nil, name)
+	return tr
+}
+
+// Nop returns the disabled trace: nil, on which every span and registry
+// operation is a zero-allocation no-op.
+func Nop() *Trace { return nil }
+
+// Name returns the trace name ("" for Nop).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Reg returns the trace's metric registry (nil for Nop; *Registry methods
+// are nil-safe).
+func (t *Trace) Reg() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Root returns the root span (nil for Nop).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Done ends the root span.
+func (t *Trace) Done() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Wall returns the wall time since the trace started.
+func (t *Trace) Wall() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+func (t *Trace) newSpan(parent *Span, name string) *Span {
+	s := &Span{
+		tr:     t,
+		parent: parent,
+		id:     t.ids.Add(1),
+		name:   name,
+		start:  time.Since(t.t0),
+		dur:    -1,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed region of the run, forming a tree under the trace root.
+// Spans are safe for concurrent use: children may be created from any
+// goroutine, and attribute writes are locked.
+type Span struct {
+	tr     *Trace
+	parent *Span
+	id     int64
+	name   string
+	start  time.Duration // monotonic offset from trace start
+
+	mu    sync.Mutex
+	attrs []Attr
+	dur   time.Duration // -1 while open
+}
+
+// Child opens a sub-span. Safe on a nil receiver (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(s, name)
+}
+
+// Str attaches a string attribute and returns s for chaining. Nil-safe.
+func (s *Span) Str(key, val string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+	return s
+}
+
+// Int attaches an integer attribute and returns s for chaining. Nil-safe.
+func (s *Span) Int(key string, val int) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.Str(key, strconv.Itoa(val))
+}
+
+// End closes the span with a monotonic duration. Ending twice keeps the
+// first duration. Nil-safe.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Since(s.tr.t0)
+	s.mu.Lock()
+	if s.dur < 0 {
+		s.dur = now - s.start
+	}
+	s.mu.Unlock()
+}
+
+// Reg returns the owning trace's registry (nil on a nil span), so
+// instrumented code can reach metrics through whatever span it was handed.
+func (s *Span) Reg() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.tr.reg
+}
+
+// spanSnap is one span frozen for export: still-open spans are given their
+// duration as of the snapshot.
+type spanSnap struct {
+	id, parent int64
+	name       string
+	attrs      []Attr
+	start, dur time.Duration
+}
+
+// snapshot freezes every span. Safe to call while workers still run; the
+// result is a consistent copy.
+func (t *Trace) snapshot() []spanSnap {
+	if t == nil {
+		return nil
+	}
+	now := time.Since(t.t0)
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]spanSnap, len(spans))
+	for i, s := range spans {
+		s.mu.Lock()
+		snap := spanSnap{
+			id: s.id, name: s.name, start: s.start, dur: s.dur,
+			attrs: append([]Attr(nil), s.attrs...),
+		}
+		s.mu.Unlock()
+		if s.parent != nil {
+			snap.parent = s.parent.id
+		}
+		if snap.dur < 0 {
+			snap.dur = now - snap.start
+		}
+		out[i] = snap
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package patch_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,8 +24,10 @@ static int probe(void)
 	}
 	return 0;
 }`
-	_, reports := core.CheckSources([]cpg.Source{{Path: "probe.c", Content: src}}, nil)
-	fix := patch.Generate(src, reports[0])
+	run, _ := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "probe.c", Content: src}},
+	})
+	fix := patch.Generate(src, run.Reports[0])
 	for _, line := range strings.Split(fix.Diff, "\n") {
 		if strings.HasPrefix(line, "+") && !strings.HasPrefix(line, "+++") {
 			fmt.Println(strings.TrimSpace(line))

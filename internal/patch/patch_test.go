@@ -1,6 +1,7 @@
 package patch
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -11,8 +12,13 @@ import (
 // checkOne runs the engine on a single file and returns its reports.
 func checkOne(t *testing.T, path, src string) []core.Report {
 	t.Helper()
-	_, reports := core.CheckSources([]cpg.Source{{Path: path, Content: src}}, nil)
-	return reports
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: path, Content: src}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Reports
 }
 
 // fixAndVerify generates a patch for the first report with the pattern,

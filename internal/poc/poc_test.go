@@ -1,6 +1,7 @@
 package poc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -10,8 +11,13 @@ import (
 
 func reportFor(t *testing.T, src string, pattern core.Pattern) core.Report {
 	t.Helper()
-	_, reports := core.CheckSources([]cpg.Source{{Path: "p.c", Content: src}}, nil)
-	for _, r := range reports {
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "p.c", Content: src}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range run.Reports {
 		if r.Pattern == pattern {
 			return r
 		}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/semantics"
 )
 
@@ -20,6 +21,30 @@ type Job struct {
 // verdict for a job is a pure function of its witness and claim, so the
 // worker count cannot change the result.
 func ReplayAll(jobs []Job, workers int) []Verdict {
+	return ReplayAllSpan(jobs, workers, nil)
+}
+
+// ReplayAllSpan is ReplayAll under an observability span: when parent is
+// non-nil a "refsim" child span covers the batch, refsim.replays counts jobs
+// replayed and refsim.confirmed the verdicts that confirmed their claim.
+func ReplayAllSpan(jobs []Job, workers int, parent *obs.Span) []Verdict {
+	sp := parent.Child("refsim").Int("jobs", len(jobs))
+	defer sp.End()
+	out := replayAll(jobs, workers)
+	if reg := sp.Reg(); reg != nil {
+		confirmed := int64(0)
+		for _, v := range out {
+			if v.Confirmed {
+				confirmed++
+			}
+		}
+		reg.Add("refsim.replays", int64(len(jobs)))
+		reg.Add("refsim.confirmed", confirmed)
+	}
+	return out
+}
+
+func replayAll(jobs []Job, workers int) []Verdict {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

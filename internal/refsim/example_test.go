@@ -1,6 +1,7 @@
 package refsim_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -17,8 +18,10 @@ void ping_unhash(struct sock *sk)
 	sk->inet_num = 0;
 }
 `
-	_, reports := core.CheckSources([]cpg.Source{{Path: "net/ipv4/ping.c", Content: src}}, nil)
-	r := reports[0]
+	run, _ := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "net/ipv4/ping.c", Content: src}},
+	})
+	r := run.Reports[0]
 	v := refsim.Replay(r.Witness, refsim.Claim{Impact: r.Impact.String(), Object: r.Object})
 	fmt.Println(v.Confirmed)
 	// Output:

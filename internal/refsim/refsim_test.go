@@ -1,6 +1,7 @@
 package refsim_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -8,11 +9,23 @@ import (
 	"repro/internal/refsim"
 )
 
+// analyze runs the checkers on a single source file.
+func analyze(t *testing.T, src string) []core.Report {
+	t.Helper()
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: []cpg.Source{{Path: "d.c", Content: src}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Reports
+}
+
 // reportFor runs the checkers on src and returns the single report with the
 // wanted pattern.
 func reportFor(t *testing.T, src string, pattern core.Pattern) core.Report {
 	t.Helper()
-	_, reports := core.CheckSources([]cpg.Source{{Path: "d.c", Content: src}}, nil)
+	reports := analyze(t, src)
 	for _, r := range reports {
 		if r.Pattern == pattern {
 			return r
@@ -225,13 +238,13 @@ static int f(struct lpfc_host *phba)
 
 func TestCleanCodeNoLeakVerdict(t *testing.T) {
 	// Manufactured claim over balanced events must not confirm.
-	_, reports := core.CheckSources([]cpg.Source{{Path: "d.c", Content: `
+	reports := analyze(t, `
 static int f(struct device_node *np)
 {
 	of_node_get(np);
 	of_node_put(np);
 	return 0;
-}`}}, nil)
+}`)
 	if len(reports) != 0 {
 		t.Fatalf("unexpected reports: %+v", reports)
 	}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,11 +18,15 @@ func runPipeline(workers int) []core.Report {
 	for p, s := range c.Headers {
 		headers[p] = s
 	}
-	_, reports := core.CheckSourcesOpts(sources, headers, core.Options{
-		Workers: workers,
-		Confirm: true,
+	run, err := core.Analyze(context.Background(), core.Request{
+		Sources: sources,
+		Headers: headers,
+		Options: core.Options{Workers: workers, Confirm: true},
 	})
-	return reports
+	if err != nil {
+		panic("pipeline_test: " + err.Error())
+	}
+	return run.Reports
 }
 
 // TestFullPipelineParallelMatchesSequential runs the whole pipeline

@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench_pipeline.sh — run the parallel-pipeline benchmark sweep, the
-# incremental-cache cold/warm pair, and the checker-phase timing (facts-cold
-# vs facts-warm on a prebuilt unit) and emit BENCH_pipeline.json so
-# successive PRs can track the perf trajectory.
+# incremental-cache cold/warm pair, the observability on/off pair (the
+# tracing tax), and the checker-phase timing (facts-cold vs facts-warm on a
+# prebuilt unit) and emit BENCH_pipeline.json so successive PRs can track
+# the perf trajectory.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -17,6 +18,8 @@
 #                "bytes_per_op":9.0e7,"allocs_per_op":280000,"reports":357},
 #               {"benchmark":"BenchmarkPipelineCache","name":"warm",
 #                "iters":5,"ns_per_op":7.8e6,"unit_hit_rate":1.0,...},
+#               {"benchmark":"BenchmarkPipelineObs","name":"on",
+#                "iters":5,"ns_per_op":1.7e8,"reports":357,...},
 #               {"benchmark":"BenchmarkCheckerPhase","name":"facts-warm",
 #                "iters":5,"ns_per_op":1.1e7,"reports":357,...}, ...]}
 set -e
@@ -27,12 +30,12 @@ BENCHTIME="${BENCHTIME:-5x}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkCheckerPhase)$' \
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^Benchmark(PipelineParallel|PipelineCache|CheckerPhase)\// {
+/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase)\// {
     bench = $1
     sub(/\/.*$/, "", bench)
     name = $1

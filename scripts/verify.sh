@@ -1,7 +1,10 @@
 #!/bin/sh
-# verify.sh — the tier-1 gate: format check, vet, build, and the full test
+# verify.sh — the tier-1 gate: format check, vet, build, the full test
 # suite, then the suite again under the race detector (the pipeline is
-# parallel by default, so a data race is a correctness bug, not a flake).
+# parallel by default, so a data race is a correctness bug, not a flake),
+# and finally the released-binary selftest with tracing enabled (the golden
+# artifacts must hold with observability on, and the Chrome trace export
+# must produce a loadable event stream).
 # Run before every commit; CI runs the same commands.
 set -e
 cd "$(dirname "$0")/.."
@@ -17,3 +20,15 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./...
+
+# End-to-end observability gate: the built binary must reproduce the blessed
+# golden artifacts byte-for-byte while a full trace is being recorded, and
+# the exported trace must be non-trivial Chrome trace-event JSON.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/refcheck" ./cmd/refcheck
+"$tmp/refcheck" -selftest -trace-out "$tmp/selftest-trace.json" > /dev/null
+grep -q '"ph":"X"' "$tmp/selftest-trace.json" || {
+    echo "verify: selftest trace has no complete events" >&2
+    exit 1
+}
