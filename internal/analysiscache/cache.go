@@ -7,6 +7,14 @@
 // resolve at all. There is no invalidation protocol — stale inputs simply
 // hash to a different key, and orphaned entries are harmless dead files.
 //
+// Entry payloads are opaque byte slices: each caller owns its encoding
+// (hand-rolled binary codecs built on internal/bincodec — see internal/cpg,
+// internal/facts, internal/core). The cache only moves bytes; the decode
+// callback passed to Load/Get interprets them, and any error it returns is
+// treated as corruption. Entries use the .bin extension: directories written
+// by the earlier gob-encoded format (.gob files) are simply never consulted,
+// so a cache root surviving a format change degrades to clean misses.
+//
 // The cache is defensive by construction: any read error, decode error,
 // truncated file, or corrupt payload is reported as a miss, and the caller
 // falls back to full re-analysis. A broken cache can cost time, never
@@ -18,29 +26,60 @@ package analysiscache
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
 
 // ErrCorrupt is the sentinel wrapped by Load when an entry exists on disk
-// but cannot be decoded (truncated write, bit rot, gob schema drift).
+// but cannot be decoded (truncated write, bit rot, codec version drift).
 // Callers distinguish it from a plain miss with errors.Is; the cache itself
 // always degrades a corrupt entry to a miss.
 var ErrCorrupt = errors.New("analysiscache: corrupt entry")
 
-// Cache is a directory of gob-encoded entries, safe for concurrent use by
-// multiple goroutines (and, because writes are atomic renames, by multiple
-// processes sharing the directory).
+// Cache is a directory of binary-encoded entries, safe for concurrent use by
+// multiple goroutines and by multiple processes sharing the directory: keys
+// are content hashes, so concurrent writers of one key write identical
+// bytes, and a reader that catches a write mid-flight sees a corrupt entry —
+// which is just a counted miss.
 type Cache struct {
-	dir string
-	reg *obs.Registry
+	dir  string
+	reg  *obs.Registry
+	dirs *shardSet
+}
+
+// shardSet remembers which of the 256 shard directories are known to exist,
+// so put pays the mkdir negotiation at most once per shard per process
+// instead of once per write (mkdir syscalls dominated the cold-cache write
+// path before this). A stale bit — someone deleted the directory mid-run —
+// is repaired by put's ErrNotExist fallback, so bits are an optimization,
+// never a correctness input. Shared by pointer across WithRegistry views.
+type shardSet [4]atomic.Uint64
+
+func (s *shardSet) has(i uint8) bool { return s[i>>6].Load()&(1<<(i&63)) != 0 }
+func (s *shardSet) set(i uint8)      { s[i>>6].Or(1 << (i & 63)) }
+
+// shardIndex maps the two-hex-char shard prefix of key to its bit index.
+func shardIndex(key string) (uint8, bool) {
+	hi, ok1 := hexVal(key[0])
+	lo, ok2 := hexVal(key[1])
+	return hi<<4 | lo, ok1 && ok2
+}
+
+func hexVal(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
 }
 
 // Open prepares dir as a cache root, creating it if needed.
@@ -48,7 +87,7 @@ func Open(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("analysiscache: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, dirs: &shardSet{}}, nil
 }
 
 // Dir returns the cache root.
@@ -59,23 +98,25 @@ func (c *Cache) Dir() string { return c.dir }
 // cache.write / cache.write.error). The receiver is not mutated, so one
 // shared cache directory can serve traced and untraced runs concurrently.
 func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
-	return &Cache{dir: c.dir, reg: reg}
+	return &Cache{dir: c.dir, reg: reg, dirs: c.dirs}
 }
 
 // path shards entries by the first key byte to keep directories small.
 func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".gob")
+	return filepath.Join(c.dir, key[:2], key+".bin")
 }
 
-// Load decodes the entry for key into v. A missing (or unreadable) entry
-// returns an error wrapping fs.ErrNotExist; an entry that exists but fails
-// to decode returns an error wrapping ErrCorrupt. Both are misses to Get.
-func (c *Cache) Load(key string, v any) error {
+// Load reads the entry for key and hands its payload to decode. A missing
+// (or unreadable) entry returns an error wrapping fs.ErrNotExist; an entry
+// whose payload decode rejects returns an error wrapping ErrCorrupt. Both
+// are misses to Get. The payload slice is owned by the callback for the
+// duration of the call only.
+func (c *Cache) Load(key string, decode func(data []byte) error) error {
 	if len(key) < 2 {
 		c.reg.Add("cache.read.miss", 1)
 		return fmt.Errorf("analysiscache: short key %q: %w", key, fs.ErrNotExist)
 	}
-	f, err := os.Open(c.path(key))
+	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.reg.Add("cache.read.miss", 1)
 		if errors.Is(err, fs.ErrNotExist) {
@@ -85,8 +126,7 @@ func (c *Cache) Load(key string, v any) error {
 		// not-found to callers: the entry cannot be served.
 		return fmt.Errorf("analysiscache: %v: %w", err, fs.ErrNotExist)
 	}
-	defer f.Close()
-	if err := gob.NewDecoder(f).Decode(v); err != nil {
+	if err := decode(data); err != nil {
 		c.reg.Add("cache.read.corrupt", 1)
 		return fmt.Errorf("%w: key %s…: %v", ErrCorrupt, key[:8], err)
 	}
@@ -94,16 +134,36 @@ func (c *Cache) Load(key string, v any) error {
 	return nil
 }
 
-// Get decodes the entry for key into v. Any failure — missing file, short
-// read, gob mismatch — is a miss.
-func (c *Cache) Get(key string, v any) bool {
-	return c.Load(key, v) == nil
+// Get reads the entry for key through decode. Any failure — missing file,
+// short read, codec mismatch — is a miss. Unlike Load it never renders an
+// error: on a cold run every lookup misses, and the discarded fmt.Errorf per
+// miss was measurable.
+func (c *Cache) Get(key string, decode func(data []byte) error) bool {
+	if len(key) < 2 {
+		c.reg.Add("cache.read.miss", 1)
+		return false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.reg.Add("cache.read.miss", 1)
+		return false
+	}
+	if err := decode(data); err != nil {
+		c.reg.Add("cache.read.corrupt", 1)
+		return false
+	}
+	c.reg.Add("cache.read.hit", 1)
+	return true
 }
 
-// Put stores v under key. The entry is written to a temp file and renamed
-// into place, so concurrent readers never observe a partial entry.
-func (c *Cache) Put(key string, v any) error {
-	if err := c.put(key, v); err != nil {
+// Put stores the encoded payload under key. The write is a plain truncating
+// write, not an atomic rename: the key is a content hash, so any concurrent
+// writer of the same key writes the same bytes, and a torn write is
+// indistinguishable from bit rot — the reader counts a corrupt miss and
+// recomputes. Dropping the temp-file dance roughly halves the syscalls on
+// the cold path, which file writes dominate.
+func (c *Cache) Put(key string, data []byte) error {
+	if err := c.put(key, data); err != nil {
 		c.reg.Add("cache.write.error", 1)
 		return err
 	}
@@ -111,28 +171,28 @@ func (c *Cache) Put(key string, v any) error {
 	return nil
 }
 
-func (c *Cache) put(key string, v any) error {
+func (c *Cache) put(key string, data []byte) error {
 	if len(key) < 2 {
 		return fmt.Errorf("analysiscache: short key %q", key)
 	}
 	dst := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return err
+	if idx, hexKey := shardIndex(key); hexKey && !c.dirs.has(idx) {
+		// First entry in this shard: create the directory up front rather
+		// than paying a guaranteed-failing open first.
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		c.dirs.set(idx)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), "put-*")
-	if err != nil {
-		return err
+	err := os.WriteFile(dst, data, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		// The shard directory vanished (or the key is non-hex): recreate it
+		// and retry once.
+		if err = os.MkdirAll(filepath.Dir(dst), 0o755); err == nil {
+			err = os.WriteFile(dst, data, 0o644)
+		}
 	}
-	if err := gob.NewEncoder(tmp).Encode(v); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), dst)
+	return err
 }
 
 // KeyOf derives a cache key from its parts: each part is length-prefixed

@@ -4,11 +4,36 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/bincodec"
 )
 
+// payload is the test stand-in for a real cache entry: like the production
+// entries it owns its binary encoding, built on internal/bincodec.
 type payload struct {
 	Name  string
 	Lines []int
+}
+
+func (p *payload) encode() []byte {
+	w := bincodec.NewWriter(32)
+	w.String(p.Name)
+	w.U32(uint32(len(p.Lines)))
+	for _, n := range p.Lines {
+		w.Int(n)
+	}
+	return w.Bytes()
+}
+
+func (p *payload) decode(data []byte) error {
+	r := bincodec.NewReader(data)
+	p.Name = r.String()
+	n := r.Count()
+	p.Lines = nil
+	for i := 0; i < n; i++ {
+		p.Lines = append(p.Lines, r.Int())
+	}
+	return r.Done()
 }
 
 func TestRoundTrip(t *testing.T) {
@@ -18,11 +43,11 @@ func TestRoundTrip(t *testing.T) {
 	}
 	key := KeyOf("test", "round-trip")
 	want := payload{Name: "x", Lines: []int{1, 2, 3}}
-	if err := c.Put(key, want); err != nil {
+	if err := c.Put(key, want.encode()); err != nil {
 		t.Fatal(err)
 	}
 	var got payload
-	if !c.Get(key, &got) {
+	if !c.Get(key, got.decode) {
 		t.Fatal("expected hit after Put")
 	}
 	if got.Name != want.Name || len(got.Lines) != 3 || got.Lines[2] != 3 {
@@ -36,10 +61,10 @@ func TestMissingKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	var v payload
-	if c.Get(KeyOf("never", "stored"), &v) {
+	if c.Get(KeyOf("never", "stored"), v.decode) {
 		t.Fatal("expected miss for unknown key")
 	}
-	if c.Get("", &v) || c.Get("a", &v) {
+	if c.Get("", v.decode) || c.Get("a", v.decode) {
 		t.Fatal("short keys must miss, not panic")
 	}
 }
@@ -51,10 +76,10 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := KeyOf("corrupt")
-	if err := c.Put(key, payload{Name: "ok"}); err != nil {
+	if err := c.Put(key, (&payload{Name: "ok"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, key[:2], key+".gob")
+	path := filepath.Join(dir, key[:2], key+".bin")
 
 	// Truncated entry → miss.
 	data, err := os.ReadFile(path)
@@ -65,24 +90,57 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	var v payload
-	if c.Get(key, &v) {
+	if c.Get(key, v.decode) {
 		t.Fatal("truncated entry must be a miss")
 	}
 
 	// Garbage entry → miss.
-	if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+	if err := os.WriteFile(path, []byte("not a valid entry"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if c.Get(key, &v) {
+	if c.Get(key, v.decode) {
 		t.Fatal("garbage entry must be a miss")
 	}
 
 	// Re-Put repairs the slot.
-	if err := c.Put(key, payload{Name: "again"}); err != nil {
+	if err := c.Put(key, (&payload{Name: "again"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Get(key, &v) || v.Name != "again" {
+	if !c.Get(key, v.decode) || v.Name != "again" {
 		t.Fatal("Put over a corrupt entry must restore the slot")
+	}
+}
+
+// TestOldFormatDirIsCleanMisses pins the format-migration contract: a cache
+// root populated by the retired gob-era layout (.gob files) serves clean
+// misses — not errors, not corruption counts — and the current format
+// repopulates alongside without touching the old files.
+func TestOldFormatDirIsCleanMisses(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("migrated")
+	oldPath := filepath.Join(dir, key[:2], key+".gob")
+	if err := os.MkdirAll(filepath.Dir(oldPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, []byte("gob-era bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v payload
+	if c.Get(key, v.decode) {
+		t.Fatal("old-format entry must read as a miss")
+	}
+	if err := c.Put(key, (&payload{Name: "new"}).encode()); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Get(key, v.decode) || v.Name != "new" {
+		t.Fatal("current format must repopulate alongside the old file")
+	}
+	if _, err := os.Stat(oldPath); err != nil {
+		t.Fatal("migration must not delete old-format files")
 	}
 }
 

@@ -18,21 +18,21 @@ func TestZeroByteEntryIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := KeyOf("zero-byte")
-	if err := c.Put(key, payload{Name: "ok"}); err != nil {
+	if err := c.Put(key, (&payload{Name: "ok"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, key[:2], key+".gob")
+	path := filepath.Join(dir, key[:2], key+".bin")
 	if err := os.WriteFile(path, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var v payload
-	if c.Get(key, &v) {
+	if c.Get(key, v.decode) {
 		t.Fatal("zero-byte entry must be a miss")
 	}
-	if err := c.Put(key, payload{Name: "repaired"}); err != nil {
+	if err := c.Put(key, (&payload{Name: "repaired"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Get(key, &v) || v.Name != "repaired" {
+	if !c.Get(key, v.decode) || v.Name != "repaired" {
 		t.Fatal("Put must repair a zero-byte slot")
 	}
 }
@@ -55,7 +55,7 @@ func TestConcurrentWritersSameKey(t *testing.T) {
 			defer wg.Done()
 			p := payload{Name: fmt.Sprintf("writer-%d", w), Lines: []int{w, w, w}}
 			for r := 0; r < rounds; r++ {
-				if err := c.Put(key, p); err != nil {
+				if err := c.Put(key, p.encode()); err != nil {
 					t.Errorf("Put: %v", err)
 					return
 				}
@@ -78,13 +78,13 @@ func TestConcurrentWritersSameKey(t *testing.T) {
 			polling = false
 		default:
 			var v payload
-			if c.Get(key, &v) {
+			if c.Get(key, v.decode) {
 				checkHit(v)
 			}
 		}
 	}
 	var v payload
-	if !c.Get(key, &v) {
+	if !c.Get(key, v.decode) {
 		t.Fatal("expected a hit after all writers finished")
 	}
 	checkHit(v)
@@ -104,7 +104,7 @@ func TestUnusableDirDegradesToMisses(t *testing.T) {
 			t.Fatal(err)
 		}
 		key := KeyOf("doomed")
-		if err := c.Put(key, payload{Name: "first"}); err != nil {
+		if err := c.Put(key, (&payload{Name: "first"}).encode()); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.RemoveAll(root); err != nil {
@@ -114,13 +114,13 @@ func TestUnusableDirDegradesToMisses(t *testing.T) {
 			t.Fatal(err)
 		}
 		var v payload
-		if c.Get(key, &v) {
+		if c.Get(key, v.decode) {
 			t.Fatal("Get through a non-directory root must miss")
 		}
-		if err := c.Put(key, payload{Name: "second"}); err == nil {
+		if err := c.Put(key, (&payload{Name: "second"}).encode()); err == nil {
 			t.Fatal("Put through a non-directory root must error")
 		}
-		if c.Get(key, &v) {
+		if c.Get(key, v.decode) {
 			t.Fatal("failed Put must not leave a readable entry")
 		}
 	})
@@ -135,7 +135,7 @@ func TestUnusableDirDegradesToMisses(t *testing.T) {
 			t.Fatal(err)
 		}
 		stored := KeyOf("kept")
-		if err := c.Put(stored, payload{Name: "kept"}); err != nil {
+		if err := c.Put(stored, (&payload{Name: "kept"}).encode()); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.Chmod(root, 0o500); err != nil {
@@ -148,14 +148,14 @@ func TestUnusableDirDegradesToMisses(t *testing.T) {
 		for i := 0; fresh[:2] == stored[:2]; i++ {
 			fresh = KeyOf(fmt.Sprintf("fresh-%d", i))
 		}
-		if err := c.Put(fresh, payload{Name: "fresh"}); err == nil {
+		if err := c.Put(fresh, (&payload{Name: "fresh"}).encode()); err == nil {
 			t.Fatal("Put into a read-only root must error")
 		}
 		var v payload
-		if c.Get(fresh, &v) {
+		if c.Get(fresh, v.decode) {
 			t.Fatal("entry whose Put failed must miss")
 		}
-		if !c.Get(stored, &v) || v.Name != "kept" {
+		if !c.Get(stored, v.decode) || v.Name != "kept" {
 			t.Fatal("read-only root must still serve existing entries")
 		}
 	})

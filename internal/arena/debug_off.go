@@ -1,0 +1,8 @@
+//go:build !arenadebug
+
+package arena
+
+// debugPoison gates the reuse-after-release checks. In the default build it
+// is a compile-time false so the checks cost nothing; `go test -tags
+// arenadebug` turns them on.
+const debugPoison = false

@@ -1,0 +1,8 @@
+//go:build arenadebug
+
+package arena
+
+// debugPoison enables the reuse-after-release checks: pooled buffers are
+// cleared on Put (stale aliases read zeros, not plausible stale tokens) and
+// poisoned slabs panic on New.
+const debugPoison = true

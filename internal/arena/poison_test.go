@@ -1,0 +1,31 @@
+//go:build arenadebug
+
+package arena
+
+import "testing"
+
+// The reuse-after-release guards only exist under -tags arenadebug; this
+// file exercises them (run with `go test -tags arenadebug ./internal/arena`).
+
+func TestSlabPoisonPanicsOnReuse(t *testing.T) {
+	s := &Slab[int]{}
+	s.New(1)
+	s.Poison()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New on a poisoned slab did not panic under arenadebug")
+		}
+	}()
+	s.New(2)
+}
+
+func TestPoolPutPoisonsContents(t *testing.T) {
+	p := &Pool[int]{}
+	b := p.Get(4)
+	b = append(b, 7, 8, 9)
+	stale := b // alias that survives the Put — the bug the poisoning catches
+	p.Put(b)
+	if stale[:3][0] == 7 {
+		t.Fatal("pooled buffer contents survived Put under arenadebug")
+	}
+}

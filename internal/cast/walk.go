@@ -127,14 +127,109 @@ func isNilNode(n Node) bool {
 
 // Calls returns all call expressions under n, in pre-order.
 func Calls(n Node) []*CallExpr {
-	var out []*CallExpr
-	Walk(n, func(m Node) bool {
-		if c, ok := m.(*CallExpr); ok {
-			out = append(out, c)
+	return CallsInto(nil, n)
+}
+
+// CallsInto appends all call expressions under n to dst, in pre-order, and
+// returns the extended slice. Callers that scan many functions pass the
+// previous result re-sliced to zero length so one buffer amortizes across
+// the whole sweep. It recurses directly rather than going through Walk: the
+// dst-capturing closure Walk would need costs one heap allocation per call,
+// and this runs once per function in the callgraph sweep. The child
+// enumeration below must mirror Walk's.
+func CallsInto(dst []*CallExpr, n Node) []*CallExpr {
+	if n == nil || isNilNode(n) {
+		return dst
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			dst = CallsInto(dst, d)
 		}
-		return true
-	})
-	return out
+	case *FuncDef:
+		if x.Body != nil {
+			dst = CallsInto(dst, x.Body)
+		}
+	case *VarDecl:
+		dst = CallsInto(dst, x.Init)
+		for _, fi := range x.Inits {
+			dst = CallsInto(dst, fi.Value)
+		}
+	case *CompoundStmt:
+		for _, s := range x.Stmts {
+			dst = CallsInto(dst, s)
+		}
+	case *DeclStmt:
+		dst = CallsInto(dst, x.Init)
+	case *ExprStmt:
+		dst = CallsInto(dst, x.X)
+	case *IfStmt:
+		dst = CallsInto(dst, x.Cond)
+		dst = CallsInto(dst, x.Then)
+		dst = CallsInto(dst, x.Else)
+	case *ForStmt:
+		dst = CallsInto(dst, x.Init)
+		dst = CallsInto(dst, x.Cond)
+		dst = CallsInto(dst, x.Post)
+		dst = CallsInto(dst, x.Body)
+	case *WhileStmt:
+		dst = CallsInto(dst, x.Cond)
+		dst = CallsInto(dst, x.Body)
+	case *DoWhileStmt:
+		dst = CallsInto(dst, x.Body)
+		dst = CallsInto(dst, x.Cond)
+	case *SwitchStmt:
+		dst = CallsInto(dst, x.Tag)
+		dst = CallsInto(dst, x.Body)
+	case *CaseStmt:
+		dst = CallsInto(dst, x.Value)
+	case *ReturnStmt:
+		dst = CallsInto(dst, x.Value)
+	case *CondStmt:
+		dst = CallsInto(dst, x.X)
+	case *LabelStmt:
+		dst = CallsInto(dst, x.Stmt)
+	case *CallExpr:
+		dst = append(dst, x)
+		dst = CallsInto(dst, x.Fun)
+		for _, a := range x.Args {
+			dst = CallsInto(dst, a)
+		}
+	case *BinaryExpr:
+		dst = CallsInto(dst, x.X)
+		dst = CallsInto(dst, x.Y)
+	case *UnaryExpr:
+		dst = CallsInto(dst, x.X)
+	case *AssignExpr:
+		dst = CallsInto(dst, x.LHS)
+		dst = CallsInto(dst, x.RHS)
+	case *MemberExpr:
+		dst = CallsInto(dst, x.X)
+	case *IndexExpr:
+		dst = CallsInto(dst, x.X)
+		dst = CallsInto(dst, x.Index)
+	case *ParenExpr:
+		dst = CallsInto(dst, x.X)
+	case *CondExpr:
+		dst = CallsInto(dst, x.Cond)
+		dst = CallsInto(dst, x.Then)
+		dst = CallsInto(dst, x.Else)
+	case *CastExpr:
+		dst = CallsInto(dst, x.X)
+	case *SizeofExpr:
+		dst = CallsInto(dst, x.X)
+	case *CommaExpr:
+		dst = CallsInto(dst, x.X)
+		dst = CallsInto(dst, x.Y)
+	case *InitListExpr:
+		for _, e := range x.Elems {
+			dst = CallsInto(dst, e)
+		}
+		for _, fi := range x.Fields {
+			dst = CallsInto(dst, fi.Value)
+		}
+	}
+	return dst
 }
 
 // Idents returns all identifier uses under n, in pre-order.

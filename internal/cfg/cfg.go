@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/arena"
 	"repro/internal/cast"
+	"repro/internal/clex"
 )
 
 // Block is a basic block: a maximal straight-line statement sequence.
@@ -69,6 +71,23 @@ type builder struct {
 	conts  []*Block // innermost-last continue targets
 	labels map[string]*Block
 	gotos  []pendingGoto
+
+	// Blocks and condition pseudo-statements are the builder's two hot
+	// allocations; both live exactly as long as the Graph, so they come from
+	// slabs (see internal/arena) and the chunks ride along with it.
+	blocks    arena.Slab[Block]
+	condStmts arena.Slab[cast.CondStmt]
+
+	// edges backs the Succs/Preds slices: every block gets a disjoint
+	// zero-length, capacity-2 window of the current chunk (most blocks have
+	// at most two edges; one that grows past its window migrates to the heap
+	// via ordinary append reallocation). Like the slabs, chunks are retained
+	// by the Graph's blocks and never recycled.
+	edges []*Block
+	// stmtBuf backs the blocks' Stmts slices the same way, with capacity-4
+	// windows.
+	stmtBuf []cast.Stmt
+	stats   *arena.Stats
 }
 
 type pendingGoto struct {
@@ -78,11 +97,19 @@ type pendingGoto struct {
 
 // Build constructs the CFG of fn. It returns nil for bodyless functions.
 func Build(fn *cast.FuncDef) *Graph {
+	return BuildArena(fn, nil)
+}
+
+// BuildArena is Build with slab-allocation counters reported into st (which
+// may be nil). The Graph owns its slab chunks for its whole lifetime.
+func BuildArena(fn *cast.FuncDef, st *arena.Stats) *Graph {
 	if fn.Body == nil {
 		return nil
 	}
-	g := &Graph{Fn: fn}
-	b := &builder{g: g, labels: map[string]*Block{}}
+	g := &Graph{Fn: fn, Blocks: make([]*Block, 0, 16)}
+	b := &builder{g: g, labels: map[string]*Block{}, stats: st}
+	b.blocks.Stats = st
+	b.condStmts.Stats = st
 	g.Entry = b.newBlock()
 	g.Exit = b.newBlock()
 	b.cur = g.Entry
@@ -103,9 +130,57 @@ func Build(fn *cast.FuncDef) *Graph {
 }
 
 func (b *builder) newBlock() *Block {
-	blk := &Block{ID: len(b.g.Blocks)}
+	blk := b.blocks.New(Block{ID: len(b.g.Blocks)})
+	blk.Succs = b.edgeWindow()
+	blk.Preds = b.edgeWindow()
+	blk.Stmts = b.stmtWindow()
 	b.g.Blocks = append(b.g.Blocks, blk)
 	return blk
+}
+
+const stmtChunk = 256
+
+// stmtWindow reserves a zero-length, capacity-4 view of the statement chunk;
+// most blocks hold at most a handful of leaf statements, and the ones that
+// overflow migrate to the heap on the fifth append.
+func (b *builder) stmtWindow() []cast.Stmt {
+	if cap(b.stmtBuf)-len(b.stmtBuf) < 4 {
+		b.stmtBuf = make([]cast.Stmt, 0, stmtChunk)
+		if b.stats != nil {
+			b.stats.Bytes.Add(stmtChunk * 16)
+			b.stats.Chunks.Add(1)
+		}
+	}
+	n := len(b.stmtBuf)
+	b.stmtBuf = b.stmtBuf[:n+4]
+	return b.stmtBuf[n : n : n+4]
+}
+
+const edgeChunk = 128
+
+// edgeWindow reserves a zero-length, capacity-2 view of the edge chunk.
+// Appending up to two elements fills the reserved slots; a third append
+// reallocates onto the heap without touching neighboring windows.
+func (b *builder) edgeWindow() []*Block {
+	if cap(b.edges)-len(b.edges) < 2 {
+		b.edges = make([]*Block, 0, edgeChunk)
+		if b.stats != nil {
+			b.stats.Bytes.Add(edgeChunk * 8)
+			b.stats.Chunks.Add(1)
+		}
+	}
+	n := len(b.edges)
+	b.edges = b.edges[:n+2]
+	return b.edges[n : n : n+2]
+}
+
+// cond slab-allocates the condition pseudo-statement cast.NewCondStmt would
+// otherwise heap-allocate.
+func (b *builder) cond(x cast.Expr, pos clex.Pos, origin []string) *cast.CondStmt {
+	c := b.condStmts.New(cast.CondStmt{X: x})
+	c.StartPos = pos
+	c.Origin = origin
+	return c
 }
 
 func (b *builder) link(from, to *Block) {
@@ -220,7 +295,7 @@ func (b *builder) ifStmt(x *cast.IfStmt) {
 	}
 	// Record the condition as a pseudo-statement so checkers can see null
 	// tests and error tests in block order.
-	b.add(cast.NewCondStmt(x.Cond, x.Pos(), x.MacroOrigin()))
+	b.add(b.cond(x.Cond, x.Pos(), x.MacroOrigin()))
 	condBlk = b.cur
 
 	thenBlk := b.newBlock()
@@ -267,7 +342,7 @@ func (b *builder) forStmt(x *cast.ForStmt) {
 	}
 	b.link(b.cur, head)
 	if x.Cond != nil {
-		head.Stmts = append(head.Stmts, cast.NewCondStmt(x.Cond, x.Pos(), x.MacroOrigin()))
+		head.Stmts = append(head.Stmts, b.cond(x.Cond, x.Pos(), x.MacroOrigin()))
 	}
 	after := b.newBlock()
 	body := b.newBlock()
@@ -299,7 +374,7 @@ func (b *builder) whileStmt(x *cast.WhileStmt) {
 		head.FromMacro = o[0]
 	}
 	b.link(b.cur, head)
-	head.Stmts = append(head.Stmts, cast.NewCondStmt(x.Cond, x.Pos(), x.MacroOrigin()))
+	head.Stmts = append(head.Stmts, b.cond(x.Cond, x.Pos(), x.MacroOrigin()))
 
 	after := b.newBlock()
 	body := b.newBlock()
@@ -332,7 +407,7 @@ func (b *builder) doWhileStmt(x *cast.DoWhileStmt) {
 	if b.cur != nil {
 		b.link(b.cur, head)
 	}
-	head.Stmts = append(head.Stmts, cast.NewCondStmt(x.Cond, x.Pos(), nil))
+	head.Stmts = append(head.Stmts, b.cond(x.Cond, x.Pos(), nil))
 	b.link(head, body)
 	b.link(head, after)
 	b.breaks = b.breaks[:len(b.breaks)-1]
@@ -341,7 +416,7 @@ func (b *builder) doWhileStmt(x *cast.DoWhileStmt) {
 }
 
 func (b *builder) switchStmt(x *cast.SwitchStmt) {
-	b.add(cast.NewCondStmt(x.Tag, x.Pos(), x.MacroOrigin()))
+	b.add(b.cond(x.Tag, x.Pos(), x.MacroOrigin()))
 	head := b.cur
 	after := b.newBlock()
 	b.breaks = append(b.breaks, after)

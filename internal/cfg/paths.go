@@ -12,31 +12,63 @@ func (g *Graph) Paths(max int) []Path {
 	if max <= 0 {
 		max = DefaultMaxPaths
 	}
-	var out []Path
-	visits := map[*Block]int{}
-	var cur Path
-	var walk func(b *Block)
-	walk = func(b *Block) {
-		if len(out) >= max {
-			return
-		}
-		if visits[b] >= 2 {
-			return
-		}
-		visits[b]++
-		cur = append(cur, b)
-		if b == g.Exit {
-			out = append(out, append(Path(nil), cur...))
-		} else {
-			for _, s := range b.Succs {
-				walk(s)
-			}
-		}
-		cur = cur[:len(cur)-1]
-		visits[b]--
+	// A method-based walker instead of recursive closures: the closure pair
+	// (walk capturing itself plus its shared state) cost several heap
+	// allocations per function, and Paths runs once per function. Visit
+	// counts index by Block.ID, which BuildArena assigns densely.
+	w := pathWalker{
+		g:      g,
+		max:    max,
+		visits: make([]int8, len(g.Blocks)),
+		cur:    make(Path, 0, 64),
 	}
-	walk(g.Entry)
-	return out
+	w.walk(g.Entry)
+	return w.out
+}
+
+type pathWalker struct {
+	g      *Graph
+	max    int
+	out    []Path
+	visits []int8
+	cur    Path
+	// Completed paths are copied into chunked backing storage and returned
+	// as capacity-bounded windows of it — one allocation per ~1024 blocks
+	// of path data instead of one per path.
+	back Path
+}
+
+func (w *pathWalker) emit() {
+	if cap(w.back)-len(w.back) < len(w.cur) {
+		n := 1024
+		if len(w.cur) > n {
+			n = len(w.cur)
+		}
+		w.back = make(Path, 0, n)
+	}
+	start := len(w.back)
+	w.back = append(w.back, w.cur...)
+	w.out = append(w.out, w.back[start:len(w.back):len(w.back)])
+}
+
+func (w *pathWalker) walk(b *Block) {
+	if len(w.out) >= w.max {
+		return
+	}
+	if w.visits[b.ID] >= 2 {
+		return
+	}
+	w.visits[b.ID]++
+	w.cur = append(w.cur, b)
+	if b == w.g.Exit {
+		w.emit()
+	} else {
+		for _, s := range b.Succs {
+			w.walk(s)
+		}
+	}
+	w.cur = w.cur[:len(w.cur)-1]
+	w.visits[b.ID]--
 }
 
 // DefaultMaxPaths bounds path enumeration per function.

@@ -8,7 +8,10 @@
 // later stages use to recognize "smartloop" contexts.
 package clex
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Kind classifies a token.
 type Kind int
@@ -81,6 +84,10 @@ const (
 	Arrow // ->
 )
 
+// KindMax is the largest valid Kind value — the decode-side validity bound
+// for serialized tokens (internal/cpg's cache codec).
+const KindMax = Arrow
+
 var kindNames = map[Kind]string{
 	EOF: "EOF", Ident: "Ident", Keyword: "Keyword", IntLit: "IntLit",
 	CharLit: "CharLit", StringLit: "StringLit", FloatLit: "FloatLit",
@@ -114,12 +121,19 @@ type Pos struct {
 	Col  int // 1-based, in bytes
 }
 
-// String renders the position in the conventional file:line:col form.
+// String renders the position in the conventional file:line:col form. It is
+// on the checker hot path (report keys, per-event dedup), so it appends with
+// strconv instead of going through fmt.
 func (p Pos) String() string {
-	if p.File == "" {
-		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	b := make([]byte, 0, len(p.File)+12)
+	if p.File != "" {
+		b = append(b, p.File...)
+		b = append(b, ':')
 	}
-	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	b = strconv.AppendInt(b, int64(p.Line), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(p.Col), 10)
+	return string(b)
 }
 
 // IsValid reports whether the position has been set.

@@ -29,7 +29,7 @@ func (*ReturnErrorChecker) ID() Pattern { return P1 }
 func (*ReturnErrorChecker) Check(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
 	for ti := range ff.Data.Traces {
 		tr := &ff.Data.Traces[ti]
 		evs := tr.Events
@@ -37,7 +37,7 @@ func (*ReturnErrorChecker) Check(ff *facts.FunctionFacts) []Report {
 			if ev.Op != semantics.OpInc || ev.Info == nil || !ev.Info.IncOnError {
 				continue
 			}
-			if reported[ev.Pos.String()] {
+			if reported[dk(ev.Pos, "", "")] {
 				continue
 			}
 			// Does this path enter an error block after the call?
@@ -55,7 +55,7 @@ func (*ReturnErrorChecker) Check(ff *facts.FunctionFacts) []Report {
 			if balanced {
 				continue
 			}
-			reported[ev.Pos.String()] = true
+			reported[dk(ev.Pos, "", "")] = true
 			pair := ev.Info.Pair
 			if pair == "" {
 				pair = "the paired put"
@@ -98,32 +98,59 @@ func (*ReturnNullChecker) ID() Pattern { return P2 }
 func (*ReturnNullChecker) Check(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
+	// unchecked tracks may-be-NULL references as (base name, producing-event
+	// index) pairs. A trace carries at most a handful, so a linear-scanned
+	// slice with its backing reused across traces replaces the per-trace
+	// map — buckets sized for semantics.Event values were a visible slice
+	// of the checking phase's allocations.
+	type nullTrack struct {
+		base string
+		idx  int
+	}
+	var unchecked []nullTrack
+	drop := func(name string) {
+		for k := range unchecked {
+			if unchecked[k].base == name {
+				unchecked[k] = unchecked[len(unchecked)-1]
+				unchecked = unchecked[:len(unchecked)-1]
+				return
+			}
+		}
+	}
 	for ti := range ff.Data.Traces {
 		tr := &ff.Data.Traces[ti]
 		evs := tr.Events
-		// unchecked: base name → the producing Inc event.
-		unchecked := map[string]semantics.Event{}
+		unchecked = unchecked[:0]
 		for i, ev := range evs {
 			switch ev.Op {
 			case semantics.OpInc:
 				if ev.Info != nil && ev.Info.MayReturnNull && ev.Obj != "" {
-					unchecked[semantics.BaseOf(ev.Obj)] = ev
+					base := semantics.BaseOf(ev.Obj)
+					drop(base)
+					unchecked = append(unchecked, nullTrack{base, i})
 				}
 			case semantics.OpCond:
 				// Which branch does this path take?
 				for _, name := range tr.BranchNonNull(i) {
-					delete(unchecked, name)
+					drop(name)
 				}
 			case semantics.OpAssign:
 				// Reassignment invalidates tracking.
-				delete(unchecked, semantics.BaseOf(ev.AssignTarget))
+				drop(semantics.BaseOf(ev.AssignTarget))
 			case semantics.OpDeref:
-				src, tracked := unchecked[ev.Obj]
-				if !tracked {
+				srcIdx := -1
+				for _, t := range unchecked {
+					if t.base == ev.Obj {
+						srcIdx = t.idx
+						break
+					}
+				}
+				if srcIdx < 0 {
 					continue
 				}
-				key := src.Pos.String() + "|" + ev.Obj
+				src := evs[srcIdx]
+				key := dk(src.Pos, ev.Obj, "")
 				if reported[key] {
 					continue
 				}

@@ -32,7 +32,7 @@ func (*SmartLoopChecker) Check(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	db := ff.Unit.DB
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
 	for ti := range ff.Data.Traces {
 		tr := &ff.Data.Traces[ti]
 		evs := tr.Events
@@ -43,12 +43,12 @@ func (*SmartLoopChecker) Check(ff *facts.FunctionFacts) []Report {
 		lastInc := map[string]int{}
 		pathReported := map[string]bool{}
 		var lastEv *semantics.Event
-		for i, ev := range evs {
-			ev := ev
-			lastEv = &ev
+		for i := range evs {
+			ev := &evs[i]
+			lastEv = ev
 			switch ev.Op {
 			case semantics.OpInc:
-				if ff.SmartLoop(ev) && ev.Obj != "" {
+				if ff.SmartLoop(*ev) && ev.Obj != "" {
 					balance[ev.Obj]++
 					loopOf[ev.Obj] = ev.FromMacro
 					lastInc[ev.Obj] = i
@@ -93,7 +93,7 @@ func (*SmartLoopChecker) Check(ff *facts.FunctionFacts) []Report {
 				}
 				pathReported[obj] = true
 				macro := loopOf[obj]
-				key := ev.Pos.String() + "|" + obj
+				key := dk(ev.Pos, obj, "")
 				if reported[key] {
 					continue
 				}
@@ -122,7 +122,7 @@ func (*SmartLoopChecker) Check(ff *facts.FunctionFacts) []Report {
 			if lastEv != nil {
 				pos = lastEv.Pos
 			}
-			key := pos.String() + "|exit|" + obj
+			key := dk(pos, obj, "exit")
 			if reported[key] {
 				continue
 			}
@@ -172,7 +172,7 @@ func (c *HiddenRefChecker) Check(ff *facts.FunctionFacts) []Report {
 func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
 	// Whole-function decrement view: when the developer did pair the put
 	// somewhere, a put-free path is an overlooked *location* (P5), not an
 	// overlooked *API*.
@@ -218,20 +218,25 @@ func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
 					// tracking the untagged analysis sees. The tag is part
 					// of the dedup key so tagged candidates never shadow a
 					// genuine report at the same position.
-					key := ev.Pos.String() + "|" + ev.Obj + "|" + string(why)
+					key := dk(ev.Pos, ev.Obj, string(why))
 					if reported[key] {
 						continue
 					}
 					reported[key] = true
-					out = append(out, Report{
+					rep := Report{
 						Pattern: P4, Impact: Leak,
 						Function: fn.Def.Name, File: fn.File, Pos: ev.Pos,
 						Object: ev.Obj, API: ev.API,
-						Message:    fmt.Sprintf("%s returns a reference hidden in %s that is never put on this path", ev.API, ev.Obj),
-						Suggestion: fmt.Sprintf("%s(%s); /* before every exit on this path */", putNameFor(ff.Unit.DB, ev), ev.Obj),
-						Witness:    evs,
-						Deferred:   why,
-					})
+						Witness:  evs,
+						Deferred: why,
+					}
+					// Candidates the deferral table is guaranteed to drop
+					// never surface their message; skip building it.
+					if !deferralSet[P4][why] {
+						rep.Message = fmt.Sprintf("%s returns a reference hidden in %s that is never put on this path", ev.API, ev.Obj)
+						rep.Suggestion = fmt.Sprintf("%s(%s); /* before every exit on this path */", putNameFor(ff.Unit.DB, ev), ev.Obj)
+					}
+					out = append(out, rep)
 					continue
 				}
 				if ev.Obj == "" {
@@ -277,7 +282,7 @@ func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
 			if t.dead || t.balance <= 0 {
 				continue
 			}
-			key := t.ev.Pos.String() + "|" + obj
+			key := dk(t.ev.Pos, obj, "")
 			if reported[key] {
 				continue
 			}
@@ -292,7 +297,7 @@ func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
 			})
 		}
 		for _, ev := range dropped {
-			key := ev.Pos.String() + "|<dropped>"
+			key := dk(ev.Pos, "<dropped>", "")
 			if reported[key] {
 				continue
 			}
@@ -315,7 +320,7 @@ func (*HiddenRefChecker) missingPut(ff *facts.FunctionFacts) []Report {
 func (*HiddenRefChecker) missingGet(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
 	for ti := range ff.Data.Traces {
 		evs := ff.Data.Traces[ti].Events
 		got := map[string]bool{}
@@ -330,10 +335,10 @@ func (*HiddenRefChecker) missingGet(ff *facts.FunctionFacts) []Report {
 					continue
 				}
 				base := semantics.BaseOf(ev.Obj)
-				if !ff.Params[base] || got[base] {
+				if !ff.IsParam(base) || got[base] {
 					continue
 				}
-				key := ev.Pos.String() + "|" + ev.Obj
+				key := dk(ev.Pos, ev.Obj, "")
 				if reported[key] {
 					continue
 				}

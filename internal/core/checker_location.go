@@ -42,7 +42,7 @@ func (*ErrorHandleChecker) Check(ff *facts.FunctionFacts) []Report {
 		balancedPath    bool
 		errorLeakEvents []semantics.Event
 	}
-	incs := map[string]*state{}
+	incs := map[dedupKey]*state{}
 	for ti := range ff.Data.Traces {
 		tr := &ff.Data.Traces[ti]
 		evs := tr.Events
@@ -57,11 +57,10 @@ func (*ErrorHandleChecker) Check(ff *facts.FunctionFacts) []Report {
 			case ff.SmartLoop(ev):
 				why = DeferSmartLoop
 			}
-			key := ev.Pos.String() + "|" + ev.Obj
-			st := incs[key]
+			st := incs[dk(ev.Pos, ev.Obj, "")]
 			if st == nil {
 				st = &state{ev: ev, why: why}
-				incs[key] = st
+				incs[dk(ev.Pos, ev.Obj, "")] = st
 			}
 			balanced := false
 			transferred := false
@@ -100,14 +99,31 @@ func (*ErrorHandleChecker) Check(ff *facts.FunctionFacts) []Report {
 			}
 		}
 	}
-	keys := make([]string, 0, len(incs))
-	for k := range incs {
-		keys = append(keys, k)
+	emit := false
+	for _, st := range incs {
+		if st.balancedPath && st.errorLeakEvents != nil {
+			emit = true
+			break
+		}
 	}
-	sort.Strings(keys)
+	if !emit {
+		return nil
+	}
+	// Deterministic emission order: sort by the rendered position|object
+	// string. The strings are built only on this rare emitting path; the
+	// per-event hot loop above keys the map by value.
+	type entry struct {
+		key string
+		st  *state
+	}
+	entries := make([]entry, 0, len(incs))
+	for _, st := range incs {
+		entries = append(entries, entry{st.ev.Pos.String() + "|" + st.ev.Obj, st})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
 	var out []Report
-	for _, k := range keys {
-		st := incs[k]
+	for _, e := range entries {
+		st := e.st
 		if !st.balancedPath || st.errorLeakEvents == nil {
 			continue
 		}
@@ -160,7 +176,7 @@ var namePairSuffixes = [][2]string{
 func (c *InterPairedChecker) CheckUnit(uf *facts.UnitFacts) []Report {
 	u := uf.Unit
 	var out []Report
-	seen := map[string]bool{}
+	seen := map[dedupKey]bool{}
 	for _, cb := range u.CallbackBindings() {
 		if cb.Acquire == nil {
 			continue
@@ -189,7 +205,7 @@ func (c *InterPairedChecker) CheckUnit(uf *facts.UnitFacts) []Report {
 // checkPair reports acquire-side increments kept past acquire with no
 // family-matching decrement in release. Smartloop iteration increments are
 // emitted as tagged candidates (P3 owns them) rather than skipped inline.
-func (*InterPairedChecker) checkPair(uf *facts.UnitFacts, acq, rel *cpg.Function, pairDesc string, seen map[string]bool) []Report {
+func (*InterPairedChecker) checkPair(uf *facts.UnitFacts, acq, rel *cpg.Function, pairDesc string, seen map[dedupKey]bool) []Report {
 	ffAcq := uf.Function(acq.Def.Name)
 	if ffAcq == nil {
 		return nil // prototype: no body to analyze
@@ -225,7 +241,7 @@ func (*InterPairedChecker) checkPair(uf *facts.UnitFacts, acq, rel *cpg.Function
 		if releaseHasFamilyDec(uf, rel, ev) {
 			continue
 		}
-		key := ev.Pos.String() + "|" + ev.Obj + "|P6|" + string(ki.why)
+		key := dk(ev.Pos, ev.Obj, string(ki.why))
 		if seen[key] {
 			continue
 		}
@@ -289,29 +305,49 @@ func (*DirectFreeChecker) Check(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	types := ff.VarTypes
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
+	// got collects bases incremented earlier on the trace; a handful of
+	// entries at most, so a reused linear-scanned slice replaces the
+	// per-trace map.
+	var got []string
 	for ti := range ff.Data.Traces {
 		evs := ff.Data.Traces[ti].Events
-		got := map[string]bool{}
+		got = got[:0]
 		for _, ev := range evs {
 			switch ev.Op {
 			case semantics.OpInc:
 				if ev.Obj != "" {
-					got[semantics.BaseOf(ev.Obj)] = true
+					base := semantics.BaseOf(ev.Obj)
+					seen := false
+					for _, g := range got {
+						if g == base {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						got = append(got, base)
+					}
 				}
 			case semantics.OpFree:
 				base := semantics.BaseOf(ev.Obj)
 				if base == "" {
 					continue
 				}
-				counted := isRefStructVar(ff.Unit.DB, types, base) || got[base]
+				counted := isRefStructVar(ff.Unit.DB, types, base)
+				for _, g := range got {
+					if g == base {
+						counted = true
+						break
+					}
+				}
 				if !counted {
 					continue
 				}
-				if reported[ev.Pos.String()] {
+				if reported[dk(ev.Pos, "", "")] {
 					continue
 				}
-				reported[ev.Pos.String()] = true
+				reported[dk(ev.Pos, "", "")] = true
 				put := putExprFor(ff.Unit, types, base)
 				out = append(out, Report{
 					Pattern: P7, Impact: Leak,

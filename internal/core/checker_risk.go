@@ -32,31 +32,56 @@ func (*UADChecker) ID() Pattern { return P8 }
 func (*UADChecker) Check(ff *facts.FunctionFacts) []Report {
 	fn := ff.Fn
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
+	// putAt tracks may-free decrements as (base name, event index) pairs; a
+	// reused linear-scanned slice replaces the per-trace map (see the P2
+	// checker for the rationale).
+	type decTrack struct {
+		base string
+		idx  int
+	}
+	var putAt []decTrack
+	drop := func(name string) {
+		for k := range putAt {
+			if putAt[k].base == name {
+				putAt[k] = putAt[len(putAt)-1]
+				putAt = putAt[:len(putAt)-1]
+				return
+			}
+		}
+	}
 	for ti := range ff.Data.Traces {
 		evs := ff.Data.Traces[ti].Events
-		// putAt: base name → the Dec event that may have freed it.
-		putAt := map[string]semantics.Event{}
-		for _, ev := range evs {
+		putAt = putAt[:0]
+		for i, ev := range evs {
 			switch ev.Op {
 			case semantics.OpDec:
 				if ev.Info != nil && ev.Info.MayFree && ev.Obj != "" {
-					putAt[semantics.BaseOf(ev.Obj)] = ev
+					base := semantics.BaseOf(ev.Obj)
+					drop(base)
+					putAt = append(putAt, decTrack{base, i})
 				}
 			case semantics.OpInc:
 				if ev.Obj != "" {
-					delete(putAt, semantics.BaseOf(ev.Obj))
+					drop(semantics.BaseOf(ev.Obj))
 				}
 			case semantics.OpAssign:
 				if ev.AssignTarget != "" {
-					delete(putAt, semantics.BaseOf(ev.AssignTarget))
+					drop(semantics.BaseOf(ev.AssignTarget))
 				}
 			case semantics.OpDeref:
-				dec, dropped := putAt[ev.Obj]
-				if !dropped {
+				decIdx := -1
+				for _, t := range putAt {
+					if t.base == ev.Obj {
+						decIdx = t.idx
+						break
+					}
+				}
+				if decIdx < 0 {
 					continue
 				}
-				key := dec.Pos.String() + "|" + ev.Obj
+				dec := evs[decIdx]
+				key := dk(dec.Pos, ev.Obj, "")
 				if reported[key] {
 					continue
 				}
@@ -101,7 +126,7 @@ func (*EscapeChecker) Check(ff *facts.FunctionFacts) []Report {
 	ownedRef := ff.Data.OwnedBases // locally acquired references (hidden gets)
 	all := ff.All()
 	var out []Report
-	reported := map[string]bool{}
+	reported := map[dedupKey]bool{}
 	for _, ev := range ff.Escapes() {
 		src := semantics.BaseOf(ev.Obj)
 		// The escaping value must be a counted pointer: declared as a
@@ -113,7 +138,7 @@ func (*EscapeChecker) Check(ff *facts.FunctionFacts) []Report {
 		if incsOf[src] {
 			continue
 		}
-		key := ev.Pos.String() + "|" + ev.Obj
+		key := dk(ev.Pos, ev.Obj, "")
 		if reported[key] {
 			continue
 		}

@@ -90,10 +90,13 @@ func (e *Engine) CheckUnitFactsContext(ctx context.Context, uf *facts.UnitFacts)
 	// (function, checker) cell is written by exactly one worker. A nil cell
 	// marks a function skipped by cancellation.
 	fnResults := make([][][]Report, len(fns))
+	// One backing array serves every function's checker cell; each worker
+	// writes only its own function's window, so the windows never overlap.
+	nc := len(e.Checkers)
+	cellBacking := make([][]Report, len(fns)*nc)
 	checkFn := func(fi int) {
-		sp := e.Obs.Child("fn").Str("name", fns[fi])
 		ff := uf.Function(fns[fi])
-		cell := make([][]Report, len(e.Checkers))
+		cell := cellBacking[fi*nc : (fi+1)*nc : (fi+1)*nc]
 		found := 0
 		for ci, c := range e.Checkers {
 			if _, unit := c.(UnitChecker); unit {
@@ -103,7 +106,12 @@ func (e *Engine) CheckUnitFactsContext(ctx context.Context, uf *facts.UnitFacts)
 			found += len(cell[ci])
 		}
 		fnResults[fi] = cell
-		sp.Int("candidates", found).End()
+		// Only candidate-bearing functions get a span: at thousands of
+		// functions per unit, the all-functions span list dominated trace
+		// memory (several allocations apiece) while carrying no signal.
+		if found > 0 {
+			e.Obs.Child("fn").Str("name", fns[fi]).Int("candidates", found).End()
+		}
 	}
 
 	// Unit-scoped checkers (P6) stay on the coordinating goroutine while

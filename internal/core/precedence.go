@@ -111,19 +111,28 @@ var precedence = map[Pattern]int{
 // finalize deduplicates, applies same-object rank suppression, and sorts
 // reports into the stable output order.
 func finalize(reports []Report) []Report {
-	// Exact-duplicate removal.
-	seen := map[string]bool{}
+	// Exact-duplicate removal. The keys mirror Report.Key but are comparable
+	// structs, so deduplicating candidates allocates nothing.
+	type rkey struct {
+		file    string
+		line    int
+		pattern Pattern
+		object  string
+	}
+	seen := map[rkey]bool{}
 	var uniq []Report
 	for _, r := range reports {
-		if seen[r.Key()] {
+		k := rkey{r.File, r.Pos.Line, r.Pattern, r.Object}
+		if seen[k] {
 			continue
 		}
-		seen[r.Key()] = true
+		seen[k] = true
 		uniq = append(uniq, r)
 	}
 	// Cross-pattern suppression on (function, object, impact-family).
-	best := map[string]int{}
-	objKey := func(r Report) string { return r.File + "|" + r.Function + "|" + r.Object }
+	type okey struct{ file, function, object string }
+	best := map[okey]int{}
+	objKey := func(r Report) okey { return okey{r.File, r.Function, r.Object} }
 	for _, r := range uniq {
 		k := objKey(r)
 		p := precedence[r.Pattern]

@@ -17,6 +17,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/clex"
@@ -118,7 +119,30 @@ func (r *Report) String() string {
 }
 
 // Key identifies a report for deduplication: same place, same pattern, same
-// object.
+// object. Built with a sized append rather than Sprintf — dedup calls this
+// for every candidate report, which made it one of the hottest allocation
+// sites in the checking phase.
 func (r *Report) Key() string {
-	return fmt.Sprintf("%s|%d|%s|%s", r.File, r.Pos.Line, r.Pattern, r.Object)
+	b := make([]byte, 0, len(r.File)+len(r.Pattern)+len(r.Object)+16)
+	b = append(b, r.File...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(r.Pos.Line), 10)
+	b = append(b, '|')
+	b = append(b, r.Pattern...)
+	b = append(b, '|')
+	b = append(b, r.Object...)
+	return string(b)
+}
+
+// dedupKey is the comparable position+object form of the checkers'
+// report-dedup keys. Building one allocates nothing, unlike the
+// pos.String()+"|"+obj concatenation it replaced on the checking hot path.
+type dedupKey struct {
+	pos clex.Pos
+	obj string
+	tag string
+}
+
+func dk(pos clex.Pos, obj, tag string) dedupKey {
+	return dedupKey{pos: pos, obj: obj, tag: tag}
 }

@@ -110,7 +110,7 @@ func corpusFP(sources []cpg.Source, headers map[string]string) string {
 // checker selection (so -checkers subset runs never collide with full
 // runs), and the full corpus content.
 func unitCacheKey(configFP, checkersFP, corpus string) string {
-	return analysiscache.KeyOf("unit-v2", configFP, checkersFP, corpus)
+	return analysiscache.KeyOf("unit-v3", configFP, checkersFP, corpus)
 }
 
 // factsCacheKey fingerprints the per-function facts entry. The checker
@@ -118,14 +118,15 @@ func unitCacheKey(configFP, checkersFP, corpus string) string {
 // exactly why a subset run can reuse the facts a full run computed (and vice
 // versa) even though their unit-level keys differ.
 func factsCacheKey(configFP, corpus string) string {
-	return analysiscache.KeyOf("facts-v1", configFP, corpus)
+	return analysiscache.KeyOf("facts-v2", configFP, corpus)
 }
 
 // stripWitnessBlocks deep-copies reports with each witness event's CFG block
-// pointer cleared. Blocks form cycles (Succs/Preds), which gob cannot
-// encode, and nothing downstream of finalize reads them — refsim replays on
-// Op/Obj/API/Info, patch generation on Pos — so cached reports round-trip to
-// the same rendered output. The facts layer already strips blocks from its
+// pointer cleared. Blocks form cycles (Succs/Preds) that no flat encoding
+// can represent — the report codec simply never writes them — and nothing
+// downstream of finalize reads them: refsim replays on Op/Obj/API/Info,
+// patch generation on Pos, so cached reports round-trip to the same
+// rendered output. The facts layer already strips blocks from its
 // normalized traces; this remains as a guard for checkers that attach events
 // from elsewhere.
 func stripWitnessBlocks(reports []Report) []Report {
@@ -194,7 +195,7 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 		key = unitCacheKey(opt.ConfigFP, engine.patternsFP(), corpus)
 		fKey = factsCacheKey(opt.ConfigFP, corpus)
 		var ent unitEntry
-		hit := cache.Get(key, &ent)
+		hit := cache.Get(key, func(data []byte) error { return decodeUnitEntry(data, &ent) })
 		sp.End()
 		if hit {
 			reg.Add("cache.unit.hit", 1)
@@ -231,7 +232,11 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 	factsHit := false
 	if cache != nil {
 		var snap map[string]*facts.Data
-		if cache.Get(fKey, &snap) {
+		if cache.Get(fKey, func(data []byte) error {
+			var err error
+			snap, err = facts.DecodeSnapshot(data)
+			return err
+		}) {
 			factsHit = uf.Preload(snap)
 		}
 		if factsHit {
@@ -256,12 +261,13 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 		ssp := root.Child("phase:cache-store")
 		// Store before confirmation so the entry is confirmation-agnostic; a
 		// Put failure only costs the next run a recompute.
-		_ = cache.Put(key, unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)})
+		ent := unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)}
+		_ = cache.Put(key, encodeUnitEntry(&ent))
 		if !factsHit {
 			// Snapshot forces any still-uncomputed functions (a subset run
 			// with only unit-scoped checkers may not have touched them all)
 			// so the facts entry always covers the whole unit.
-			_ = cache.Put(fKey, uf.Snapshot())
+			_ = cache.Put(fKey, facts.EncodeSnapshot(uf.Snapshot()))
 		}
 		ssp.End()
 	}

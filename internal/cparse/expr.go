@@ -42,7 +42,7 @@ func (p *Parser) parseAssignExpr() cast.Expr {
 	if assignOps[p.peek().Kind] {
 		op := p.next()
 		rhs := p.parseAssignExpr()
-		a := &cast.AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs}
+		a := p.ast.assigns.New(cast.AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs})
 		if lhs != nil {
 			a.StartPos = lhs.Pos()
 		} else {
@@ -105,7 +105,7 @@ func (p *Parser) parseBinary(level int) cast.Expr {
 		}
 		opTok := p.next()
 		y := p.parseBinary(level + 1)
-		b := &cast.BinaryExpr{Op: opTok.Kind, X: e, Y: y}
+		b := p.ast.binaries.New(cast.BinaryExpr{Op: opTok.Kind, X: e, Y: y})
 		if e != nil {
 			b.StartPos = e.Pos()
 		} else {
@@ -126,7 +126,7 @@ func (p *Parser) parseUnary() cast.Expr {
 		clex.Inc, clex.Dec:
 		p.next()
 		x := p.parseUnary()
-		u := &cast.UnaryExpr{Op: t.Kind, X: x}
+		u := p.ast.unaries.New(cast.UnaryExpr{Op: t.Kind, X: x})
 		u.StartPos = t.Pos
 		return u
 	case clex.Keyword:
@@ -185,7 +185,7 @@ func (p *Parser) parsePostfix() cast.Expr {
 		switch t.Kind {
 		case clex.LParen:
 			p.next()
-			call := &cast.CallExpr{Fun: e}
+			call := p.ast.calls.New(cast.CallExpr{Fun: e})
 			if e != nil {
 				call.StartPos = e.Pos()
 			} else {
@@ -194,6 +194,9 @@ func (p *Parser) parsePostfix() cast.Expr {
 			// Provenance: take from the callee token stream.
 			if fe, ok := e.(*cast.Ident); ok {
 				call.Origin = fe.TokenOrigin
+			}
+			if !p.at(clex.RParen) && !p.atEOF() {
+				call.Args = p.argWindow()
 			}
 			for !p.at(clex.RParen) && !p.atEOF() {
 				call.Args = append(call.Args, p.parseAssignExpr())
@@ -207,7 +210,7 @@ func (p *Parser) parsePostfix() cast.Expr {
 			p.next()
 			idx := p.parseExpr()
 			p.expect(clex.RBracket)
-			ie := &cast.IndexExpr{X: e, Index: idx}
+			ie := p.ast.indexes.New(cast.IndexExpr{X: e, Index: idx})
 			if e != nil {
 				ie.StartPos = e.Pos()
 			}
@@ -215,14 +218,14 @@ func (p *Parser) parsePostfix() cast.Expr {
 		case clex.Dot, clex.Arrow:
 			p.next()
 			name := p.expect(clex.Ident)
-			me := &cast.MemberExpr{X: e, Name: name.Text, Arrow: t.Kind == clex.Arrow}
+			me := p.ast.members.New(cast.MemberExpr{X: e, Name: name.Text, Arrow: t.Kind == clex.Arrow})
 			if e != nil {
 				me.StartPos = e.Pos()
 			}
 			e = me
 		case clex.Inc, clex.Dec:
 			p.next()
-			ue := &cast.UnaryExpr{Op: t.Kind, X: e, Postfix: true}
+			ue := p.ast.unaries.New(cast.UnaryExpr{Op: t.Kind, X: e, Postfix: true})
 			if e != nil {
 				ue.StartPos = e.Pos()
 			}
@@ -238,12 +241,12 @@ func (p *Parser) parsePrimary() cast.Expr {
 	switch t.Kind {
 	case clex.Ident:
 		p.next()
-		id := &cast.Ident{Name: t.Text, TokenOrigin: t.Origin}
+		id := p.ast.idents.New(cast.Ident{Name: t.Text, TokenOrigin: t.Origin})
 		id.StartPos = t.Pos
 		return id
 	case clex.IntLit, clex.FloatLit, clex.CharLit, clex.StringLit:
 		p.next()
-		l := &cast.Lit{Kind: t.Kind, Text: t.Text}
+		l := p.ast.lits.New(cast.Lit{Kind: t.Kind, Text: t.Text})
 		l.StartPos = t.Pos
 		// Adjacent string literal concatenation.
 		for t.Kind == clex.StringLit && p.at(clex.StringLit) {
@@ -257,13 +260,13 @@ func (p *Parser) parsePrimary() cast.Expr {
 		if p.at(clex.LBrace) {
 			p.skipBraces()
 			p.expect(clex.RParen)
-			id := &cast.Ident{Name: "__stmt_expr__"}
+			id := p.ast.idents.New(cast.Ident{Name: "__stmt_expr__"})
 			id.StartPos = t.Pos
 			return id
 		}
 		inner := p.parseExpr()
 		p.expect(clex.RParen)
-		pe := &cast.ParenExpr{X: inner}
+		pe := p.ast.parens.New(cast.ParenExpr{X: inner})
 		pe.StartPos = t.Pos
 		return pe
 	case clex.Keyword:
@@ -273,13 +276,13 @@ func (p *Parser) parsePrimary() cast.Expr {
 			return p.parseUnary()
 		}
 		p.next()
-		id := &cast.Ident{Name: t.Text}
+		id := p.ast.idents.New(cast.Ident{Name: t.Text})
 		id.StartPos = t.Pos
 		return id
 	default:
 		p.errorf(t.Pos, "expected expression, found %s", t)
 		p.next()
-		id := &cast.Ident{Name: "__error__"}
+		id := p.ast.idents.New(cast.Ident{Name: "__error__"})
 		id.StartPos = t.Pos
 		return id
 	}

@@ -12,6 +12,7 @@ package cparse
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/cast"
 	"repro/internal/clex"
 )
@@ -56,6 +57,43 @@ type Parser struct {
 	// stack; real kernel code nests a couple dozen levels at most.
 	nest      int
 	nestErred bool
+
+	// ast slab-allocates the hot AST node kinds (see alloc.go). A Parser is
+	// single-goroutine, so the slabs need no locking.
+	ast astAlloc
+
+	// argBuf and stmtBuf back call-argument and compound-statement slices
+	// with small capacity-bounded windows (see the window helpers in
+	// internal/cfg for the pattern); lists that outgrow their window migrate
+	// to the heap via ordinary append reallocation.
+	argBuf  []cast.Expr
+	stmtBuf []cast.Stmt
+}
+
+const (
+	argChunkLen  = 256
+	stmtChunkLen = 512
+)
+
+// argWindow reserves a zero-length, capacity-4 view for a call's arguments.
+func (p *Parser) argWindow() []cast.Expr {
+	if cap(p.argBuf)-len(p.argBuf) < 4 {
+		p.argBuf = make([]cast.Expr, 0, argChunkLen)
+	}
+	n := len(p.argBuf)
+	p.argBuf = p.argBuf[:n+4]
+	return p.argBuf[n : n : n+4]
+}
+
+// stmtWindow reserves a zero-length, capacity-8 view for a compound's
+// statements.
+func (p *Parser) stmtWindow() []cast.Stmt {
+	if cap(p.stmtBuf)-len(p.stmtBuf) < 8 {
+		p.stmtBuf = make([]cast.Stmt, 0, stmtChunkLen)
+	}
+	n := len(p.stmtBuf)
+	p.stmtBuf = p.stmtBuf[:n+8]
+	return p.stmtBuf[n : n : n+8]
 }
 
 const maxNest = 1024
@@ -80,7 +118,7 @@ func (p *Parser) leaveNest() { p.nest-- }
 // enclosing parse loop — and yields an error placeholder expression.
 func (p *Parser) nestOverflowExpr() cast.Expr {
 	t := p.next()
-	id := &cast.Ident{Name: "__depth__"}
+	id := p.ast.idents.New(cast.Ident{Name: "__depth__"})
 	id.StartPos = t.Pos
 	return id
 }
@@ -118,7 +156,15 @@ func (p *Parser) Errors() []error { return p.errs }
 
 // ParseFile is a convenience: parse preprocessed tokens into a file.
 func ParseFile(file string, toks []clex.Token) (*cast.File, []error) {
+	return ParseFileArena(file, toks, nil)
+}
+
+// ParseFileArena is ParseFile with slab-allocation counters reported into
+// st (which may be nil). The returned tree owns its slab chunks; nothing is
+// released — the counters only make the allocation win observable.
+func ParseFileArena(file string, toks []clex.Token, st *arena.Stats) (*cast.File, []error) {
 	p := New(file, toks)
+	p.ast.setStats(st)
 	f := p.Parse()
 	return f, p.errs
 }

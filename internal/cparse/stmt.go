@@ -7,9 +7,10 @@ import (
 
 func (p *Parser) parseCompound() *cast.CompoundStmt {
 	open := p.expect(clex.LBrace)
-	cs := &cast.CompoundStmt{}
+	cs := p.ast.compounds.New(cast.CompoundStmt{})
 	cs.StartPos = open.Pos
 	cs.Origin = open.Origin
+	cs.Stmts = p.stmtWindow()
 	for !p.at(clex.RBrace) && !p.atEOF() {
 		start := p.pos
 		s := p.parseStmt()
@@ -118,7 +119,7 @@ func (p *Parser) parseStmt() cast.Stmt {
 
 func (p *Parser) parseIf() cast.Stmt {
 	t := p.next() // if
-	s := &cast.IfStmt{}
+	s := p.ast.ifs.New(cast.IfStmt{})
 	s.StartPos = t.Pos
 	s.Origin = t.Origin
 	p.expect(clex.LParen)
@@ -142,7 +143,7 @@ func (p *Parser) parseFor() cast.Stmt {
 			s.Init = p.parseDeclStmt() // consumes ';'
 		} else {
 			e := p.parseExpr()
-			es := &cast.ExprStmt{X: e}
+			es := p.ast.exprStmts.New(cast.ExprStmt{X: e})
 			es.StartPos = e.Pos()
 			es.Origin = t.Origin
 			s.Init = es
@@ -221,7 +222,7 @@ func (p *Parser) parseCase() cast.Stmt {
 
 func (p *Parser) parseReturn() cast.Stmt {
 	t := p.next() // return
-	s := &cast.ReturnStmt{}
+	s := p.ast.returns.New(cast.ReturnStmt{})
 	s.StartPos = t.Pos
 	s.Origin = t.Origin
 	if !p.at(clex.Semi) {
@@ -258,7 +259,7 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 				p.skipBrackets()
 			}
 		}
-		d := &cast.DeclStmt{Name: name.Text, Type: dTy}
+		d := p.ast.declStmts.New(cast.DeclStmt{Name: name.Text, Type: dTy})
 		d.StartPos = startTok.Pos
 		d.Origin = startTok.Origin
 		if p.accept(clex.Assign) {
@@ -284,7 +285,7 @@ func (p *Parser) parseDeclStmt() cast.Stmt {
 	case 1:
 		return decls[0]
 	default:
-		cs := &cast.CompoundStmt{Stmts: decls}
+		cs := p.ast.compounds.New(cast.CompoundStmt{Stmts: decls})
 		cs.StartPos = startTok.Pos
 		cs.Origin = startTok.Origin
 		return cs
@@ -298,7 +299,7 @@ func (p *Parser) parseExprStmt() cast.Stmt {
 	if e == nil {
 		return nil
 	}
-	s := &cast.ExprStmt{X: e}
+	s := p.ast.exprStmts.New(cast.ExprStmt{X: e})
 	s.StartPos = t.Pos
 	s.Origin = t.Origin
 	return s

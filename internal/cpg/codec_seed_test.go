@@ -1,0 +1,40 @@
+package cpg
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestRegenFuzzSeedCorpus rewrites the checked-in seed corpus for
+// FuzzCacheCodec (testdata/fuzz/FuzzCacheCodec) when REGEN_FUZZ_CORPUS=1 is
+// set — run it after any encoding change so the corpus keeps one valid entry
+// of the current format alongside the malformed probes. Without the variable
+// it only verifies the corpus directory exists and is non-empty.
+func TestRegenFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzCacheCodec")
+	seeds := map[string][]byte{
+		"seed_valid_full":  encodeFrontEntry(sampleEntry()),
+		"seed_valid_empty": encodeFrontEntry(&frontEntry{}),
+		"seed_magic_only":  {'F', 'E', 'C', 1},
+		"seed_truncated":   encodeFrontEntry(sampleEntry())[:10],
+		"seed_garbage":     {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) == 0 {
+			t.Fatalf("seed corpus missing at %s (regenerate with REGEN_FUZZ_CORPUS=1): %v", dir, err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/analysiscache"
 	"repro/internal/apidb"
+	"repro/internal/arena"
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/clex"
@@ -140,6 +141,15 @@ type frontEnd struct {
 	cache    *analysiscache.Cache
 	predefFP string
 
+	// stats aggregates the build's arena counters (slab chunks in the parser
+	// and CFG builder, pooled token buffers here); atomic, shared by all
+	// workers.
+	stats *arena.Stats
+	// tokPool recycles the per-TU expanded-token buffers across files of the
+	// build. A buffer is borrowed in parseOne and returned when that TU's
+	// arena releases — see the lifetime argument on parseOne.
+	tokPool arena.Pool[clex.Token]
+
 	// reg receives the front-end counters; nil-safe, so the uninstrumented
 	// path pays only a nil check per event. Counter totals are deterministic
 	// at any worker count for a given cache state: which worker processes a
@@ -189,10 +199,11 @@ func (fe *frontEnd) closureValid(deps []cpp.IncludeDep) bool {
 	return true
 }
 
-// preprocess runs the preprocessor for one source, recording the include
-// closure when an on-disk cache will store the result.
-func (fe *frontEnd) preprocess(src Source) *cpp.Result {
-	pp := cpp.New(fe.b.Headers).WithHeaderCache(fe.hc)
+// preprocess runs the preprocessor for one source, emitting expanded tokens
+// into buf's backing array and recording the include closure when an on-disk
+// cache will store the result.
+func (fe *frontEnd) preprocess(src Source, buf []clex.Token) *cpp.Result {
+	pp := cpp.New(fe.b.Headers).WithHeaderCache(fe.hc).WithOutBuffer(buf)
 	if fe.reg != nil {
 		pp.WithLexStats(&fe.lexStats)
 	}
@@ -211,20 +222,38 @@ func (fe *frontEnd) preprocess(src Source) *cpp.Result {
 // parseOne runs the per-file front end: preprocess (or reuse the cached
 // preprocessed form) then parse. It touches no builder-mutable state, so
 // shards may run concurrently.
+//
+// Each call owns one per-TU arena. The expanded-token stream (the largest
+// per-TU scratch allocation) is borrowed from the build's pool and returned
+// when the arena releases at the end of the call. That is safe because
+// nothing retains the stream past the parse: the parser copies Token values
+// into AST nodes, and macro bodies alias the lexed *line* storage (the TU's
+// Lines or the shared header cache), never the expanded stream. AST nodes
+// themselves come from slabs inside the parser and are retained by the
+// returned file — slab chunks are never recycled, so the release only
+// touches the pooled buffer.
 func (fe *frontEnd) parseOne(src Source) parsed {
+	a := arena.New(fe.stats)
+	buf := fe.tokPool.Get(len(src.Content)/6 + 8)
+	a.OnRelease(func() { fe.tokPool.Put(buf) })
+	defer a.Release()
+
 	if fe.cache == nil {
-		res := fe.preprocess(src)
-		file, perrs := cparse.ParseFile(src.Path, res.Tokens)
+		res := fe.preprocess(src, buf)
+		buf = res.Tokens
+		file, perrs := cparse.ParseFileArena(src.Path, res.Tokens, fe.stats)
 		errs := make([]error, 0, len(res.Errors)+len(perrs))
 		errs = append(errs, res.Errors...)
 		errs = append(errs, perrs...)
 		return parsed{file: file, macros: res.Macros, errs: errs}
 	}
-	key := analysiscache.KeyOf("fe-v1", fe.predefFP, src.Path, src.Content)
+	key := analysiscache.KeyOf("fe-v2", fe.predefFP, src.Path, src.Content)
 	var ent frontEntry
-	if fe.cache.Get(key, &ent) && fe.closureValid(ent.Closure) {
+	if fe.cache.Get(key, func(data []byte) error { return decodeFrontEntry(data, &ent, buf) }) &&
+		fe.closureValid(ent.Closure) {
 		fe.reg.Add("frontend.cache.hit", 1)
-		file, perrs := cparse.ParseFile(src.Path, ent.Tokens)
+		buf = ent.Tokens
+		file, perrs := cparse.ParseFileArena(src.Path, ent.Tokens, fe.stats)
 		errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
 		for _, s := range ent.CppErrors {
 			errs = append(errs, errors.New(s))
@@ -236,18 +265,19 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 		return parsed{file: file, macros: ent.Macros, errs: errs}
 	}
 	fe.reg.Add("frontend.cache.miss", 1)
-	res := fe.preprocess(src)
+	res := fe.preprocess(src, buf)
+	buf = res.Tokens
 	cppErrs := make([]string, len(res.Errors))
 	for i, e := range res.Errors {
 		cppErrs[i] = e.Error()
 	}
 	// A Put failure (full disk, unwritable dir) only costs the next run a
 	// recompute; the current result is served from memory either way.
-	_ = fe.cache.Put(key, frontEntry{
+	_ = fe.cache.Put(key, encodeFrontEntry(&frontEntry{
 		Closure: res.Includes, Tokens: res.Tokens,
 		Macros: res.Macros, CppErrors: cppErrs,
-	})
-	file, perrs := cparse.ParseFile(src.Path, res.Tokens)
+	}))
+	file, perrs := cparse.ParseFileArena(src.Path, res.Tokens, fe.stats)
 	errs := make([]error, 0, len(res.Errors)+len(perrs))
 	errs = append(errs, res.Errors...)
 	errs = append(errs, perrs...)
@@ -308,7 +338,8 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 		hc = cpp.NewHeaderCache()
 	}
 	reg := b.Obs.Reg()
-	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines), reg: reg}
+	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines), reg: reg, stats: &arena.Stats{}}
+	fe.tokPool.Stats = fe.stats
 	// The header cache may be shared across builds, so charge this build the
 	// delta of its counters, not their absolute values.
 	hc0 := hc.Stats()
@@ -408,7 +439,7 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 			go func() {
 				defer wg.Done()
 				for fn := range jobs {
-					fn.Graph = cfg.Build(fn.Def)
+					fn.Graph = cfg.BuildArena(fn.Def, fe.stats)
 					fn.Events = ext.Extract(fn.Graph)
 				}
 			}()
@@ -437,7 +468,7 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 			if ctx.Err() != nil {
 				break
 			}
-			fn.Graph = cfg.Build(fn.Def)
+			fn.Graph = cfg.BuildArena(fn.Def, fe.stats)
 			fn.Events = ext.Extract(fn.Graph)
 			analyzed++
 		}
@@ -446,18 +477,29 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 	// The call graph is assembled sequentially in name order so Calls slices
 	// are deterministic.
 	cg := b.Obs.Child("callgraph")
+	var callBuf []*cast.CallExpr
 	for _, name := range names {
 		fn := u.Functions[name]
 		if fn.Def.Body == nil {
 			continue
 		}
-		for _, call := range cast.Calls(fn.Def.Body) {
+		callBuf = cast.CallsInto(callBuf[:0], fn.Def.Body)
+		for _, call := range callBuf {
 			if cn := call.Callee(); cn != "" {
 				u.Calls[cn] = append(u.Calls[cn], CallSite{Caller: fn, Call: call})
 			}
 		}
 	}
 	cg.End()
+	if reg != nil {
+		// Gauges, not counters: pool hit/miss (and therefore fresh-chunk)
+		// counts depend on goroutine scheduling, and the difftest matrix
+		// requires counters to be identical across worker counts.
+		reg.SetGauge("arena.bytes", float64(fe.stats.Bytes.Load()))
+		reg.SetGauge("arena.chunks", float64(fe.stats.Chunks.Load()))
+		reg.SetGauge("arena.reused", float64(fe.stats.Reused.Load()))
+		reg.SetGauge("arena.released", float64(fe.stats.Released.Load()))
+	}
 	return u
 }
 

@@ -100,7 +100,7 @@ func TestHeaderCacheContentMismatch(t *testing.T) {
 	hc := NewHeaderCache()
 	a := hc.lex("h.h", "#define A 1\n")
 	b := hc.lex("h.h", "#define A 2\n")
-	if renderToks(a.lines[0]) == renderToks(b.lines[0]) {
+	if renderToks(a.lines.Line(0)) == renderToks(b.lines.Line(0)) {
 		t.Fatal("mismatched content served stale tokens")
 	}
 	if got := hc.HashOf("h.h", "#define A 2\n"); got == a.hash {

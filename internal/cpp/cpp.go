@@ -16,6 +16,7 @@ package cpp
 import (
 	"errors"
 	"fmt"
+	"repro/internal/arena"
 	"strconv"
 	"strings"
 	"sync"
@@ -208,7 +209,20 @@ type Preprocessor struct {
 	expOverflow bool
 	expDepth    int
 	expDepthErr bool
+
+	// macroSlab backs #define's Macro values. Macros are retained by the
+	// Unit, so the chunks ride along with it; slab allocation just collapses
+	// the per-define pointer allocation (one of the front end's hottest)
+	// into one per chunk.
+	macroSlab arena.Slab[Macro]
+
+	// paramBuf backs Macro.Params: parameter lists are tiny and immutable
+	// after define, so they are carved as full-cap windows of a chunked
+	// buffer instead of one allocation per function-like macro.
+	paramBuf []string
 }
+
+const paramChunkLen = 64
 
 const (
 	maxIncludeDepth = 32
@@ -238,6 +252,16 @@ func (p *Preprocessor) WithHeaderCache(hc *HeaderCache) *Preprocessor {
 // and returns p (see clex.Stats).
 func (p *Preprocessor) WithLexStats(st *clex.Stats) *Preprocessor {
 	p.lexStats = st
+	return p
+}
+
+// WithOutBuffer makes p emit expanded tokens into buf's backing array
+// (starting empty) and returns p. The caller owns the buffer's lifecycle:
+// after the parse consumes Result.Tokens the array can be recycled, which
+// is how the front end pools per-TU token storage. Without this option the
+// output array is freshly allocated.
+func (p *Preprocessor) WithOutBuffer(buf []clex.Token) *Preprocessor {
+	p.out = buf[:0]
 	return p
 }
 
@@ -274,24 +298,6 @@ func (p *Preprocessor) errorf(pos clex.Pos, format string, args ...any) {
 	p.errs = append(p.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
 }
 
-// lines splits a token stream (with newlines retained) into logical lines.
-func splitLines(toks []clex.Token) [][]clex.Token {
-	var lines [][]clex.Token
-	var cur []clex.Token
-	for _, t := range toks {
-		if t.Kind == clex.Newline {
-			lines = append(lines, cur)
-			cur = nil
-			continue
-		}
-		cur = append(cur, t)
-	}
-	if len(cur) > 0 {
-		lines = append(lines, cur)
-	}
-	return lines
-}
-
 // condState tracks one level of #if nesting.
 type condState struct {
 	active      bool // this branch is being emitted
@@ -312,14 +318,14 @@ func (p *Preprocessor) processFile(file, src string) {
 	// Lexing is macro-independent, so included headers (depth > 1 after the
 	// increment above) come pre-lexed from the shared cache when one is
 	// attached; the top-level TU source is unique per file and lexed inline.
-	var lines [][]clex.Token
+	var lines *clex.Lines
 	if p.hcache != nil && p.depth > 1 {
 		h := p.hcache.lex(file, src)
 		lines = h.lines
 		p.errs = append(p.errs, h.errs...)
 	} else {
-		toks, lexErrs := clex.Tokenize(file, src, clex.Config{KeepNewlines: true, Stats: p.lexStats})
-		lines = splitLines(toks)
+		var lexErrs []error
+		lines, lexErrs = clex.TokenizeLines(file, src, p.lexStats)
 		p.errs = append(p.errs, lexErrs...)
 	}
 
@@ -333,7 +339,8 @@ func (p *Preprocessor) processFile(file, src string) {
 		return true
 	}
 
-	for _, line := range lines {
+	for li := 0; li < lines.Len(); li++ {
+		line := lines.Line(li)
 		if len(line) == 0 {
 			continue
 		}
@@ -450,12 +457,18 @@ func (p *Preprocessor) define(rest []clex.Token, pos clex.Pos) {
 		p.errorf(pos, "malformed #define")
 		return
 	}
-	m := &Macro{Name: rest[0].Text, DefinedAt: rest[0].Pos}
+	m := p.macroSlab.New(Macro{Name: rest[0].Text, DefinedAt: rest[0].Pos})
 	i := 1
 	// Function-like only when '(' immediately follows the name.
 	if i < len(rest) && rest[i].Kind == clex.LParen && !rest[i].LeadingSpace {
 		m.FuncLike = true
-		m.Params = []string{}
+		nParams := 0
+		for j := i + 1; j < len(rest) && rest[j].Kind != clex.RParen; j++ {
+			if rest[j].Kind == clex.Ident {
+				nParams++
+			}
+		}
+		m.Params = p.paramWindow(nParams)
 		i++
 		for i < len(rest) && rest[i].Kind != clex.RParen {
 			switch rest[i].Kind {
@@ -473,8 +486,28 @@ func (p *Preprocessor) define(rest []clex.Token, pos clex.Pos) {
 			i++ // ')'
 		}
 	}
-	m.Body = append([]clex.Token(nil), rest[i:]...)
+	// The body aliases the (immutable) lexed line rather than copying it.
+	// For header-defined macros the line belongs to the run-shared header
+	// cache, so the alias is free; a full-slice cap keeps any append by a
+	// consumer from spilling into neighboring line storage.
+	m.Body = rest[i:len(rest):len(rest)]
 	p.macros[m.Name] = m
+}
+
+// paramWindow carves a zero-length, capacity-n window for a macro parameter
+// list from the chunked parameter buffer. A window never grows past its own
+// cap in place, so neighboring windows cannot clobber each other.
+func (p *Preprocessor) paramWindow(n int) []string {
+	if cap(p.paramBuf)-len(p.paramBuf) < n {
+		c := paramChunkLen
+		if n > c {
+			c = n
+		}
+		p.paramBuf = make([]string, 0, c)
+	}
+	off := len(p.paramBuf)
+	p.paramBuf = p.paramBuf[:off+n]
+	return p.paramBuf[off : off : off+n]
 }
 
 func (p *Preprocessor) include(rest []clex.Token, pos clex.Pos) {

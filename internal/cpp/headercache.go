@@ -55,7 +55,7 @@ type headerTokens struct {
 	path    string
 	content string
 	once    sync.Once
-	lines   [][]clex.Token
+	lines   *clex.Lines
 	errs    []error
 	hash    string // hex sha256 of content (include-closure fingerprinting)
 }
@@ -72,8 +72,8 @@ func (e *headerTokens) ensure(hc *HeaderCache) {
 		if hc != nil {
 			st = &hc.lexStats
 		}
-		toks, errs := clex.Tokenize(e.path, e.content, clex.Config{KeepNewlines: true, Stats: st})
-		e.lines = splitLines(toks)
+		lines, errs := clex.TokenizeLines(e.path, e.content, st)
+		e.lines = lines
 		e.errs = errs
 		e.hash = hashContent(e.content)
 	})

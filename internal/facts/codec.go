@@ -1,0 +1,166 @@
+package facts
+
+import (
+	"sort"
+
+	"repro/internal/bincodec"
+	"repro/internal/semantics"
+)
+
+// Binary codec for the per-unit facts snapshot (the analysiscache facts
+// entry). Function names are emitted in sorted order and empty collections
+// as zero counts decoding back to nil, so encode∘decode is the identity on
+// both the bytes and the structures — the determinism the cache matrix
+// tests rely on.
+
+// factsFormat versions the snapshot encoding; bump on any layout change.
+const factsFormat = 1
+
+func encodeInts(w *bincodec.Writer, v []int) {
+	w.U32(uint32(len(v)))
+	for _, x := range v {
+		w.U32(uint32(x))
+	}
+}
+
+func decodeInts(r *bincodec.Reader) []int {
+	n := r.Count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.U32())
+	}
+	return out
+}
+
+func encodeStringSet(w *bincodec.Writer, m map[string]bool) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if m[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	w.Strings(keys)
+}
+
+func decodeStringSet(r *bincodec.Reader) map[string]bool {
+	keys := r.Strings()
+	if keys == nil {
+		return nil
+	}
+	m := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		m[k] = true
+	}
+	return m
+}
+
+func encodeTrace(w *bincodec.Writer, tr *Trace) {
+	semantics.EncodeEvents(w, tr.Events)
+	encodeInts(w, tr.BlockAt)
+	w.U32(uint32(len(tr.ErrFrom)))
+	for _, b := range tr.ErrFrom {
+		w.Bool(b)
+	}
+	w.U32(uint32(len(tr.Branch)))
+	for _, b := range tr.Branch {
+		w.U8(uint8(b))
+	}
+}
+
+func decodeTrace(r *bincodec.Reader) Trace {
+	tr := Trace{
+		Events:  semantics.DecodeEvents(r),
+		BlockAt: decodeInts(r),
+	}
+	if n := r.Count(); n > 0 {
+		tr.ErrFrom = make([]bool, n)
+		for i := range tr.ErrFrom {
+			tr.ErrFrom[i] = r.Bool()
+		}
+	}
+	if n := r.Count(); n > 0 {
+		tr.Branch = make([]int8, n)
+		for i := range tr.Branch {
+			v := r.U8()
+			if v > uint8(TookFalse) {
+				r.Fail()
+				return tr
+			}
+			tr.Branch[i] = int8(v)
+		}
+	}
+	return tr
+}
+
+func encodeData(w *bincodec.Writer, d *Data) {
+	w.U32(uint32(len(d.Traces)))
+	for i := range d.Traces {
+		encodeTrace(w, &d.Traces[i])
+	}
+	semantics.EncodeEvents(w, d.All)
+	encodeInts(w, d.DecIdx)
+	encodeInts(w, d.EscapeIdx)
+	encodeStringSet(w, d.IncBases)
+	encodeStringSet(w, d.OwnedBases)
+}
+
+func decodeData(r *bincodec.Reader) *Data {
+	d := &Data{}
+	if n := r.Count(); n > 0 {
+		d.Traces = make([]Trace, n)
+		for i := range d.Traces {
+			d.Traces[i] = decodeTrace(r)
+		}
+	}
+	d.All = semantics.DecodeEvents(r)
+	d.DecIdx = decodeInts(r)
+	d.EscapeIdx = decodeInts(r)
+	d.IncBases = decodeStringSet(r)
+	d.OwnedBases = decodeStringSet(r)
+	return d
+}
+
+// EncodeSnapshot serializes a facts snapshot (UnitFacts.Snapshot) for the
+// analysis cache.
+func EncodeSnapshot(snap map[string]*Data) []byte {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	w := bincodec.NewWriter(1 << 12)
+	w.U8(factsFormat)
+	w.U32(uint32(len(names)))
+	for _, n := range names {
+		w.String(n)
+		encodeData(w, snap[n])
+	}
+	return w.Bytes()
+}
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot; any malformed
+// input returns bincodec.ErrCorrupt.
+func DecodeSnapshot(data []byte) (map[string]*Data, error) {
+	r := bincodec.NewReader(data)
+	if r.U8() != factsFormat {
+		r.Fail()
+	}
+	n := r.Count()
+	snap := make(map[string]*Data, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		d := decodeData(r)
+		if r.Err() != nil {
+			break
+		}
+		snap[name] = d
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

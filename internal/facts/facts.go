@@ -118,8 +118,18 @@ type FunctionFacts struct {
 
 	// VarTypes maps local and parameter names to their declared types.
 	VarTypes map[string]cast.Type
-	// Params is the function's parameter name set.
-	Params map[string]bool
+}
+
+// IsParam reports whether name is one of the function's parameters. The
+// parameter list is a handful of entries, so a linear scan beats building a
+// set per function.
+func (ff *FunctionFacts) IsParam(name string) bool {
+	for _, p := range ff.Fn.Def.Params {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // Traces returns the normalized path traces.
@@ -204,7 +214,6 @@ func (uf *UnitFacts) Function(name string) *FunctionFacts {
 			Fn:       fn,
 			Data:     d,
 			VarTypes: varTypes(fn),
-			Params:   paramSet(fn),
 		}
 	})
 	return s.ff
@@ -275,8 +284,55 @@ func (uf *UnitFacts) Snapshot() map[string]*Data {
 // reachability precomputed as a suffix scan.
 func computeData(fn *cpg.Function) *Data {
 	d := &Data{}
-	for _, p := range fn.Graph.Paths(0) {
-		var tr Trace
+	paths := fn.Graph.Paths(0)
+	d.Traces = make([]Trace, 0, len(paths))
+	// The traces' parallel slices are carved as capacity-bounded windows out
+	// of four function-lifetime backing arrays, so the whole flattening costs
+	// O(1) allocations per function rather than O(paths).
+	grand, errLen := 0, 0
+	for _, p := range paths {
+		for _, b := range p {
+			grand += len(fn.Events.ByBlok[b])
+		}
+		errLen += len(p) + 1
+	}
+	total, nDec, nEsc := 0, 0, 0
+	for _, b := range fn.Graph.Blocks {
+		evs := fn.Events.ByBlok[b]
+		total += len(evs)
+		for i := range evs {
+			switch {
+			case evs[i].Op == semantics.OpDec:
+				nDec++
+			case evs[i].Op == semantics.OpAssign && evs[i].EscapesVia != "":
+				nEsc++
+			}
+		}
+	}
+	if nDec > 0 {
+		d.DecIdx = make([]int, 0, nDec)
+	}
+	if nEsc > 0 {
+		d.EscapeIdx = make([]int, 0, nEsc)
+	}
+	var (
+		evBack []semantics.Event
+		atBack []int
+		brBack []int8
+	)
+	if grand+total > 0 {
+		// One event array backs both the per-trace windows and d.All.
+		evBack = make([]semantics.Event, 0, grand+total)
+	}
+	if grand > 0 {
+		atBack = make([]int, 0, grand)
+		brBack = make([]int8, 0, grand)
+	}
+	efBack := make([]bool, errLen)
+	efOff := 0
+	for _, p := range paths {
+		tr := Trace{}
+		start := len(evBack)
 		for bi, b := range p {
 			for _, ev := range fn.Events.ByBlok[b] {
 				br := TookUnknown
@@ -289,21 +345,28 @@ func computeData(fn *cpg.Function) *Data {
 					}
 				}
 				ev.Block = nil
-				tr.Events = append(tr.Events, ev)
-				tr.BlockAt = append(tr.BlockAt, bi)
-				tr.Branch = append(tr.Branch, br)
+				evBack = append(evBack, ev)
+				atBack = append(atBack, bi)
+				brBack = append(brBack, br)
 			}
 		}
-		tr.ErrFrom = make([]bool, len(p)+1)
+		if end := len(evBack); end > start {
+			tr.Events = evBack[start:end:end]
+			tr.BlockAt = atBack[start:end:end]
+			tr.Branch = brBack[start:end:end]
+		}
+		tr.ErrFrom = efBack[efOff : efOff+len(p)+1 : efOff+len(p)+1]
+		efOff += len(p) + 1
 		for k := len(p) - 1; k >= 0; k-- {
 			tr.ErrFrom[k] = tr.ErrFrom[k+1] || p[k].IsError
 		}
 		d.Traces = append(d.Traces, tr)
 	}
+	allStart := len(evBack)
 	for _, b := range fn.Graph.Blocks {
 		for _, ev := range fn.Events.ByBlok[b] {
 			ev.Block = nil
-			i := len(d.All)
+			i := len(evBack) - allStart
 			switch {
 			case ev.Op == semantics.OpDec:
 				d.DecIdx = append(d.DecIdx, i)
@@ -322,8 +385,11 @@ func computeData(fn *cpg.Function) *Data {
 					d.OwnedBases[base] = true
 				}
 			}
-			d.All = append(d.All, ev)
+			evBack = append(evBack, ev)
 		}
+	}
+	if len(evBack) > allStart {
+		d.All = evBack[allStart:len(evBack):len(evBack)]
 	}
 	return d
 }
@@ -340,14 +406,6 @@ func varTypes(fn *cpg.Function) map[string]cast.Type {
 			}
 			return true
 		})
-	}
-	return out
-}
-
-func paramSet(fn *cpg.Function) map[string]bool {
-	out := map[string]bool{}
-	for _, p := range fn.Def.Params {
-		out[p.Name] = true
 	}
 	return out
 }

@@ -2,7 +2,6 @@ package facts_test
 
 import (
 	"bytes"
-	"encoding/gob"
 	"encoding/json"
 	"sync"
 	"testing"
@@ -134,21 +133,18 @@ func TestTraceSchema(t *testing.T) {
 	}
 }
 
-// TestSnapshotGobRoundTrip proves the facts cache entry is faithful: a
-// Snapshot survives gob and a fresh unit preloaded from it serves identical
-// Data without computing anything.
-func TestSnapshotGobRoundTrip(t *testing.T) {
+// TestSnapshotCodecRoundTrip proves the facts cache entry is faithful: a
+// Snapshot survives the production binary codec (what the facts-v2 cache
+// entry actually stores) and a fresh unit preloaded from it serves
+// identical Data without computing anything.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
 	u := buildFixture(t)
 	uf := facts.NewUnit(u)
 	snap := uf.Snapshot()
 
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		t.Fatalf("gob encode: %v", err)
-	}
-	var decoded map[string]*facts.Data
-	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
-		t.Fatalf("gob decode: %v", err)
+	decoded, err := facts.DecodeSnapshot(facts.EncodeSnapshot(snap))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
 	}
 	for name, d := range snap {
 		want, err := json.Marshal(d)

@@ -33,7 +33,7 @@ func LoadDirs(roots ...string) (*Tree, error) {
 			if ext != ".c" && ext != ".h" {
 				return nil
 			}
-			data, rerr := os.ReadFile(path)
+			content, rerr := readFileString(path)
 			if rerr != nil {
 				return rerr
 			}
@@ -42,9 +42,9 @@ func LoadDirs(roots ...string) (*Tree, error) {
 				rel = filepath.ToSlash(r)
 			}
 			if ext == ".c" {
-				t.Sources = append(t.Sources, cpg.Source{Path: rel, Content: string(data)})
+				t.Sources = append(t.Sources, cpg.Source{Path: rel, Content: content})
 			} else {
-				t.Headers[rel] = string(data)
+				t.Headers[rel] = content
 			}
 			return nil
 		})

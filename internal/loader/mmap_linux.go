@@ -1,0 +1,52 @@
+//go:build linux
+
+package loader
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// mmapMin is the smallest file worth mapping: below one page the mapping
+// wastes most of the page and a heap read is already a single small
+// allocation.
+const mmapMin = 4096
+
+// readFileString returns the file's content, memory-mapping large files.
+//
+// Sources and headers are retained for the whole run (the corpus fingerprint,
+// the preprocessor, and re-lexing on cache misses all read them), so the
+// mapping is deliberately never unmapped: the returned string aliases pages
+// that live until process exit. Mapped content stays out of the Go heap —
+// the GC never scans or copies it, and unmodified pages are served straight
+// from the page cache. Any mmap failure (and every small or empty file)
+// falls back to a plain read, so callers see identical behavior everywhere.
+func readFileString(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	size := st.Size()
+	if size < mmapMin || int64(int(size)) != size {
+		return readFallback(f)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return readFallback(f)
+	}
+	return unsafe.String(&data[0], len(data)), nil
+}
+
+func readFallback(f *os.File) (string, error) {
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package loader
+
+import "os"
+
+// readFileString is the portable fallback: a plain heap read.
+func readFileString(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

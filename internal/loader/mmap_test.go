@@ -1,0 +1,60 @@
+package loader
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// readFileString must agree byte-for-byte with a plain read across the
+// size boundary where the Linux implementation switches to mmap.
+func TestReadFileStringMatchesPlainRead(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"empty.c": "",
+		"tiny.c":  "int x;\n",
+		"page.c":  strings.Repeat("/* filler line for one page */\n", 140),
+		"big.c":   strings.Repeat("int f(void) { return 0; }\n", 4000),
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFileString(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != content {
+			t.Errorf("%s: content mismatch (len got=%d want=%d)", name, len(got), len(content))
+		}
+	}
+}
+
+func TestReadFileStringMissing(t *testing.T) {
+	if _, err := readFileString(filepath.Join(t.TempDir(), "nope.c")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestLoadDirsUsesMappedReads(t *testing.T) {
+	dir := t.TempDir()
+	src := strings.Repeat("int g(void) { return 1; }\n", 1000)
+	if err := os.WriteFile(filepath.Join(dir, "a.c"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.h"), []byte("#define A 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := LoadDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Sources) != 1 || tree.Sources[0].Content != src {
+		t.Fatalf("source content mismatch")
+	}
+	if tree.Headers["a.h"] != "#define A 1\n" {
+		t.Fatalf("header content mismatch")
+	}
+}

@@ -26,6 +26,7 @@ package refsim
 import (
 	"fmt"
 
+	"repro/internal/clex"
 	"repro/internal/semantics"
 )
 
@@ -39,7 +40,9 @@ type Claim struct {
 	AllowEscaped bool
 }
 
-// Verdict is the replay outcome.
+// Verdict is the replay outcome. Detail explains the outcome; for confirmed
+// verdicts it is rendered only by ReplayTrace (alongside the transcript) —
+// Replay leaves it empty, since bulk confirmation consumes only Confirmed.
 type Verdict struct {
 	Confirmed bool
 	Detail    string
@@ -72,9 +75,11 @@ func (h heap) get(key string) *object {
 	return o
 }
 
-// Replay executes the witness and evaluates the claim.
+// Replay executes the witness and evaluates the claim. It skips transcript
+// construction entirely — confirmation replays every report's witness, and
+// the per-step Sprintf was a measurable slice of the checking phase.
 func Replay(witness []semantics.Event, claim Claim) Verdict {
-	v, _ := ReplayTrace(witness, claim)
+	v, _ := replay(witness, claim, false)
 	return v
 }
 
@@ -83,12 +88,26 @@ func Replay(witness []semantics.Event, claim Claim) Verdict {
 // PoC generation for UAD bugs "an interesting research direction";
 // internal/poc renders these transcripts into C harnesses).
 func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
+	return replay(witness, claim, true)
+}
+
+func replay(witness []semantics.Event, claim Claim, wantLog bool) (Verdict, []string) {
 	h := heap{}
 	var log []string
 	trace := func(format string, args ...any) {
 		log = append(log, fmt.Sprintf(format, args...))
 	}
-	var uafDetail, npdDetail, directFreeDetail string
+	// Failure details are recorded as (object, position) pairs and formatted
+	// only when the verdict actually needs them — replay runs once per
+	// candidate report, and the eager per-event Sprintfs were a visible
+	// slice of the checking phase's allocations.
+	var (
+		npdObj, uafObj, dfObj string
+		npdPos, uafPos, dfPos clex.Pos
+		dfCount               int
+		npdSet, dfSet         bool
+		uafKind               int // 0 none, 1 deref-after-free, 2 consumed by callee, 3 escaped
+	)
 
 	for _, ev := range witness {
 		switch ev.Op {
@@ -98,7 +117,9 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 				// floor: model it as an anonymous live object.
 				base := fmt.Sprintf("<anon:%s>", ev.Pos)
 				h[base] = &object{key: base, count: 1}
-				trace("%s: %s produced a reference nobody captured (count=1, unreachable)", ev.Pos, ev.API)
+				if wantLog {
+					trace("%s: %s produced a reference nobody captured (count=1, unreachable)", ev.Pos, ev.API)
+				}
 				continue
 			}
 			base := semantics.BaseOf(ev.Obj)
@@ -108,9 +129,13 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 					(claim.Object == "" || semantics.BaseOf(claim.Object) == base) {
 					o.null = true // failure injection
 					o.count = 0
-					trace("%s: %s FAILS (injected): %s = NULL", ev.Pos, ev.API, ev.Obj)
+					if wantLog {
+						trace("%s: %s FAILS (injected): %s = NULL", ev.Pos, ev.API, ev.Obj)
+					}
 				} else {
-					trace("%s: %s returns %s with count=1", ev.Pos, ev.API, ev.Obj)
+					if wantLog {
+						trace("%s: %s returns %s with count=1", ev.Pos, ev.API, ev.Obj)
+					}
 				}
 				if ev.EscapesVia != "" {
 					o.escaped++
@@ -119,7 +144,9 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 			} else {
 				o := h.get(ev.Obj)
 				o.count++
-				trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+				if wantLog {
+					trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+				}
 			}
 		case semantics.OpDec:
 			o := h.get(ev.Obj)
@@ -130,17 +157,20 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 			o.everDecred = true
 			if o.count <= 0 {
 				o.freed = true
-				trace("%s: %s(%s) -> count=0, OBJECT FREED", ev.Pos, ev.API, ev.Obj)
+				if wantLog {
+					trace("%s: %s(%s) -> count=0, OBJECT FREED", ev.Pos, ev.API, ev.Obj)
+				}
 			} else {
-				trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+				if wantLog {
+					trace("%s: %s(%s) -> count=%d", ev.Pos, ev.API, ev.Obj, o.count)
+				}
 			}
 		case semantics.OpFree:
 			o := h.get(ev.Obj)
 			if o.count > 0 {
 				// Freeing a counted object directly bypasses its release
 				// callback: attached resources never get cleaned up (P7).
-				directFreeDetail = fmt.Sprintf("%s freed directly with count %d; release callback skipped at %s",
-					ev.Obj, o.count, ev.Pos)
+				dfObj, dfCount, dfPos, dfSet = ev.Obj, o.count, ev.Pos, true
 			}
 			o.freed = true
 			o.count = 0
@@ -148,11 +178,15 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 			o := h.get(ev.Obj)
 			switch {
 			case o.null:
-				npdDetail = fmt.Sprintf("NULL dereference of %s at %s", ev.Obj, ev.Pos)
-				trace("%s: dereference of NULL %s -> CRASH (NPD)", ev.Pos, ev.Obj)
+				npdObj, npdPos, npdSet = ev.Obj, ev.Pos, true
+				if wantLog {
+					trace("%s: dereference of NULL %s -> CRASH (NPD)", ev.Pos, ev.Obj)
+				}
 			case o.freed:
-				uafDetail = fmt.Sprintf("use of freed %s at %s", ev.Obj, ev.Pos)
-				trace("%s: dereference of freed %s -> USE-AFTER-FREE", ev.Pos, ev.Obj)
+				uafObj, uafPos, uafKind = ev.Obj, ev.Pos, 1
+				if wantLog {
+					trace("%s: dereference of freed %s -> USE-AFTER-FREE", ev.Pos, ev.Obj)
+				}
 			}
 		case semantics.OpAssign:
 			src := h.get(ev.Obj)
@@ -185,17 +219,17 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 		}
 		seen[o] = true
 		if o.paramOwned {
-			if o.everDecred && o.freed && uafDetail == "" {
+			if o.everDecred && o.freed && uafKind == 0 {
 				// The caller's next access of its own reference.
-				uafDetail = fmt.Sprintf("caller's reference to %s was consumed (count hit zero inside the callee)", o.key)
+				uafObj, uafKind = o.key, 2
 			}
 			o.count--
 			if o.count <= 0 {
 				o.freed = true
 			}
 		}
-		if o.escaped > 0 && o.freed && uafDetail == "" {
-			uafDetail = fmt.Sprintf("escaped reference to %s outlives the object", o.key)
+		if o.escaped > 0 && o.freed && uafKind == 0 {
+			uafObj, uafKind = o.key, 3
 		}
 	}
 
@@ -204,20 +238,45 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 			semantics.BaseOf(claim.Object) == semantics.BaseOf(o.key)
 	}
 
+	// Confirmed-verdict details are rendered only alongside a transcript
+	// (ReplayTrace): confirmation replays every candidate report and the
+	// confirmed-leak Sprintf was one of the last per-replay allocations on
+	// the checking phase's hot path. Unconfirmed details are static strings
+	// and stay — they are what test failures print.
 	switch claim.Impact {
 	case "NPD":
-		if npdDetail != "" {
-			return Verdict{Confirmed: true, Detail: npdDetail}, log
+		if npdSet {
+			v := Verdict{Confirmed: true}
+			if wantLog {
+				v.Detail = fmt.Sprintf("NULL dereference of %s at %s", npdObj, npdPos)
+			}
+			return v, log
 		}
 		return Verdict{Detail: "no NULL dereference under failure injection"}, log
 	case "UAF":
-		if uafDetail != "" {
-			return Verdict{Confirmed: true, Detail: uafDetail}, log
+		if uafKind != 0 {
+			v := Verdict{Confirmed: true}
+			if wantLog {
+				switch uafKind {
+				case 1:
+					v.Detail = fmt.Sprintf("use of freed %s at %s", uafObj, uafPos)
+				case 2:
+					v.Detail = fmt.Sprintf("caller's reference to %s was consumed (count hit zero inside the callee)", uafObj)
+				case 3:
+					v.Detail = fmt.Sprintf("escaped reference to %s outlives the object", uafObj)
+				}
+			}
+			return v, log
 		}
 		return Verdict{Detail: "object provably alive at every access"}, log
 	default: // Leak
-		if directFreeDetail != "" {
-			return Verdict{Confirmed: true, Detail: directFreeDetail}, log
+		if dfSet {
+			v := Verdict{Confirmed: true}
+			if wantLog {
+				v.Detail = fmt.Sprintf("%s freed directly with count %d; release callback skipped at %s",
+					dfObj, dfCount, dfPos)
+			}
+			return v, log
 		}
 		for base, o := range h {
 			if !match(o) || o.null || o.freed || o.returned {
@@ -230,8 +289,11 @@ func ReplayTrace(witness []semantics.Event, claim Claim) (Verdict, []string) {
 			// anything left is unreachable.
 			live := o.count
 			if live > 0 {
-				return Verdict{Confirmed: true,
-					Detail: fmt.Sprintf("%s still holds %d unreachable reference(s) at exit", base, live)}, log
+				v := Verdict{Confirmed: true}
+				if wantLog {
+					v.Detail = fmt.Sprintf("%s still holds %d unreachable reference(s) at exit", base, live)
+				}
+				return v, log
 			}
 		}
 		return Verdict{Detail: "all acquired references released or transferred"}, log

@@ -1,0 +1,159 @@
+package semantics
+
+import (
+	"sync"
+
+	"repro/internal/apidb"
+	"repro/internal/bincodec"
+	"repro/internal/clex"
+)
+
+// Binary codec for cached events (the facts and unit-report cache entries).
+// Events are encoded blocks-stripped: every cached form already clears the
+// CFG block pointer (facts normalization, stripWitnessBlocks), so the codec
+// neither writes nor restores it. Decoding validates every enum against its
+// range and fails the reader on anything impossible, so a corrupted entry
+// degrades to a counted cache miss instead of smuggling garbage into a
+// checker.
+
+// EncodePos appends a source position.
+func EncodePos(w *bincodec.Writer, p clex.Pos) {
+	w.String(p.File)
+	w.U32(uint32(p.Line))
+	w.U32(uint32(p.Col))
+}
+
+// DecodePos reads a position written by EncodePos.
+func DecodePos(r *bincodec.Reader) clex.Pos {
+	return clex.Pos{File: r.InternString(), Line: int(r.U32()), Col: int(r.U32())}
+}
+
+// encodeAPI appends an apidb entry (presence flag first: Info is nil for
+// non-refcounting calls).
+func encodeAPI(w *bincodec.Writer, a *apidb.API) {
+	if a == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.String(a.Name)
+	w.U8(uint8(a.Op))
+	w.U8(uint8(a.Class))
+	w.Int(a.ObjArg)
+	w.Bool(a.ReturnsRef)
+	w.String(a.Pair)
+	w.Bool(a.IncOnError)
+	w.Bool(a.MayReturnNull)
+	w.Bool(a.HasDecArg)
+	w.Int(a.DecArgObj)
+	w.Bool(a.MayFree)
+	w.String(a.Struct)
+	w.Bool(a.Discovered)
+}
+
+func decodeAPI(r *bincodec.Reader) *apidb.API {
+	if !r.Bool() {
+		return nil
+	}
+	a := apidb.API{
+		Name:          r.InternString(),
+		Op:            apidb.Op(r.U8()),
+		Class:         apidb.Class(r.U8()),
+		ObjArg:        r.Int(),
+		ReturnsRef:    r.Bool(),
+		Pair:          r.InternString(),
+		IncOnError:    r.Bool(),
+		MayReturnNull: r.Bool(),
+		HasDecArg:     r.Bool(),
+		DecArgObj:     r.Int(),
+		MayFree:       r.Bool(),
+		Struct:        r.InternString(),
+		Discovered:    r.Bool(),
+	}
+	if a.Op > apidb.OpDec || a.Class > apidb.Embedded {
+		r.Fail()
+		return nil
+	}
+	return internAPI(a)
+}
+
+// apiIntern shares one *apidb.API per distinct decoded value. Consumers
+// treat Event.Info as immutable database metadata, and a unit's events
+// repeat a handful of APIs thousands of times, so decoding a fresh struct
+// per event was pure allocation churn. The table is process-lifetime and
+// bounded by the number of distinct API entries ever decoded.
+var apiIntern = struct {
+	sync.RWMutex
+	m map[apidb.API]*apidb.API
+}{m: map[apidb.API]*apidb.API{}}
+
+func internAPI(a apidb.API) *apidb.API {
+	apiIntern.RLock()
+	p := apiIntern.m[a]
+	apiIntern.RUnlock()
+	if p != nil {
+		return p
+	}
+	apiIntern.Lock()
+	if p = apiIntern.m[a]; p == nil {
+		p = &a
+		apiIntern.m[a] = p
+	}
+	apiIntern.Unlock()
+	return p
+}
+
+// EncodeEvent appends one event (Block excluded by design).
+func EncodeEvent(w *bincodec.Writer, ev *Event) {
+	w.U8(uint8(ev.Op))
+	w.String(ev.Obj)
+	w.String(ev.API)
+	encodeAPI(w, ev.Info)
+	w.String(ev.AssignTarget)
+	w.String(ev.EscapesVia)
+	w.Strings(ev.NonNullTrue)
+	w.Strings(ev.NonNullFalse)
+	EncodePos(w, ev.Pos)
+	w.String(ev.FromMacro)
+}
+
+// DecodeEvent reads an event written by EncodeEvent (Block stays nil).
+func DecodeEvent(r *bincodec.Reader) Event {
+	ev := Event{
+		Op:           OpKind(r.U8()),
+		Obj:          r.InternString(),
+		API:          r.InternString(),
+		Info:         decodeAPI(r),
+		AssignTarget: r.InternString(),
+		EscapesVia:   r.InternString(),
+		NonNullTrue:  r.Strings(),
+		NonNullFalse: r.Strings(),
+		Pos:          DecodePos(r),
+		FromMacro:    r.InternString(),
+	}
+	if ev.Op > OpCond {
+		r.Fail()
+	}
+	return ev
+}
+
+// EncodeEvents appends a count-prefixed event slice.
+func EncodeEvents(w *bincodec.Writer, evs []Event) {
+	w.U32(uint32(len(evs)))
+	for i := range evs {
+		EncodeEvent(w, &evs[i])
+	}
+}
+
+// DecodeEvents reads a slice written by EncodeEvents, nil when empty.
+func DecodeEvents(r *bincodec.Reader) []Event {
+	n := r.Count()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = DecodeEvent(r)
+	}
+	return out
+}

@@ -75,8 +75,6 @@ type Event struct {
 type FuncEvents struct {
 	Graph  *cfg.Graph
 	ByBlok map[*cfg.Block][]Event
-	// Globals and OutParams feed escape classification.
-	Params map[string]int
 }
 
 // Extractor converts CFGs into events using an API knowledge base.
@@ -110,15 +108,30 @@ var freeAPIs = map[string]int{
 func (x *Extractor) Extract(g *cfg.Graph) *FuncEvents {
 	fe := &FuncEvents{
 		Graph:  g,
-		ByBlok: map[*cfg.Block][]Event{},
-		Params: map[string]int{},
+		ByBlok: make(map[*cfg.Block][]Event, len(g.Blocks)),
 	}
-	for i, p := range g.Fn.Params {
-		fe.Params[p.Name] = i
-	}
+	// Per-block event slices are carved as capacity-bounded windows of a
+	// call-local chunk (the Extractor itself is shared across workers, so
+	// the scratch cannot live on it). A block that outgrows its window
+	// migrates to its own heap slice via the ordinary append realloc; the
+	// window bytes it abandoned are wasted, not corrupted, because a window
+	// can never grow past its own capacity in place.
+	const evWindowCap, evChunkLen = 4, 16
+	var chunk []Event
 	for _, b := range g.Blocks {
+		if cap(chunk)-len(chunk) < evWindowCap {
+			chunk = make([]Event, 0, evChunkLen)
+		}
+		off := len(chunk)
+		evs := chunk[off : off : off+evWindowCap]
 		for _, s := range b.Stmts {
-			fe.ByBlok[b] = append(fe.ByBlok[b], x.stmtEvents(fe, b, s)...)
+			evs = x.stmtEvents(evs, fe, b, s)
+		}
+		if len(evs) > 0 {
+			fe.ByBlok[b] = evs
+			if len(evs) <= evWindowCap {
+				chunk = chunk[:off+len(evs)]
+			}
 		}
 	}
 	return fe
@@ -177,8 +190,12 @@ func BranchTaken(ev Event, next *cfg.Block) int {
 	return -1
 }
 
-func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Event {
-	var evs []Event
+// stmtEvents appends s's events to dst and returns the extended slice. The
+// whole extractor family threads one destination buffer this way — the
+// per-statement/per-expression intermediate slices used to dominate the
+// extraction phase's allocation profile.
+func (x *Extractor) stmtEvents(dst []Event, fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Event {
+	evs := dst
 	origin := s.MacroOrigin()
 	fromMacro := ""
 	if len(origin) > 0 {
@@ -188,13 +205,13 @@ func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Even
 	switch st := s.(type) {
 	case *cast.DeclStmt:
 		if st.Init != nil {
-			evs = append(evs, x.exprEvents(fe, b, st.Init, fromMacro)...)
-			evs = append(evs, x.bindEvents(fe, b, st.Name, st.Init, st.Pos(), fromMacro, true)...)
+			evs = x.exprEvents(evs, fe, b, st.Init, fromMacro)
+			evs = x.bindEvents(evs, fe, b, st.Name, st.Init, st.Pos(), fromMacro, true)
 		}
 		return evs
 	case *cast.ExprStmt:
-		evs = append(evs, x.exprEvents(fe, b, st.X, fromMacro)...)
-		evs = append(evs, x.stmtBindEvents(fe, b, st.X, fromMacro)...)
+		evs = x.exprEvents(evs, fe, b, st.X, fromMacro)
+		evs = x.stmtBindEvents(evs, fe, b, st.X, fromMacro)
 		// A ref-returning call whose result is discarded: the reference
 		// is produced and immediately dropped (P4 flags it).
 		if c, ok := unparen(st.X).(*cast.CallExpr); ok {
@@ -210,7 +227,7 @@ func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Even
 		return evs
 	case *cast.ReturnStmt:
 		if st.Value != nil {
-			evs = append(evs, x.exprEvents(fe, b, st.Value, fromMacro)...)
+			evs = x.exprEvents(evs, fe, b, st.Value, fromMacro)
 		}
 		obj := ""
 		if st.Value != nil {
@@ -219,10 +236,10 @@ func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Even
 		evs = append(evs, Event{Op: OpReturn, Obj: obj, Pos: st.Pos(), Block: b, FromMacro: fromMacro})
 		return evs
 	case *cast.BreakStmt:
-		return []Event{{Op: OpBreak, Pos: st.Pos(), Block: b, FromMacro: fromMacro}}
+		return append(evs, Event{Op: OpBreak, Pos: st.Pos(), Block: b, FromMacro: fromMacro})
 	case *cast.CondStmt:
-		evs = append(evs, x.exprEvents(fe, b, st.X, fromMacro)...)
-		evs = append(evs, x.stmtBindEvents(fe, b, st.X, fromMacro)...)
+		evs = x.exprEvents(evs, fe, b, st.X, fromMacro)
+		evs = x.stmtBindEvents(evs, fe, b, st.X, fromMacro)
 		tr, fa := cfg.NullCheckedIdents(st.X)
 		evs = append(evs, Event{
 			Op: OpCond, Pos: st.Pos(), Block: b, FromMacro: fromMacro,
@@ -230,15 +247,15 @@ func (x *Extractor) stmtEvents(fe *FuncEvents, b *cfg.Block, s cast.Stmt) []Even
 		})
 		return evs
 	default:
-		return nil
+		return evs
 	}
 }
 
 // bindEvents classifies `target = rhs`: reference-producing calls become
 // Inc events bound to the target; plain pointer copies become Assign events
 // with escape classification (P9).
-func (x *Extractor) bindEvents(fe *FuncEvents, b *cfg.Block, target string, rhs cast.Expr, pos clex.Pos, fromMacro string, isDecl bool) []Event {
-	var evs []Event
+func (x *Extractor) bindEvents(dst []Event, fe *FuncEvents, b *cfg.Block, target string, rhs cast.Expr, pos clex.Pos, fromMacro string, isDecl bool) []Event {
+	evs := dst
 	switch r := unparen(rhs).(type) {
 	case *cast.CallExpr:
 		if a := x.DB.Lookup(r.Callee()); a != nil && a.Op == apidb.OpInc && a.ReturnsRef {
@@ -297,11 +314,11 @@ func isObjExpr(e cast.Expr) bool {
 // stmtBindEvents finds assignments at any depth of a statement expression
 // (including inside conditions, `if ((np = of_find(...)))`) and classifies
 // each via bindEvents.
-func (x *Extractor) stmtBindEvents(fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMacro string) []Event {
-	var evs []Event
+func (x *Extractor) stmtBindEvents(dst []Event, fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMacro string) []Event {
+	evs := dst
 	cast.Walk(e, func(n cast.Node) bool {
 		if a, ok := n.(*cast.AssignExpr); ok && a.Op == clex.Assign {
-			evs = append(evs, x.bindEvents(fe, b, Key(a.LHS), a.RHS, a.Pos(), fromMacro, false)...)
+			evs = x.bindEvents(evs, fe, b, Key(a.LHS), a.RHS, a.Pos(), fromMacro, false)
 		}
 		return true
 	})
@@ -315,10 +332,12 @@ func (x *Extractor) escapeClass(fe *FuncEvents, target string) string {
 	if x.GlobalNames[base] {
 		return "global"
 	}
-	if _, ok := fe.Params[base]; ok && base != target {
-		// Writing through a parameter (param->field = p, *out = p):
-		// the reference escapes to the caller.
-		return "outparam"
+	for _, p := range fe.Graph.Fn.Params {
+		if p.Name == base && base != target {
+			// Writing through a parameter (param->field = p, *out = p):
+			// the reference escapes to the caller.
+			return "outparam"
+		}
 	}
 	return ""
 }
@@ -327,8 +346,8 @@ func (x *Extractor) escapeClass(fe *FuncEvents, target string) string {
 // events (Inc/Dec/Lock/Unlock/Free/Call) and dereference events. Evaluation
 // order matters: the dereference inside kref_put(&d->ref)'s own argument
 // happens before the put and must not read as a use-after-decrease (P8).
-func (x *Extractor) exprEvents(fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMacro string) []Event {
-	var evs []Event
+func (x *Extractor) exprEvents(dst []Event, fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMacro string) []Event {
+	evs := dst
 	deref := func(inner cast.Expr, pos clex.Pos) {
 		if base := cast.BaseIdent(inner); base != nil {
 			evs = append(evs, Event{
@@ -345,7 +364,7 @@ func (x *Extractor) exprEvents(fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMa
 			for _, a := range v.Args {
 				walk(a)
 			}
-			evs = append(evs, x.callEvents(b, v, fromMacro)...)
+			evs = x.callEvents(evs, b, v, fromMacro)
 		case *cast.MemberExpr:
 			walk(v.X)
 			if v.Arrow {
@@ -391,10 +410,10 @@ func (x *Extractor) exprEvents(fe *FuncEvents, b *cfg.Block, e cast.Expr, fromMa
 	return evs
 }
 
-func (x *Extractor) callEvents(b *cfg.Block, c *cast.CallExpr, fromMacro string) []Event {
+func (x *Extractor) callEvents(dst []Event, b *cfg.Block, c *cast.CallExpr, fromMacro string) []Event {
 	name := c.Callee()
 	if name == "" {
-		return nil
+		return dst
 	}
 	if fm := outermost(c.Origin); fm != "" {
 		fromMacro = fm
@@ -410,20 +429,20 @@ func (x *Extractor) callEvents(b *cfg.Block, c *cast.CallExpr, fromMacro string)
 		if len(c.Args) > 0 {
 			obj = Key(c.Args[0])
 		}
-		return []Event{mk(op, obj, nil)}
+		return append(dst, mk(op, obj, nil))
 	}
 	if idx, ok := freeAPIs[name]; ok {
 		obj := ""
 		if idx < len(c.Args) {
 			obj = Key(c.Args[idx])
 		}
-		return []Event{mk(OpFree, obj, nil)}
+		return append(dst, mk(OpFree, obj, nil))
 	}
 	a := x.DB.Lookup(name)
 	if a == nil {
-		return []Event{mk(OpCall, "", nil)}
+		return append(dst, mk(OpCall, "", nil))
 	}
-	var evs []Event
+	evs := dst
 	switch a.Op {
 	case apidb.OpInc:
 		if a.ObjArg >= 0 && a.ObjArg < len(c.Args) {

@@ -11,6 +11,13 @@
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 5x)
 #
+# When the output file already exists, the previous run's numbers are kept
+# and a per-row delta table (ns/op and allocs/op) is printed after the new
+# file is written. Growth beyond 10% in either column prints a WARNING line
+# so a perf regression is loud in CI logs; deltas within the threshold are
+# informational. Single-run numbers on a shared box are noisy — treat a
+# warning as "re-run and look", not proof. The exit status is unaffected.
+#
 # The JSON shape is stable:
 #   {"benchtime":"5x",
 #    "results":[{"benchmark":"BenchmarkPipelineParallel","name":"workers=1",
@@ -28,7 +35,15 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_pipeline.json}"
 BENCHTIME="${BENCHTIME:-5x}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+PREV="$(mktemp)"
+trap 'rm -f "$RAW" "$PREV"' EXIT
+
+# Keep the previous results (if any) for the delta report below.
+if [ -f "$OUT" ]; then
+    cp "$OUT" "$PREV"
+else
+    : > "$PREV"
+fi
 
 go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
@@ -71,3 +86,49 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+# Delta report: compare each (benchmark, name) row against the previous
+# file. The JSON writer above emits one result object per line, so a line
+# scanner is enough — no JSON parser needed.
+if [ -s "$PREV" ]; then
+    awk '
+    function field(line, key,   v) {
+        if (match(line, "\"" key "\": [0-9.e+-]+") == 0) return ""
+        v = substr(line, RSTART, RLENGTH)
+        sub(/^.*: /, "", v)
+        return v
+    }
+    function rowkey(line,   b, n) {
+        if (match(line, /"benchmark": "[^"]*"/) == 0) return ""
+        b = substr(line, RSTART + 14, RLENGTH - 15)
+        if (match(line, /"name": "[^"]*"/) == 0) return ""
+        n = substr(line, RSTART + 9, RLENGTH - 10)
+        return b "/" n
+    }
+    function delta(key, col, old, cur,   pct, tag) {
+        if (old == "" || cur == "" || old + 0 == 0) return
+        pct = (cur - old) * 100.0 / old
+        tag = ""
+        if (pct > 10) {
+            tag = "  << WARNING: >10% regression"
+            warned++
+        }
+        printf "  %-42s %-10s %14.0f -> %14.0f  (%+.1f%%)%s\n", \
+            key, col, old, cur, pct, tag
+    }
+    NR == FNR {
+        k = rowkey($0)
+        if (k != "") { ons[k] = field($0, "ns_per_op"); oap[k] = field($0, "allocs_per_op") }
+        next
+    }
+    {
+        k = rowkey($0)
+        if (k == "" || !(k in ons)) next
+        if (!hdr) { print "delta vs previous run:"; hdr = 1 }
+        delta(k, "ns/op", ons[k], field($0, "ns_per_op"))
+        delta(k, "allocs/op", oap[k], field($0, "allocs_per_op"))
+    }
+    END {
+        if (warned) printf "%d metric(s) regressed by more than 10%% — single runs are noisy; re-run before concluding.\n", warned
+    }' "$PREV" "$OUT"
+fi
