@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/analysiscache"
@@ -174,6 +175,57 @@ func TestCacheCorruptionFallsBack(t *testing.T) {
 	// The rewritten entries must be valid again.
 	if again := runWithCache(t, sources, headers, 8, dir); again.Metric("cache.unit.hit") != 1 {
 		t.Error("cache did not repair itself after corruption")
+	}
+}
+
+// TestConcurrentAnalyzeSingleFlight: N concurrent identical requests against
+// one shared cold cache must perform exactly one computation — the others
+// either wait on the in-flight leader or hit the entry it just published —
+// and every run must render byte-identically to the uncached baseline.
+func TestConcurrentAnalyzeSingleFlight(t *testing.T) {
+	sources, headers := corpusInputs()
+	base := renderRun(runWithCache(t, sources, headers, 1, ""))
+
+	cache, err := analysiscache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	runs := make([]*core.Run, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			runs[i], errs[i] = core.Analyze(context.Background(), core.Request{
+				Sources: sources, Headers: headers,
+				Options: core.Options{Workers: 2, Confirm: true, Cache: cache},
+				Trace:   obs.New("cache-test"),
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var leaders, served int64
+	for i, run := range runs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got := renderRun(run); got != base {
+			t.Errorf("concurrent run %d differs from baseline", i)
+		}
+		leaders += run.Metric("cache.singleflight.leader")
+		served += run.Metric("cache.singleflight.wait") + run.Metric("cache.unit.hit")
+	}
+	if leaders != 1 {
+		t.Errorf("concurrent identical requests performed %d computations, want exactly 1", leaders)
+	}
+	if served != n-1 {
+		t.Errorf("%d runs were served from the leader's result, want %d", served, n-1)
 	}
 }
 

@@ -54,6 +54,7 @@ func main() {
 	checkersFlag := flag.String("checkers", "", "comma-separated checker subset to run (e.g. P1,P4); default: all registered checkers")
 	verbose := flag.Bool("v", false, "print elapsed wall time, files/sec and cache statistics to stderr")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
+	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB for -cache (0 disables the memory tier)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after analysis) to this file")
 	statsJSON := flag.String("stats-json", "", "write the run's span/counter statistics as JSON to this file")
@@ -147,7 +148,7 @@ func main() {
 
 	opt := core.Options{Workers: *workers, DB: db, ConfigFP: configFP, Checkers: selected}
 	if *cacheDir != "" {
-		c, err := analysiscache.Open(*cacheDir)
+		c, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
@@ -200,6 +201,14 @@ func main() {
 		}
 	}
 	reports := run.Reports
+	if opt.Cache != nil {
+		// Analyze already flushed its own writes; Close catches anything
+		// still pending and surfaces disk-tier failures that silently
+		// degraded to misses during the run.
+		if err := opt.Cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: cache flush: %v\n", err)
+		}
+	}
 
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
@@ -235,6 +244,12 @@ func main() {
 					factsState, run.Metric("frontend.cache.hit"), run.Metric("frontend.cache.miss"),
 					run.Metric("frontend.cache.hit"))
 			}
+			st := opt.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "refcheck: cache: L1 %d hits, %d misses, %d evictions (%d entries, %.1f MB resident); L2 %d batch flushes (%d entries); single-flight %d led, %d waited\n",
+				run.Metric("cache.l1.hit"), run.Metric("cache.l1.miss"), run.Metric("cache.l1.evict"),
+				st.L1Entries, float64(st.L1Bytes)/(1<<20),
+				run.Metric("cache.l2.batch.flushes"), run.Metric("cache.l2.batch.entries"),
+				run.Metric("cache.singleflight.leader"), run.Metric("cache.singleflight.wait"))
 		}
 	}
 	exportObs(tr, *verbose, *statsJSON, *traceOut)

@@ -31,6 +31,7 @@ func main() {
 	fast := flag.Bool("fast", false, "smaller background history (quicker word2vec)")
 	workers := flag.Int("workers", 0, "detection-pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 	cacheDir := flag.String("cache", "", "incremental analysis cache directory for the detection pipeline (results are identical with or without it)")
+	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB for -cache (0 disables the memory tier)")
 	checkersFlag := flag.String("checkers", "", "comma-separated checker subset for the detection pipeline (e.g. P1,P4); default: all registered checkers")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the detection pipeline to FILE (load in Perfetto / chrome://tracing)")
 	flag.Parse()
@@ -146,7 +147,7 @@ func main() {
 	}
 	opt := core.Options{Workers: *workers, Checkers: selected}
 	if *cacheDir != "" {
-		cache, err := analysiscache.Open(*cacheDir)
+		cache, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 			os.Exit(1)
@@ -179,6 +180,11 @@ func main() {
 		}
 	}
 	reports := run.Reports
+	if opt.Cache != nil {
+		if err := opt.Cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: cache flush: %v\n", err)
+		}
+	}
 	nb := study.EvaluateNewBugsWorkers(c, reports, *workers)
 
 	fmt.Println("## Table 4: new bugs (paper: arch 156, drivers 182, include 2, net 2, sound 9; 296 leak / 48 UAF / 7 NPD; 240 CFM, 3 PR, 5 FP)")

@@ -1,130 +1,185 @@
-// Package analysiscache is the on-disk incremental analysis cache.
+// Package analysiscache is the tiered incremental analysis cache: a sharded
+// in-memory L1 of decoded values in front of an on-disk L2 of batched,
+// content-hash-named pack files.
 //
 // Entries are keyed by content hash: the caller derives a key from everything
 // that can influence the cached value (source bytes, the transitive include
 // closure, the checker-config fingerprint, a format version tag), so a key
 // either resolves to a value computed from identical inputs or does not
 // resolve at all. There is no invalidation protocol — stale inputs simply
-// hash to a different key, and orphaned entries are harmless dead files.
+// hash to a different key, and orphaned entries are harmless dead bytes.
+//
+// The tiers:
+//
+//   - L1 holds already-decoded values (any), sharded into 16 char buckets by
+//     the first hex digit of the key, each bucket an LRU list with a byte
+//     budget (charged at the encoded size, a stable proxy for the decoded
+//     footprint) and a TTL. A warm same-process re-run skips open, read, and
+//     codec decode entirely. Values stored in L1 are shared between every
+//     future getter, so callers must treat them as immutable.
+//   - L2 is the disk tier. Writes are batched: Put and PutValue only append
+//     to a per-shard pending buffer; a shard is flushed — one pack file
+//     holding every pending entry, named by the content hash of the pack
+//     bytes — when its buffer crosses a size threshold, when it has been
+//     dirty longer than the flush interval, or explicitly via Flush/Close.
+//     Batching collapses the ~3 entry kinds per unit (front-end, facts,
+//     reports) into one file write per shard instead of one per entry.
+//
+// Because a pack's name commits to its content hash, a torn or bit-rotted
+// pack is detected by hashing the whole file on load; any mismatch discards
+// the entire pack as corrupt. That is the integrity contract that lets the
+// writer skip per-entry fsync/rename dances: a torn batch write degrades to
+// clean misses for every entry in the batch, never to a wrong answer.
 //
 // Entry payloads are opaque byte slices: each caller owns its encoding
 // (hand-rolled binary codecs built on internal/bincodec — see internal/cpg,
 // internal/facts, internal/core). The cache only moves bytes; the decode
-// callback passed to Load/Get interprets them, and any error it returns is
-// treated as corruption. Entries use the .bin extension: directories written
-// by the earlier gob-encoded format (.gob files) are simply never consulted,
-// so a cache root surviving a format change degrades to clean misses.
+// callback passed to Load/Get/GetValue interprets them, and any error it
+// returns is treated as corruption. Directories written by earlier formats
+// (two-hex-char shard dirs of .gob or .bin files) are simply never
+// consulted, so a cache root surviving a format change degrades to clean
+// misses.
 //
 // The cache is defensive by construction: any read error, decode error,
-// truncated file, or corrupt payload is reported as a miss, and the caller
+// truncated pack, or corrupt payload is reported as a miss, and the caller
 // falls back to full re-analysis. A broken cache can cost time, never
-// correctness. Load distinguishes the failure modes for observability and
-// error handling — a missing entry wraps fs.ErrNotExist, a present-but-
-// undecodable entry wraps ErrCorrupt — while Get collapses both to a boolean
-// miss.
+// correctness.
 package analysiscache
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
-	"path/filepath"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
 
 // ErrCorrupt is the sentinel wrapped by Load when an entry exists on disk
-// but cannot be decoded (truncated write, bit rot, codec version drift).
+// but cannot be decoded (truncated pack, bit rot, codec version drift).
 // Callers distinguish it from a plain miss with errors.Is; the cache itself
 // always degrades a corrupt entry to a miss.
 var ErrCorrupt = errors.New("analysiscache: corrupt entry")
 
-// Cache is a directory of binary-encoded entries, safe for concurrent use by
-// multiple goroutines and by multiple processes sharing the directory: keys
-// are content hashes, so concurrent writers of one key write identical
-// bytes, and a reader that catches a write mid-flight sees a corrupt entry —
-// which is just a counted miss.
+// Defaults for Open. WithMemory(0) disables L1 entirely.
+const (
+	DefaultMemory        = 64 << 20
+	DefaultTTL           = 10 * time.Minute
+	defaultFlushBytes    = 8 << 20
+	defaultFlushInterval = 30 * time.Second
+)
+
+// config collects the Open options.
+type config struct {
+	mem        int64
+	ttl        time.Duration
+	flushBytes int64
+	flushEvery time.Duration
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithMemory sets the L1 byte budget (split evenly across the 16 shards).
+// Zero (or negative) disables the in-memory tier: GetValue then decodes from
+// disk on every call and PutValue only queues the encoded bytes.
+func WithMemory(bytes int64) Option { return func(c *config) { c.mem = bytes } }
+
+// WithTTL sets the L1 entry lifetime; zero means no expiry. Expiry is
+// checked on access (there is no background sweeper).
+func WithTTL(d time.Duration) Option { return func(c *config) { c.ttl = d } }
+
+// WithFlushThreshold sets the per-shard pending-byte level that triggers an
+// inline flush on Put.
+func WithFlushThreshold(bytes int64) Option {
+	return func(c *config) { c.flushBytes = bytes }
+}
+
+// WithFlushInterval sets how long a shard may sit dirty before the next Put
+// to it flushes inline. There is no timer goroutine: a process that stops
+// writing must call Flush (or Close) to make its last batch durable.
+func WithFlushInterval(d time.Duration) Option {
+	return func(c *config) { c.flushEvery = d }
+}
+
+// Cache is the tiered cache handle, safe for concurrent use by multiple
+// goroutines and (for the disk tier) by multiple processes sharing the
+// directory: keys are content hashes, so concurrent writers of one key
+// write identical bytes, and pack files are named by their own content
+// hash, so concurrent flushes of identical batches converge on one file.
 type Cache struct {
-	dir  string
-	reg  *obs.Registry
-	dirs *shardSet
+	dir string
+	reg *obs.Registry
+	st  *state
 }
 
-// shardSet remembers which of the 256 shard directories are known to exist,
-// so put pays the mkdir negotiation at most once per shard per process
-// instead of once per write (mkdir syscalls dominated the cold-cache write
-// path before this). A stale bit — someone deleted the directory mid-run —
-// is repaired by put's ErrNotExist fallback, so bits are an optimization,
-// never a correctness input. Shared by pointer across WithRegistry views.
-type shardSet [4]atomic.Uint64
-
-func (s *shardSet) has(i uint8) bool { return s[i>>6].Load()&(1<<(i&63)) != 0 }
-func (s *shardSet) set(i uint8)      { s[i>>6].Or(1 << (i & 63)) }
-
-// shardIndex maps the two-hex-char shard prefix of key to its bit index.
-func shardIndex(key string) (uint8, bool) {
-	hi, ok1 := hexVal(key[0])
-	lo, ok2 := hexVal(key[1])
-	return hi<<4 | lo, ok1 && ok2
-}
-
-func hexVal(c byte) (uint8, bool) {
-	switch {
-	case c >= '0' && c <= '9':
-		return c - '0', true
-	case c >= 'a' && c <= 'f':
-		return c - 'a' + 10, true
-	}
-	return 0, false
+// state is the tier state shared by pointer across WithRegistry views.
+type state struct {
+	l1     *l1Cache // nil when the memory tier is disabled
+	l2     *l2Tier
+	flight flightGroup
 }
 
 // Open prepares dir as a cache root, creating it if needed.
-func Open(dir string) (*Cache, error) {
+func Open(dir string, opts ...Option) (*Cache, error) {
+	cfg := config{
+		mem:        DefaultMemory,
+		ttl:        DefaultTTL,
+		flushBytes: defaultFlushBytes,
+		flushEvery: defaultFlushInterval,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("analysiscache: %w", err)
 	}
-	return &Cache{dir: dir, dirs: &shardSet{}}, nil
+	st := &state{l2: newL2Tier(dir, cfg.flushBytes, cfg.flushEvery)}
+	if cfg.mem > 0 {
+		st.l1 = newL1Cache(cfg.mem, cfg.ttl)
+	}
+	return &Cache{dir: dir, st: st}, nil
 }
 
 // Dir returns the cache root.
 func (c *Cache) Dir() string { return c.dir }
 
-// WithRegistry returns a view of the cache that counts every read and write
-// into reg (cache.read.hit / cache.read.miss / cache.read.corrupt /
-// cache.write / cache.write.error). The receiver is not mutated, so one
-// shared cache directory can serve traced and untraced runs concurrently.
+// MemoryEnabled reports whether the L1 value tier is active. Callers use it
+// to choose between the value API (values land in L1 and are shared, so
+// they must be freshly allocated and immutable) and the byte API (decode
+// into caller-owned — possibly pooled — storage).
+func (c *Cache) MemoryEnabled() bool { return c.st.l1 != nil }
+
+// WithRegistry returns a view of the cache that counts every tier event
+// into reg (cache.read.*, cache.write*, cache.l1.*, cache.l2.batch.*,
+// cache.singleflight.*). The receiver is not mutated and all views share
+// the tier state, so one cache can serve traced and untraced runs
+// concurrently.
 func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
-	return &Cache{dir: c.dir, reg: reg, dirs: c.dirs}
+	return &Cache{dir: c.dir, reg: reg, st: c.st}
 }
 
-// path shards entries by the first key byte to keep directories small.
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key[:2], key+".bin")
-}
-
-// Load reads the entry for key and hands its payload to decode. A missing
-// (or unreadable) entry returns an error wrapping fs.ErrNotExist; an entry
-// whose payload decode rejects returns an error wrapping ErrCorrupt. Both
-// are misses to Get. The payload slice is owned by the callback for the
-// duration of the call only.
+// Load reads the entry for key from the disk tier and hands its payload to
+// decode. A missing entry returns an error wrapping fs.ErrNotExist; a
+// present-but-undecodable entry wraps ErrCorrupt. Both are misses to Get.
+// The payload slice is owned by the callback for the duration of the call
+// only.
 func (c *Cache) Load(key string, decode func(data []byte) error) error {
 	if len(key) < 2 {
 		c.reg.Add("cache.read.miss", 1)
 		return fmt.Errorf("analysiscache: short key %q: %w", key, fs.ErrNotExist)
 	}
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+	data, corrupt, ok := c.st.l2.lookup(key)
+	if corrupt > 0 {
+		c.reg.Add("cache.read.corrupt", int64(corrupt))
+	}
+	if !ok {
 		c.reg.Add("cache.read.miss", 1)
-		if errors.Is(err, fs.ErrNotExist) {
-			return fmt.Errorf("analysiscache: %w", err)
-		}
-		// Unreadable-but-present (permissions, I/O error) still reads as
-		// not-found to callers: the entry cannot be served.
-		return fmt.Errorf("analysiscache: %v: %w", err, fs.ErrNotExist)
+		return fmt.Errorf("analysiscache: no entry for key: %w", fs.ErrNotExist)
 	}
 	if err := decode(data); err != nil {
 		c.reg.Add("cache.read.corrupt", 1)
@@ -134,17 +189,19 @@ func (c *Cache) Load(key string, decode func(data []byte) error) error {
 	return nil
 }
 
-// Get reads the entry for key through decode. Any failure — missing file,
-// short read, codec mismatch — is a miss. Unlike Load it never renders an
-// error: on a cold run every lookup misses, and the discarded fmt.Errorf per
-// miss was measurable.
+// Get reads the entry for key through decode, bypassing L1 (the decoded
+// result stays caller-owned, so decode may target pooled storage). Any
+// failure — missing entry, torn pack, codec mismatch — is a miss.
 func (c *Cache) Get(key string, decode func(data []byte) error) bool {
 	if len(key) < 2 {
 		c.reg.Add("cache.read.miss", 1)
 		return false
 	}
-	data, err := os.ReadFile(c.path(key))
-	if err != nil {
+	data, corrupt, ok := c.st.l2.lookup(key)
+	if corrupt > 0 {
+		c.reg.Add("cache.read.corrupt", int64(corrupt))
+	}
+	if !ok {
 		c.reg.Add("cache.read.miss", 1)
 		return false
 	}
@@ -156,43 +213,153 @@ func (c *Cache) Get(key string, decode func(data []byte) error) bool {
 	return true
 }
 
-// Put stores the encoded payload under key. The write is a plain truncating
-// write, not an atomic rename: the key is a content hash, so any concurrent
-// writer of the same key writes the same bytes, and a torn write is
-// indistinguishable from bit rot — the reader counts a corrupt miss and
-// recomputes. Dropping the temp-file dance roughly halves the syscalls on
-// the cold path, which file writes dominate.
-func (c *Cache) Put(key string, data []byte) error {
-	if err := c.put(key, data); err != nil {
-		c.reg.Add("cache.write.error", 1)
-		return err
+// GetValue reads the decoded value for key through the tiers: L1 first,
+// then the disk tier via decode, inserting a disk hit into L1 so the next
+// same-process lookup skips the decode. The returned value is shared with
+// every other getter of the key — callers must treat it (and everything
+// reachable from it) as immutable, and decode must build it in fresh
+// storage, never in pooled buffers.
+func (c *Cache) GetValue(key string, decode func(data []byte) (any, error)) (any, bool) {
+	if len(key) < 2 {
+		c.reg.Add("cache.read.miss", 1)
+		return nil, false
 	}
-	c.reg.Add("cache.write", 1)
-	return nil
+	l1 := c.st.l1
+	if l1 != nil {
+		v, ok, evicted := l1.get(key)
+		if evicted > 0 {
+			c.reg.Add("cache.l1.evict", int64(evicted))
+		}
+		if ok {
+			c.reg.Add("cache.l1.hit", 1)
+			return v, true
+		}
+		c.reg.Add("cache.l1.miss", 1)
+	}
+	data, corrupt, ok := c.st.l2.lookup(key)
+	if corrupt > 0 {
+		c.reg.Add("cache.read.corrupt", int64(corrupt))
+	}
+	if !ok {
+		c.reg.Add("cache.read.miss", 1)
+		return nil, false
+	}
+	v, err := decode(data)
+	if err != nil {
+		c.reg.Add("cache.read.corrupt", 1)
+		return nil, false
+	}
+	c.reg.Add("cache.read.hit", 1)
+	if l1 != nil {
+		if evicted := l1.put(key, v, int64(len(data))); evicted > 0 {
+			c.reg.Add("cache.l1.evict", int64(evicted))
+		}
+		c.reg.SetGauge("cache.l1.bytes", float64(l1.bytes.Load()))
+	}
+	return v, true
 }
 
-func (c *Cache) put(key string, data []byte) error {
+// Put queues the encoded payload for key in the disk tier's pending batch.
+// The bytes reach disk at the next flush (threshold, interval, Flush, or
+// Close); until then same-process reads are served from the pending buffer.
+// The data slice is retained until flushed and must not be mutated after
+// the call. An error means the entry was accepted but an inline flush it
+// triggered failed — the batch is dropped and its entries become misses.
+func (c *Cache) Put(key string, data []byte) error {
 	if len(key) < 2 {
+		c.reg.Add("cache.write.error", 1)
 		return fmt.Errorf("analysiscache: short key %q", key)
 	}
-	dst := c.path(key)
-	if idx, hexKey := shardIndex(key); hexKey && !c.dirs.has(idx) {
-		// First entry in this shard: create the directory up front rather
-		// than paying a guaranteed-failing open first.
-		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-			return err
-		}
-		c.dirs.set(idx)
+	c.reg.Add("cache.write", 1)
+	return c.maybeFlush(c.st.l2.put(key, data))
+}
+
+// PutValue stores the decoded value in L1 and queues its encoding for the
+// disk tier. The value is shared with every future GetValue of the key and
+// must be immutable; encoded is retained until flushed.
+func (c *Cache) PutValue(key string, val any, encoded []byte) error {
+	if len(key) < 2 {
+		c.reg.Add("cache.write.error", 1)
+		return fmt.Errorf("analysiscache: short key %q", key)
 	}
-	err := os.WriteFile(dst, data, 0o644)
-	if errors.Is(err, fs.ErrNotExist) {
-		// The shard directory vanished (or the key is non-hex): recreate it
-		// and retry once.
-		if err = os.MkdirAll(filepath.Dir(dst), 0o755); err == nil {
-			err = os.WriteFile(dst, data, 0o644)
+	if l1 := c.st.l1; l1 != nil {
+		if evicted := l1.put(key, val, int64(len(encoded))); evicted > 0 {
+			c.reg.Add("cache.l1.evict", int64(evicted))
+		}
+		c.reg.SetGauge("cache.l1.bytes", float64(l1.bytes.Load()))
+	}
+	c.reg.Add("cache.write", 1)
+	return c.maybeFlush(c.st.l2.put(key, encoded))
+}
+
+// maybeFlush flushes one shard when put reported its threshold or interval
+// crossed, charging the flush counters to this view's registry.
+func (c *Cache) maybeFlush(sh *l2Shard) error {
+	if sh == nil {
+		return nil
+	}
+	return c.chargeFlush(c.st.l2.flushShard(sh))
+}
+
+// chargeFlush translates one shard flush result into counters.
+func (c *Cache) chargeFlush(res flushResult) error {
+	if res.packs > 0 {
+		c.reg.Add("cache.l2.batch.flushes", int64(res.packs))
+		c.reg.Add("cache.l2.batch.entries", int64(res.entries))
+	}
+	if res.dropped > 0 {
+		c.reg.Add("cache.write.error", int64(res.dropped))
+	}
+	return res.err
+}
+
+// Flush writes every shard's pending batch to disk. Analyze calls it at the
+// end of its cache-store phase so a run's entries are durable (and visible
+// to other processes) without waiting for thresholds; CLI tools call Close.
+// The first error is returned; failed batches are dropped, so a flush error
+// costs future runs recomputes, never correctness.
+func (c *Cache) Flush() error {
+	var first error
+	for i := range c.st.l2.shards {
+		if err := c.chargeFlush(c.st.l2.flushShard(&c.st.l2.shards[i])); err != nil && first == nil {
+			first = err
 		}
 	}
-	return err
+	return first
+}
+
+// Close flushes pending batches. The cache remains usable afterwards —
+// Close is Flush with a name that reads right at process exit.
+func (c *Cache) Close() error { return c.Flush() }
+
+// Flight deduplicates concurrent computations of key: the first caller
+// (the leader) runs fn while every concurrent caller with the same key
+// blocks and shares the leader's result. leader reports whether this call
+// ran fn. A leader that fails or panics releases its waiters, who retry for
+// leadership rather than inheriting the failure; ctx cancellation while
+// waiting returns ctx.Err(). The cache does not count singleflight events
+// itself — callers charge cache.singleflight.{leader,wait} where they can
+// tell a real computation from a fallback cache hit.
+func (c *Cache) Flight(ctx context.Context, key string, fn func() (any, error)) (v any, leader bool, err error) {
+	return c.st.flight.do(ctx, key, fn)
+}
+
+// Stats is a point-in-time snapshot of the in-memory tier (counters live in
+// the obs registry; this covers the gauges a CLI wants to print at exit).
+type Stats struct {
+	L1Entries int64 // values currently held by the memory tier
+	L1Bytes   int64 // their encoded-size charge against the budget
+	Pending   int64 // disk-tier entries buffered but not yet flushed
+}
+
+// Stats snapshots the tier gauges.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	if l1 := c.st.l1; l1 != nil {
+		s.L1Entries, s.L1Bytes = l1.stats()
+	}
+	s.Pending = c.st.l2.pendingEntries()
+	return s
 }
 
 // KeyOf derives a cache key from its parts: each part is length-prefixed

@@ -3,6 +3,7 @@ package analysiscache
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/bincodec"
@@ -36,30 +37,66 @@ func (p *payload) decode(data []byte) error {
 	return r.Done()
 }
 
-func TestRoundTrip(t *testing.T) {
-	c, err := Open(t.TempDir())
+func mustOpen(t *testing.T, dir string, opts ...Option) *Cache {
+	t.Helper()
+	c, err := Open(dir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return c
+}
+
+// packFiles lists every pack file under the cache root.
+func packFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, packExt) {
+			out = append(out, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir)
 	key := KeyOf("test", "round-trip")
 	want := payload{Name: "x", Lines: []int{1, 2, 3}}
 	if err := c.Put(key, want.encode()); err != nil {
 		t.Fatal(err)
 	}
+	// Pre-flush: the entry is served from the pending batch.
 	var got payload
 	if !c.Get(key, got.decode) {
-		t.Fatal("expected hit after Put")
+		t.Fatal("expected hit from the pending batch after Put")
 	}
 	if got.Name != want.Name || len(got.Lines) != 3 || got.Lines[2] != 3 {
 		t.Fatalf("decoded %+v, want %+v", got, want)
 	}
+	if len(packFiles(t, dir)) != 0 {
+		t.Fatal("Put must not write before a flush")
+	}
+
+	// Post-flush: a fresh handle reads the pack from disk.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(packFiles(t, dir)) != 1 {
+		t.Fatalf("one pending shard must flush as one pack, got %v", packFiles(t, dir))
+	}
+	got = payload{}
+	if !mustOpen(t, dir).Get(key, got.decode) || got.Name != "x" {
+		t.Fatal("expected hit from disk after Flush")
+	}
 }
 
 func TestMissingKey(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := mustOpen(t, t.TempDir())
 	var v payload
 	if c.Get(KeyOf("never", "stored"), v.decode) {
 		t.Fatal("expected miss for unknown key")
@@ -71,64 +108,75 @@ func TestMissingKey(t *testing.T) {
 
 func TestCorruptEntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
-	c, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := mustOpen(t, dir)
 	key := KeyOf("corrupt")
 	if err := c.Put(key, (&payload{Name: "ok"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, key[:2], key+".bin")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	packs := packFiles(t, dir)
+	if len(packs) != 1 {
+		t.Fatalf("expected one pack, got %v", packs)
+	}
 
-	// Truncated entry → miss.
-	data, err := os.ReadFile(path)
+	// Truncated pack → its name no longer matches its hash → every entry
+	// in it is a miss (a fresh handle sees the disk state; the writing
+	// handle legitimately still serves from its in-memory index).
+	data, err := os.ReadFile(packs[0])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+	if err := os.WriteFile(packs[0], data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var v payload
-	if c.Get(key, v.decode) {
-		t.Fatal("truncated entry must be a miss")
+	if mustOpen(t, dir).Get(key, v.decode) {
+		t.Fatal("truncated pack must be a miss")
 	}
 
-	// Garbage entry → miss.
-	if err := os.WriteFile(path, []byte("not a valid entry"), 0o644); err != nil {
+	// Garbage pack → miss.
+	if err := os.WriteFile(packs[0], []byte("not a valid pack"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if c.Get(key, v.decode) {
-		t.Fatal("garbage entry must be a miss")
+	if mustOpen(t, dir).Get(key, v.decode) {
+		t.Fatal("garbage pack must be a miss")
 	}
 
-	// Re-Put repairs the slot.
-	if err := c.Put(key, (&payload{Name: "again"}).encode()); err != nil {
+	// Re-Put + Flush repairs by writing a new, valid pack alongside.
+	c2 := mustOpen(t, dir)
+	if err := c2.Put(key, (&payload{Name: "again"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Get(key, v.decode) || v.Name != "again" {
-		t.Fatal("Put over a corrupt entry must restore the slot")
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !mustOpen(t, dir).Get(key, v.decode) || v.Name != "again" {
+		t.Fatal("Put+Flush over a corrupt pack must restore the entry")
 	}
 }
 
 // TestOldFormatDirIsCleanMisses pins the format-migration contract: a cache
-// root populated by the retired gob-era layout (.gob files) serves clean
-// misses — not errors, not corruption counts — and the current format
-// repopulates alongside without touching the old files.
+// root populated by a retired layout (two-hex-char shard dirs of .gob or
+// .bin files) serves clean misses — not errors, not corruption counts — and
+// the current format repopulates alongside without touching the old files.
 func TestOldFormatDirIsCleanMisses(t *testing.T) {
 	dir := t.TempDir()
 	key := KeyOf("migrated")
-	oldPath := filepath.Join(dir, key[:2], key+".gob")
-	if err := os.MkdirAll(filepath.Dir(oldPath), 0o755); err != nil {
-		t.Fatal(err)
+	oldPaths := []string{
+		filepath.Join(dir, key[:2], key+".gob"),
+		filepath.Join(dir, key[:2], key+".bin"),
 	}
-	if err := os.WriteFile(oldPath, []byte("gob-era bytes"), 0o644); err != nil {
-		t.Fatal(err)
+	for _, p := range oldPaths {
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte("old-era bytes"), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	c, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := mustOpen(t, dir)
 	var v payload
 	if c.Get(key, v.decode) {
 		t.Fatal("old-format entry must read as a miss")
@@ -136,11 +184,56 @@ func TestOldFormatDirIsCleanMisses(t *testing.T) {
 	if err := c.Put(key, (&payload{Name: "new"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Get(key, v.decode) || v.Name != "new" {
-		t.Fatal("current format must repopulate alongside the old file")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
 	}
-	if _, err := os.Stat(oldPath); err != nil {
-		t.Fatal("migration must not delete old-format files")
+	if !mustOpen(t, dir).Get(key, v.decode) || v.Name != "new" {
+		t.Fatal("current format must repopulate alongside the old files")
+	}
+	for _, p := range oldPaths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatal("migration must not delete old-format files")
+		}
+	}
+}
+
+// TestShardDirDeletedMidRun is the regression test for the stale shard-dir
+// bitmap: after a flush marks a shard directory as existing, deleting the
+// whole cache root must not make later flushes fail silently — the stale
+// bit is cleared, the directory re-probed, and the batch written.
+func TestShardDirDeletedMidRun(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir)
+	k1 := KeyOf("first")
+	if err := c.Put(k1, (&payload{Name: "first"}).encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cache root vanishes mid-run (a cleanup job, a tmpfs wipe).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second key in the same shard hits the now-stale bitmap bit.
+	k2 := k1
+	for i := 0; k2 == k1 || shardOf(k2) != shardOf(k1); i++ {
+		k2 = KeyOf("second", string(rune('a'+i)))
+	}
+	if err := c.Put(k2, (&payload{Name: "second"}).encode()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush after cache-dir deletion must recreate the shard dir, got %v", err)
+	}
+	var v payload
+	if !c.Get(k2, v.decode) || v.Name != "second" {
+		t.Fatal("same-handle read must hit after the repaired flush")
+	}
+	if !mustOpen(t, dir).Get(k2, v.decode) || v.Name != "second" {
+		t.Fatal("the repaired flush must be durable on disk")
 	}
 }
 

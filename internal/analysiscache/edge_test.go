@@ -9,42 +9,47 @@ import (
 )
 
 // TestZeroByteEntryIsMiss covers the crash-landing shape a torn write could
-// leave behind (an empty file in the right slot): it must read as a miss and
-// a later Put must repair it.
+// leave behind (an empty file in the right slot): it must read as a miss
+// and a later Put+Flush must repair it with a fresh pack.
 func TestZeroByteEntryIsMiss(t *testing.T) {
 	dir := t.TempDir()
-	c, err := Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+	c := mustOpen(t, dir)
 	key := KeyOf("zero-byte")
 	if err := c.Put(key, (&payload{Name: "ok"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, key[:2], key+".bin")
-	if err := os.WriteFile(path, nil, 0o644); err != nil {
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	packs := packFiles(t, dir)
+	if len(packs) != 1 {
+		t.Fatalf("expected one pack, got %v", packs)
+	}
+	if err := os.WriteFile(packs[0], nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	var v payload
-	if c.Get(key, v.decode) {
-		t.Fatal("zero-byte entry must be a miss")
+	if mustOpen(t, dir).Get(key, v.decode) {
+		t.Fatal("zero-byte pack must be a miss")
 	}
-	if err := c.Put(key, (&payload{Name: "repaired"}).encode()); err != nil {
+	c2 := mustOpen(t, dir)
+	if err := c2.Put(key, (&payload{Name: "repaired"}).encode()); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Get(key, v.decode) || v.Name != "repaired" {
-		t.Fatal("Put must repair a zero-byte slot")
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !mustOpen(t, dir).Get(key, v.decode) || v.Name != "repaired" {
+		t.Fatal("Put+Flush must repair a zero-byte pack")
 	}
 }
 
 // TestConcurrentWritersSameKey hammers one key from many writers while
-// readers poll it. The atomic-rename contract says a reader sees either a
-// miss or one writer's entry in full — never a torn mix of two writers.
+// readers poll it, with interleaved flushes. A reader sees either a miss or
+// one writer's entry in full — never a torn mix of two writers.
 func TestConcurrentWritersSameKey(t *testing.T) {
-	c, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	c := mustOpen(t, dir)
 	key := KeyOf("contended")
 	const writers, rounds = 8, 50
 
@@ -58,6 +63,12 @@ func TestConcurrentWritersSameKey(t *testing.T) {
 				if err := c.Put(key, p.encode()); err != nil {
 					t.Errorf("Put: %v", err)
 					return
+				}
+				if r%10 == 0 {
+					if err := c.Flush(); err != nil {
+						t.Errorf("Flush: %v", err)
+						return
+					}
 				}
 			}
 		}(w)
@@ -83,45 +94,48 @@ func TestConcurrentWritersSameKey(t *testing.T) {
 			}
 		}
 	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	var v payload
 	if !c.Get(key, v.decode) {
 		t.Fatal("expected a hit after all writers finished")
 	}
 	checkHit(v)
+	// A fresh handle must decode the on-disk packs to one coherent entry.
+	v = payload{}
+	if !mustOpen(t, dir).Get(key, v.decode) {
+		t.Fatal("expected a durable hit from a fresh handle")
+	}
+	checkHit(v)
 }
 
 // TestUnusableDirDegradesToMisses covers the cache root becoming unusable
-// after Open: every Put fails with an error and every Get is a clean miss —
-// no panic, no partial state.
+// after Open: a flush fails loudly, the dropped batch reads as clean misses,
+// and nothing panics or half-persists.
 func TestUnusableDirDegradesToMisses(t *testing.T) {
 	t.Run("dir-replaced-by-file", func(t *testing.T) {
 		// Deterministic even for root, where chmod is not enforced: a
 		// regular file where the root directory should be makes every
-		// shard MkdirAll and entry Open fail.
+		// shard MkdirAll and pack write fail.
 		root := filepath.Join(t.TempDir(), "cache")
-		c, err := Open(root)
-		if err != nil {
-			t.Fatal(err)
-		}
-		key := KeyOf("doomed")
-		if err := c.Put(key, (&payload{Name: "first"}).encode()); err != nil {
-			t.Fatal(err)
-		}
+		c := mustOpen(t, root)
 		if err := os.RemoveAll(root); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(root, []byte("not a directory"), 0o644); err != nil {
 			t.Fatal(err)
 		}
+		key := KeyOf("doomed")
+		if err := c.Put(key, (&payload{Name: "doomed"}).encode()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err == nil {
+			t.Fatal("Flush through a non-directory root must error")
+		}
 		var v payload
 		if c.Get(key, v.decode) {
-			t.Fatal("Get through a non-directory root must miss")
-		}
-		if err := c.Put(key, (&payload{Name: "second"}).encode()); err == nil {
-			t.Fatal("Put through a non-directory root must error")
-		}
-		if c.Get(key, v.decode) {
-			t.Fatal("failed Put must not leave a readable entry")
+			t.Fatal("a dropped batch must not leave a readable entry")
 		}
 	})
 
@@ -130,30 +144,33 @@ func TestUnusableDirDegradesToMisses(t *testing.T) {
 			t.Skip("chmod does not restrict root; the dir-replaced-by-file variant covers this")
 		}
 		root := filepath.Join(t.TempDir(), "cache")
-		c, err := Open(root)
-		if err != nil {
-			t.Fatal(err)
-		}
+		c := mustOpen(t, root)
 		stored := KeyOf("kept")
 		if err := c.Put(stored, (&payload{Name: "kept"}).encode()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.Chmod(root, 0o500); err != nil {
 			t.Fatal(err)
 		}
 		defer os.Chmod(root, 0o755)
-		// A fresh key must land in a not-yet-created shard, or its Put
+		// A fresh key must land in a not-yet-created shard, or its flush
 		// would bypass the read-only root via the existing shard dir.
 		fresh := KeyOf("fresh")
-		for i := 0; fresh[:2] == stored[:2]; i++ {
+		for i := 0; shardOf(fresh) == shardOf(stored); i++ {
 			fresh = KeyOf(fmt.Sprintf("fresh-%d", i))
 		}
-		if err := c.Put(fresh, (&payload{Name: "fresh"}).encode()); err == nil {
-			t.Fatal("Put into a read-only root must error")
+		if err := c.Put(fresh, (&payload{Name: "fresh"}).encode()); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Flush(); err == nil {
+			t.Fatal("Flush into a read-only root must error")
 		}
 		var v payload
 		if c.Get(fresh, v.decode) {
-			t.Fatal("entry whose Put failed must miss")
+			t.Fatal("entry whose batch was dropped must miss")
 		}
 		if !c.Get(stored, v.decode) || v.Name != "kept" {
 			t.Fatal("read-only root must still serve existing entries")

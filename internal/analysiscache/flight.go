@@ -1,0 +1,81 @@
+package analysiscache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errLeaderCrashed marks a flight whose leader panicked out of fn. Waiters
+// never see it: they treat any leader failure as "retry for leadership".
+// The panic itself propagates to the leader's own caller.
+var errLeaderCrashed = errors.New("analysiscache: singleflight leader crashed")
+
+// flightGroup deduplicates concurrent computations by key, stdlib-only (the
+// x/sync singleflight shape, reduced to what the cache needs). Unlike
+// x/sync, a waiter never inherits the leader's error: a failed or crashed
+// leader releases its waiters to retry for leadership themselves, because
+// in this cache an error is usually the leader's ctx being cancelled — the
+// waiter's own ctx may be perfectly healthy.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+}
+
+// do runs fn once per set of concurrent callers of key. leader reports
+// whether this call ran fn; when false, val came from a concurrent leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (val any, leader bool, err error) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err == nil {
+					return c.val, false, nil
+				}
+				// Leader failed (or crashed): loop back and race for
+				// leadership. Each iteration either returns a success or
+				// installs this goroutine as the leader, so the loop
+				// terminates.
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+		return g.lead(key, c, fn)
+	}
+}
+
+// lead runs fn as the leader of c, publishing the result (or a crash
+// marker, when fn panics — the panic still propagates to the caller) and
+// releasing waiters.
+func (g *flightGroup) lead(key string, c *flightCall, fn func() (any, error)) (val any, leader bool, err error) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = errLeaderCrashed
+		}
+		// Remove before releasing waiters so a late arrival starts a fresh
+		// flight instead of adopting a finished one.
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, true, c.err
+}

@@ -1,0 +1,172 @@
+package analysiscache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightDedup checks the core contract: N concurrent callers of one key
+// run fn exactly once, exactly one of them reports leader, and everyone
+// gets the leader's value.
+func TestFlightDedup(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+
+	const callers = 8
+	type result struct {
+		v      any
+		leader bool
+		err    error
+	}
+	results := make(chan result, callers)
+	run := func(first bool) {
+		v, leader, err := g.do(context.Background(), "k", func() (any, error) {
+			if first {
+				close(entered)
+			}
+			calls.Add(1)
+			<-gate
+			return "shared", nil
+		})
+		results <- result{v, leader, err}
+	}
+	go run(true)
+	<-entered
+	for i := 1; i < callers; i++ {
+		go run(false)
+	}
+	// Give the waiters a moment to reach the flight before releasing the
+	// leader; a too-early release only weakens the test, never breaks it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+
+	leaders := 0
+	for i := 0; i < callers; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("unexpected error: %v", r.err)
+		}
+		if r.v != "shared" {
+			t.Fatalf("caller got %v, want shared value", r.v)
+		}
+		if r.leader {
+			leaders++
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers claimed leadership, want 1", leaders)
+	}
+}
+
+// TestFlightLeaderCrashFallback is the leader-crash contract: when fn
+// panics, the panic propagates to the leader's caller while every waiter is
+// released to retry for leadership instead of inheriting the crash.
+func TestFlightLeaderCrashFallback(t *testing.T) {
+	var g flightGroup
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	crashed := make(chan any, 1)
+
+	go func() {
+		defer func() { crashed <- recover() }()
+		g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			panic("leader dies")
+		})
+	}()
+	<-entered
+
+	done := make(chan struct{})
+	var v any
+	var leader bool
+	var err error
+	go func() {
+		defer close(done)
+		v, leader, err = g.do(context.Background(), "k", func() (any, error) {
+			return "recovered", nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block on the flight
+	close(gate)
+
+	if r := <-crashed; r != "leader dies" {
+		t.Fatalf("leader's panic must propagate to its caller, got %v", r)
+	}
+	<-done
+	if err != nil || v != "recovered" || !leader {
+		t.Fatalf("waiter must retake leadership after a crash: v=%v leader=%v err=%v", v, leader, err)
+	}
+}
+
+// TestFlightLeaderErrorRetry: a leader returning an error keeps the error
+// for itself; waiters retry and compute their own result.
+func TestFlightLeaderErrorRetry(t *testing.T) {
+	var g flightGroup
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	boom := errors.New("boom")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, leader, err := g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			return nil, boom
+		})
+		if !leader || !errors.Is(err, boom) {
+			t.Errorf("leader must keep its own error, leader=%v err=%v", leader, err)
+		}
+	}()
+	<-entered
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, leader, err := g.do(context.Background(), "k", func() (any, error) {
+			return "second try", nil
+		})
+		if err != nil || v != "second try" || !leader {
+			t.Errorf("waiter must retry after leader error: v=%v leader=%v err=%v", v, leader, err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+}
+
+// TestFlightWaiterCancellation: a waiter whose ctx dies stops waiting with
+// ctx's error; the leader is unaffected.
+func TestFlightWaiterCancellation(t *testing.T) {
+	var g flightGroup
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+
+	go func() {
+		g.do(context.Background(), "k", func() (any, error) {
+			close(entered)
+			<-gate
+			return "late", nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := g.do(ctx, "k", func() (any, error) { return "never", nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter must return ctx.Err(), got %v", err)
+	}
+	close(gate)
+}

@@ -1,0 +1,174 @@
+package analysiscache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards is the char-bucket fanout of both tiers: entries map to a shard
+// by the first hex digit of their key. Keys are sha256 hex, so the spread
+// is uniform; a non-hex first byte (impossible for KeyOf output) lands in
+// shard 0.
+const numShards = 16
+
+func shardOf(key string) int {
+	if v, ok := hexVal(key[0]); ok {
+		return int(v)
+	}
+	return 0
+}
+
+func hexVal(c byte) (uint8, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// l1Cache is the in-memory value tier: 16 independently locked shards, each
+// an LRU list over a map, bounded by bytes (the entry's encoded size is the
+// charge — a stable, already-known proxy for the decoded footprint) and by
+// a TTL checked on access.
+type l1Cache struct {
+	shardBudget int64
+	ttl         time.Duration
+	bytes       atomic.Int64 // total charge across shards, for the gauge
+	entries     atomic.Int64
+	shards      [numShards]l1Shard
+}
+
+type l1Shard struct {
+	mu    sync.Mutex
+	m     map[string]*l1Entry
+	bytes int64
+	// LRU list: head is most recently used, tail is the eviction victim.
+	head, tail *l1Entry
+}
+
+type l1Entry struct {
+	key        string
+	val        any
+	size       int64
+	exp        int64 // unix nanos; 0 = never expires
+	prev, next *l1Entry
+}
+
+func newL1Cache(budget int64, ttl time.Duration) *l1Cache {
+	b := budget / numShards
+	if b < 1 {
+		b = 1
+	}
+	c := &l1Cache{shardBudget: b, ttl: ttl}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*l1Entry)
+	}
+	return c
+}
+
+// get returns the live value for key, expiring it instead when its TTL has
+// passed (evicted counts entries removed by this call — 0 or 1).
+func (c *l1Cache) get(key string) (v any, ok bool, evicted int) {
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.m[key]
+	if e == nil {
+		return nil, false, 0
+	}
+	if e.exp != 0 && time.Now().UnixNano() > e.exp {
+		s.remove(e)
+		c.bytes.Add(-e.size)
+		c.entries.Add(-1)
+		return nil, false, 1
+	}
+	s.moveFront(e)
+	return e.val, true, 0
+}
+
+// put inserts (or refreshes) key and evicts LRU entries until the shard is
+// back under budget, returning how many were evicted. A value larger than
+// the whole shard budget is not cached at all — admitting it would evict
+// everything else for a value that can never stay.
+func (c *l1Cache) put(key string, val any, size int64) (evicted int) {
+	if size > c.shardBudget {
+		return 0
+	}
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.m[key]; e != nil {
+		c.bytes.Add(size - e.size)
+		s.bytes += size - e.size
+		e.val, e.size = val, size
+		if c.ttl > 0 {
+			e.exp = time.Now().Add(c.ttl).UnixNano()
+		}
+		s.moveFront(e)
+	} else {
+		e := &l1Entry{key: key, val: val, size: size}
+		if c.ttl > 0 {
+			e.exp = time.Now().Add(c.ttl).UnixNano()
+		}
+		s.m[key] = e
+		s.pushFront(e)
+		s.bytes += size
+		c.bytes.Add(size)
+		c.entries.Add(1)
+	}
+	for s.bytes > c.shardBudget && s.tail != nil {
+		victim := s.tail
+		s.remove(victim)
+		c.bytes.Add(-victim.size)
+		c.entries.Add(-1)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *l1Cache) stats() (entries, bytes int64) {
+	return c.entries.Load(), c.bytes.Load()
+}
+
+func (s *l1Shard) pushFront(e *l1Entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *l1Shard) moveFront(e *l1Entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *l1Shard) remove(e *l1Entry) {
+	s.unlink(e)
+	s.bytes -= e.size
+	delete(s.m, e.key)
+}
+
+func (s *l1Shard) unlink(e *l1Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

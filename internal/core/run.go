@@ -110,7 +110,7 @@ func corpusFP(sources []cpg.Source, headers map[string]string) string {
 // checker selection (so -checkers subset runs never collide with full
 // runs), and the full corpus content.
 func unitCacheKey(configFP, checkersFP, corpus string) string {
-	return analysiscache.KeyOf("unit-v3", configFP, checkersFP, corpus)
+	return analysiscache.KeyOf("unit-v4", configFP, checkersFP, corpus)
 }
 
 // factsCacheKey fingerprints the per-function facts entry. The checker
@@ -118,7 +118,7 @@ func unitCacheKey(configFP, checkersFP, corpus string) string {
 // exactly why a subset run can reuse the facts a full run computed (and vice
 // versa) even though their unit-level keys differ.
 func factsCacheKey(configFP, corpus string) string {
-	return analysiscache.KeyOf("facts-v2", configFP, corpus)
+	return analysiscache.KeyOf("facts-v3", configFP, corpus)
 }
 
 // stripWitnessBlocks deep-copies reports with each witness event's CFG block
@@ -155,22 +155,139 @@ func summarize(u *cpg.Unit) UnitSummary {
 	}
 }
 
+// lookupUnit consults the tiered cache for a decoded unit entry. The value
+// may live in the cache's L1 and be shared with concurrent runs, so callers
+// must copy before mutating (serveCached does).
+func lookupUnit(cache *analysiscache.Cache, key string) (*unitEntry, bool) {
+	v, ok := cache.GetValue(key, func(data []byte) (any, error) {
+		ent := new(unitEntry)
+		if err := decodeUnitEntry(data, ent); err != nil {
+			return nil, err
+		}
+		return ent, nil
+	})
+	if !ok {
+		return nil, false
+	}
+	return v.(*unitEntry), true
+}
+
+func decodeFactsValue(data []byte) (any, error) {
+	snap, err := facts.DecodeSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// serveCached fills run from a cached (or flight-shared) unit entry. The
+// report slice is copied because confirmation writes Confirmed per report
+// while the entry stays shared via L1; the witnesses underneath are
+// replayed read-only, so they can stay shared.
+func serveCached(run *Run, ent *unitEntry, req Request, root *obs.Span, reg *obs.Registry) {
+	reg.Add("pipeline.files_skipped", int64(len(req.Sources)))
+	run.Reports = append([]Report(nil), ent.Reports...)
+	run.Summary = ent.Summary
+	if req.Options.Confirm {
+		csp := root.Child("phase:confirm")
+		ConfirmReportsSpan(run.Reports, req.Options.Workers, csp)
+		csp.End()
+	}
+}
+
+// analyzePipeline is the full build→facts→check→store pipeline shared by
+// the uncached path and the single-flight leader. It mutates run in place
+// (so a cancelled call still leaves the partial Run visible to the caller)
+// and returns the stored unit entry when a cache is present. Confirmation
+// is the caller's job — the entry must stay confirmation-agnostic.
+func analyzePipeline(ctx context.Context, req Request, engine *Engine, cache *analysiscache.Cache, key, fKey string, run *Run, root *obs.Span, reg *obs.Registry) (*unitEntry, error) {
+	opt := req.Options
+	bsp := root.Child("phase:build")
+	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Cache: cache, Obs: bsp}
+	if req.Headers != nil {
+		b.Headers = newHeaderProvider(req.Headers)
+	}
+	u := b.BuildContext(ctx, req.Sources)
+	bsp.End()
+	run.Unit = u
+	run.Summary = summarize(u)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	uf := facts.NewUnit(u)
+	factsHit := false
+	if cache != nil {
+		if v, ok := cache.GetValue(fKey, decodeFactsValue); ok {
+			// The snapshot may be L1-shared across runs; Preload only reads
+			// it, and checkers treat facts as immutable.
+			factsHit = uf.Preload(v.(map[string]*facts.Data))
+		}
+		if factsHit {
+			reg.Add("cache.facts.hit", 1)
+		} else {
+			reg.Add("cache.facts.miss", 1)
+		}
+	}
+	csp := root.Child("phase:check")
+	engine.Obs = csp
+	reports := engine.CheckUnitFactsContext(ctx, uf)
+	csp.End()
+	uf.Observe(reg)
+	run.Reports = reports
+	if err := ctx.Err(); err != nil {
+		// A cancelled check may have skipped functions; the partial report
+		// list must never be cached under the full corpus key.
+		return nil, err
+	}
+
+	var ent *unitEntry
+	if cache != nil {
+		ssp := root.Child("phase:cache-store")
+		// Store before confirmation so the entry is confirmation-agnostic; a
+		// write failure only costs the next run a recompute. PutValue lands
+		// the decoded entry in L1 and queues the bytes for the disk tier's
+		// batch; the explicit Flush makes this run's entries durable and
+		// visible to other processes without waiting for thresholds.
+		ent = &unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)}
+		_ = cache.PutValue(key, ent, encodeUnitEntry(ent))
+		if !factsHit {
+			// Snapshot forces any still-uncomputed functions (a subset run
+			// with only unit-scoped checkers may not have touched them all)
+			// so the facts entry always covers the whole unit.
+			snap := uf.Snapshot()
+			_ = cache.PutValue(fKey, snap, facts.EncodeSnapshot(snap))
+		}
+		_ = cache.Flush()
+		ssp.End()
+	}
+	return ent, nil
+}
+
 // Analyze is the pipeline entry point: it builds a unit from the request's
 // sources, checks it, and optionally confirms the reports, honoring ctx at
 // every phase and work-queue boundary.
 //
 // With no cache in the options it runs the full pipeline. With a cache set
-// it first consults the unit-level report cache (an unchanged corpus skips
-// the whole pipeline); on a miss it threads the per-file front-end cache
-// through the CPG builder so only changed files are re-preprocessed, and
-// preloads the per-function facts entry so checking skips path enumeration
-// and event normalization. Reports are byte-identical across {no cache,
-// cold cache, warm cache, facts-only hit, partial hit} at any worker count,
-// with or without a trace attached.
+// it first consults the tiered unit-level report cache — the in-memory L1
+// serves a decoded entry with no I/O at all, the disk tier decodes one pack
+// payload — and an unchanged corpus skips the whole pipeline. On a miss the
+// computation runs under single-flight: N concurrent Analyze calls for the
+// same unit key on one cache perform one computation, the leader's stored
+// entry is shared with the waiters (counted as cache.singleflight.wait, and
+// served exactly like a cache hit: Unit stays nil). On a miss it also
+// threads the per-file front-end cache through the CPG builder so only
+// changed files are re-preprocessed, and preloads the per-function facts
+// entry so checking skips path enumeration and event normalization.
+// Reports are byte-identical across {no cache, cold cache, warm cache,
+// L1-warm, facts-only hit, partial hit} at any worker count, with or
+// without a trace attached.
 //
 // An invalid checker selection returns an error wrapping ErrUnknownPattern.
 // Cancellation drains the work queues cleanly and returns the partial Run
-// alongside ctx.Err(); nothing partial is ever written to the cache.
+// alongside ctx.Err(); nothing partial is ever written to the cache, and a
+// cancelled or failed single-flight leader never feeds its waiters — they
+// retry leadership with their own ctx.
 func Analyze(ctx context.Context, req Request) (*Run, error) {
 	opt := req.Options
 	engine, err := NewEngineFor(opt.Checkers)
@@ -188,88 +305,62 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 	}
 
 	run := &Run{Trace: tr}
-	var key, fKey string
-	if cache != nil {
-		sp := root.Child("phase:cache-lookup")
-		corpus := corpusFP(req.Sources, req.Headers)
-		key = unitCacheKey(opt.ConfigFP, engine.patternsFP(), corpus)
-		fKey = factsCacheKey(opt.ConfigFP, corpus)
-		var ent unitEntry
-		hit := cache.Get(key, func(data []byte) error { return decodeUnitEntry(data, &ent) })
-		sp.End()
-		if hit {
-			reg.Add("cache.unit.hit", 1)
-			reg.Add("pipeline.files_skipped", int64(len(req.Sources)))
-			run.Reports = ent.Reports
-			run.Summary = ent.Summary
-			if opt.Confirm {
-				csp := root.Child("phase:confirm")
-				ConfirmReportsSpan(run.Reports, opt.Workers, csp)
-				csp.End()
-			}
-			return run, ctx.Err()
+	if cache == nil {
+		if err := ctx.Err(); err != nil {
+			return run, err
 		}
-		reg.Add("cache.unit.miss", 1)
+		if _, err := analyzePipeline(ctx, req, engine, nil, "", "", run, root, reg); err != nil {
+			return run, err
+		}
+		if opt.Confirm {
+			fsp := root.Child("phase:confirm")
+			ConfirmReportsSpan(run.Reports, opt.Workers, fsp)
+			fsp.End()
+		}
+		return run, ctx.Err()
 	}
+
+	sp := root.Child("phase:cache-lookup")
+	corpus := corpusFP(req.Sources, req.Headers)
+	key := unitCacheKey(opt.ConfigFP, engine.patternsFP(), corpus)
+	fKey := factsCacheKey(opt.ConfigFP, corpus)
+	ent, hit := lookupUnit(cache, key)
+	sp.End()
+	if hit {
+		reg.Add("cache.unit.hit", 1)
+		serveCached(run, ent, req, root, reg)
+		return run, ctx.Err()
+	}
+	reg.Add("cache.unit.miss", 1)
 	if err := ctx.Err(); err != nil {
 		return run, err
 	}
 
-	bsp := root.Child("phase:build")
-	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Cache: cache, Obs: bsp}
-	if req.Headers != nil {
-		b.Headers = newHeaderProvider(req.Headers)
-	}
-	u := b.BuildContext(ctx, req.Sources)
-	bsp.End()
-	run.Unit = u
-	run.Summary = summarize(u)
-	if err := ctx.Err(); err != nil {
+	computed := false
+	v, _, err := cache.Flight(ctx, key, func() (any, error) {
+		// Second-chance lookup: a leader that finished between our miss and
+		// this flight already populated L1 — serve that instead of leading
+		// a redundant computation.
+		if ent, ok := lookupUnit(cache, key); ok {
+			return ent, nil
+		}
+		reg.Add("cache.singleflight.leader", 1)
+		computed = true
+		ent, err := analyzePipeline(ctx, req, engine, cache, key, fKey, run, root, reg)
+		if err != nil {
+			return nil, err
+		}
+		return ent, nil
+	})
+	if err != nil {
+		// Either our own (leader) pipeline was cancelled — run carries the
+		// partial result — or our ctx died while waiting on another leader.
 		return run, err
 	}
-
-	uf := facts.NewUnit(u)
-	factsHit := false
-	if cache != nil {
-		var snap map[string]*facts.Data
-		if cache.Get(fKey, func(data []byte) error {
-			var err error
-			snap, err = facts.DecodeSnapshot(data)
-			return err
-		}) {
-			factsHit = uf.Preload(snap)
-		}
-		if factsHit {
-			reg.Add("cache.facts.hit", 1)
-		} else {
-			reg.Add("cache.facts.miss", 1)
-		}
-	}
-	csp := root.Child("phase:check")
-	engine.Obs = csp
-	reports := engine.CheckUnitFactsContext(ctx, uf)
-	csp.End()
-	uf.Observe(reg)
-	run.Reports = reports
-	if err := ctx.Err(); err != nil {
-		// A cancelled check may have skipped functions; the partial report
-		// list must never be cached under the full corpus key.
-		return run, err
-	}
-
-	if cache != nil {
-		ssp := root.Child("phase:cache-store")
-		// Store before confirmation so the entry is confirmation-agnostic; a
-		// Put failure only costs the next run a recompute.
-		ent := unitEntry{Summary: run.Summary, Reports: stripWitnessBlocks(reports)}
-		_ = cache.Put(key, encodeUnitEntry(&ent))
-		if !factsHit {
-			// Snapshot forces any still-uncomputed functions (a subset run
-			// with only unit-scoped checkers may not have touched them all)
-			// so the facts entry always covers the whole unit.
-			_ = cache.Put(fKey, facts.EncodeSnapshot(uf.Snapshot()))
-		}
-		ssp.End()
+	if !computed {
+		reg.Add("cache.singleflight.wait", 1)
+		serveCached(run, v.(*unitEntry), req, root, reg)
+		return run, ctx.Err()
 	}
 	if opt.Confirm {
 		fsp := root.Child("phase:confirm")

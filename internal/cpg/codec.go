@@ -288,3 +288,19 @@ func decodeFrontEntry(data []byte, ent *frontEntry, tokBuf []clex.Token) error {
 	ent.CppErrors = r.Strings()
 	return r.Done()
 }
+
+// decodeFrontValue is the value-tier decode callback: it builds a frontEntry
+// in fresh storage (no pooled buffers) suitable for retention in the cache's
+// in-memory tier and sharing across builds. The Macros map is normalized to
+// non-nil here, eagerly, because the shared entry must never be mutated by a
+// reader.
+func decodeFrontValue(data []byte) (any, error) {
+	ent := new(frontEntry)
+	if err := decodeFrontEntry(data, ent, nil); err != nil {
+		return nil, err
+	}
+	if ent.Macros == nil {
+		ent.Macros = map[string]*cpp.Macro{}
+	}
+	return ent, nil
+}

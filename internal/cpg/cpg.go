@@ -140,6 +140,10 @@ type frontEnd struct {
 	hc       *cpp.HeaderCache
 	cache    *analysiscache.Cache
 	predefFP string
+	// l1hold marks a cache with an active in-memory value tier: front-entry
+	// reads then go through GetValue, which retains the decoded entry, so
+	// decoding must not target the pooled token buffer (see parseOne).
+	l1hold bool
 
 	// stats aggregates the build's arena counters (slab chunks in the parser
 	// and CFG builder, pooled token buffers here); atomic, shared by all
@@ -247,22 +251,42 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 		errs = append(errs, perrs...)
 		return parsed{file: file, macros: res.Macros, errs: errs}
 	}
-	key := analysiscache.KeyOf("fe-v2", fe.predefFP, src.Path, src.Content)
-	var ent frontEntry
-	if fe.cache.Get(key, func(data []byte) error { return decodeFrontEntry(data, &ent, buf) }) &&
-		fe.closureValid(ent.Closure) {
-		fe.reg.Add("frontend.cache.hit", 1)
-		buf = ent.Tokens
-		file, perrs := cparse.ParseFileArena(src.Path, ent.Tokens, fe.stats)
-		errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
-		for _, s := range ent.CppErrors {
-			errs = append(errs, errors.New(s))
+	key := analysiscache.KeyOf("fe-v3", fe.predefFP, src.Path, src.Content)
+	if fe.l1hold {
+		// Value-tier path: the decoded entry lands in the cache's L1 and is
+		// shared with every later build, so it must live in fresh storage —
+		// never the pooled buffer — and be treated as immutable from here.
+		// The pooled buf stays untouched and returns to the pool unused.
+		if v, ok := fe.cache.GetValue(key, decodeFrontValue); ok {
+			ent := v.(*frontEntry)
+			if fe.closureValid(ent.Closure) {
+				fe.reg.Add("frontend.cache.hit", 1)
+				file, perrs := cparse.ParseFileArena(src.Path, ent.Tokens, fe.stats)
+				errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
+				for _, s := range ent.CppErrors {
+					errs = append(errs, errors.New(s))
+				}
+				errs = append(errs, perrs...)
+				return parsed{file: file, macros: ent.Macros, errs: errs}
+			}
 		}
-		errs = append(errs, perrs...)
-		if ent.Macros == nil {
-			ent.Macros = map[string]*cpp.Macro{}
+	} else {
+		var ent frontEntry
+		if fe.cache.Get(key, func(data []byte) error { return decodeFrontEntry(data, &ent, buf) }) &&
+			fe.closureValid(ent.Closure) {
+			fe.reg.Add("frontend.cache.hit", 1)
+			buf = ent.Tokens
+			file, perrs := cparse.ParseFileArena(src.Path, ent.Tokens, fe.stats)
+			errs := make([]error, 0, len(ent.CppErrors)+len(perrs))
+			for _, s := range ent.CppErrors {
+				errs = append(errs, errors.New(s))
+			}
+			errs = append(errs, perrs...)
+			if ent.Macros == nil {
+				ent.Macros = map[string]*cpp.Macro{}
+			}
+			return parsed{file: file, macros: ent.Macros, errs: errs}
 		}
-		return parsed{file: file, macros: ent.Macros, errs: errs}
 	}
 	fe.reg.Add("frontend.cache.miss", 1)
 	res := fe.preprocess(src, buf)
@@ -339,6 +363,7 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 	}
 	reg := b.Obs.Reg()
 	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines), reg: reg, stats: &arena.Stats{}}
+	fe.l1hold = b.Cache != nil && b.Cache.MemoryEnabled()
 	fe.tokPool.Stats = fe.stats
 	// The header cache may be shared across builds, so charge this build the
 	// delta of its counters, not their absolute values.

@@ -5,8 +5,9 @@
 // It provides three oracles the repo's other tests cannot express:
 //
 //  1. Differential: the same input is analyzed across the full
-//     {workers 1, N} × {no cache, cold cache, warm cache} matrix and every
-//     configuration must render byte-identically (Matrix).
+//     {workers 1, N} × {no cache, cold, L1-warm, disk-warm,
+//     one-file-invalidated} matrix and every configuration must render
+//     byte-identically (Matrix).
 //  2. Metamorphic: semantics-preserving source transforms (comments,
 //     whitespace, reordering, include restructuring, identifier renaming)
 //     must leave the report signatures invariant up to relocation, while
@@ -116,13 +117,18 @@ func RenderRun(run *core.Run) string {
 const matrixWorkers = 8
 
 // Matrix runs the pipeline over the set across the full {workers 1, N} ×
-// {no cache, cold, warm} matrix, verifies every configuration renders
-// byte-identically to the sequential uncached baseline (and that warm runs
-// actually hit the unit cache), and returns the baseline run. Because every
-// run carries a trace, the matrix doubles as the observability determinism
-// oracle: for a given cache state, the span tree and every counter must be
-// independent of the worker count. Cache directories are private temp dirs,
-// removed before returning.
+// {no cache, cold, L1-warm, disk-warm, one-file-invalidated} matrix,
+// verifies every configuration renders byte-identically to the sequential
+// uncached baseline (the invalidated runs against an uncached baseline of
+// the edited set), and returns the baseline run. The cache states exercise
+// every tier of the cache: a second run on the same handle must be served
+// out of the in-memory L1 tier, a run on a reopened handle must be served
+// from the disk packs into a cold L1, and editing one file must miss the
+// unit entry while the untouched files still hit the front-end cache.
+// Because every run carries a trace, the matrix doubles as the
+// observability determinism oracle: for a given cache state, the span tree
+// and every counter must be independent of the worker count. Cache
+// directories are private temp dirs, removed before returning.
 func Matrix(ss SourceSet) (*core.Run, error) {
 	base := Run(ss, 1, nil)
 	want := RenderRun(base)
@@ -143,10 +149,21 @@ func Matrix(ss SourceSet) (*core.Run, error) {
 		return nil, err
 	}
 
-	// Both worker counts see both cache temperatures: cold with 1 then warm
-	// with N on one directory, cold with N then warm with 1 on another. The
-	// pairs run on separate empty directories, so cold-1/cold-N (and
-	// warm-1/warm-N) are same-cache-state runs the obs oracle can compare.
+	// The invalidation leg edits one source file, which must change the unit
+	// key; its runs compare against a fresh uncached baseline of the edited
+	// set rather than `want`.
+	edited := ss.Clone()
+	editedWant := ""
+	if len(edited.Sources) > 0 {
+		edited.Sources[0].Content += "\n/* difftest: invalidation probe */\n"
+		editedWant = RenderRun(Run(edited, 1, nil))
+	}
+
+	// Both worker counts see every cache state: each order pair runs one
+	// state at workers=order[0] and the next at order[1] on its own private
+	// directory, so across the two pairs each state executes at both worker
+	// counts against identical cache contents — the same-cache-state run
+	// pairs the obs oracle compares.
 	runs := map[string]*core.Run{}
 	for _, order := range [][2]int{{1, matrixWorkers}, {matrixWorkers, 1}} {
 		dir, err := os.MkdirTemp("", "difftest-cache-")
@@ -159,28 +176,79 @@ func Matrix(ss SourceSet) (*core.Run, error) {
 			return nil, err
 		}
 		cold := Run(ss, order[0], cache)
-		warm := Run(ss, order[1], cache)
-		os.RemoveAll(dir)
+		l1warm := Run(ss, order[1], cache)
 		if cold.Metric("cache.unit.hit") != 0 {
+			os.RemoveAll(dir)
 			return nil, fmt.Errorf("difftest: cold run (workers=%d) claims a unit cache hit", order[0])
 		}
-		if warm.Metric("cache.unit.hit") != 1 {
-			return nil, fmt.Errorf("difftest: warm run (workers=%d) missed the unit cache", order[1])
+		if l1warm.Metric("cache.unit.hit") != 1 || l1warm.Metric("cache.l1.hit") == 0 {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("difftest: second run on the same handle (workers=%d) was not served from L1: unit.hit=%d l1.hit=%d",
+				order[1], l1warm.Metric("cache.unit.hit"), l1warm.Metric("cache.l1.hit"))
 		}
+
+		// A reopened handle starts with an empty L1, so a hit here proves the
+		// batched packs round-trip through disk.
+		reopened, err := analysiscache.Open(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		diskwarm := Run(ss, order[0], reopened)
+		if diskwarm.Metric("cache.unit.hit") != 1 || diskwarm.Metric("cache.l1.hit") != 0 {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("difftest: reopened-handle run (workers=%d) not served from disk: unit.hit=%d l1.hit=%d",
+				order[0], diskwarm.Metric("cache.unit.hit"), diskwarm.Metric("cache.l1.hit"))
+		}
+
+		var inval *core.Run
+		if len(edited.Sources) > 0 {
+			invalCache, err := analysiscache.Open(dir)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			inval = Run(edited, order[1], invalCache)
+			if inval.Metric("cache.unit.hit") != 0 {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("difftest: run with an edited file (workers=%d) claims a unit cache hit", order[1])
+			}
+			if wantHits := int64(len(ss.Sources) - 1); inval.Metric("frontend.cache.hit") != wantHits {
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("difftest: edited-file run (workers=%d) should front-end-hit the %d untouched files, hit %d",
+					order[1], wantHits, inval.Metric("frontend.cache.hit"))
+			}
+		}
+		os.RemoveAll(dir)
+
 		if err := check(fmt.Sprintf("workers=%d cold-cache", order[0]), cold); err != nil {
 			return nil, err
 		}
-		if err := check(fmt.Sprintf("workers=%d warm-cache", order[1]), warm); err != nil {
+		if err := check(fmt.Sprintf("workers=%d l1-warm", order[1]), l1warm); err != nil {
 			return nil, err
 		}
+		if err := check(fmt.Sprintf("workers=%d disk-warm", order[0]), diskwarm); err != nil {
+			return nil, err
+		}
+		if inval != nil {
+			if got := RenderRun(inval); got != editedWant {
+				return nil, fmt.Errorf("difftest: workers=%d one-file-invalidated differs from uncached baseline of the edited set:\n%s",
+					order[1], firstDiff(editedWant, got))
+			}
+			runs[fmt.Sprintf("inval-%d", order[1])] = inval
+		}
 		runs[fmt.Sprintf("cold-%d", order[0])] = cold
-		runs[fmt.Sprintf("warm-%d", order[1])] = warm
+		runs[fmt.Sprintf("l1warm-%d", order[1])] = l1warm
+		runs[fmt.Sprintf("diskwarm-%d", order[0])] = diskwarm
 	}
-	if err := sameObs("cold-cache", runs["cold-1"], runs[fmt.Sprintf("cold-%d", matrixWorkers)]); err != nil {
-		return nil, err
-	}
-	if err := sameObs("warm-cache", runs["warm-1"], runs[fmt.Sprintf("warm-%d", matrixWorkers)]); err != nil {
-		return nil, err
+	for _, state := range []string{"cold", "l1warm", "diskwarm", "inval"} {
+		a, b := runs[state+"-1"], runs[fmt.Sprintf("%s-%d", state, matrixWorkers)]
+		if a == nil || b == nil {
+			continue // inval legs are skipped for empty source sets
+		}
+		if err := sameObs(state, a, b); err != nil {
+			return nil, err
+		}
 	}
 	return base, nil
 }

@@ -12,25 +12,31 @@ import (
 // as zero counts decoding back to nil, so encode∘decode is the identity on
 // both the bytes and the structures — the determinism the cache matrix
 // tests rely on.
+//
+// Format 2 mirrors computeData's memory layout on the wire: each Data opens
+// with its grand totals (trace count, total trace events, total error-flag
+// slots, whole-function event count) so the decoder can allocate four
+// backing arrays once and carve every trace's Events/BlockAt/Branch/ErrFrom
+// as windows out of them — the same O(1)-allocations-per-function shape the
+// compute path has, where format 1 paid four allocations per *trace*. Index
+// arrays (BlockAt, DecIdx, EscapeIdx) are int32 on the wire and in memory.
+const factsFormat = 2
 
-// factsFormat versions the snapshot encoding; bump on any layout change.
-const factsFormat = 1
-
-func encodeInts(w *bincodec.Writer, v []int) {
+func encodeInt32s(w *bincodec.Writer, v []int32) {
 	w.U32(uint32(len(v)))
 	for _, x := range v {
 		w.U32(uint32(x))
 	}
 }
 
-func decodeInts(r *bincodec.Reader) []int {
+func decodeInt32s(r *bincodec.Reader) []int32 {
 	n := r.Count()
 	if n == 0 {
 		return nil
 	}
-	out := make([]int, n)
+	out := make([]int32, n)
 	for i := range out {
-		out[i] = int(r.U32())
+		out[i] = int32(r.U32())
 	}
 	return out
 }
@@ -58,67 +64,128 @@ func decodeStringSet(r *bincodec.Reader) map[string]bool {
 	return m
 }
 
-func encodeTrace(w *bincodec.Writer, tr *Trace) {
-	semantics.EncodeEvents(w, tr.Events)
-	encodeInts(w, tr.BlockAt)
-	w.U32(uint32(len(tr.ErrFrom)))
-	for _, b := range tr.ErrFrom {
-		w.Bool(b)
-	}
-	w.U32(uint32(len(tr.Branch)))
-	for _, b := range tr.Branch {
-		w.U8(uint8(b))
-	}
-}
-
-func decodeTrace(r *bincodec.Reader) Trace {
-	tr := Trace{
-		Events:  semantics.DecodeEvents(r),
-		BlockAt: decodeInts(r),
-	}
-	if n := r.Count(); n > 0 {
-		tr.ErrFrom = make([]bool, n)
-		for i := range tr.ErrFrom {
-			tr.ErrFrom[i] = r.Bool()
-		}
-	}
-	if n := r.Count(); n > 0 {
-		tr.Branch = make([]int8, n)
-		for i := range tr.Branch {
-			v := r.U8()
-			if v > uint8(TookFalse) {
-				r.Fail()
-				return tr
-			}
-			tr.Branch[i] = int8(v)
-		}
-	}
-	return tr
-}
-
 func encodeData(w *bincodec.Writer, d *Data) {
-	w.U32(uint32(len(d.Traces)))
+	grand, errLen := 0, 0
 	for i := range d.Traces {
-		encodeTrace(w, &d.Traces[i])
+		grand += len(d.Traces[i].Events)
+		errLen += len(d.Traces[i].ErrFrom)
 	}
-	semantics.EncodeEvents(w, d.All)
-	encodeInts(w, d.DecIdx)
-	encodeInts(w, d.EscapeIdx)
+	w.U32(uint32(len(d.Traces)))
+	w.U32(uint32(grand))
+	w.U32(uint32(errLen))
+	w.U32(uint32(len(d.All)))
+	for i := range d.Traces {
+		tr := &d.Traces[i]
+		w.U32(uint32(len(tr.Events)))
+		w.U32(uint32(len(tr.ErrFrom)))
+		for j := range tr.Events {
+			semantics.EncodeEvent(w, &tr.Events[j])
+		}
+		for _, at := range tr.BlockAt {
+			w.U32(uint32(at))
+		}
+		for _, b := range tr.ErrFrom {
+			w.Bool(b)
+		}
+		for _, b := range tr.Branch {
+			w.U8(uint8(b))
+		}
+	}
+	for i := range d.All {
+		semantics.EncodeEvent(w, &d.All[i])
+	}
+	encodeInt32s(w, d.DecIdx)
+	encodeInt32s(w, d.EscapeIdx)
 	encodeStringSet(w, d.IncBases)
 	encodeStringSet(w, d.OwnedBases)
 }
 
 func decodeData(r *bincodec.Reader) *Data {
 	d := &Data{}
-	if n := r.Count(); n > 0 {
-		d.Traces = make([]Trace, n)
-		for i := range d.Traces {
-			d.Traces[i] = decodeTrace(r)
+	nTraces := r.Count()
+	grand := r.Count()
+	errLen := r.Count()
+	nAll := r.Count()
+	if r.Err() != nil {
+		return d
+	}
+	// Shared backing arrays, exactly like computeData: per-trace slices are
+	// capacity-bounded windows, so decoding costs O(1) allocations per
+	// function, not O(traces). Count() already bounded each total by the
+	// remaining input, so a hostile header cannot force a huge allocation.
+	var (
+		evBack []semantics.Event
+		atBack []int32
+		brBack []int8
+	)
+	if grand+nAll > 0 {
+		evBack = make([]semantics.Event, 0, grand+nAll)
+	}
+	if grand > 0 {
+		atBack = make([]int32, 0, grand)
+		brBack = make([]int8, 0, grand)
+	}
+	efBack := make([]bool, 0, errLen)
+	if nTraces > 0 {
+		d.Traces = make([]Trace, nTraces)
+	}
+	for i := 0; i < nTraces; i++ {
+		tr := &d.Traces[i]
+		n := r.Count()
+		ne := r.Count()
+		if len(evBack)+n > grand || len(efBack)+ne > errLen {
+			r.Fail()
+			return d
+		}
+		start := len(evBack)
+		for j := 0; j < n; j++ {
+			evBack = append(evBack, semantics.DecodeEvent(r))
+		}
+		for j := 0; j < n; j++ {
+			atBack = append(atBack, int32(r.U32()))
+		}
+		efStart := len(efBack)
+		for j := 0; j < ne; j++ {
+			efBack = append(efBack, r.Bool())
+		}
+		for j := 0; j < n; j++ {
+			v := r.U8()
+			if v > uint8(TookFalse) {
+				r.Fail()
+				return d
+			}
+			brBack = append(brBack, int8(v))
+		}
+		if r.Err() != nil {
+			return d
+		}
+		if end := len(evBack); end > start {
+			tr.Events = evBack[start:end:end]
+			tr.BlockAt = atBack[start:end:end]
+			tr.Branch = brBack[start:end:end]
+		}
+		if efEnd := len(efBack); efEnd > efStart {
+			tr.ErrFrom = efBack[efStart:efEnd:efEnd]
 		}
 	}
-	d.All = semantics.DecodeEvents(r)
-	d.DecIdx = decodeInts(r)
-	d.EscapeIdx = decodeInts(r)
+	if len(evBack) != grand || len(efBack) != errLen {
+		// The per-trace counts must consume the headers exactly, or the
+		// windows no longer mean what the encoder meant.
+		r.Fail()
+		return d
+	}
+	allStart := len(evBack)
+	for j := 0; j < nAll; j++ {
+		evBack = append(evBack, semantics.DecodeEvent(r))
+	}
+	if r.Err() != nil {
+		return d
+	}
+	if end := len(evBack); end > allStart {
+		d.All = evBack[allStart:end:end]
+	}
+	d.DecIdx = decodeInt32s(r)
+	d.EscapeIdx = decodeInt32s(r)
 	d.IncBases = decodeStringSet(r)
 	d.OwnedBases = decodeStringSet(r)
 	return d

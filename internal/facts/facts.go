@@ -42,8 +42,10 @@ type Trace struct {
 	// pointers stripped (blocks form cycles gob cannot encode, and the
 	// resolved fields below replace every query that needed them).
 	Events []semantics.Event
-	// BlockAt is the path position of each event's block.
-	BlockAt []int
+	// BlockAt is the path position of each event's block. Positions are
+	// path indices (bounded far below 2^31), stored as int32 so the cache
+	// codec and the in-memory footprint halve.
+	BlockAt []int32
 	// ErrFrom[k] reports whether the path visits an error-handling block
 	// at or after path position k; the extra index len(path) is always
 	// false, so BlockAt[i]+1 is always a valid strict-after query.
@@ -98,9 +100,10 @@ type Data struct {
 	// Graph.Blocks.
 	All []semantics.Event
 	// DecIdx and EscapeIdx index All: decrement events, and escaping
-	// assignments (OpAssign with EscapesVia set).
-	DecIdx    []int
-	EscapeIdx []int
+	// assignments (OpAssign with EscapesVia set). int32 for the same
+	// reason as Trace.BlockAt.
+	DecIdx    []int32
+	EscapeIdx []int32
 	// IncBases are base names incremented anywhere in the function;
 	// OwnedBases is the subset whose increment came from a returns-ref API
 	// (a locally acquired reference).
@@ -310,14 +313,14 @@ func computeData(fn *cpg.Function) *Data {
 		}
 	}
 	if nDec > 0 {
-		d.DecIdx = make([]int, 0, nDec)
+		d.DecIdx = make([]int32, 0, nDec)
 	}
 	if nEsc > 0 {
-		d.EscapeIdx = make([]int, 0, nEsc)
+		d.EscapeIdx = make([]int32, 0, nEsc)
 	}
 	var (
 		evBack []semantics.Event
-		atBack []int
+		atBack []int32
 		brBack []int8
 	)
 	if grand+total > 0 {
@@ -325,7 +328,7 @@ func computeData(fn *cpg.Function) *Data {
 		evBack = make([]semantics.Event, 0, grand+total)
 	}
 	if grand > 0 {
-		atBack = make([]int, 0, grand)
+		atBack = make([]int32, 0, grand)
 		brBack = make([]int8, 0, grand)
 	}
 	efBack := make([]bool, errLen)
@@ -346,7 +349,7 @@ func computeData(fn *cpg.Function) *Data {
 				}
 				ev.Block = nil
 				evBack = append(evBack, ev)
-				atBack = append(atBack, bi)
+				atBack = append(atBack, int32(bi))
 				brBack = append(brBack, br)
 			}
 		}
@@ -366,7 +369,7 @@ func computeData(fn *cpg.Function) *Data {
 	for _, b := range fn.Graph.Blocks {
 		for _, ev := range fn.Events.ByBlok[b] {
 			ev.Block = nil
-			i := len(evBack) - allStart
+			i := int32(len(evBack) - allStart)
 			switch {
 			case ev.Op == semantics.OpDec:
 				d.DecIdx = append(d.DecIdx, i)

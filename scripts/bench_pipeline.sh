@@ -1,9 +1,9 @@
 #!/bin/sh
 # bench_pipeline.sh — run the parallel-pipeline benchmark sweep, the
-# incremental-cache cold/warm pair, the observability on/off pair (the
-# tracing tax), and the checker-phase timing (facts-cold vs facts-warm on a
-# prebuilt unit) and emit BENCH_pipeline.json so successive PRs can track
-# the perf trajectory.
+# tiered-cache sweep (cold / disk-warm / l1-warm / concurrent-dedup), the
+# observability on/off pair (the tracing tax), and the checker-phase timing
+# (facts-cold vs facts-warm on a prebuilt unit) and emit BENCH_pipeline.json
+# so successive PRs can track the perf trajectory.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -60,13 +60,14 @@ BEGIN { n = 0 }
     names[n] = name
     iters[n] = $2
     ns[n] = $3
-    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""
+    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""; dedup[n] = ""
     for (i = 4; i < NF; i++) {
-        if ($(i + 1) == "MB/s")          mbs[n] = $i
-        if ($(i + 1) == "reports")       reports[n] = $i
-        if ($(i + 1) == "B/op")          bop[n] = $i
-        if ($(i + 1) == "allocs/op")     aop[n] = $i
-        if ($(i + 1) == "unit_hit_rate") hit[n] = $i
+        if ($(i + 1) == "MB/s")                mbs[n] = $i
+        if ($(i + 1) == "reports")             reports[n] = $i
+        if ($(i + 1) == "B/op")                bop[n] = $i
+        if ($(i + 1) == "allocs/op")           aop[n] = $i
+        if ($(i + 1) == "unit_hit_rate")       hit[n] = $i
+        if ($(i + 1) == "computes_per_4_reqs") dedup[n] = $i
     }
     n++
 }
@@ -79,6 +80,7 @@ END {
         if (bop[i] != "")     printf ", \"bytes_per_op\": %s", bop[i]
         if (aop[i] != "")     printf ", \"allocs_per_op\": %s", aop[i]
         if (hit[i] != "")     printf ", \"unit_hit_rate\": %s", hit[i]
+        if (dedup[i] != "")   printf ", \"computes_per_4_reqs\": %s", dedup[i]
         if (reports[i] != "") printf ", \"reports\": %s", reports[i]
         printf "}%s\n", (i < n - 1) ? "," : ""
     }

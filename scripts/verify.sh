@@ -5,6 +5,12 @@
 # and finally the released-binary selftest with tracing enabled (the golden
 # artifacts must hold with observability on, and the Chrome trace export
 # must produce a loadable event stream).
+#
+# The test suite includes the difftest differential matrix, which runs the
+# tiered cache with the in-memory L1 tier enabled (the default): every
+# {workers} × {no cache, cold, L1-warm, disk-warm, one-file-invalidated}
+# configuration must render byte-identically. The binary gate below
+# re-checks the cold/warm disk path end to end across two processes.
 # Run before every commit; CI runs the same commands.
 set -e
 cd "$(dirname "$0")/.."
@@ -30,5 +36,20 @@ go build -o "$tmp/refcheck" ./cmd/refcheck
 "$tmp/refcheck" -selftest -trace-out "$tmp/selftest-trace.json" > /dev/null
 grep -q '"ph":"X"' "$tmp/selftest-trace.json" || {
     echo "verify: selftest trace has no complete events" >&2
+    exit 1
+}
+
+# Tiered-cache binary gate: an uncached demo run, a cold cached run, and a
+# warm re-run in a fresh process (served from the batched disk packs into an
+# empty L1) must produce byte-identical reports.
+"$tmp/refcheck" -demo > "$tmp/uncached.txt"
+"$tmp/refcheck" -demo -cache "$tmp/cache" > "$tmp/cold.txt"
+"$tmp/refcheck" -demo -cache "$tmp/cache" > "$tmp/warm.txt"
+cmp -s "$tmp/uncached.txt" "$tmp/cold.txt" || {
+    echo "verify: cold cached demo run differs from uncached run" >&2
+    exit 1
+}
+cmp -s "$tmp/uncached.txt" "$tmp/warm.txt" || {
+    echo "verify: warm cached demo run differs from uncached run" >&2
     exit 1
 }
