@@ -12,7 +12,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,7 +22,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -38,6 +36,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/patch"
 	"repro/internal/poc"
+	"repro/internal/render"
 )
 
 func main() {
@@ -254,46 +253,17 @@ func main() {
 	}
 	exportObs(tr, *verbose, *statsJSON, *traceOut)
 
-	if *pattern != "" {
-		var filtered []core.Report
-		for _, r := range reports {
-			if string(r.Pattern) == *pattern {
-				filtered = append(filtered, r)
-			}
-		}
-		reports = filtered
-	}
+	reports = render.FilterPattern(reports, *pattern)
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		type jsonReport struct {
-			Pattern, Impact, File, Function, Object, API string
-			Line                                         int
-			Message, Suggestion                          string
-		}
-		out := make([]jsonReport, 0, len(reports))
-		for _, r := range reports {
-			out = append(out, jsonReport{
-				Pattern: string(r.Pattern), Impact: r.Impact.String(),
-				File: r.File, Function: r.Function, Object: r.Object,
-				API: r.API, Line: r.Pos.Line,
-				Message: r.Message, Suggestion: r.Suggestion,
-			})
-		}
-		if err := enc.Encode(out); err != nil {
+		if err := render.WriteJSON(os.Stdout, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	for _, r := range reports {
-		fmt.Println(r.String())
-		if r.Suggestion != "" {
-			fmt.Printf("    suggestion: %s\n", strings.ReplaceAll(r.Suggestion, "\n", " "))
-		}
-	}
+	render.WriteReports(os.Stdout, reports)
 
 	if *fixDir != "" {
 		contentOf := map[string]string{}
@@ -346,34 +316,7 @@ func main() {
 		fmt.Printf("wrote %d PoC harnesses to %s\n", written, *pocDir)
 	}
 
-	// Summary by pattern and impact.
-	perPattern := map[core.Pattern]int{}
-	perImpact := map[core.Impact]int{}
-	for _, r := range reports {
-		perPattern[r.Pattern]++
-		perImpact[r.Impact]++
-	}
-	var pats []string
-	for p := range perPattern {
-		pats = append(pats, string(p))
-	}
-	sort.Strings(pats)
-	fmt.Printf("\n%d reports", len(reports))
-	if len(pats) > 0 {
-		fmt.Print(" (")
-		for i, p := range pats {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Printf("%s:%d", p, perPattern[core.Pattern(p)])
-		}
-		fmt.Print(")")
-	}
-	fmt.Printf(" — Leak %d, UAF %d, NPD %d\n",
-		perImpact[core.Leak], perImpact[core.UAF], perImpact[core.NPD])
-	fmt.Printf("analyzed %d files, %d functions (discovered: %d structs, %d APIs, %d smartloops)\n",
-		run.Summary.Files, run.Summary.Functions,
-		run.Summary.DiscoveredStructs, run.Summary.DiscoveredAPIs, run.Summary.DiscoveredLoops)
+	render.WriteSummary(os.Stdout, reports, run.Summary)
 }
 
 // exportObs drains a finished trace to the configured sinks: a human phase +

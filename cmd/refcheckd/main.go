@@ -1,0 +1,202 @@
+// Command refcheckd runs the nine anti-pattern checkers as a long-lived
+// analysis server: one warm tiered cache shared across concurrent HTTP
+// requests, bounded-queue admission with backpressure, per-request
+// deadlines, cancellation on client disconnect, and graceful drain on
+// SIGTERM.
+//
+// Server mode:
+//
+//	refcheckd [-addr 127.0.0.1:8347] [-cache DIR] [-cache-mem MB] ...
+//
+// The API is POST /v1/analyze (sources or the demo corpus in, the exact
+// refcheck stdout bytes out), GET /stats, GET /trace/{id}, GET /healthz —
+// see internal/serve.
+//
+// Client mode (used by scripts/verify.sh's smoke leg; any HTTP client
+// works):
+//
+//	refcheckd -post http://HOST:PORT/v1/analyze -demo            # demo corpus
+//	refcheckd -post http://HOST:PORT/v1/analyze DIR...           # local sources
+//	refcheckd -get  http://HOST:PORT/stats
+//
+// -post prints the response's Output field — the CLI-identical report
+// bytes — to stdout, so `refcheckd -post … -demo | cmp - <(refcheck -demo)`
+// is the serving layer's correctness smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/analysiscache"
+	"repro/internal/loader"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for harnesses that pass port 0)")
+	cacheDir := flag.String("cache", "", "tiered analysis cache directory shared by all requests")
+	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB (0 disables the memory tier)")
+	workers := flag.Int("workers", 0, "default per-request pipeline parallelism (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently computing requests (0 = GOMAXPROCS); cache hits are unbounded")
+	queue := flag.Int("queue", serve.DefaultQueue, "max computations waiting for a slot before 429s")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline when the request sets none (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on any per-request deadline")
+	drain := flag.Duration("drain", 30*time.Second, "how long to wait for in-flight requests on SIGTERM before giving up")
+
+	post := flag.String("post", "", "client mode: POST an analyze request to this URL and print the response output")
+	get := flag.String("get", "", "client mode: GET this URL and print the body")
+	demo := flag.Bool("demo", false, "client mode: analyze the built-in synthetic kernel corpus")
+	seed := flag.Int64("seed", 1, "client mode: corpus seed for -demo")
+	asJSON := flag.Bool("json", false, "client mode: request the refcheck -json report array")
+	checkersFlag := flag.String("checkers", "", "client mode: comma-separated checker subset (e.g. P1,P4)")
+	pattern := flag.String("pattern", "", "client mode: only report this anti-pattern (P1..P9)")
+	confirm := flag.Bool("confirm", false, "client mode: replay witnesses through refsim")
+	reqTimeout := flag.Int64("timeout-ms", 0, "client mode: per-request deadline in milliseconds")
+	flag.Parse()
+
+	if *get != "" {
+		clientGet(*get)
+		return
+	}
+	if *post != "" {
+		clientPost(*post, *demo, *seed, *asJSON, *checkersFlag, *pattern, *confirm, *reqTimeout, flag.Args())
+		return
+	}
+
+	cfg := serve.Config{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConcurrent,
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	var cache *analysiscache.Cache
+	if *cacheDir != "" {
+		c, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cache = c
+		cfg.Cache = c
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fatalf("addr-file: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "refcheckd: listening on http://%s\n", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	// SIGTERM/SIGINT start the drain: stop accepting, finish in-flight
+	// requests (up to -drain), release the cache reference (flushing the
+	// disk tier), exit 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		// Serve only returns on listener failure (Shutdown isn't in play
+		// yet on this path).
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "refcheckd: draining")
+	srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "refcheckd: drain: %v\n", err)
+	}
+	if cache != nil {
+		// The daemon's own reference: under the refcount model this is the
+		// last owner, so the disk tier flushes exactly once, here.
+		if err := cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheckd: cache flush: %v\n", err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "refcheckd: close: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "refcheckd: drained, exiting")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "refcheckd: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func clientGet(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	os.Stdout.Write(body)
+}
+
+func clientPost(url string, demo bool, seed int64, asJSON bool, checkers, pattern string, confirm bool, timeoutMS int64, dirs []string) {
+	req := serve.AnalyzeRequest{
+		Demo: demo, Seed: seed, JSON: asJSON,
+		Checkers: checkers, Pattern: pattern, Confirm: confirm,
+		TimeoutMS: timeoutMS,
+	}
+	if !demo {
+		if len(dirs) == 0 {
+			fmt.Fprintln(os.Stderr, "usage: refcheckd -post URL -demo | refcheckd -post URL DIR...")
+			os.Exit(2)
+		}
+		tree, err := loader.LoadDirs(dirs...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, s := range tree.Sources {
+			req.Sources = append(req.Sources, serve.SourceFile{Path: s.Path, Content: s.Content})
+		}
+		req.Headers = tree.Headers
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fatalf("POST %s: %s: %s", url, resp.Status, bytes.TrimSpace(body))
+	}
+	var out serve.AnalyzeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		fatalf("bad response: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "refcheckd: run %s: %d reports in %.1fms\n", out.ID, out.Reports, out.WallMS)
+	os.Stdout.WriteString(out.Output)
+}

@@ -54,6 +54,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -122,6 +123,11 @@ type state struct {
 	l1     *l1Cache // nil when the memory tier is disabled
 	l2     *l2Tier
 	flight flightGroup
+
+	// refs counts the handle's owners (see Retain/Close). Open starts at 1;
+	// the transition to 0 performs the final flush and latches closed.
+	refs   atomic.Int64
+	closed atomic.Bool
 }
 
 // Open prepares dir as a cache root, creating it if needed.
@@ -139,6 +145,7 @@ func Open(dir string, opts ...Option) (*Cache, error) {
 		return nil, fmt.Errorf("analysiscache: %w", err)
 	}
 	st := &state{l2: newL2Tier(dir, cfg.flushBytes, cfg.flushEvery)}
+	st.refs.Store(1)
 	if cfg.mem > 0 {
 		st.l1 = newL1Cache(cfg.mem, cfg.ttl)
 	}
@@ -169,9 +176,9 @@ func (c *Cache) WithRegistry(reg *obs.Registry) *Cache {
 // The payload slice is owned by the callback for the duration of the call
 // only.
 func (c *Cache) Load(key string, decode func(data []byte) error) error {
-	if len(key) < 2 {
+	if len(key) < 2 || c.st.closed.Load() {
 		c.reg.Add("cache.read.miss", 1)
-		return fmt.Errorf("analysiscache: short key %q: %w", key, fs.ErrNotExist)
+		return fmt.Errorf("analysiscache: short key or closed handle: %w", fs.ErrNotExist)
 	}
 	data, corrupt, ok := c.st.l2.lookup(key)
 	if corrupt > 0 {
@@ -193,7 +200,7 @@ func (c *Cache) Load(key string, decode func(data []byte) error) error {
 // result stays caller-owned, so decode may target pooled storage). Any
 // failure — missing entry, torn pack, codec mismatch — is a miss.
 func (c *Cache) Get(key string, decode func(data []byte) error) bool {
-	if len(key) < 2 {
+	if len(key) < 2 || c.st.closed.Load() {
 		c.reg.Add("cache.read.miss", 1)
 		return false
 	}
@@ -220,7 +227,7 @@ func (c *Cache) Get(key string, decode func(data []byte) error) bool {
 // reachable from it) as immutable, and decode must build it in fresh
 // storage, never in pooled buffers.
 func (c *Cache) GetValue(key string, decode func(data []byte) (any, error)) (any, bool) {
-	if len(key) < 2 {
+	if len(key) < 2 || c.st.closed.Load() {
 		c.reg.Add("cache.read.miss", 1)
 		return nil, false
 	}
@@ -270,6 +277,10 @@ func (c *Cache) Put(key string, data []byte) error {
 		c.reg.Add("cache.write.error", 1)
 		return fmt.Errorf("analysiscache: short key %q", key)
 	}
+	if c.st.closed.Load() {
+		c.reg.Add("cache.write.error", 1)
+		return fmt.Errorf("analysiscache: write to closed handle")
+	}
 	c.reg.Add("cache.write", 1)
 	return c.maybeFlush(c.st.l2.put(key, data))
 }
@@ -281,6 +292,10 @@ func (c *Cache) PutValue(key string, val any, encoded []byte) error {
 	if len(key) < 2 {
 		c.reg.Add("cache.write.error", 1)
 		return fmt.Errorf("analysiscache: short key %q", key)
+	}
+	if c.st.closed.Load() {
+		c.reg.Add("cache.write.error", 1)
+		return fmt.Errorf("analysiscache: write to closed handle")
 	}
 	if l1 := c.st.l1; l1 != nil {
 		if evicted := l1.put(key, val, int64(len(encoded))); evicted > 0 {
@@ -317,8 +332,16 @@ func (c *Cache) chargeFlush(res flushResult) error {
 // end of its cache-store phase so a run's entries are durable (and visible
 // to other processes) without waiting for thresholds; CLI tools call Close.
 // The first error is returned; failed batches are dropped, so a flush error
-// costs future runs recomputes, never correctness.
+// costs future runs recomputes, never correctness. Flushing a closed handle
+// is a no-op.
 func (c *Cache) Flush() error {
+	if c.st.closed.Load() {
+		return nil
+	}
+	return c.flushAll()
+}
+
+func (c *Cache) flushAll() error {
 	var first error
 	for i := range c.st.l2.shards {
 		if err := c.chargeFlush(c.st.l2.flushShard(&c.st.l2.shards[i])); err != nil && first == nil {
@@ -328,9 +351,47 @@ func (c *Cache) Flush() error {
 	return first
 }
 
-// Close flushes pending batches. The cache remains usable afterwards —
-// Close is Flush with a name that reads right at process exit.
-func (c *Cache) Close() error { return c.Flush() }
+// Retain adds an owner to the shared cache handle and returns c for
+// chaining. Every Retain must be balanced by one Close; the handle only
+// closes for real when the last owner releases it.
+//
+// This is the lifecycle model a long-lived server needs: the daemon Opens
+// (one ref) and Retains once per component that holds the handle, so a
+// request path calling Close — the CLI habit of "Close after Analyze" —
+// can never tear the warm tiers down under concurrent requests.
+func (c *Cache) Retain() *Cache {
+	c.st.refs.Add(1)
+	return c
+}
+
+// Close releases one owner reference, flushing pending batches either way
+// (an intermediate release keeps the historical "Close is Flush" behavior,
+// so a CLI's single Open→Analyze→Close sequence is unchanged). When the last
+// owner releases, the handle latches closed: subsequent reads degrade to
+// misses and writes are rejected, so a stale holder can cost recomputes but
+// never corrupt a newer owner's view. Closing an already-closed handle is a
+// harmless no-op.
+func (c *Cache) Close() error {
+	for {
+		n := c.st.refs.Load()
+		if n <= 0 {
+			return nil
+		}
+		if !c.st.refs.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n > 1 {
+			return c.Flush()
+		}
+		// Last owner: make pending writes durable, then latch closed.
+		err := c.flushAll()
+		c.st.closed.Store(true)
+		return err
+	}
+}
+
+// Closed reports whether the last owner has released the handle.
+func (c *Cache) Closed() bool { return c.st.closed.Load() }
 
 // Flight deduplicates concurrent computations of key: the first caller
 // (the leader) runs fn while every concurrent caller with the same key

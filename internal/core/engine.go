@@ -220,6 +220,23 @@ type Options struct {
 	// entries. Unknown patterns panic — CLI callers validate user input
 	// with ParsePatterns first.
 	Checkers []Pattern
+	// Admit, when non-nil, gates admission into the heavy compute phases:
+	// Analyze acquires a slot before running the build→facts→check pipeline
+	// and releases it when the pipeline (but not confirmation of a cached
+	// result) finishes. Cache hits and single-flight waiters never touch the
+	// gate — only real computations consume capacity, which is what lets a
+	// serving layer bound concurrent pipelines while hits stay unqueued.
+	// An Acquire error aborts the run and is returned from Analyze verbatim.
+	Admit Admission
+}
+
+// Admission is the request-admission hook a serving layer plugs into
+// Options.Admit: Acquire blocks until a compute slot is free (honoring ctx)
+// or fails fast — e.g. with a sentinel the server maps to backpressure.
+// The returned release must be called exactly once when the admitted
+// computation ends.
+type Admission interface {
+	Acquire(ctx context.Context) (release func(), err error)
 }
 
 // CheckSources builds a unit from sources and checks it with default

@@ -144,6 +144,15 @@ func stripWitnessBlocks(reports []Report) []Report {
 	return out
 }
 
+// admit acquires a compute slot from the options' admission gate; with no
+// gate configured it admits immediately with a no-op release.
+func admit(ctx context.Context, opt Options) (func(), error) {
+	if opt.Admit == nil {
+		return func() {}, nil
+	}
+	return opt.Admit.Acquire(ctx)
+}
+
 func summarize(u *cpg.Unit) UnitSummary {
 	return UnitSummary{
 		Files:                len(u.Files),
@@ -283,6 +292,11 @@ func analyzePipeline(ctx context.Context, req Request, engine *Engine, cache *an
 // L1-warm, facts-only hit, partial hit} at any worker count, with or
 // without a trace attached.
 //
+// With Options.Admit set, every real pipeline computation — the uncached
+// path and the single-flight leader — first acquires an admission slot;
+// cache hits and flight waiters bypass the gate entirely. An Acquire error
+// (overload, cancelled wait) aborts the run and is returned verbatim.
+//
 // An invalid checker selection returns an error wrapping ErrUnknownPattern.
 // Cancellation drains the work queues cleanly and returns the partial Run
 // alongside ctx.Err(); nothing partial is ever written to the cache, and a
@@ -309,8 +323,14 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 		if err := ctx.Err(); err != nil {
 			return run, err
 		}
-		if _, err := analyzePipeline(ctx, req, engine, nil, "", "", run, root, reg); err != nil {
+		release, err := admit(ctx, opt)
+		if err != nil {
 			return run, err
+		}
+		_, perr := analyzePipeline(ctx, req, engine, nil, "", "", run, root, reg)
+		release()
+		if perr != nil {
+			return run, perr
 		}
 		if opt.Confirm {
 			fsp := root.Child("phase:confirm")
@@ -344,6 +364,11 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 		if ent, ok := lookupUnit(cache, key); ok {
 			return ent, nil
 		}
+		release, err := admit(ctx, opt)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		reg.Add("cache.singleflight.leader", 1)
 		computed = true
 		ent, err := analyzePipeline(ctx, req, engine, cache, key, fKey, run, root, reg)

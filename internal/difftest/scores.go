@@ -122,6 +122,26 @@ func ComputeScores(c *corpus.Corpus, seed int64, reports []core.Report) Scores {
 	return sc
 }
 
+// GoldenGate scores a report list against the golden corpus and errors
+// unless it reproduces the blessed confusion matrix exactly: every planned
+// bug detected and exactly the seeded baits as false positives. Matching
+// needs only the (function, pattern) key, so callers that recovered reports
+// from a serialized form — refcheckd's JSON output crossing the wire, say —
+// can prove full checker fidelity end to end.
+func GoldenGate(reports []core.Report) error {
+	c := goldenCorpus()
+	sc := ComputeScores(c, GoldenSeed, reports)
+	switch {
+	case sc.Overall.FN != 0 || sc.Overall.TP != sc.Planned:
+		return fmt.Errorf("golden gate: %d/%d planned bugs detected (%d missed)",
+			sc.Overall.TP, sc.Planned, sc.Overall.FN)
+	case sc.Overall.FP != sc.BaitsSeeded || sc.BaitsReported != sc.BaitsSeeded:
+		return fmt.Errorf("golden gate: FP=%d with %d baits reported, want exactly the %d seeded baits",
+			sc.Overall.FP, sc.BaitsReported, sc.BaitsSeeded)
+	}
+	return nil
+}
+
 // RenderReports renders one sorted report line per finding of the given
 // pattern; these are the per-checker golden files.
 func RenderReports(reports []core.Report, pattern string) string {

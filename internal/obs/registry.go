@@ -125,6 +125,36 @@ func (r *Registry) Gauges() map[string]float64 {
 	return out
 }
 
+// RegistryStats is a point-in-time copy of a registry's metrics — the
+// served-stats snapshot a long-running process exposes over its /stats
+// endpoint, where there is no finished Trace to export (the full StatsJSON
+// shape needs span timings; a server's registry outlives every request).
+type RegistryStats struct {
+	Counters map[string]int64    `json:"counters"`
+	Gauges   map[string]float64  `json:"gauges"`
+	Hists    map[string]HistStat `json:"histograms"`
+}
+
+// Snapshot copies every metric. Nil-safe: a nil registry snapshots to empty
+// (never nil) maps, so the result always marshals to JSON objects.
+func (r *Registry) Snapshot() RegistryStats {
+	s := RegistryStats{
+		Counters: r.Counters(),
+		Gauges:   r.Gauges(),
+		Hists:    r.Hists(),
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Hists == nil {
+		s.Hists = map[string]HistStat{}
+	}
+	return s
+}
+
 // Hists returns a copy of every histogram's summary.
 func (r *Registry) Hists() map[string]HistStat {
 	if r == nil {

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Add("serve.requests", 3)
+	r.SetGauge("serve.inflight", 2)
+	r.Observe("serve.wall_ms", 1.5)
+	r.Observe("serve.wall_ms", 2.5)
+
+	s := r.Snapshot()
+	if s.Counters["serve.requests"] != 3 {
+		t.Errorf("counter: %d", s.Counters["serve.requests"])
+	}
+	if s.Gauges["serve.inflight"] != 2 {
+		t.Errorf("gauge: %f", s.Gauges["serve.inflight"])
+	}
+	if h := s.Hists["serve.wall_ms"]; h.Count != 2 || h.Sum != 4 || h.Min != 1.5 || h.Max != 2.5 {
+		t.Errorf("hist: %+v", h)
+	}
+
+	// The snapshot is a copy: later registry writes must not leak into it.
+	r.Add("serve.requests", 1)
+	if s.Counters["serve.requests"] != 3 {
+		t.Error("snapshot aliases the live registry")
+	}
+}
+
+func TestRegistrySnapshotNil(t *testing.T) {
+	var r *Registry
+	s := r.Snapshot()
+	if s.Counters == nil || s.Gauges == nil || s.Hists == nil {
+		t.Fatal("nil registry snapshot has nil maps")
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"counters":{}`, `"gauges":{}`, `"histograms":{}`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("marshal missing %s: %s", want, data)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Package render formats the study's tables and figures as aligned text,
 // Markdown, or CSV, so the tools can feed both terminals and downstream
-// plotting/reporting pipelines.
+// plotting/reporting pipelines. It also owns the checker-report output
+// format (report.go) shared by the refcheck CLI and the refcheckd server.
 package render
 
 import (

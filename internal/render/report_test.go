@@ -1,0 +1,99 @@
+package render
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/clex"
+	"repro/internal/core"
+)
+
+func sampleReports() []core.Report {
+	return []core.Report{
+		{
+			Pattern: core.P1, Impact: core.Leak, Function: "alpha",
+			File: "drivers/a.c", Pos: clex.Pos{File: "drivers/a.c", Line: 10},
+			Object: "dev", API: "kobject_get", Message: "missing put on error path",
+			Suggestion: "kobject_put(dev);",
+		},
+		{
+			Pattern: core.P8, Impact: core.UAF, Function: "beta",
+			File: "net/b.c", Pos: clex.Pos{File: "net/b.c", Line: 42},
+			Object: "sk", API: "sock_put", Message: "use after decrease",
+		},
+	}
+}
+
+func TestWriteTextShape(t *testing.T) {
+	var b strings.Builder
+	WriteText(&b, sampleReports(), core.UnitSummary{
+		Files: 2, Functions: 2, DiscoveredStructs: 1, DiscoveredAPIs: 3, DiscoveredLoops: 0,
+	})
+	out := b.String()
+	for _, want := range []string{
+		"    suggestion: kobject_put(dev);\n",
+		"\n2 reports (P1:1, P8:1) — Leak 1, UAF 1, NPD 0\n",
+		"analyzed 2 files, 2 functions (discovered: 1 structs, 3 APIs, 0 smartloops)\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// The per-report diagnostic lines must be the reports' own String form.
+	r := sampleReports()[0]
+	if !strings.Contains(out, r.String()+"\n") {
+		t.Errorf("WriteText output missing report line %q", r.String())
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	var b strings.Builder
+	WriteText(&b, nil, core.UnitSummary{})
+	want := "\n0 reports — Leak 0, UAF 0, NPD 0\n" +
+		"analyzed 0 files, 0 functions (discovered: 0 structs, 0 APIs, 0 smartloops)\n"
+	if b.String() != want {
+		t.Errorf("empty render:\n got %q\nwant %q", b.String(), want)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleReports()); err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Pattern, Impact, File, Function, Object, API string
+		Line                                         int
+		Message, Suggestion                          string
+	}
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(got) != 2 || got[0].Pattern != "P1" || got[0].Line != 10 || got[1].Impact != "UAF" {
+		t.Errorf("unexpected decoded reports: %+v", got)
+	}
+	// An empty report list must encode as [], not null — the CLI has always
+	// allocated the slice before encoding.
+	b.Reset()
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("empty list encodes as %q, want []", b.String())
+	}
+}
+
+func TestFilterPattern(t *testing.T) {
+	rs := sampleReports()
+	if got := FilterPattern(rs, ""); len(got) != 2 {
+		t.Errorf("empty filter: got %d reports", len(got))
+	}
+	got := FilterPattern(rs, "P8")
+	if len(got) != 1 || got[0].Function != "beta" {
+		t.Errorf("P8 filter: got %+v", got)
+	}
+	if got := FilterPattern(rs, "P5"); len(got) != 0 {
+		t.Errorf("P5 filter: got %d reports, want 0", len(got))
+	}
+}

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCancelDeadlineNeverCachesPartial runs the demo corpus with a 1ms
+// deadline — far too tight for a real computation — and proves the two
+// halves of the deadline contract: the request fails with 504, and the
+// interrupted run left nothing behind in the shared cache (the follow-up
+// full-length request computes from scratch, then a third hits the cache).
+func TestCancelDeadlineNeverCachesPartial(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	demo := AnalyzeRequest{Demo: true}
+
+	tight := demo
+	tight.TimeoutMS = 1
+	resp, body := postAnalyze(t, ts.URL, tight)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline request: status %d (%s), want 504", resp.StatusCode, body)
+	}
+
+	resp, body = postAnalyze(t, ts.URL, demo)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up: status %d: %s", resp.StatusCode, body)
+	}
+	var full AnalyzeResponse
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if hits := full.Metrics["cache.unit.hit"]; hits != 0 {
+		t.Fatalf("follow-up hit the unit cache %d times — the cancelled run cached a partial result", hits)
+	}
+
+	resp, body = postAnalyze(t, ts.URL, demo)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", resp.StatusCode, body)
+	}
+	var warm AnalyzeResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if hits := warm.Metrics["cache.unit.hit"]; hits != 1 {
+		t.Fatalf("warm request cache.unit.hit = %d, want 1", hits)
+	}
+	if warm.Output != full.Output {
+		t.Fatal("warm output differs from computed output")
+	}
+}
+
+// TestCancelClientDisconnect proves a dropped connection propagates into the
+// run's context: the in-flight analysis observes context.Canceled, the
+// server accounts the request as cancelled, and the admission slot drains.
+func TestCancelClientDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	var sawErr atomic.Value
+	stub := &blockingStub{started: make(chan string, 1), gate: make(chan struct{})}
+	srv.analyze = func(ctx context.Context, req core.Request) (*core.Run, error) {
+		run, err := stub.analyze(ctx, req)
+		if err != nil {
+			sawErr.Store(err)
+		}
+		return run, err
+	}
+
+	payload, err := json.Marshal(AnalyzeRequest{Sources: testSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/analyze", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+
+	<-stub.started // the run holds the slot
+	cancel()       // client walks away mid-analysis
+	if err := <-clientDone; err == nil {
+		t.Fatal("client Do succeeded despite cancellation")
+	}
+
+	waitFor(t, func() bool {
+		err, _ := sawErr.Load().(error)
+		return err == context.Canceled
+	})
+	waitFor(t, func() bool { return srv.Registry().Counter("serve.cancelled") == 1 })
+	waitFor(t, func() bool { return srv.gate.Running() == 0 && srv.gate.Queued() == 0 })
+}
+
+// TestCancelQueuedWaiterDisconnect proves a client that gives up while its
+// computation is still queued surrenders the queue position without ever
+// computing.
+func TestCancelQueuedWaiterDisconnect(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 1, Queue: 1})
+	var computations atomic.Int64
+	stub := &blockingStub{started: make(chan string, 2), gate: make(chan struct{})}
+	srv.analyze = func(ctx context.Context, req core.Request) (*core.Run, error) {
+		run, err := stub.analyze(ctx, req)
+		if err == nil {
+			computations.Add(1)
+		}
+		return run, err
+	}
+	payload, err := json.Marshal(AnalyzeRequest{Sources: testSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First request parks in the only slot.
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postAnalyze(t, ts.URL, AnalyzeRequest{Sources: testSources()})
+		first <- resp.StatusCode
+	}()
+	<-stub.started
+
+	// Second request queues, then its client disconnects.
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/analyze", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queuedDone := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(queuedDone)
+	}()
+	waitFor(t, func() bool { return srv.gate.Queued() == 1 })
+	cancel()
+	<-queuedDone
+	waitFor(t, func() bool { return srv.gate.Queued() == 0 })
+	waitFor(t, func() bool { return srv.Registry().Counter("serve.cancelled") == 1 })
+
+	// Let the first request finish; the abandoned one must never compute.
+	close(stub.gate)
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	if got := computations.Load(); got != 1 {
+		t.Fatalf("%d computations ran, want 1 (the abandoned request must not compute)", got)
+	}
+}
+
+// TestCancelNoGoroutineLeaks runs a burst of cancelled and completed
+// requests and checks the goroutine count settles back to its baseline —
+// abandoned waits must not strand server goroutines.
+func TestCancelNoGoroutineLeaks(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 2, Queue: 2})
+	stub := &blockingStub{started: make(chan string, 32), gate: make(chan struct{})}
+	srv.analyze = stub.analyze
+
+	baseline := runtime.NumGoroutine()
+	payload, err := json.Marshal(AnalyzeRequest{Sources: testSources()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			ts.URL+"/v1/analyze", bytes.NewReader(payload))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		cancel()
+	}
+	close(stub.gate)
+
+	// Idle HTTP conns and handler teardown settle asynchronously; poll with
+	// tolerance rather than demanding an instant exact match.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+3 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	stacks := string(buf[:n])
+	if strings.Contains(stacks, "serve.(*gate).Acquire") {
+		t.Fatalf("goroutines stuck in gate.Acquire after cancellation:\n%s", stacks)
+	}
+	t.Fatalf("goroutine count did not settle: baseline %d, now %d\n%s",
+		baseline, runtime.NumGoroutine(), stacks)
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded is returned by the gate when both the compute slots and the
+// wait queue are full. The HTTP layer maps it to 429 with a Retry-After
+// hint; nothing about the request was started.
+var ErrOverloaded = errors.New("serve: server overloaded")
+
+// gate is the bounded request queue behind POST /v1/analyze, plugged into
+// core.Options.Admit so only real pipeline computations consume capacity
+// (cache hits and single-flight waiters never reach it; see core.Admission).
+//
+// Capacity has two levels: up to cap(slots) computations run concurrently,
+// and up to cap(queue)-cap(slots) more may wait for a slot. A caller that
+// fits neither level is rejected immediately — admission never blocks the
+// full queue behind an unbounded backlog, which is the backpressure
+// contract: reject fast, let the client retry, keep latency bounded for the
+// work already accepted.
+type gate struct {
+	slots chan struct{} // running computations
+	queue chan struct{} // running + waiting
+}
+
+func newGate(maxConcurrent, queueDepth int) *gate {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &gate{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+	}
+}
+
+// Acquire implements core.Admission. It fails fast with ErrOverloaded when
+// the queue is full, otherwise blocks for a compute slot until ctx dies
+// (the queue position is surrendered on cancellation, so an abandoned wait
+// never strands capacity).
+func (g *gate) Acquire(ctx context.Context) (func(), error) {
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return nil, ErrOverloaded
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return func() {
+			<-g.slots
+			<-g.queue
+		}, nil
+	case <-ctx.Done():
+		<-g.queue
+		return nil, ctx.Err()
+	}
+}
+
+// Running reports how many computations currently hold a slot.
+func (g *gate) Running() int { return len(g.slots) }
+
+// Queued reports how many admitted requests are waiting for a slot.
+func (g *gate) Queued() int {
+	q := len(g.queue) - len(g.slots)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}

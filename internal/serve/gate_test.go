@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, g *gate) func() {
+	t.Helper()
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	return release
+}
+
+func TestGateSlotsAndQueue(t *testing.T) {
+	g := newGate(2, 1)
+
+	r1 := mustAcquire(t, g)
+	r2 := mustAcquire(t, g)
+	if got := g.Running(); got != 2 {
+		t.Fatalf("Running = %d, want 2", got)
+	}
+
+	// Third caller fits the queue but not a slot: it must block.
+	got3 := make(chan func(), 1)
+	go func() {
+		release, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got3 <- release
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+
+	// Fourth caller fits nothing: immediate rejection, no blocking.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("4th Acquire err = %v, want ErrOverloaded", err)
+	}
+
+	// Releasing a slot promotes the waiter.
+	r1()
+	var r3 func()
+	select {
+	case r3 = <-got3:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued caller was not promoted after a release")
+	}
+	if got := g.Queued(); got != 0 {
+		t.Fatalf("Queued = %d after promotion, want 0", got)
+	}
+
+	r2()
+	r3()
+	if g.Running() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: running=%d queued=%d", g.Running(), g.Queued())
+	}
+}
+
+func TestGateCancelledWaiterSurrendersQueue(t *testing.T) {
+	g := newGate(1, 1)
+	release := mustAcquire(t, g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx)
+		errCh <- err
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	// The abandoned wait must not strand capacity: with the queue position
+	// surrendered, a new caller queues (and is promoted once the slot frees).
+	waitFor(t, func() bool { return g.Queued() == 0 })
+	done := make(chan struct{})
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+		} else {
+			r()
+		}
+		close(done)
+	}()
+	waitFor(t, func() bool { return g.Queued() == 1 })
+	release()
+	<-done
+}
+
+// waitFor polls cond for up to 5s; the tests use it to pin down states that
+// a goroutine reaches asynchronously.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

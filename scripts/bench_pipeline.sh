@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench_pipeline.sh — run the parallel-pipeline benchmark sweep, the
 # tiered-cache sweep (cold / disk-warm / l1-warm / concurrent-dedup), the
-# observability on/off pair (the tracing tax), and the checker-phase timing
-# (facts-cold vs facts-warm on a prebuilt unit) and emit BENCH_pipeline.json
-# so successive PRs can track the perf trajectory.
+# observability on/off pair (the tracing tax), the checker-phase timing
+# (facts-cold vs facts-warm on a prebuilt unit), and the refcheckd serving
+# path (warm reqs/s over a real HTTP round trip) and emit
+# BENCH_pipeline.json so successive PRs can track the perf trajectory.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -45,12 +46,12 @@ else
     : > "$PREV"
 fi
 
-go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase)$' \
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase|BenchmarkServeHTTP)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase)\// {
+/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase|ServeHTTP)\// {
     bench = $1
     sub(/\/.*$/, "", bench)
     name = $1
@@ -60,7 +61,7 @@ BEGIN { n = 0 }
     names[n] = name
     iters[n] = $2
     ns[n] = $3
-    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""; dedup[n] = ""
+    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""; dedup[n] = ""; rps[n] = ""
     for (i = 4; i < NF; i++) {
         if ($(i + 1) == "MB/s")                mbs[n] = $i
         if ($(i + 1) == "reports")             reports[n] = $i
@@ -68,6 +69,7 @@ BEGIN { n = 0 }
         if ($(i + 1) == "allocs/op")           aop[n] = $i
         if ($(i + 1) == "unit_hit_rate")       hit[n] = $i
         if ($(i + 1) == "computes_per_4_reqs") dedup[n] = $i
+        if ($(i + 1) == "reqs/s")              rps[n] = $i
     }
     n++
 }
@@ -81,6 +83,7 @@ END {
         if (aop[i] != "")     printf ", \"allocs_per_op\": %s", aop[i]
         if (hit[i] != "")     printf ", \"unit_hit_rate\": %s", hit[i]
         if (dedup[i] != "")   printf ", \"computes_per_4_reqs\": %s", dedup[i]
+        if (rps[i] != "")     printf ", \"reqs_per_sec\": %s", rps[i]
         if (reports[i] != "") printf ", \"reports\": %s", reports[i]
         printf "}%s\n", (i < n - 1) ? "," : ""
     }

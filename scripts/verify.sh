@@ -10,7 +10,9 @@
 # tiered cache with the in-memory L1 tier enabled (the default): every
 # {workers} × {no cache, cold, L1-warm, disk-warm, one-file-invalidated}
 # configuration must render byte-identically. The binary gate below
-# re-checks the cold/warm disk path end to end across two processes.
+# re-checks the cold/warm disk path end to end across two processes, and the
+# refcheckd gate proves the analysis server serves CLI-identical bytes over
+# HTTP and drains cleanly on SIGTERM.
 # Run before every commit; CI runs the same commands.
 set -e
 cd "$(dirname "$0")/.."
@@ -53,3 +55,39 @@ cmp -s "$tmp/uncached.txt" "$tmp/warm.txt" || {
     echo "verify: warm cached demo run differs from uncached run" >&2
     exit 1
 }
+
+# refcheckd serving gate: boot the daemon on a random port, serve one demo
+# analysis over HTTP, require the served bytes to equal the CLI's stdout,
+# then deliver SIGTERM and require a clean exit-0 drain (in-flight work
+# finished, disk tier flushed).
+go build -o "$tmp/refcheckd" ./cmd/refcheckd
+"$tmp/refcheckd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+    -cache "$tmp/dcache" 2> "$tmp/refcheckd.log" &
+DPID=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: refcheckd did not publish an address" >&2
+        cat "$tmp/refcheckd.log" >&2
+        kill "$DPID" 2> /dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$tmp/addr")"
+"$tmp/refcheckd" -post "http://$ADDR/v1/analyze" -demo \
+    > "$tmp/served.txt" 2> /dev/null
+cmp -s "$tmp/uncached.txt" "$tmp/served.txt" || {
+    echo "verify: served demo run differs from refcheck CLI output" >&2
+    kill "$DPID" 2> /dev/null || true
+    exit 1
+}
+kill -TERM "$DPID"
+drain_status=0
+wait "$DPID" || drain_status=$?
+if [ "$drain_status" -ne 0 ]; then
+    echo "verify: refcheckd SIGTERM drain exited $drain_status" >&2
+    cat "$tmp/refcheckd.log" >&2
+    exit 1
+fi
