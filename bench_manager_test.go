@@ -1,0 +1,67 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/obs"
+)
+
+// TestMain doubles as the manager's worker executable: the benchmark
+// re-executes this test binary with the "repro-worker" argv and the shim
+// runs the pipe-protocol worker loop instead of the suite, so the
+// multi-process benchmark needs no separately built binary.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "repro-worker" {
+		if err := manager.Worker(os.Stdin, os.Stdout, manager.WorkerOpts{}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// BenchmarkManagerShards sweeps the worker-process count over the
+// partition-then-exchange pipeline (real subprocesses, artifacts over
+// pipes), the multi-process counterpart of BenchmarkPipelineParallel's
+// in-process Workers sweep. Output is byte-identical at every shard count;
+// the benchmark tracks what process fan-out costs (spawn, serialization,
+// reparse-on-assembly) against the single-process baseline in
+// BENCH_pipeline.json.
+func BenchmarkManagerShards(b *testing.B) {
+	c, sources := kernelCorpus()
+	bytes := 0
+	for _, f := range c.Files {
+		bytes += len(f.Content)
+	}
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.SetBytes(int64(bytes))
+			b.ReportAllocs()
+			var reports []core.Report
+			for i := 0; i < b.N; i++ {
+				run, err := manager.Run(context.Background(), manager.Config{
+					Procs:     shards,
+					WorkerCmd: []string{os.Args[0], "repro-worker"},
+					Options:   core.Options{Confirm: true},
+					Trace:     obs.New("bench-manager"),
+				}, sources, headers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reports = run.Reports
+			}
+			b.ReportMetric(float64(len(reports)), "reports")
+			b.ReportMetric(float64(shards), "shards")
+		})
+	}
+}

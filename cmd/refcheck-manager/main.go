@@ -1,0 +1,160 @@
+// Command refcheck-manager runs the refcheck analysis across multiple worker
+// processes and prints exactly what a single-process `refcheck` run would —
+// byte-identical reports and summary at any -shards count, even when workers
+// die mid-shard (their work is re-queued; see internal/manager).
+//
+// Usage:
+//
+//	refcheck-manager [-shards N] [-json] [-pattern P4] DIR...
+//	refcheck-manager [-shards N] -demo
+//
+// With no DIR arguments, -demo is implied. Workers are spawned by
+// re-executing this binary with -worker (override the executable with
+// -worker-bin, e.g. to point at a `refcheck` build — both speak the same
+// pipe protocol).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cpg"
+	"repro/internal/loader"
+	"repro/internal/manager"
+	"repro/internal/obs"
+	"repro/internal/render"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "check the built-in synthetic kernel corpus")
+	asJSON := flag.Bool("json", false, "emit reports as JSON")
+	pattern := flag.String("pattern", "", "only report this anti-pattern (P1..P9)")
+	seed := flag.Int64("seed", 1, "corpus seed for -demo")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of worker processes; output is identical at any setting")
+	workers := flag.Int("workers", 0, "per-process pipeline parallelism (0 = GOMAXPROCS)")
+	checkersFlag := flag.String("checkers", "", "comma-separated checker subset to run (e.g. P1,P4); default: all registered checkers")
+	workerBin := flag.String("worker-bin", "", "worker executable (default: this binary); it is invoked with -worker")
+	killAfter := flag.Int("kill-worker-after", 0, "fault injection: make the first worker crash after receiving its Nth shard (output must be unchanged)")
+	verbose := flag.Bool("v", false, "print elapsed wall time and worker statistics to stderr")
+	workerMode := flag.Bool("worker", false, "run as an analysis worker on stdin/stdout")
+	workerExitAfter := flag.Int("worker-exit-after", 0, "with -worker: crash after receiving the Nth shard")
+	flag.Parse()
+
+	if *workerMode {
+		err := manager.Worker(os.Stdin, os.Stdout, manager.WorkerOpts{ExitAfterShards: *workerExitAfter})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck-manager: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var sources []cpg.Source
+	headers := map[string]string{}
+	if *demo || flag.NArg() == 0 {
+		c := corpus.Generate(corpus.Spec{Seed: *seed})
+		for _, f := range c.Files {
+			sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
+		}
+		for p, s := range c.Headers {
+			headers[p] = s
+		}
+	} else {
+		tree, err := loader.LoadDirs(flag.Args()...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+			os.Exit(1)
+		}
+		sources = tree.Sources
+		headers = tree.Headers
+	}
+
+	selected, err := core.ParsePatterns(*checkersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+		fmt.Fprintln(os.Stderr, "usage: refcheck-manager -checkers P1,P4 ...")
+		os.Exit(2)
+	}
+
+	bin := *workerBin
+	if bin == "" {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+			os.Exit(1)
+		}
+		bin = self
+	}
+	cfg := manager.Config{
+		Procs:     *shards,
+		WorkerCmd: []string{bin, "-worker"},
+		Workers:   *workers,
+		Options:   core.Options{Workers: *workers, Checkers: selected},
+	}
+	if *killAfter > 0 {
+		dying := []string{bin, "-worker", "-worker-exit-after", fmt.Sprint(*killAfter)}
+		cfg.WorkerCmdFor = func(slot int) []string {
+			if slot == 0 {
+				return dying
+			}
+			return cfg.WorkerCmd
+		}
+	}
+	tr := obs.Nop()
+	if *verbose {
+		tr = obs.New("refcheck-manager")
+	}
+	cfg.Trace = tr
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	run, err := manager.Run(ctx, cfg, sources, headers)
+	elapsed := time.Since(start)
+	tr.Done()
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrUnknownPattern):
+			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+			fmt.Fprintln(os.Stderr, "usage: refcheck-manager -checkers P1,P4 ...")
+			os.Exit(2)
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "refcheck-manager: interrupted")
+			os.Exit(130)
+		default:
+			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *verbose {
+		stats := tr.Reg().Snapshot()
+		fmt.Fprintf(os.Stderr, "refcheck-manager: analyzed %d files in %v (%.1f files/sec, shards=%d)\n",
+			len(sources), elapsed.Round(time.Millisecond),
+			float64(len(sources))/elapsed.Seconds(), *shards)
+		fmt.Fprintf(os.Stderr, "refcheck-manager: workers: %d deaths, %d shards re-queued, %d drained inline\n",
+			stats.Counters["manager.worker.deaths"], stats.Counters["manager.shard.requeues"],
+			stats.Counters["manager.shard.inline"])
+	}
+
+	reports := render.FilterPattern(run.Reports, *pattern)
+	if *asJSON {
+		if err := render.WriteJSON(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	render.WriteReports(os.Stdout, reports)
+	render.WriteSummary(os.Stdout, reports, run.Summary)
+}

@@ -5,9 +5,12 @@
 //
 //	refcheck [-json] [-pattern P4] DIR...
 //	refcheck -demo
+//	refcheck -worker
 //
 // DIR arguments are scanned recursively for .c and .h files; -demo checks
-// the built-in synthetic kernel corpus instead.
+// the built-in synthetic kernel corpus instead. -worker turns the process
+// into a shard-analysis worker speaking the refcheck-manager pipe protocol
+// on stdin/stdout (see cmd/refcheck-manager).
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"repro/internal/cpg"
 	"repro/internal/difftest"
 	"repro/internal/loader"
+	"repro/internal/manager"
 	"repro/internal/obs"
 	"repro/internal/patch"
 	"repro/internal/poc"
@@ -59,7 +63,18 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write the run's span/counter statistics as JSON to this file")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
 	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the lifetime of the run")
+	workerMode := flag.Bool("worker", false, "run as a refcheck-manager analysis worker on stdin/stdout")
+	workerExitAfter := flag.Int("worker-exit-after", 0, "with -worker: crash after receiving the Nth shard (recovery-gate fault injection)")
 	flag.Parse()
+
+	if *workerMode {
+		err := manager.Worker(os.Stdin, os.Stdout, manager.WorkerOpts{ExitAfterShards: *workerExitAfter})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "refcheck: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pprofHTTP != "" {
 		go func() {

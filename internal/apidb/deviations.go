@@ -1,7 +1,6 @@
 package apidb
 
 import (
-	"sort"
 	"strings"
 
 	"repro/internal/cast"
@@ -19,94 +18,11 @@ import (
 //   - MayReturnNull (the mdesc_grab shape): the function returns the counted
 //     pointer, and some path returns NULL.
 //
-// It returns the names of APIs whose entries were annotated.
+// It returns the names of APIs whose entries were annotated, sorted. Like
+// the other Discover* entry points it routes through the observation layer
+// (observe.go), so shard-merged replay annotates identically.
 func (db *DB) DiscoverDeviations(files []*cast.File) []string {
-	fns := map[string]*cast.FuncDef{}
-	for _, f := range files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*cast.FuncDef); ok && fd.Body != nil {
-				fns[fd.Name] = fd
-			}
-		}
-	}
-	var annotated []string
-	for name, fd := range fns {
-		a := db.apis[name]
-		if a == nil || a.Op != OpInc {
-			continue
-		}
-		changed := false
-		if !a.IncOnError && incrementsButReturnsError(db, fd, fns) {
-			a.IncOnError = true
-			changed = true
-		}
-		if !a.MayReturnNull && a.ReturnsRef && returnsNullOnSomePath(fd) {
-			a.MayReturnNull = true
-			changed = true
-		}
-		if changed {
-			annotated = append(annotated, name)
-		}
-	}
-	sort.Strings(annotated)
-	return annotated
-}
-
-// incrementsButReturnsError reports the Listing 3 deviation: the body (or a
-// one-level callee, matching pm_runtime_get_sync wrapping
-// __pm_runtime_suspend) performs an unconditional-looking increment and also
-// returns a non-zero error value.
-func incrementsButReturnsError(db *DB, fd *cast.FuncDef, fns map[string]*cast.FuncDef) bool {
-	if returnsErrorCode(fd) && bodyIncrements(db, fd.Body) {
-		return true
-	}
-	// One-level inlining: `return __helper(...)` where the helper both
-	// increments and returns an error code (pm_runtime_get_sync wrapping
-	// __pm_runtime_suspend in Listing 3).
-	found := false
-	cast.Walk(fd.Body, func(n cast.Node) bool {
-		r, ok := n.(*cast.ReturnStmt)
-		if !ok || r.Value == nil {
-			return true
-		}
-		call, ok := r.Value.(*cast.CallExpr)
-		if !ok {
-			return true
-		}
-		callee := fns[call.Callee()]
-		if callee == nil || callee.Body == nil {
-			return true
-		}
-		if bodyIncrements(db, callee.Body) && returnsErrorCode(callee) {
-			found = true
-		}
-		return true
-	})
-	return found
-}
-
-// bodyIncrements reports whether the body calls a known increment API or
-// bumps a counter field directly.
-func bodyIncrements(db *DB, body *cast.CompoundStmt) bool {
-	found := false
-	cast.Walk(body, func(n cast.Node) bool {
-		switch v := n.(type) {
-		case *cast.CallExpr:
-			if a := db.apis[v.Callee()]; a != nil && a.Op == OpInc {
-				found = true
-			}
-			if v.Callee() == "atomic_inc" {
-				found = true
-			}
-		case *cast.UnaryExpr:
-			if m, ok := v.X.(*cast.MemberExpr); ok && isCounterField(m.Name) &&
-				v.Op.String() == "++" {
-				found = true
-			}
-		}
-		return true
-	})
-	return found
+	return db.applyDeviations(observeDecls(files))
 }
 
 // returnsErrorCode reports whether the function has an int-ish return type

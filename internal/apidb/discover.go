@@ -1,10 +1,7 @@
 package apidb
 
 import (
-	"sort"
-
 	"repro/internal/cast"
-	"repro/internal/clex"
 	"repro/internal/cpp"
 )
 
@@ -20,65 +17,19 @@ var counterFieldTypes = map[string]bool{
 // in another structures, which can be nested defined").
 const NestingThreshold = 3
 
+// The Discover* entry points below are AST-facing conveniences: they extract
+// per-file observations (ObserveFile) and replay them through the same
+// deterministic apply stages the distributed exchange uses, so a whole-corpus
+// in-process scan and a shard-merged scan produce identical databases by
+// construction. See observe.go for the observation schema and the apply
+// stages themselves.
+
 // DiscoverStructs scans struct declarations and registers refcounted
 // structures: those containing a counter field directly, or containing an
 // already-refcounted struct within NestingThreshold levels. It returns the
-// names it added.
+// names it added, sorted.
 func (db *DB) DiscoverStructs(files []*cast.File) []string {
-	decls := map[string]*cast.StructDecl{}
-	for _, f := range files {
-		for _, d := range f.Decls {
-			if sd, ok := d.(*cast.StructDecl); ok && sd.Name != "" {
-				decls[sd.Name] = sd
-			}
-		}
-	}
-	// Depth is computed against the pre-call seed set so results do not
-	// depend on map iteration order.
-	seeded := make(map[string]bool, len(db.refStructs))
-	for k := range db.refStructs {
-		seeded[k] = true
-	}
-	const inf = NestingThreshold + 100
-	var depthOf func(name string, seen map[string]bool) int
-	depthOf = func(name string, seen map[string]bool) int {
-		if seeded[name] || counterFieldTypes[name] {
-			return 0
-		}
-		if seen[name] {
-			return inf
-		}
-		seen[name] = true
-		defer delete(seen, name)
-		sd := decls[name]
-		if sd == nil {
-			return inf
-		}
-		best := inf
-		for _, fld := range sd.Fields {
-			if counterFieldTypes[fld.Type.Base] {
-				return 0
-			}
-			if inner := fld.Type.StructName(); inner != "" {
-				if d := depthOf(inner, seen) + 1; d < best {
-					best = d
-				}
-			}
-		}
-		return best
-	}
-	var added []string
-	for name := range decls {
-		if db.refStructs[name] {
-			continue
-		}
-		if depthOf(name, map[string]bool{}) <= NestingThreshold {
-			db.refStructs[name] = true
-			added = append(added, name)
-		}
-	}
-	sort.Strings(added)
-	return added
+	return db.applyStructs(observeDecls(files))
 }
 
 // DiscoverAPIs scans function definitions and registers wrappers around
@@ -87,124 +38,32 @@ func (db *DB) DiscoverStructs(files []*cast.File) []string {
 // parameter, is itself a refcounting API of the same direction. This is the
 // confirmation step behind the paper's second-level patch filter and the
 // "checking if the functions containing the structure instances and
-// operating the refcounters" lexer parser. Returns the names added.
+// operating the refcounters" lexer parser. Returns the names added, in scan
+// order.
 func (db *DB) DiscoverAPIs(files []*cast.File) []string {
-	var added []string
-	for _, f := range files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*cast.FuncDef)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if db.apis[fd.Name] != nil {
-				continue
-			}
-			op, objArg, inner := db.classifyWrapper(fd)
-			if op == OpNone {
-				continue
-			}
-			a := &API{
-				Name: fd.Name, Op: op, Class: Specific, ObjArg: objArg,
-				Discovered: true, MayFree: op == OpDec,
-			}
-			if inner != nil {
-				a.Struct = inner.Struct
-			}
-			// Returns-ref detection: inc API returning a pointer.
-			if op == OpInc && fd.Ret.IsPointer() {
-				a.ReturnsRef = true
-				a.ObjArg = -1
-				a.Class = Embedded
-				a.MayReturnNull = returnsNullOnSomePath(fd)
-			}
-			db.apis[fd.Name] = a
-			added = append(added, fd.Name)
-		}
-	}
-	// Second pass: fill in pairs by struct + opposite op where unambiguous.
-	db.inferPairs(added)
-	return added
+	return db.applyAPIs(observeDecls(files))
 }
 
-// classifyWrapper reports whether fd wraps a known refcounting API, the
-// parameter index it forwards (or -1), and the wrapped entry.
-func (db *DB) classifyWrapper(fd *cast.FuncDef) (Op, int, *API) {
-	paramIdx := map[string]int{}
-	for i, p := range fd.Params {
-		paramIdx[p.Name] = i
-	}
-	// A true wrapper moves the counter in one net direction; functions that
-	// both take and drop a reference on the same parameter are *users* of
-	// the API, not refcounting APIs themselves.
-	var incs, decs int
-	objArg := -1
-	var inner *API
-	var op Op
-	for _, call := range cast.Calls(fd.Body) {
-		a := db.apis[call.Callee()]
-		if a == nil || a.Op == OpNone {
+// DiscoverLoops registers smartloops from a preprocessor macro table: a
+// function-like loop macro whose body calls a known embedded (returns-ref)
+// API becomes a SmartLoop; the iteration variable is the macro parameter
+// assigned in the loop header. Returns the names added, sorted.
+func (db *DB) DiscoverLoops(macros map[string]*cpp.Macro) []string {
+	return db.applyLoops(ObserveMacros(macros))
+}
+
+// observeDecls extracts declaration observations (structs and functions)
+// from parsed files, preserving file order. Macro tables are handled
+// separately by DiscoverLoops, so they are not observed here.
+func observeDecls(files []*cast.File) []FileObs {
+	out := make([]FileObs, 0, len(files))
+	for _, f := range files {
+		if f == nil {
 			continue
 		}
-		// Which argument does the wrapped call receive?
-		argPos := a.ObjArg
-		if argPos < 0 || argPos >= len(call.Args) {
-			argPos = 0
-		}
-		if argPos >= len(call.Args) {
-			continue
-		}
-		base := cast.BaseIdent(call.Args[argPos])
-		if base == nil {
-			continue
-		}
-		idx, isParam := paramIdx[base.Name]
-		if !isParam {
-			continue
-		}
-		switch a.Op {
-		case OpInc:
-			incs++
-		case OpDec:
-			decs++
-		}
-		op = a.Op
-		objArg = idx
-		inner = a
+		out = append(out, ObserveFile(f.Name, f, nil))
 	}
-	if incs > 0 && decs > 0 {
-		return OpNone, -1, nil // balanced: a user, not a wrapper
-	}
-	if op != OpNone {
-		return op, objArg, inner
-	}
-	objArg = -1
-	// Direct counter manipulation: ++/-- or +=/-= on a member chain ending
-	// in a counter-ish field of a parameter.
-	var found Op
-	cast.Walk(fd.Body, func(n cast.Node) bool {
-		u, ok := n.(*cast.UnaryExpr)
-		if !ok || (u.Op != clex.Inc && u.Op != clex.Dec) {
-			return true
-		}
-		m, ok := u.X.(*cast.MemberExpr)
-		if !ok || !isCounterField(m.Name) {
-			return true
-		}
-		base := cast.BaseIdent(m)
-		if base == nil {
-			return true
-		}
-		if idx, isParam := paramIdx[base.Name]; isParam {
-			if u.Op == clex.Inc {
-				found = OpInc
-			} else {
-				found = OpDec
-			}
-			objArg = idx
-		}
-		return true
-	})
-	return found, objArg, nil
+	return out
 }
 
 func isCounterField(name string) bool {
@@ -260,47 +119,4 @@ func (db *DB) inferPairs(names []string) {
 			}
 		}
 	}
-}
-
-// DiscoverLoops registers smartloops from a preprocessor macro table: a
-// function-like loop macro whose body calls a known embedded (returns-ref)
-// API becomes a SmartLoop; the iteration variable is the macro parameter
-// assigned in the loop header. Returns the names added.
-func (db *DB) DiscoverLoops(macros map[string]*cpp.Macro) []string {
-	var added []string
-	for name, m := range macros {
-		if db.loops[name] != nil || !m.FuncLike || !m.IsLoopMacro() {
-			continue
-		}
-		paramIdx := map[string]int{}
-		for i, p := range m.Params {
-			paramIdx[p] = i
-		}
-		var embedded *API
-		iterArg := -1
-		for i, t := range m.Body {
-			if t.Kind != clex.Ident {
-				continue
-			}
-			if a := db.apis[t.Text]; a != nil && a.Op == OpInc && a.ReturnsRef {
-				embedded = a
-			}
-			// `param =` inside the body marks the loop variable.
-			if idx, ok := paramIdx[t.Text]; ok && i+1 < len(m.Body) && m.Body[i+1].Kind == clex.Assign {
-				if iterArg == -1 {
-					iterArg = idx
-				}
-			}
-		}
-		if embedded == nil || iterArg == -1 {
-			continue
-		}
-		l := &SmartLoop{
-			Name: name, IterArg: iterArg, PutAPI: embedded.Pair,
-			EmbeddedAPI: embedded.Name, Discovered: true,
-		}
-		db.loops[name] = l
-		added = append(added, name)
-	}
-	return added
 }

@@ -239,27 +239,6 @@ type Admission interface {
 	Acquire(ctx context.Context) (release func(), err error)
 }
 
-// CheckSources builds a unit from sources and checks it with default
-// options.
-//
-// Deprecated: use Analyze, which adds cancellation, observability, and
-// error returns. CheckSources remains as a thin compatibility wrapper.
-func CheckSources(sources []cpg.Source, headers map[string]string) (*cpg.Unit, []Report) {
-	return CheckSourcesOpts(sources, headers, Options{})
-}
-
-// CheckSourcesOpts builds a unit from sources, checks it, and optionally
-// confirms the reports, with opt.Workers threaded through every stage. Note
-// that on a unit-level cache hit the returned Unit is nil.
-//
-// Deprecated: use Analyze. Like the historical entry point, this wrapper
-// panics on an invalid opt.Checkers selection instead of returning the
-// error.
-func CheckSourcesOpts(sources []cpg.Source, headers map[string]string, opt Options) (*cpg.Unit, []Report) {
-	run := CheckSourcesRun(sources, headers, opt)
-	return run.Unit, run.Reports
-}
-
 // newHeaderProvider wraps a header map in the suffix-indexed provider so
 // kernel-style <linux/of.h> resolution costs one map probe per #include.
 func newHeaderProvider(headers map[string]string) cpp.FileProvider {

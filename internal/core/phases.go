@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/apidb"
+	"repro/internal/cpg"
+	"repro/internal/facts"
+)
+
+// The distributed phase API: Analyze split at its natural barrier.
+//
+// The pipeline's cross-file dependencies (API discovery, the inter-paired
+// callback checker P6, the facts layer) all live *after* the per-file front
+// end, so the split is: Partition the corpus, run a DB-independent LocalPass
+// per shard in any process, Exchange the shards' discovery observations into
+// one global apidb, then run the GlobalPass (assembly + facts + checkers +
+// confirmation) against the merged view. Running the four phases in order in
+// one process is exactly Analyze's uncached pipeline — BuildContext is
+// itself LocalPass+Exchange+Assemble on shared state — so output is
+// byte-identical at any shard count. internal/manager drives these phases
+// across worker processes.
+
+// Partition splits sources into at most `shards` deterministic, disjoint,
+// non-empty shards: sources are sorted by path and dealt round-robin, so the
+// partition depends only on the corpus and the shard count, never on
+// discovery order or process scheduling. Fewer sources than shards yields
+// one shard per source; an empty corpus yields no shards.
+func Partition(sources []cpg.Source, shards int) [][]cpg.Source {
+	sorted := append([]cpg.Source(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(sorted) {
+		shards = len(sorted)
+	}
+	if shards == 0 {
+		return nil
+	}
+	out := make([][]cpg.Source, shards)
+	for i, s := range sorted {
+		out[i%shards] = append(out[i%shards], s)
+	}
+	return out
+}
+
+// LocalPass runs the shard-local half of the pipeline on one shard:
+// preprocess, parse, and extract discovery observations, producing a
+// serializable artifact. It is deliberately DB-independent — workers carry
+// no discovery state, so they are stateless and interchangeable (any worker
+// may process any shard, and a re-queued shard lands wherever). Only
+// req.Headers, req.Options.Workers and req.Trace are consulted.
+func LocalPass(ctx context.Context, req Request, shard []cpg.Source) (*cpg.ShardArtifact, error) {
+	sp := req.Trace.Root().Child("phase:local")
+	b := &cpg.Builder{Workers: req.Options.Workers, Obs: sp}
+	if req.Headers != nil {
+		b.Headers = newHeaderProvider(req.Headers)
+	}
+	art := b.BuildArtifactContext(ctx, shard, true)
+	sp.End()
+	return art, ctx.Err()
+}
+
+// Exchange is the manager-side barrier between the local and global halves:
+// shard artifacts are merged back into global sorted path order and their
+// discovery observations replayed into db, which afterward holds exactly the
+// entries a single-process whole-corpus scan would have built (the replay is
+// a pure function of the ordered observation sequence; see apidb.Apply). The
+// returned artifact and discovery feed GlobalPass, whose Options.DB must be
+// this same db.
+func Exchange(db *apidb.DB, arts []*cpg.ShardArtifact) (*cpg.ShardArtifact, apidb.Discovery) {
+	merged := cpg.MergeShardArtifacts(arts...)
+	return merged, db.Apply(merged.Observations())
+}
+
+// GlobalPass runs everything after the exchange: assemble the merged
+// artifact into a unit (reparsing files that crossed a process boundary),
+// compute facts, run the checkers (including cross-file P6), and optionally
+// confirm — mirroring Analyze's uncached pipeline phase for phase.
+// req.Options.DB must be the DB that Exchange populated; the unit-level
+// cache is not consulted (the manager path always computes).
+func GlobalPass(ctx context.Context, req Request, merged *cpg.ShardArtifact, disc apidb.Discovery) (*Run, error) {
+	opt := req.Options
+	engine, err := NewEngineFor(opt.Checkers)
+	if err != nil {
+		return nil, err
+	}
+	engine.Workers = opt.Workers
+
+	tr := req.Trace
+	root := tr.Root()
+	reg := tr.Reg()
+	run := &Run{Trace: tr}
+
+	bsp := root.Child("phase:assemble")
+	b := &cpg.Builder{DB: opt.DB, Workers: opt.Workers, Obs: bsp}
+	u := b.AssembleContext(ctx, merged, &disc)
+	bsp.End()
+	run.Unit = u
+	run.Summary = summarize(u)
+	if err := ctx.Err(); err != nil {
+		return run, err
+	}
+
+	uf := facts.NewUnit(u)
+	csp := root.Child("phase:check")
+	engine.Obs = csp
+	run.Reports = engine.CheckUnitFactsContext(ctx, uf)
+	csp.End()
+	uf.Observe(reg)
+	if err := ctx.Err(); err != nil {
+		return run, err
+	}
+	if opt.Confirm {
+		fsp := root.Child("phase:confirm")
+		ConfirmReportsSpan(run.Reports, opt.Workers, fsp)
+		fsp.End()
+	}
+	return run, ctx.Err()
+}

@@ -394,17 +394,3 @@ func Analyze(ctx context.Context, req Request) (*Run, error) {
 	}
 	return run, ctx.Err()
 }
-
-// CheckSourcesRun is the historical cache-aware entry point.
-//
-// Deprecated: use Analyze, which adds cancellation, observability, and an
-// error return. Like the historical entry point, this wrapper panics on an
-// invalid opt.Checkers selection — library callers pass validated
-// selections (CLI input goes through ParsePatterns first).
-func CheckSourcesRun(sources []cpg.Source, headers map[string]string, opt Options) *Run {
-	run, err := Analyze(context.Background(), Request{Sources: sources, Headers: headers, Options: opt})
-	if err != nil {
-		panic("core: " + err.Error())
-	}
-	return run
-}

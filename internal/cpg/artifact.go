@@ -1,0 +1,96 @@
+package cpg
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/apidb"
+	"repro/internal/cast"
+	"repro/internal/clex"
+	"repro/internal/cpp"
+)
+
+// ArtFile is one translation unit's shard-local result: the expanded token
+// stream, the macro table, preprocessor errors, and the file's discovery
+// observation. It is the serializable projection of phase 1 — parse trees
+// deliberately stay out (the same trade the front-end cache makes: the
+// parser is cheap relative to preprocessing, and reparsing identical tokens
+// yields an identical AST), so a decoded ArtFile is reparsed during
+// assembly.
+type ArtFile struct {
+	Path   string
+	Tokens []clex.Token
+	Macros map[string]*cpp.Macro
+	Obs    apidb.FileObs
+
+	// file/errs are the in-memory fast path: a locally built artifact keeps
+	// its AST and full error list (cpp + parse) so the single-process build
+	// never reparses. After decode, file is nil and errs holds only the
+	// reconstituted preprocessor errors; assembleWith reparses and appends
+	// the parse errors, restoring the exact error order the monolithic build
+	// produced.
+	file *cast.File
+	errs []error
+	// cppN is how many leading errs entries are preprocessor errors — the
+	// serialization split point.
+	cppN int
+}
+
+// ShardArtifact is the serializable output of a shard-local pass: the files
+// of the shard in sorted path order.
+type ShardArtifact struct {
+	Files []*ArtFile
+}
+
+// Observations projects the artifact onto its per-file discovery
+// observations, in file order — the input to apidb's exchange replay.
+func (a *ShardArtifact) Observations() []apidb.FileObs {
+	out := make([]apidb.FileObs, len(a.Files))
+	for i, af := range a.Files {
+		out[i] = af.Obs
+	}
+	return out
+}
+
+// MergeShardArtifacts concatenates shard outputs and restores global sorted
+// path order, so the merged artifact is indistinguishable from one produced
+// by a single whole-corpus local pass regardless of how sources were
+// partitioned. The merge is stable, though shards produced by Partition
+// never overlap in paths.
+func MergeShardArtifacts(arts ...*ShardArtifact) *ShardArtifact {
+	m := &ShardArtifact{}
+	for _, a := range arts {
+		if a != nil {
+			m.Files = append(m.Files, a.Files...)
+		}
+	}
+	sort.SliceStable(m.Files, func(i, j int) bool { return m.Files[i].Path < m.Files[j].Path })
+	return m
+}
+
+// BuildArtifactContext runs only the shard-local half of a build: the
+// per-file front end plus discovery observation extraction. With retain set,
+// each file's expanded token stream is copied into fresh storage so the
+// artifact can outlive the build's pooled buffers and be serialized
+// (EncodeShardArtifact requires it); without retain the artifact is only
+// usable in-process, which is how BuildContext itself consumes it.
+//
+// The builder's DB is not consulted: a shard-local pass is DB-independent by
+// design, so stateless workers need no discovery state at all.
+func (b *Builder) BuildArtifactContext(ctx context.Context, sources []Source, retain bool) *ShardArtifact {
+	fe := b.newFrontEnd()
+	fe.retain = retain
+	return b.buildArtifact(ctx, fe, sources)
+}
+
+// AssembleContext runs the global half of a build over a (possibly merged,
+// possibly decoded) artifact: reparse wire-format files, merge declarations
+// in sorted path order, apply discovery, and run per-function analysis.
+//
+// disc carries the result of an exchange already applied to b.DB (the
+// manager path, where the same DB must then be shared with the checker
+// engine); nil means no exchange has happened and the artifact's own
+// observations are applied here.
+func (b *Builder) AssembleContext(ctx context.Context, art *ShardArtifact, disc *apidb.Discovery) *Unit {
+	return b.assembleWith(ctx, b.newFrontEnd(), art, disc)
+}

@@ -1,0 +1,44 @@
+package cpg
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestRegenArtifactFuzzSeedCorpus rewrites the checked-in seed corpus for
+// FuzzShardArtifactCodec (testdata/fuzz/FuzzShardArtifactCodec) when
+// REGEN_FUZZ_CORPUS=1 is set — run it after any encoding change so the
+// corpus keeps a valid artifact of the current format (encoded from a real
+// shard-local build) alongside the malformed probes. Without the variable it
+// only verifies the corpus directory exists and is non-empty.
+func TestRegenArtifactFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzShardArtifactCodec")
+	b := &Builder{Workers: 1}
+	real := EncodeShardArtifact(b.BuildArtifactContext(context.Background(), artifactSources(), true))
+	seeds := map[string][]byte{
+		"seed_valid_real":  real,
+		"seed_valid_empty": EncodeShardArtifact(&ShardArtifact{}),
+		"seed_magic_only":  {'S', 'H', 'A', 1},
+		"seed_truncated":   real[:10],
+		"seed_garbage":     {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	if os.Getenv("REGEN_FUZZ_CORPUS") == "" {
+		ents, err := os.ReadDir(dir)
+		if err != nil || len(ents) == 0 {
+			t.Fatalf("seed corpus missing at %s (regenerate with REGEN_FUZZ_CORPUS=1): %v", dir, err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

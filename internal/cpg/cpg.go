@@ -120,6 +120,15 @@ type parsed struct {
 	file   *cast.File
 	macros map[string]*cpp.Macro
 	errs   []error
+	// cppN is how many leading errs entries came from the preprocessor; the
+	// artifact codec serializes those as strings (parse errors regenerate on
+	// reparse, so they are never serialized).
+	cppN int
+	// tokens is the retained expanded token stream in fresh storage, set
+	// only when the front end runs in retain mode for artifact export. The
+	// pooled per-TU buffer must never escape parseOne, so this is always a
+	// copy.
+	tokens []clex.Token
 }
 
 // frontEntry is the persisted per-file front-end result: everything the
@@ -144,6 +153,13 @@ type frontEnd struct {
 	// reads then go through GetValue, which retains the decoded entry, so
 	// decoding must not target the pooled token buffer (see parseOne).
 	l1hold bool
+	// retain makes parseOne copy each TU's expanded token stream into fresh
+	// storage (parsed.tokens) so the artifact can be serialized after the
+	// pooled buffers are released.
+	retain bool
+	// workers is the resolved phase 1/3 concurrency (Builder.Workers with
+	// the GOMAXPROCS default applied).
+	workers int
 
 	// stats aggregates the build's arena counters (slab chunks in the parser
 	// and CFG builder, pooled token buffers here); atomic, shared by all
@@ -249,7 +265,8 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 		errs := make([]error, 0, len(res.Errors)+len(perrs))
 		errs = append(errs, res.Errors...)
 		errs = append(errs, perrs...)
-		return parsed{file: file, macros: res.Macros, errs: errs}
+		return parsed{file: file, macros: res.Macros, errs: errs,
+			cppN: len(res.Errors), tokens: fe.retainToks(res.Tokens)}
 	}
 	key := analysiscache.KeyOf("fe-v3", fe.predefFP, src.Path, src.Content)
 	if fe.l1hold {
@@ -267,7 +284,8 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 					errs = append(errs, errors.New(s))
 				}
 				errs = append(errs, perrs...)
-				return parsed{file: file, macros: ent.Macros, errs: errs}
+				return parsed{file: file, macros: ent.Macros, errs: errs,
+					cppN: len(ent.CppErrors), tokens: fe.retainToks(ent.Tokens)}
 			}
 		}
 	} else {
@@ -285,7 +303,8 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 			if ent.Macros == nil {
 				ent.Macros = map[string]*cpp.Macro{}
 			}
-			return parsed{file: file, macros: ent.Macros, errs: errs}
+			return parsed{file: file, macros: ent.Macros, errs: errs,
+				cppN: len(ent.CppErrors), tokens: fe.retainToks(ent.Tokens)}
 		}
 	}
 	fe.reg.Add("frontend.cache.miss", 1)
@@ -305,7 +324,23 @@ func (fe *frontEnd) parseOne(src Source) parsed {
 	errs := make([]error, 0, len(res.Errors)+len(perrs))
 	errs = append(errs, res.Errors...)
 	errs = append(errs, perrs...)
-	return parsed{file: file, macros: res.Macros, errs: errs}
+	return parsed{file: file, macros: res.Macros, errs: errs,
+		cppN: len(res.Errors), tokens: fe.retainToks(res.Tokens)}
+}
+
+// retainToks copies a token stream into fresh storage when the build runs in
+// retain mode, and returns nil otherwise. The copy is never backed by the
+// pooled per-TU buffer (which is recycled when the TU's arena releases) nor
+// by an L1-shared cache entry (which must stay immutable), so the caller may
+// keep and serialize it freely. The result is non-nil even for an empty
+// stream, marking the file as export-ready.
+func (fe *frontEnd) retainToks(toks []clex.Token) []clex.Token {
+	if !fe.retain {
+		return nil
+	}
+	out := make([]clex.Token, len(toks))
+	copy(out, toks)
+	return out
 }
 
 // Build preprocesses, parses and analyzes the sources into a Unit. Inputs
@@ -336,51 +371,71 @@ func (fe *frontEnd) parseTU(src Source) parsed {
 // holds whatever completed: unfed files are simply absent, unfed functions
 // keep nil Graph/Events and are excluded by DefinedFunctions. Callers that
 // care about partial results check ctx.Err() themselves.
+//
+// The build runs in two halves that are also available separately for
+// distributed analysis (see artifact.go): buildArtifact (per-file front end
+// + discovery observation, the shard-local pass) and assembleWith (exchange
+// + merge + per-function analysis, the global pass). Running them back to
+// back on one front-end state is exactly the old monolithic build, so
+// single-process results are unchanged, and the distributed path shares
+// every line of the phase logic.
 func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
-	db := b.DB
-	if db == nil {
-		db = apidb.New()
-	}
-	u := &Unit{
-		DB:        db,
-		Functions: map[string]*Function{},
-		Structs:   map[string]*cast.StructDecl{},
-		Globals:   map[string]*cast.VarDecl{},
-		Macros:    map[string]*cpp.Macro{},
-		Calls:     map[string][]CallSite{},
-	}
-	sorted := append([]Source(nil), sources...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	fe := b.newFrontEnd()
+	return b.assembleWith(ctx, fe, b.buildArtifact(ctx, fe, sources), nil)
+}
 
+// newFrontEnd resolves the builder's knobs into the per-build front-end
+// state shared by the phase workers.
+func (b *Builder) newFrontEnd() *frontEnd {
 	workers := b.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-
 	hc := b.HeaderCache
 	if hc == nil {
 		hc = cpp.NewHeaderCache()
 	}
-	reg := b.Obs.Reg()
-	fe := &frontEnd{b: b, hc: hc, cache: b.Cache, predefFP: predefFingerprint(b.Predefines), reg: reg, stats: &arena.Stats{}}
+	fe := &frontEnd{b: b, hc: hc, cache: b.Cache,
+		predefFP: predefFingerprint(b.Predefines),
+		reg:      b.Obs.Reg(), stats: &arena.Stats{}, workers: workers}
 	fe.l1hold = b.Cache != nil && b.Cache.MemoryEnabled()
 	fe.tokPool.Stats = fe.stats
+	return fe
+}
+
+// buildArtifact is phase 1: preprocess + parse, sharded per file (each
+// file's front end is independent), with the file's discovery observation
+// extracted in the same worker pass. The returned artifact lists files in
+// sorted path order; TUs skipped by cancellation are absent, exactly like
+// the nil-file slots the monolithic loop skipped.
+func (b *Builder) buildArtifact(ctx context.Context, fe *frontEnd, sources []Source) *ShardArtifact {
+	sorted := append([]Source(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+
 	// The header cache may be shared across builds, so charge this build the
 	// delta of its counters, not their absolute values.
-	hc0 := hc.Stats()
-
-	// Phase 1: preprocess + parse, sharded per file (each file's front end
-	// is independent). Shard results land in their slot by index.
-	results := make([]parsed, len(sorted))
-	if workers > 1 && len(sorted) > 1 {
+	hc0 := fe.hc.Stats()
+	results := make([]*ArtFile, len(sorted))
+	work := func(i int) {
+		p := fe.parseTU(sorted[i])
+		if p.file == nil {
+			return
+		}
+		results[i] = &ArtFile{
+			Path: sorted[i].Path, Tokens: p.tokens, Macros: p.macros,
+			Obs:  apidb.ObserveFile(sorted[i].Path, p.file, p.macros),
+			file: p.file, errs: p.errs, cppN: p.cppN,
+		}
+	}
+	if fe.workers > 1 && len(sorted) > 1 {
 		var wg sync.WaitGroup
 		jobs := make(chan int)
-		for w := 0; w < workers; w++ {
+		for w := 0; w < fe.workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i] = fe.parseTU(sorted[i])
+					work(i)
 				}
 			}()
 		}
@@ -399,33 +454,111 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = fe.parseTU(sorted[i])
+			work(i)
 		}
 	}
-	if reg != nil {
-		hc1 := hc.Stats()
-		reg.Add("headercache.hit", hc1.Hits-hc0.Hits)
-		reg.Add("headercache.miss", hc1.Misses-hc0.Misses)
-		reg.Add("lex.tokens", (hc1.TokensLexed-hc0.TokensLexed)+fe.lexStats.Tokens.Load())
+	if fe.reg != nil {
+		hc1 := fe.hc.Stats()
+		fe.reg.Add("headercache.hit", hc1.Hits-hc0.Hits)
+		fe.reg.Add("headercache.miss", hc1.Misses-hc0.Misses)
+		fe.reg.Add("lex.tokens", (hc1.TokensLexed-hc0.TokensLexed)+fe.lexStats.Tokens.Load())
 	}
+	art := &ShardArtifact{}
+	for _, af := range results {
+		if af != nil {
+			art.Files = append(art.Files, af)
+		}
+	}
+	return art
+}
+
+// assembleWith merges artifact files into a Unit — reparsing any that
+// arrived over the wire as decoded token streams — applies discovery, and
+// runs the per-function phase. A nil disc means the exchange has not
+// happened yet: the artifact's own observations are applied to the DB here
+// (the single-process path). A non-nil disc asserts the builder's DB already
+// absorbed the exchange and carries the added-name lists for the unit.
+func (b *Builder) assembleWith(ctx context.Context, fe *frontEnd, art *ShardArtifact, disc *apidb.Discovery) *Unit {
+	db := b.DB
+	if db == nil {
+		db = apidb.New()
+	}
+	u := &Unit{
+		DB:        db,
+		Functions: map[string]*Function{},
+		Structs:   map[string]*cast.StructDecl{},
+		Globals:   map[string]*cast.VarDecl{},
+		Macros:    map[string]*cpp.Macro{},
+		Calls:     map[string][]CallSite{},
+	}
+	reg := fe.reg
+
+	// Decoded artifacts carry token streams, not ASTs (same trade the
+	// front-end cache makes: the parser is cheap, and reparsing identical
+	// tokens yields an identical AST). Reparse them file-sharded.
+	var toParse []*ArtFile
+	for _, af := range art.Files {
+		if af.file == nil {
+			toParse = append(toParse, af)
+		}
+	}
+	if len(toParse) > 0 {
+		rsp := b.Obs.Child("reparse").Int("files", len(toParse))
+		reparse := func(af *ArtFile) {
+			file, perrs := cparse.ParseFileArena(af.Path, af.Tokens, fe.stats)
+			af.file = file
+			af.errs = append(af.errs, perrs...)
+		}
+		if fe.workers > 1 && len(toParse) > 1 {
+			var wg sync.WaitGroup
+			jobs := make(chan *ArtFile)
+			for w := 0; w < fe.workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for af := range jobs {
+						reparse(af)
+					}
+				}()
+			}
+		feedReparse:
+			for _, af := range toParse {
+				select {
+				case jobs <- af:
+				case <-ctx.Done():
+					break feedReparse
+				}
+			}
+			close(jobs)
+			wg.Wait()
+		} else {
+			for _, af := range toParse {
+				if ctx.Err() != nil {
+					break
+				}
+				reparse(af)
+			}
+		}
+		rsp.End()
+	}
+
 	// Merge declarations, macros and errors in sorted path order — the exact
 	// order the sequential loop used, so the unit is deterministic. A nil
-	// file marks a TU skipped by cancellation.
-	for i, src := range sorted {
-		p := results[i]
-		if p.file == nil {
+	// file marks a TU whose reparse was skipped by cancellation.
+	for _, af := range art.Files {
+		if af.file == nil {
 			continue
 		}
-		u.Errors = append(u.Errors, p.errs...)
-		for name, m := range p.macros {
+		u.Errors = append(u.Errors, af.errs...)
+		for name, m := range af.Macros {
 			u.Macros[name] = m
 		}
-		u.Files = append(u.Files, p.file)
-		for _, d := range p.file.Decls {
+		u.Files = append(u.Files, af.file)
+		for _, d := range af.file.Decls {
 			switch x := d.(type) {
 			case *cast.FuncDef:
 				if x.Body != nil || u.Functions[x.Name] == nil {
-					u.Functions[x.Name] = &Function{Def: x, File: src.Path}
+					u.Functions[x.Name] = &Function{Def: x, File: af.Path}
 				}
 			case *cast.StructDecl:
 				u.Structs[x.Name] = x
@@ -436,18 +569,25 @@ func (b *Builder) BuildContext(ctx context.Context, sources []Source) *Unit {
 	}
 
 	// Phase 2: lexer-parsing discovery (§6.1) — structures, wrapper APIs,
-	// smartloops — before event extraction so events see the full DB.
-	disc := b.Obs.Child("discovery")
-	u.DiscoveredStructs = db.DiscoverStructs(u.Files)
-	u.DiscoveredAPIs = db.DiscoverAPIs(u.Files)
-	u.DiscoveredLoops = db.DiscoverLoops(u.Macros)
-	u.DiscoveredDeviations = db.DiscoverDeviations(u.Files)
-	disc.Int("structs", len(u.DiscoveredStructs)).
+	// smartloops — before event extraction so events see the full DB. The
+	// observations replay in sorted path order, reproducing exactly what a
+	// whole-corpus scan of u.Files would have registered.
+	dsp := b.Obs.Child("discovery")
+	if disc == nil {
+		d := db.Apply(art.Observations())
+		disc = &d
+	}
+	u.DiscoveredStructs = disc.Structs
+	u.DiscoveredAPIs = disc.APIs
+	u.DiscoveredLoops = disc.Loops
+	u.DiscoveredDeviations = disc.Deviations
+	dsp.Int("structs", len(u.DiscoveredStructs)).
 		Int("apis", len(u.DiscoveredAPIs)).
 		Int("loops", len(u.DiscoveredLoops)).
 		End()
 
 	// Phase 3: CFGs, events, call graph.
+	workers := fe.workers
 	sem := b.Obs.Child("semantics")
 	globals := make(map[string]bool, len(u.Globals))
 	for name := range u.Globals {

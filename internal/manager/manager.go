@@ -1,0 +1,231 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+
+	"repro/internal/apidb"
+	"repro/internal/core"
+	"repro/internal/cpg"
+	"repro/internal/obs"
+)
+
+// Config configures a multi-process run.
+type Config struct {
+	// Procs is the number of worker processes to drive (default 1). The
+	// corpus is partitioned into Procs*ChunksPerProc shards so a slow or
+	// dead worker only strands a fraction of the work.
+	Procs int
+	// WorkerCmd is the argv used to spawn each worker; the spawned process
+	// must speak the pipe protocol on stdin/stdout (e.g. `refcheck -worker`,
+	// or a test binary's argv shim). Required unless WorkerCmdFor is set.
+	WorkerCmd []string
+	// WorkerCmdFor, when non-nil, overrides WorkerCmd per worker slot —
+	// the crash-recovery tests use it to give one slot a dying worker.
+	WorkerCmdFor func(slot int) []string
+	// Workers is the per-process build parallelism sent in the init frame
+	// (0 means GOMAXPROCS in the worker).
+	Workers int
+	// Options configures the manager-side global pass (checkers, confirm,
+	// workers). Options.DB is overwritten with the exchange DB; Cache and
+	// Admit are ignored — the manager path always computes.
+	Options core.Options
+	// Trace receives manager spans and counters (manager.worker.deaths,
+	// manager.shard.requeues, manager.shard.inline); nil disables.
+	Trace *obs.Trace
+	// ChunksPerProc is the work-queue granularity multiplier (default 4).
+	ChunksPerProc int
+}
+
+// queue is the manager's shard work queue. Shards are handed out in index
+// order; a shard lost to a worker death is pushed back and handed to
+// whichever slot asks next. Remaining() after all slots exit is whatever no
+// worker completed — the manager drains those inline.
+type queue struct {
+	mu      sync.Mutex
+	pending []int
+}
+
+func (q *queue) next() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.pending) == 0 {
+		return 0, false
+	}
+	id := q.pending[0]
+	q.pending = q.pending[1:]
+	return id, true
+}
+
+func (q *queue) requeue(id int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = append(q.pending, id)
+}
+
+func (q *queue) remaining() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := append([]int(nil), q.pending...)
+	q.pending = nil
+	return out
+}
+
+// Run drives sources through the partition-then-exchange pipeline across
+// cfg.Procs worker processes and returns the same Run that core.Analyze
+// would produce for the whole corpus — byte-identical reports and summary at
+// any process count, with any workers dying mid-shard, because shard
+// artifacts are merged back into global order before a single exchange
+// (see core.Exchange).
+//
+// Fault model: a worker that dies (or writes garbage) forfeits its slot —
+// its in-flight shard is re-queued for the surviving workers, and the slot
+// is not respawned. If every worker dies, the manager itself drains the
+// queue inline via core.LocalPass, so Run degrades to a single-process
+// analysis rather than failing.
+func Run(ctx context.Context, cfg Config, sources []cpg.Source, headers map[string]string) (*core.Run, error) {
+	procs := cfg.Procs
+	if procs < 1 {
+		procs = 1
+	}
+	chunks := cfg.ChunksPerProc
+	if chunks < 1 {
+		chunks = 4
+	}
+	cmdFor := cfg.WorkerCmdFor
+	if cmdFor == nil {
+		if len(cfg.WorkerCmd) == 0 {
+			return nil, fmt.Errorf("manager: no worker command configured")
+		}
+		cmdFor = func(int) []string { return cfg.WorkerCmd }
+	}
+
+	shards := core.Partition(sources, procs*chunks)
+	reg := cfg.Trace.Reg()
+	sp := cfg.Trace.Root().Child("phase:manager")
+	sp.Int("procs", procs)
+	sp.Int("shards", len(shards))
+
+	q := &queue{pending: make([]int, len(shards))}
+	for i := range shards {
+		q.pending[i] = i
+	}
+	arts := make([]*cpg.ShardArtifact, len(shards))
+	var artsMu sync.Mutex
+	initFrame := encodeInit(initMsg{Workers: cfg.Workers, Headers: headers})
+
+	var wg sync.WaitGroup
+	for slot := 0; slot < procs; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			runSlot(ctx, cmdFor(slot), initFrame, q, shards, arts, &artsMu, reg)
+		}(slot)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		sp.End()
+		return nil, err
+	}
+
+	// Worker-of-last-resort: anything still queued (all assigned workers
+	// died, or there were more shards than worker appetite) runs inline.
+	req := core.Request{Sources: sources, Headers: headers,
+		Options: core.Options{Workers: cfg.Workers}, Trace: cfg.Trace}
+	for _, id := range q.remaining() {
+		art, err := core.LocalPass(ctx, req, shards[id])
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		arts[id] = art
+		reg.Add("manager.shard.inline", 1)
+	}
+	sp.End()
+
+	db := apidb.New()
+	merged, disc := Exchange(db, arts)
+	opt := cfg.Options
+	opt.DB = db
+	opt.Cache = nil
+	opt.Admit = nil
+	greq := core.Request{Sources: sources, Headers: headers, Options: opt, Trace: cfg.Trace}
+	return core.GlobalPass(ctx, greq, merged, disc)
+}
+
+// Exchange merges the per-shard artifacts into db (thin re-export so callers
+// of the manager package see the whole pipeline in one place).
+func Exchange(db *apidb.DB, arts []*cpg.ShardArtifact) (*cpg.ShardArtifact, apidb.Discovery) {
+	return core.Exchange(db, arts)
+}
+
+// runSlot owns one worker process: spawn, init, then lockstep shard serving
+// until the queue drains or the worker dies. On death the in-flight shard is
+// re-queued and the slot exits — surviving slots (or the inline drain)
+// absorb the remaining work.
+func runSlot(ctx context.Context, argv []string, initFrame []byte, q *queue,
+	shards [][]cpg.Source, arts []*cpg.ShardArtifact, artsMu *sync.Mutex, reg *obs.Registry) {
+
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return
+	}
+	if err := cmd.Start(); err != nil {
+		// Spawn failure is not a death — the work just stays queued for
+		// the inline drain.
+		return
+	}
+	died := func(inflight int) {
+		reg.Add("manager.worker.deaths", 1)
+		if inflight >= 0 {
+			q.requeue(inflight)
+			reg.Add("manager.shard.requeues", 1)
+		}
+		stdin.Close()
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+	if err := writeFrame(stdin, initFrame); err != nil {
+		died(-1)
+		return
+	}
+	for {
+		id, ok := q.next()
+		if !ok || ctx.Err() != nil {
+			stdin.Close()
+			cmd.Wait()
+			return
+		}
+		if err := writeFrame(stdin, encodeShard(shardMsg{ID: id, Sources: shards[id]})); err != nil {
+			died(id)
+			return
+		}
+		frame, err := readFrame(stdout)
+		if err != nil {
+			died(id)
+			return
+		}
+		msg, err := decodeArtifact(frame)
+		if err != nil || msg.ID != id {
+			died(id)
+			return
+		}
+		art, err := cpg.DecodeShardArtifact(msg.Payload)
+		if err != nil {
+			died(id)
+			return
+		}
+		artsMu.Lock()
+		arts[id] = art
+		artsMu.Unlock()
+	}
+}

@@ -1,0 +1,68 @@
+package manager
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cpg"
+)
+
+// WorkerOpts configures a worker loop.
+type WorkerOpts struct {
+	// ExitAfterShards, when positive, makes the worker call os.Exit(3)
+	// immediately after receiving its Nth shard — before replying — so its
+	// in-flight shard is lost mid-work. It is the crash-injection hook the
+	// recovery tests (and verify gate) use to exercise the manager's
+	// re-queue path with a real process death.
+	ExitAfterShards int
+}
+
+// Worker runs the worker half of the pipe protocol until r reaches EOF: read
+// the init frame, then serve shard→artifact exchanges in lockstep. Workers
+// hold no state between shards beyond the shared header map and the
+// front-end's internal caches, so the manager may hand any shard to any
+// worker in any order.
+func Worker(r io.Reader, w io.Writer, opts WorkerOpts) error {
+	first, err := readFrame(r)
+	if err != nil {
+		return fmt.Errorf("manager worker: reading init: %w", err)
+	}
+	init, err := decodeInit(first)
+	if err != nil {
+		return fmt.Errorf("manager worker: decoding init: %w", err)
+	}
+	req := core.Request{
+		Headers: init.Headers,
+		Options: core.Options{Workers: init.Workers},
+	}
+
+	received := 0
+	for {
+		frame, err := readFrame(r)
+		if err == io.EOF {
+			return nil // clean shutdown: manager closed our stdin
+		}
+		if err != nil {
+			return fmt.Errorf("manager worker: reading shard: %w", err)
+		}
+		sh, err := decodeShard(frame)
+		if err != nil {
+			return fmt.Errorf("manager worker: decoding shard: %w", err)
+		}
+		received++
+		if opts.ExitAfterShards > 0 && received == opts.ExitAfterShards {
+			os.Exit(3)
+		}
+		art, err := core.LocalPass(context.Background(), req, sh.Sources)
+		if err != nil {
+			return fmt.Errorf("manager worker: shard %d: %w", sh.ID, err)
+		}
+		reply := encodeArtifact(artifactMsg{ID: sh.ID, Payload: cpg.EncodeShardArtifact(art)})
+		if err := writeFrame(w, reply); err != nil {
+			return fmt.Errorf("manager worker: writing artifact %d: %w", sh.ID, err)
+		}
+	}
+}

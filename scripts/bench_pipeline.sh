@@ -2,8 +2,9 @@
 # bench_pipeline.sh — run the parallel-pipeline benchmark sweep, the
 # tiered-cache sweep (cold / disk-warm / l1-warm / concurrent-dedup), the
 # observability on/off pair (the tracing tax), the checker-phase timing
-# (facts-cold vs facts-warm on a prebuilt unit), and the refcheckd serving
-# path (warm reqs/s over a real HTTP round trip) and emit
+# (facts-cold vs facts-warm on a prebuilt unit), the refcheckd serving
+# path (warm reqs/s over a real HTTP round trip), and the multi-process
+# manager sweep (worker subprocesses at 1/2/4 shards) and emit
 # BENCH_pipeline.json so successive PRs can track the perf trajectory.
 #
 # Usage:
@@ -46,12 +47,12 @@ else
     : > "$PREV"
 fi
 
-go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase|BenchmarkServeHTTP)$' \
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase|BenchmarkServeHTTP|BenchmarkManagerShards)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase|ServeHTTP)\// {
+/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase|ServeHTTP|ManagerShards)\// {
     bench = $1
     sub(/\/.*$/, "", bench)
     name = $1

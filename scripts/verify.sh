@@ -91,3 +91,21 @@ if [ "$drain_status" -ne 0 ]; then
     cat "$tmp/refcheckd.log" >&2
     exit 1
 fi
+
+# Multi-process manager gate: refcheck-manager must render the demo corpus
+# byte-identically to the single-process CLI at several shard counts, and
+# again with fault injection crashing one worker mid-shard (the manager
+# re-queues the lost work onto the survivors).
+go build -o "$tmp/refcheck-manager" ./cmd/refcheck-manager
+for n in 1 3; do
+    "$tmp/refcheck-manager" -shards "$n" -demo > "$tmp/mgr-$n.txt"
+    cmp -s "$tmp/uncached.txt" "$tmp/mgr-$n.txt" || {
+        echo "verify: refcheck-manager -shards $n differs from refcheck -demo" >&2
+        exit 1
+    }
+done
+"$tmp/refcheck-manager" -shards 3 -kill-worker-after 1 -demo > "$tmp/mgr-kill.txt"
+cmp -s "$tmp/uncached.txt" "$tmp/mgr-kill.txt" || {
+    echo "verify: refcheck-manager with a crashed worker differs from refcheck -demo" >&2
+    exit 1
+}
