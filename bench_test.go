@@ -12,7 +12,9 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/analysiscache"
 	"repro/internal/apidb"
@@ -55,7 +57,7 @@ var (
 
 func history() *gitlog.History {
 	histOnce.Do(func() {
-		hist = gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 6000})
+		hist = gitlog.Generate(corpus.Spec{Seed: 1, Background: 6000})
 	})
 	return hist
 }
@@ -382,6 +384,69 @@ func BenchmarkPipelineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineLarge runs the uncached pipeline over a Scale-6 corpus
+// (~1800 files, ~50 KLOC — the same shape `refgen -scale` emits, just small
+// enough for a benchmark loop) and reports peak_heap_mb, the maximum heap
+// in use sampled during the run. This is the number the streaming front end
+// bounds: tokens are released per translation unit as ASTs replace them, so
+// peak memory tracks per-TU working set plus ASTs, not whole-corpus token
+// streams. BENCH_pipeline.json records it so a regression back to
+// whole-corpus retention is loud.
+func BenchmarkPipelineLarge(b *testing.B) {
+	c := corpus.Generate(corpus.Spec{Seed: 1, Scale: 6})
+	sources := make([]cpg.Source, len(c.Files))
+	bytes := 0
+	for i, f := range c.Files {
+		sources[i] = cpg.Source{Path: f.Path, Content: f.Content}
+		bytes += len(f.Content)
+	}
+	headers := map[string]string{}
+	for p, s := range c.Headers {
+		headers[p] = s
+	}
+
+	// Peak-heap sampler: poll HeapInuse while the pipeline runs. Sampling
+	// (vs a single post-run read) catches the mid-run maximum, which is the
+	// quantity streaming is supposed to bound.
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			runtime.ReadMemStats(&ms)
+			for {
+				cur := peak.Load()
+				if ms.HeapInuse <= cur || peak.CompareAndSwap(cur, ms.HeapInuse) {
+					break
+				}
+			}
+		}
+	}()
+
+	b.SetBytes(int64(bytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var reports []core.Report
+	for i := 0; i < b.N; i++ {
+		run := benchAnalyze(b, sources, headers, core.Options{Confirm: true})
+		reports = run.Reports
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(peak.Load())/(1<<20), "peak_heap_mb")
+	b.ReportMetric(float64(len(reports)), "reports")
+	b.ReportMetric(float64(len(sources)), "files")
+}
+
 // BenchmarkPipelineCache measures the tiered analysis cache end to end:
 // "cold" runs the full pipeline into a fresh cache directory every iteration
 // (the write-through overhead, now batched into per-shard pack files);
@@ -650,7 +715,7 @@ func BenchmarkCheckerScaling(b *testing.B) {
 // Table 3 signal strengthens (and costs grow) with more commit text.
 func BenchmarkWord2VecScaling(b *testing.B) {
 	for _, bg := range []int{1000, 4000} {
-		h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: bg})
+		h := gitlog.Generate(corpus.Spec{Seed: 1, Background: bg})
 		b.Run(fmt.Sprintf("background=%d", bg), func(b *testing.B) {
 			var t3 study.Table3
 			for i := 0; i < b.N; i++ {

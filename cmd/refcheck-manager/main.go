@@ -11,7 +11,9 @@
 // With no DIR arguments, -demo is implied. Workers are spawned by
 // re-executing this binary with -worker (override the executable with
 // -worker-bin, e.g. to point at a `refcheck` build — both speak the same
-// pipe protocol).
+// pipe protocol). With -cache, every worker opens the shared tiered cache
+// and serves per-file front-end entries from it, so a second manager run
+// over the same tree skips preprocessing shard by shard.
 package main
 
 import (
@@ -25,26 +27,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliopts"
 	"repro/internal/core"
-	"repro/internal/corpus"
-	"repro/internal/cpg"
-	"repro/internal/loader"
 	"repro/internal/manager"
-	"repro/internal/obs"
 	"repro/internal/render"
 )
 
 func main() {
-	demo := flag.Bool("demo", false, "check the built-in synthetic kernel corpus")
-	asJSON := flag.Bool("json", false, "emit reports as JSON")
-	pattern := flag.String("pattern", "", "only report this anti-pattern (P1..P9)")
-	seed := flag.Int64("seed", 1, "corpus seed for -demo")
+	var opts cliopts.Opts
+	opts.Register(flag.CommandLine, cliopts.Demo|cliopts.Render|cliopts.Workers|cliopts.Checkers|cliopts.Cache|cliopts.Verbose)
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "number of worker processes; output is identical at any setting")
-	workers := flag.Int("workers", 0, "per-process pipeline parallelism (0 = GOMAXPROCS)")
-	checkersFlag := flag.String("checkers", "", "comma-separated checker subset to run (e.g. P1,P4); default: all registered checkers")
 	workerBin := flag.String("worker-bin", "", "worker executable (default: this binary); it is invoked with -worker")
 	killAfter := flag.Int("kill-worker-after", 0, "fault injection: make the first worker crash after receiving its Nth shard (output must be unchanged)")
-	verbose := flag.Bool("v", false, "print elapsed wall time and worker statistics to stderr")
 	workerMode := flag.Bool("worker", false, "run as an analysis worker on stdin/stdout")
 	workerExitAfter := flag.Int("worker-exit-after", 0, "with -worker: crash after receiving the Nth shard")
 	flag.Parse()
@@ -58,27 +52,13 @@ func main() {
 		return
 	}
 
-	var sources []cpg.Source
-	headers := map[string]string{}
-	if *demo || flag.NArg() == 0 {
-		c := corpus.Generate(corpus.Spec{Seed: *seed})
-		for _, f := range c.Files {
-			sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
-		}
-		for p, s := range c.Headers {
-			headers[p] = s
-		}
-	} else {
-		tree, err := loader.LoadDirs(flag.Args()...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
-			os.Exit(1)
-		}
-		sources = tree.Sources
-		headers = tree.Headers
+	sources, headers, err := opts.Sources(flag.Args(), true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
+		os.Exit(1)
 	}
 
-	selected, err := core.ParsePatterns(*checkersFlag)
+	selected, err := opts.Selected()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
 		fmt.Fprintln(os.Stderr, "usage: refcheck-manager -checkers P1,P4 ...")
@@ -97,8 +77,10 @@ func main() {
 	cfg := manager.Config{
 		Procs:     *shards,
 		WorkerCmd: []string{bin, "-worker"},
-		Workers:   *workers,
-		Options:   core.Options{Workers: *workers, Checkers: selected},
+		Workers:   opts.Workers,
+		CacheDir:  opts.CacheDir,
+		CacheMem:  opts.CacheMem,
+		Options:   core.Options{Workers: opts.Workers, Checkers: selected},
 	}
 	if *killAfter > 0 {
 		dying := []string{bin, "-worker", "-worker-exit-after", fmt.Sprint(*killAfter)}
@@ -109,10 +91,7 @@ func main() {
 			return cfg.WorkerCmd
 		}
 	}
-	tr := obs.Nop()
-	if *verbose {
-		tr = obs.New("refcheck-manager")
-	}
+	tr := opts.Trace("refcheck-manager")
 	cfg.Trace = tr
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -137,7 +116,7 @@ func main() {
 		}
 	}
 
-	if *verbose {
+	if opts.Verbose {
 		stats := tr.Reg().Snapshot()
 		fmt.Fprintf(os.Stderr, "refcheck-manager: analyzed %d files in %v (%.1f files/sec, shards=%d)\n",
 			len(sources), elapsed.Round(time.Millisecond),
@@ -145,10 +124,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "refcheck-manager: workers: %d deaths, %d shards re-queued, %d drained inline\n",
 			stats.Counters["manager.worker.deaths"], stats.Counters["manager.shard.requeues"],
 			stats.Counters["manager.shard.inline"])
+		if opts.CacheDir != "" {
+			fmt.Fprintf(os.Stderr, "refcheck-manager: front-end cache: %d hits, %d misses across workers\n",
+				stats.Counters["manager.frontend.hit"], stats.Counters["manager.frontend.miss"])
+		}
 	}
 
-	reports := render.FilterPattern(run.Reports, *pattern)
-	if *asJSON {
+	reports := render.FilterPattern(run.Reports, opts.Pattern)
+	if opts.JSON {
 		if err := render.WriteJSON(os.Stdout, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck-manager: %v\n", err)
 			os.Exit(1)

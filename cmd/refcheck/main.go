@@ -5,12 +5,15 @@
 //
 //	refcheck [-json] [-pattern P4] DIR...
 //	refcheck -demo
+//	refcheck -watch DIR...
 //	refcheck -worker
 //
 // DIR arguments are scanned recursively for .c and .h files; -demo checks
-// the built-in synthetic kernel corpus instead. -worker turns the process
-// into a shard-analysis worker speaking the refcheck-manager pipe protocol
-// on stdin/stdout (see cmd/refcheck-manager).
+// the built-in synthetic kernel corpus instead. -watch re-analyzes the
+// directories whenever a source file changes (mtime polling), reusing the
+// warm tiered cache so an edit loop costs one file's recompute. -worker
+// turns the process into a shard-analysis worker speaking the
+// refcheck-manager pipe protocol on stdin/stdout (see cmd/refcheck-manager).
 package main
 
 import (
@@ -31,40 +34,32 @@ import (
 
 	"repro/internal/analysiscache"
 	"repro/internal/apidb"
+	"repro/internal/cliopts"
 	"repro/internal/core"
-	"repro/internal/corpus"
-	"repro/internal/cpg"
 	"repro/internal/difftest"
-	"repro/internal/loader"
 	"repro/internal/manager"
-	"repro/internal/obs"
 	"repro/internal/patch"
 	"repro/internal/poc"
 	"repro/internal/render"
 )
 
 func main() {
-	demo := flag.Bool("demo", false, "check the built-in synthetic kernel corpus")
-	asJSON := flag.Bool("json", false, "emit reports as JSON")
-	pattern := flag.String("pattern", "", "only report this anti-pattern (P1..P9)")
-	seed := flag.Int64("seed", 1, "corpus seed for -demo")
+	var opts cliopts.Opts
+	opts.Register(flag.CommandLine, cliopts.Analysis)
 	fixDir := flag.String("fix", "", "write generated fix patches (unified diffs) into this directory")
 	pocDir := flag.String("poc", "", "write use-after-decrease proof-of-concept harnesses into this directory")
 	apidbPath := flag.String("apidb", "", "JSON knowledge-base extension file (see `refcheck -dump-apidb`)")
 	dumpAPIDB := flag.Bool("dump-apidb", false, "print the seeded knowledge base as JSON and exit")
 	selftest := flag.Bool("selftest", false, "re-analyze the golden corpus and verify reports and scores against the copies embedded at build time")
-	workers := flag.Int("workers", 0, "pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); output is identical at any setting")
-	checkersFlag := flag.String("checkers", "", "comma-separated checker subset to run (e.g. P1,P4); default: all registered checkers")
-	verbose := flag.Bool("v", false, "print elapsed wall time, files/sec and cache statistics to stderr")
-	cacheDir := flag.String("cache", "", "incremental analysis cache directory (reports are identical with or without it)")
-	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB for -cache (0 disables the memory tier)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after analysis) to this file")
-	statsJSON := flag.String("stats-json", "", "write the run's span/counter statistics as JSON to this file")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (load in Perfetto or chrome://tracing)")
 	pprofHTTP := flag.String("pprof-http", "", "serve net/http/pprof on this address (e.g. localhost:6060) for the lifetime of the run")
 	workerMode := flag.Bool("worker", false, "run as a refcheck-manager analysis worker on stdin/stdout")
 	workerExitAfter := flag.Int("worker-exit-after", 0, "with -worker: crash after receiving the Nth shard (recovery-gate fault injection)")
+	watchMode := flag.Bool("watch", false, "poll DIR... for changes and re-analyze on edit (pairs with -cache for incremental runs)")
+	watchInterval := flag.Duration("watch-interval", time.Second, "with -watch: polling interval")
+	watchRuns := flag.Int("watch-runs", 0, "with -watch: exit after N analysis runs (0 = run until interrupted)")
+	watchOut := flag.String("watch-out", "", "with -watch: write each run's reports atomically to this file instead of stdout")
 	flag.Parse()
 
 	if *workerMode {
@@ -98,12 +93,9 @@ func main() {
 		// as BENCH_quality.json); either way drift from the embedded golden
 		// artifacts is a non-zero exit. A trace may be attached, proving
 		// the golden artifacts are identical with observability enabled.
-		tr := obs.Nop()
-		if *traceOut != "" || *statsJSON != "" || *verbose {
-			tr = obs.New("refcheck-selftest")
-		}
-		err := difftest.SelftestTrace(os.Stdout, *asJSON, tr)
-		exportObs(tr, *verbose, *statsJSON, *traceOut)
+		tr := opts.Trace("refcheck-selftest")
+		err := difftest.SelftestTrace(os.Stdout, opts.JSON, tr)
+		opts.Export("refcheck", tr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
@@ -111,64 +103,33 @@ func main() {
 		return
 	}
 
-	var sources []cpg.Source
-	headers := map[string]string{}
-
-	if *demo {
-		c := corpus.Generate(corpus.Spec{Seed: *seed})
-		for _, f := range c.Files {
-			sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
-		}
-		for p, s := range c.Headers {
-			headers[p] = s
-		}
-	} else {
-		if flag.NArg() == 0 {
-			fmt.Fprintln(os.Stderr, "usage: refcheck [-json] [-pattern Pn] DIR... | refcheck -demo")
-			os.Exit(2)
-		}
-		tree, err := loader.LoadDirs(flag.Args()...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
-			os.Exit(1)
-		}
-		sources = tree.Sources
-		headers = tree.Headers
+	if *watchMode {
+		code := runWatch(&opts, flag.Args(), *apidbPath, *watchInterval, *watchRuns, *watchOut)
+		os.Exit(code)
 	}
 
-	db := apidb.New()
-	configFP := ""
-	if *apidbPath != "" {
-		// The extension file changes what the checkers look for, so its
-		// content is folded into every cache key.
-		data, err := os.ReadFile(*apidbPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
-			os.Exit(1)
-		}
-		configFP = analysiscache.KeyOf("apidb-ext", string(data))
-		if err := db.LoadExtensions(strings.NewReader(string(data))); err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
-	selected, err := core.ParsePatterns(*checkersFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
-		fmt.Fprintln(os.Stderr, "usage: refcheck -checkers P1,P4 ...")
+	if !opts.Demo && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: refcheck [-json] [-pattern Pn] DIR... | refcheck -demo")
 		os.Exit(2)
 	}
-
-	opt := core.Options{Workers: *workers, DB: db, ConfigFP: configFP, Checkers: selected}
-	if *cacheDir != "" {
-		c, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
-		if err != nil {
+	req, cache, err := opts.ToRequest("refcheck", flag.Args(), false)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownPattern) {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "usage: refcheck -checkers P1,P4 ...")
+			os.Exit(2)
 		}
-		opt.Cache = c
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		os.Exit(1)
 	}
+
+	db, configFP, err := loadAPIDB(*apidbPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		os.Exit(1)
+	}
+	req.Options.DB = db
+	req.Options.ConfigFP = configFP
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -182,24 +143,15 @@ func main() {
 		}
 	}
 
-	// Observability costs nothing when disabled, so the trace is created
-	// only when some consumer (-v, -stats-json, -trace-out) wants it.
-	tr := obs.Nop()
-	if *verbose || *statsJSON != "" || *traceOut != "" {
-		tr = obs.New("refcheck")
-	}
-
 	// Interrupts cancel the pipeline at the next phase or work-queue
 	// boundary: the workers drain, and the partial run is discarded.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	start := time.Now()
-	run, err := core.Analyze(ctx, core.Request{
-		Sources: sources, Headers: headers, Options: opt, Trace: tr,
-	})
+	run, err := core.Analyze(ctx, req)
 	elapsed := time.Since(start)
-	tr.Done()
+	req.Trace.Done()
 	if err != nil {
 		switch {
 		case errors.Is(err, core.ErrUnknownPattern):
@@ -215,11 +167,11 @@ func main() {
 		}
 	}
 	reports := run.Reports
-	if opt.Cache != nil {
+	if cache != nil {
 		// Analyze already flushed its own writes; Close catches anything
 		// still pending and surfaces disk-tier failures that silently
 		// degraded to misses during the run.
-		if err := opt.Cache.Close(); err != nil {
+		if err := cache.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: cache flush: %v\n", err)
 		}
 	}
@@ -241,36 +193,19 @@ func main() {
 		f.Close()
 	}
 
-	if *verbose {
+	if opts.Verbose {
 		fmt.Fprintf(os.Stderr, "refcheck: analyzed %d files in %v (%.1f files/sec, workers=%d)\n",
-			len(sources), elapsed.Round(time.Millisecond),
-			float64(len(sources))/elapsed.Seconds(), *workers)
-		if opt.Cache != nil {
-			if run.Metric("cache.unit.hit") > 0 {
-				fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n",
-					run.Metric("pipeline.files_skipped"))
-			} else {
-				factsState := "miss"
-				if run.Metric("cache.facts.hit") > 0 {
-					factsState = "hit"
-				}
-				fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; facts %s; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
-					factsState, run.Metric("frontend.cache.hit"), run.Metric("frontend.cache.miss"),
-					run.Metric("frontend.cache.hit"))
-			}
-			st := opt.Cache.Stats()
-			fmt.Fprintf(os.Stderr, "refcheck: cache: L1 %d hits, %d misses, %d evictions (%d entries, %.1f MB resident); L2 %d batch flushes (%d entries); single-flight %d led, %d waited\n",
-				run.Metric("cache.l1.hit"), run.Metric("cache.l1.miss"), run.Metric("cache.l1.evict"),
-				st.L1Entries, float64(st.L1Bytes)/(1<<20),
-				run.Metric("cache.l2.batch.flushes"), run.Metric("cache.l2.batch.entries"),
-				run.Metric("cache.singleflight.leader"), run.Metric("cache.singleflight.wait"))
+			len(req.Sources), elapsed.Round(time.Millisecond),
+			float64(len(req.Sources))/elapsed.Seconds(), opts.Workers)
+		if cache != nil {
+			printCacheStats(run, cache)
 		}
 	}
-	exportObs(tr, *verbose, *statsJSON, *traceOut)
+	opts.Export("refcheck", req.Trace)
 
-	reports = render.FilterPattern(reports, *pattern)
+	reports = render.FilterPattern(reports, opts.Pattern)
 
-	if *asJSON {
+	if opts.JSON {
 		if err := render.WriteJSON(os.Stdout, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
 			os.Exit(1)
@@ -282,7 +217,7 @@ func main() {
 
 	if *fixDir != "" {
 		contentOf := map[string]string{}
-		for _, src := range sources {
+		for _, src := range req.Sources {
 			contentOf[src.Path] = src.Content
 		}
 		if err := os.MkdirAll(*fixDir, 0o755); err != nil {
@@ -334,39 +269,42 @@ func main() {
 	render.WriteSummary(os.Stdout, reports, run.Summary)
 }
 
-// exportObs drains a finished trace to the configured sinks: a human phase +
-// metric summary on stderr (-v), span/counter statistics as JSON
-// (-stats-json), and a Chrome trace-event file (-trace-out). All three are
-// no-ops on an obs.Nop() trace.
-func exportObs(tr *obs.Trace, verbose bool, statsJSON, traceOut string) {
-	tr.Done()
-	if verbose {
-		obs.WriteSummary(os.Stderr, tr)
+// loadAPIDB builds the knowledge base, folding an optional -apidb extension
+// file into the returned config fingerprint (the extension changes what the
+// checkers look for, so it must key the cache).
+func loadAPIDB(path string) (*apidb.DB, string, error) {
+	db := apidb.New()
+	if path == "" {
+		return db, "", nil
 	}
-	if statsJSON != "" {
-		f, err := os.Create(statsJSON)
-		if err == nil {
-			err = obs.WriteStatsJSON(f, tr)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck: stats-json: %v\n", err)
-			os.Exit(1)
-		}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err == nil {
-			err = obs.WriteChromeTrace(f, tr)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "refcheck: trace-out: %v\n", err)
-			os.Exit(1)
-		}
+	if err := db.LoadExtensions(strings.NewReader(string(data))); err != nil {
+		return nil, "", err
 	}
+	return db, analysiscache.KeyOf("apidb-ext", string(data)), nil
+}
+
+// printCacheStats renders the tiered-cache statistics block of -v.
+func printCacheStats(run *core.Run, cache *analysiscache.Cache) {
+	if run.Metric("cache.unit.hit") > 0 {
+		fmt.Fprintf(os.Stderr, "refcheck: cache: unit hit — skipped analysis of all %d files\n",
+			run.Metric("pipeline.files_skipped"))
+	} else {
+		factsState := "miss"
+		if run.Metric("cache.facts.hit") > 0 {
+			factsState = "hit"
+		}
+		fmt.Fprintf(os.Stderr, "refcheck: cache: unit miss; facts %s; front end: %d hits, %d misses (%d files skipped preprocessing)\n",
+			factsState, run.Metric("frontend.cache.hit"), run.Metric("frontend.cache.miss"),
+			run.Metric("frontend.cache.hit"))
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "refcheck: cache: L1 %d hits, %d misses, %d evictions (%d entries, %.1f MB resident); L2 %d batch flushes (%d entries); single-flight %d led, %d waited\n",
+		run.Metric("cache.l1.hit"), run.Metric("cache.l1.miss"), run.Metric("cache.l1.evict"),
+		st.L1Entries, float64(st.L1Bytes)/(1<<20),
+		run.Metric("cache.l2.batch.flushes"), run.Metric("cache.l2.batch.entries"),
+		run.Metric("cache.singleflight.leader"), run.Metric("cache.singleflight.wait"))
 }

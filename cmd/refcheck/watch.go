@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/cliopts"
+	"repro/internal/core"
+	"repro/internal/loader"
+	"repro/internal/obs"
+	"repro/internal/render"
+	"repro/internal/watch"
+)
+
+// runWatch is the -watch mode: poll the directories for source changes and
+// re-analyze on every edit. The tiered cache handle (when -cache is set)
+// stays open across runs, so after the first analysis an edit re-runs the
+// front end for exactly the changed files — while the rendered output of
+// every run is byte-identical to a fresh cold run over the same tree.
+func runWatch(opts *cliopts.Opts, dirs []string, apidbPath string, interval time.Duration, maxRuns int, outFile string) int {
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: refcheck -watch DIR...")
+		return 2
+	}
+	selected, err := opts.Selected()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		return 2
+	}
+	cache, err := opts.OpenCache()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		return 1
+	}
+	defer func() {
+		if cache != nil {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "refcheck: cache flush: %v\n", err)
+			}
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runs := 0
+	runOnce := func(changed []string) error {
+		tree, err := loader.LoadDirs(dirs...)
+		if err != nil {
+			return err
+		}
+		// Discovery extends the knowledge base in place, so every run gets
+		// a fresh DB — identical inputs must render identical bytes whether
+		// this is run 1 or run 100.
+		db, configFP, err := loadAPIDB(apidbPath)
+		if err != nil {
+			return err
+		}
+		req := core.Request{
+			Sources: tree.Sources,
+			Headers: tree.Headers,
+			Options: core.Options{
+				Workers: opts.Workers, Checkers: selected,
+				Cache: cache, DB: db, ConfigFP: configFP,
+			},
+			// Always a real trace (not opts.Trace's conditional): the status
+			// line below reads the front-end hit/miss counters from it.
+			Trace: obs.New("refcheck-watch"),
+		}
+		start := time.Now()
+		run, err := core.Analyze(ctx, req)
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		runs++
+
+		var buf bytes.Buffer
+		reports := render.FilterPattern(run.Reports, opts.Pattern)
+		if opts.JSON {
+			if err := render.WriteJSON(&buf, reports); err != nil {
+				return err
+			}
+		} else {
+			render.WriteReports(&buf, reports)
+			render.WriteSummary(&buf, reports, run.Summary)
+		}
+		if outFile != "" {
+			if err := writeAtomic(outFile, buf.Bytes()); err != nil {
+				return err
+			}
+		} else {
+			os.Stdout.Write(buf.Bytes())
+		}
+
+		what := "initial scan"
+		if changed != nil {
+			what = fmt.Sprintf("%d files changed", len(changed))
+		}
+		fmt.Fprintf(os.Stderr, "refcheck: watch: run %d (%s): %d files, %d reports in %v (front end: %d hits, %d misses)\n",
+			runs, what, len(tree.Sources), len(reports), elapsed.Round(time.Millisecond),
+			run.Metric("frontend.cache.hit"), run.Metric("frontend.cache.miss"))
+		opts.Export("refcheck", req.Trace)
+		return nil
+	}
+
+	err = watch.Watch(ctx, watch.Config{
+		Roots:    dirs,
+		Interval: interval,
+		MaxRuns:  maxRuns,
+		Run:      runOnce,
+	})
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "refcheck: watch: done after %d runs\n", runs)
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "refcheck: %v\n", err)
+		return 1
+	}
+}
+
+// writeAtomic writes data to path via a same-directory temp file + rename,
+// so readers of -watch-out never observe a torn report.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".refcheck-watch-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), path)
+}

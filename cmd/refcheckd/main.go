@@ -38,17 +38,19 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/analysiscache"
+	"repro/internal/cliopts"
 	"repro/internal/loader"
 	"repro/internal/serve"
 )
 
 func main() {
+	// The shared flag surface covers both roles: Workers/Cache configure
+	// the server's pipeline and tiered cache, Demo/Render/Checkers shape a
+	// client-mode analyze request.
+	var opts cliopts.Opts
+	opts.Register(flag.CommandLine, cliopts.Demo|cliopts.Render|cliopts.Workers|cliopts.Checkers|cliopts.Cache)
 	addr := flag.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for harnesses that pass port 0)")
-	cacheDir := flag.String("cache", "", "tiered analysis cache directory shared by all requests")
-	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB (0 disables the memory tier)")
-	workers := flag.Int("workers", 0, "default per-request pipeline parallelism (0 = GOMAXPROCS)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max concurrently computing requests (0 = GOMAXPROCS); cache hits are unbounded")
 	queue := flag.Int("queue", serve.DefaultQueue, "max computations waiting for a slot before 429s")
 	timeout := flag.Duration("timeout", 0, "default per-request deadline when the request sets none (0 = none)")
@@ -57,11 +59,6 @@ func main() {
 
 	post := flag.String("post", "", "client mode: POST an analyze request to this URL and print the response output")
 	get := flag.String("get", "", "client mode: GET this URL and print the body")
-	demo := flag.Bool("demo", false, "client mode: analyze the built-in synthetic kernel corpus")
-	seed := flag.Int64("seed", 1, "client mode: corpus seed for -demo")
-	asJSON := flag.Bool("json", false, "client mode: request the refcheck -json report array")
-	checkersFlag := flag.String("checkers", "", "client mode: comma-separated checker subset (e.g. P1,P4)")
-	pattern := flag.String("pattern", "", "client mode: only report this anti-pattern (P1..P9)")
 	confirm := flag.Bool("confirm", false, "client mode: replay witnesses through refsim")
 	reqTimeout := flag.Int64("timeout-ms", 0, "client mode: per-request deadline in milliseconds")
 	flag.Parse()
@@ -71,26 +68,22 @@ func main() {
 		return
 	}
 	if *post != "" {
-		clientPost(*post, *demo, *seed, *asJSON, *checkersFlag, *pattern, *confirm, *reqTimeout, flag.Args())
+		clientPost(*post, opts.Demo, opts.Seed, opts.JSON, opts.Checkers, opts.Pattern, *confirm, *reqTimeout, flag.Args())
 		return
 	}
 
 	cfg := serve.Config{
-		Workers:        *workers,
+		Workers:        opts.Workers,
 		MaxConcurrent:  *maxConcurrent,
 		Queue:          *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	}
-	var cache *analysiscache.Cache
-	if *cacheDir != "" {
-		c, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		cache = c
-		cfg.Cache = c
+	cache, err := opts.OpenCache()
+	if err != nil {
+		fatalf("%v", err)
 	}
+	cfg.Cache = cache
 	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)

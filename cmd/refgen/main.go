@@ -3,7 +3,17 @@
 //
 // Usage:
 //
-//	refgen -out DIR [-seed N]
+//	refgen -out DIR [-seed N] [-scale N] [-releases N]
+//
+// With -releases 1 (the default) the tree is written directly under -out,
+// exactly as previous versions did. With -releases N > 1 the corpus evolves
+// across N release snapshots named after the calibrated kernel timeline
+// (gitlog.ReleaseTags): each release's tree is written under
+// DIR/<tag>/, bug lifetimes span release ranges, and a single cross-release
+// GROUND_TRUTH.tsv at the top level records every bug with its intro/fix
+// release. -scale multiplies the workload (every plan module emitted N
+// times), so `refgen -scale 100 -releases 5` is a kernel-scale multi-release
+// corpus.
 package main
 
 import (
@@ -12,48 +22,107 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/cliopts"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
+	"repro/internal/gitlog"
 	"repro/internal/loader"
 )
 
 func main() {
+	var opts cliopts.Opts
+	opts.Register(flag.CommandLine, cliopts.Scale)
 	out := flag.String("out", "", "output directory (required)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	flag.Parse()
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "usage: refgen -out DIR [-seed N]")
+		fmt.Fprintln(os.Stderr, "usage: refgen -out DIR [-seed N] [-scale N] [-releases N]")
 		os.Exit(2)
 	}
 
-	c := corpus.Generate(corpus.Spec{Seed: *seed})
-	var sources []cpg.Source
+	spec := corpus.Spec{Seed: *seed, Scale: opts.ScaleN, Releases: opts.Releases}
+
+	if opts.Releases <= 1 {
+		c := corpus.Generate(spec)
+		if err := writeCorpus(*out, c); err != nil {
+			fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeTruth(filepath.Join(*out, "GROUND_TRUTH.tsv"), c.Planned, c.Baits, nil, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d files (%.1f KLOC), %d planned bugs, %d baits to %s\n",
+			len(c.Files)+len(c.Headers), c.KLOC(), len(c.Planned), len(c.Baits), *out)
+		return
+	}
+
+	rs := corpus.GenerateReleases(spec, gitlog.ReleaseTags(opts.Releases))
+	truth := rs.Truth()
+	totalFiles := 0
+	// One release at a time: At(r) regenerates the snapshot on demand, so a
+	// 100×-scaled 5-release corpus never needs every tree in memory.
+	for r, tag := range rs.Tags {
+		c := rs.At(r)
+		if err := writeCorpus(filepath.Join(*out, tag), c); err != nil {
+			fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+			os.Exit(1)
+		}
+		totalFiles += len(c.Files) + len(c.Headers)
+		fmt.Printf("release %-8s %d files, %d live bugs, %d baits\n",
+			tag, len(c.Files), len(c.Planned), len(c.Baits))
+	}
+	// The cross-release manifest: every seeded bug once, with its lifetime.
+	last := rs.At(len(rs.Tags) - 1)
+	if err := writeTruth(filepath.Join(*out, "GROUND_TRUTH.tsv"), nil, last.Baits, truth, rs.Tags); err != nil {
+		fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d releases (%d files total), %d seeded bugs to %s\n",
+		len(rs.Tags), totalFiles, len(truth), *out)
+}
+
+func writeCorpus(dir string, c *corpus.Corpus) error {
+	sources := make([]cpg.Source, 0, len(c.Files))
 	for _, f := range c.Files {
 		sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
 	}
-	if err := loader.WriteTree(*out, sources, c.Headers); err != nil {
-		fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
-		os.Exit(1)
-	}
+	return loader.WriteTree(dir, sources, c.Headers)
+}
 
-	// Ground truth manifest for external scoring.
-	manifest := filepath.Join(*out, "GROUND_TRUTH.tsv")
-	fh, err := os.Create(manifest)
+// writeTruth writes the ground-truth manifest. In single-release mode
+// (releaseBugs nil) the format is unchanged from previous refgen versions.
+// In multi-release mode two columns are appended — the tag of the release
+// that introduced the bug and of the one that fixed it ("-" when the fix
+// falls outside the window) — and each bug's file path is relative to its
+// release directory (paths are release-invariant).
+func writeTruth(path string, bugs []corpus.PlannedBug, baits []corpus.FalsePositiveBait, releaseBugs []corpus.ReleaseBug, tags []string) error {
+	fh, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "refgen: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	defer fh.Close()
-	fmt.Fprintln(fh, "pattern\tkind\timpact\tsubsystem\tmodule\tfile\tfunction\tapi")
-	for _, b := range c.Planned {
-		fmt.Fprintf(fh, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-			b.Pattern, b.Kind, b.Impact, b.Subsystem, b.Module, b.File, b.Function, b.API)
+	if releaseBugs == nil {
+		fmt.Fprintln(fh, "pattern\tkind\timpact\tsubsystem\tmodule\tfile\tfunction\tapi")
+		for _, b := range bugs {
+			fmt.Fprintf(fh, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				b.Pattern, b.Kind, b.Impact, b.Subsystem, b.Module, b.File, b.Function, b.API)
+		}
+	} else {
+		fmt.Fprintln(fh, "pattern\tkind\timpact\tsubsystem\tmodule\tfile\tfunction\tapi\tintro\tfix")
+		for _, b := range releaseBugs {
+			fix := "-"
+			if b.Fix < len(tags) {
+				fix = tags[b.Fix]
+			}
+			fmt.Fprintf(fh, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+				b.Pattern, b.Kind, b.Impact, b.Subsystem, b.Module, b.File, b.Function, b.API,
+				tags[b.Intro], fix)
+		}
 	}
-	for _, bait := range c.Baits {
+	for _, bait := range baits {
 		fmt.Fprintf(fh, "FP-bait\t\t\t%s\t%s\t%s\t%s\t\n",
 			bait.Subsystem, bait.Module, bait.File, bait.Function)
 	}
-
-	fmt.Printf("wrote %d files (%.1f KLOC), %d planned bugs, %d baits to %s\n",
-		len(c.Files)+len(c.Headers), c.KLOC(), len(c.Planned), len(c.Baits), *out)
+	return nil
 }

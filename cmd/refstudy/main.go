@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/apidb"
+	"repro/internal/corpus"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
 	"repro/internal/render"
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	seed := flag.Uint64("seed", 1, "history seed")
+	seed := flag.Int64("seed", 1, "history seed")
 	background := flag.Int("background", 0, "background commit count (0 = calibrated default)")
 	table3 := flag.Bool("table3", false, "also train word2vec and print Table 3")
 	formatFlag := flag.String("format", "text", "output format: text, markdown or csv")
@@ -36,7 +37,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	h := gitlog.Generate(gitlog.GenSpec{Seed: *seed, Background: *background})
+	h := gitlog.Generate(corpus.Spec{Seed: *seed, Background: *background})
 	res := mine.Mine(h, apidb.New())
 	s := study.New(h, res)
 

@@ -15,28 +15,24 @@ import (
 	"sort"
 	"text/tabwriter"
 
-	"repro/internal/analysiscache"
 	"repro/internal/apidb"
+	"repro/internal/cliopts"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cpg"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
-	"repro/internal/obs"
 	"repro/internal/study"
 	"repro/internal/word2vec"
 )
 
 func main() {
+	var opts cliopts.Opts
+	opts.Register(flag.CommandLine, cliopts.Workers|cliopts.Checkers|cliopts.Cache|cliopts.Stats)
 	fast := flag.Bool("fast", false, "smaller background history (quicker word2vec)")
-	workers := flag.Int("workers", 0, "detection-pipeline parallelism (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
-	cacheDir := flag.String("cache", "", "incremental analysis cache directory for the detection pipeline (results are identical with or without it)")
-	cacheMem := flag.Int("cache-mem", 64, "in-memory cache tier budget in MB for -cache (0 disables the memory tier)")
-	checkersFlag := flag.String("checkers", "", "comma-separated checker subset for the detection pipeline (e.g. P1,P4); default: all registered checkers")
-	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the detection pipeline to FILE (load in Perfetto / chrome://tracing)")
 	flag.Parse()
 
-	selected, err := core.ParsePatterns(*checkersFlag)
+	selected, err := opts.Selected()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(2)
@@ -51,7 +47,7 @@ func main() {
 	fmt.Println()
 
 	// ---------- historical study ----------
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: background})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: background})
 	res := mine.Mine(h, apidb.New())
 	s := study.New(h, res)
 
@@ -145,19 +141,14 @@ func main() {
 	for _, f := range c.Files {
 		sources = append(sources, cpg.Source{Path: f.Path, Content: f.Content})
 	}
-	opt := core.Options{Workers: *workers, Checkers: selected}
-	if *cacheDir != "" {
-		cache, err := analysiscache.Open(*cacheDir, analysiscache.WithMemory(int64(*cacheMem)<<20))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
-			os.Exit(1)
-		}
-		opt.Cache = cache
+	opt := core.Options{Workers: opts.Workers, Checkers: selected}
+	cache, err := opts.OpenCache()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+		os.Exit(1)
 	}
-	var tr *obs.Trace
-	if *traceOut != "" {
-		tr = obs.New("reproduce")
-	}
+	opt.Cache = cache
+	tr := opts.Trace("reproduce")
 	run, err := core.Analyze(context.Background(), core.Request{
 		Sources: sources, Headers: c.Headers, Options: opt, Trace: tr,
 	})
@@ -165,27 +156,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
 		os.Exit(1)
 	}
-	if *traceOut != "" {
-		tr.Done()
-		f, err := os.Create(*traceOut)
-		if err == nil {
-			err = obs.WriteChromeTrace(f, tr)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: writing trace: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	opts.Export("reproduce", tr)
 	reports := run.Reports
-	if opt.Cache != nil {
-		if err := opt.Cache.Close(); err != nil {
+	if cache != nil {
+		if err := cache.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "reproduce: cache flush: %v\n", err)
 		}
 	}
-	nb := study.EvaluateNewBugsWorkers(c, reports, *workers)
+	nb := study.EvaluateNewBugsWorkers(c, reports, opts.Workers)
 
 	fmt.Println("## Table 4: new bugs (paper: arch 156, drivers 182, include 2, net 2, sound 9; 296 leak / 48 UAF / 7 NPD; 240 CFM, 3 PR, 5 FP)")
 	rows := nb.Table4()

@@ -7,13 +7,14 @@ import (
 	"fmt"
 
 	"repro/internal/apidb"
+	"repro/internal/corpus"
 	"repro/internal/gitlog"
 	"repro/internal/mine"
 	"repro/internal/study"
 )
 
 func main() {
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 4000})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 4000})
 	fmt.Printf("history: %d commits across %d releases (2005-2022)\n", len(h.Commits), len(h.Versions))
 
 	res := mine.Mine(h, apidb.New())

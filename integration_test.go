@@ -94,8 +94,8 @@ func TestCrossSeedStability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-seed sweep is slow")
 	}
-	for _, seed := range []uint64{2, 3, 4} {
-		h := gitlog.Generate(gitlog.GenSpec{Seed: seed, Background: 1500})
+	for _, seed := range []int64{2, 3, 4} {
+		h := gitlog.Generate(corpus.Spec{Seed: seed, Background: 1500})
 		res := mine.Mine(h, apidb.New())
 		if len(res.Dataset) != gitlog.TotalBugs {
 			t.Errorf("seed %d: dataset = %d", seed, len(res.Dataset))
@@ -162,7 +162,7 @@ func TestCorpusScaling(t *testing.T) {
 // regression in any stage is caught by `go test ./...` without invoking the
 // binary.
 func TestReproducePipelineSmoke(t *testing.T) {
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 1000})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 1000})
 	res := mine.Mine(h, apidb.New())
 	s := study.New(h, res)
 	for _, f := range s.Findings() {

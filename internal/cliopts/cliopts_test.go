@@ -1,0 +1,120 @@
+package cliopts
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func flagNames(fs *flag.FlagSet) map[string]bool {
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}
+
+// TestRegisterMasks pins the bitmask registration contract: each Set
+// constant contributes exactly its flags, so a CLI's surface is the union
+// of the masks it asks for and nothing else.
+func TestRegisterMasks(t *testing.T) {
+	cases := []struct {
+		mask    Set
+		want    []string
+		notWant []string
+	}{
+		{Demo, []string{"demo", "seed"}, []string{"scale", "workers", "cache", "json"}},
+		{Scale, []string{"scale", "releases"}, []string{"demo", "cache"}},
+		{Render, []string{"json", "pattern"}, []string{"demo", "workers"}},
+		{Workers, []string{"workers"}, []string{"checkers"}},
+		{Checkers, []string{"checkers"}, []string{"workers"}},
+		{Cache, []string{"cache", "cache-mem"}, []string{"stats-json"}},
+		{Stats, []string{"stats-json", "trace-out"}, []string{"v"}},
+		{Verbose, []string{"v"}, []string{"stats-json"}},
+		{Analysis, []string{"demo", "seed", "json", "pattern", "workers", "checkers",
+			"cache", "cache-mem", "stats-json", "trace-out", "v"}, []string{"scale", "releases"}},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		var o Opts
+		o.Register(fs, c.mask)
+		names := flagNames(fs)
+		for _, w := range c.want {
+			if !names[w] {
+				t.Errorf("mask %b: flag -%s not registered", c.mask, w)
+			}
+		}
+		for _, nw := range c.notWant {
+			if names[nw] {
+				t.Errorf("mask %b: flag -%s registered but not requested", c.mask, nw)
+			}
+		}
+	}
+}
+
+// TestDefaults pins the canonical defaults every CLI now shares.
+func TestDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o Opts
+	o.Register(fs, Analysis|Scale)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != 1 || o.ScaleN != 1 || o.Releases != 1 {
+		t.Errorf("seed/scale/releases = %d/%d/%d, want 1/1/1", o.Seed, o.ScaleN, o.Releases)
+	}
+	if o.CacheMem != 64 {
+		t.Errorf("cache-mem default = %d, want 64", o.CacheMem)
+	}
+	if o.Demo || o.JSON || o.Verbose || o.CacheDir != "" {
+		t.Error("boolean/path defaults not zero")
+	}
+}
+
+// TestSelected pins checker-selection parsing, including the error path
+// for unknown pattern IDs.
+func TestSelected(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var o Opts
+	o.Register(fs, Checkers)
+	if err := fs.Parse([]string{"-checkers", "P1,P4"}); err != nil {
+		t.Fatal(err)
+	}
+	sel, err := o.Selected()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selected %d checkers, want 2", len(sel))
+	}
+
+	o.Checkers = "P99"
+	if _, err := o.Selected(); err == nil || !strings.Contains(err.Error(), "P99") {
+		t.Errorf("unknown pattern error = %v, want mention of P99", err)
+	}
+}
+
+// TestSourcesDemo pins the shared demo-corpus path: -demo (or the
+// demo-default with no args) yields the seeded corpus, scaled by -scale.
+func TestSourcesDemo(t *testing.T) {
+	o := Opts{Demo: true, Seed: 1, ScaleN: 1}
+	sources, headers, err := o.Sources(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) == 0 || len(headers) == 0 {
+		t.Fatal("demo corpus empty")
+	}
+	o2 := Opts{Demo: true, Seed: 1, ScaleN: 2}
+	s2, _, err := o2.Sources(nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) <= len(sources) {
+		t.Errorf("scale 2 gave %d files, scale 1 gave %d — -scale not applied", len(s2), len(sources))
+	}
+
+	// No args, no -demo, demoDefault off: a usage error, not a silent demo.
+	o3 := Opts{Seed: 1}
+	if _, _, err := o3.Sources(nil, false); err == nil {
+		t.Error("expected an error with no sources and no demo default")
+	}
+}

@@ -51,10 +51,13 @@ func Partition(sources []cpg.Source, shards int) [][]cpg.Source {
 // serializable artifact. It is deliberately DB-independent — workers carry
 // no discovery state, so they are stateless and interchangeable (any worker
 // may process any shard, and a re-queued shard lands wherever). Only
-// req.Headers, req.Options.Workers and req.Trace are consulted.
+// req.Headers, req.Options.Workers, req.Options.Cache and req.Trace are
+// consulted; the cache serves per-file front-end entries (preprocessed
+// token streams keyed by content), which is exactly the shard-local,
+// DB-independent portion of the tiered cache.
 func LocalPass(ctx context.Context, req Request, shard []cpg.Source) (*cpg.ShardArtifact, error) {
 	sp := req.Trace.Root().Child("phase:local")
-	b := &cpg.Builder{Workers: req.Options.Workers, Obs: sp}
+	b := &cpg.Builder{Workers: req.Options.Workers, Cache: req.Options.Cache, Obs: sp}
 	if req.Headers != nil {
 		b.Headers = newHeaderProvider(req.Headers)
 	}

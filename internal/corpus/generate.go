@@ -6,11 +6,24 @@ import (
 	"strings"
 )
 
-// Spec configures corpus generation.
+// Spec is the one generation spec shared by every synthetic-workload
+// generator: corpus.Generate / corpus.GenerateReleases build source trees
+// from it, and gitlog.Generate builds the commit history from it, so a single
+// {Seed, Scale, Releases} triple describes one coherent synthetic kernel.
 type Spec struct {
 	// Seed drives the deterministic pseudo-random choices (variant
-	// selection); the same seed always yields the same corpus.
+	// selection); the same seed always yields the same corpus and history.
 	Seed int64
+	// Scale multiplies the workload (default 1): every plan module is
+	// emitted Scale times (replica 0 under its original path, replica k
+	// under "<module>-r<k>"), and gitlog multiplies its calibrated commit
+	// counts by the same factor. Scale 1 output is byte-identical to the
+	// historical single-kernel corpus.
+	Scale int
+	// Releases is how many release snapshots GenerateReleases spreads the
+	// bug population over (default 1). corpus.Generate ignores it — a plain
+	// Generate call is always the single-release tree.
+	Releases int
 	// CleanPerModule is the number of correct functions emitted per module
 	// (default 6), drawn from a pool that includes hard negatives — the
 	// correct twins of each bug pattern.
@@ -18,8 +31,39 @@ type Spec struct {
 	// Plan is the bug plan; nil means Table5Plan().
 	Plan []ModulePlan
 	// FPBaits is the number of false-positive bait functions (default 5:
-	// Table 4 reports 1 in arch + 4 in drivers).
+	// Table 4 reports 1 in arch + 4 in drivers). Baits are placed only in
+	// replica 0, so the FP ground truth is scale-invariant.
 	FPBaits int
+	// Background overrides gitlog's calibrated background-commit count when
+	// > 0 (tests use smaller histories). Ignored by the corpus generators.
+	Background int
+	// Shrink divides gitlog's calibrated counts (default 1), producing a
+	// shape-preserving miniature history for tests. Ignored by the corpus
+	// generators; it composes with Scale (counts are n*Scale/Shrink).
+	Shrink int
+}
+
+// withDefaults resolves the spec's zero values to their documented defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Plan == nil {
+		s.Plan = Table5Plan()
+	}
+	if s.CleanPerModule == 0 {
+		s.CleanPerModule = 6
+	}
+	if s.FPBaits == 0 {
+		s.FPBaits = 5
+	}
+	if s.Scale < 1 {
+		s.Scale = 1
+	}
+	if s.Releases < 1 {
+		s.Releases = 1
+	}
+	if s.Shrink < 1 {
+		s.Shrink = 1
+	}
+	return s
 }
 
 // File is one generated source file.
@@ -64,38 +108,55 @@ func (s *splitmix64) intn(n int) int {
 	return int(s.next() % uint64(n))
 }
 
-// Generate builds the corpus for the spec.
-func Generate(spec Spec) *Corpus {
-	if spec.Plan == nil {
-		spec.Plan = Table5Plan()
-	}
-	if spec.CleanPerModule == 0 {
-		spec.CleanPerModule = 6
-	}
-	if spec.FPBaits == 0 {
-		spec.FPBaits = 5
-	}
-	rng := splitmix64(spec.Seed)
-	c := &Corpus{
-		Headers: map[string]string{"include/linux/of.h": ofHeader},
-	}
-
-	// Bait placement mirrors Table 4: 1 in arch, rest in drivers.
+// baitPlacement mirrors Table 4: 1 bait in arch, the rest in drivers. Baits
+// land only in replica 0 of each module, so the map keys never name replicas.
+func baitPlacement(fpBaits int) map[string]int {
 	baitSpots := []struct{ sub, mod string }{
 		{"arch", "arm"}, {"drivers", "gpu"}, {"drivers", "net"},
 		{"drivers", "usb"}, {"drivers", "clk"}, {"drivers", "soc"},
 		{"drivers", "mmc"},
 	}
 	baitAt := map[string]int{}
-	for i := 0; i < spec.FPBaits && i < len(baitSpots); i++ {
+	for i := 0; i < fpBaits && i < len(baitSpots); i++ {
 		baitAt[baitSpots[i].sub+"/"+baitSpots[i].mod]++
 	}
+	return baitAt
+}
 
-	for _, mp := range spec.Plan {
-		c.genModule(mp, spec, &rng, baitAt[mp.Subsystem+"/"+mp.Module])
+// replicaPlan renames a plan module for scale replica rep. Replica 0 is the
+// module itself, so Scale 1 reproduces the historical corpus byte for byte;
+// higher replicas get "-r<k>" path/name suffixes (and therefore distinct
+// function prefixes — the corpus stays collision-free at any scale).
+func replicaPlan(mp ModulePlan, rep int) ModulePlan {
+	if rep == 0 {
+		return mp
 	}
-	sort.Slice(c.Files, func(i, j int) bool { return c.Files[i].Path < c.Files[j].Path })
+	r := mp
+	r.Module = fmt.Sprintf("%s-r%d", mp.Module, rep)
+	return r
+}
+
+// Generate builds the corpus for the spec: Scale replicas of every plan
+// module, one tree. For multiple release snapshots use GenerateReleases.
+func Generate(spec Spec) *Corpus {
+	spec = spec.withDefaults()
+	rng := splitmix64(spec.Seed)
+	c := &Corpus{
+		Headers: map[string]string{"include/linux/of.h": ofHeader},
+	}
+	baitAt := baitPlacement(spec.FPBaits)
+	for _, mp := range spec.Plan {
+		for rep := 0; rep < spec.Scale; rep++ {
+			rmp := replicaPlan(mp, rep)
+			c.genModule(rmp, spec, &rng, baitAt[rmp.Subsystem+"/"+rmp.Module])
+		}
+	}
+	sortFiles(c)
 	return c
+}
+
+func sortFiles(c *Corpus) {
+	sort.Slice(c.Files, func(i, j int) bool { return c.Files[i].Path < c.Files[j].Path })
 }
 
 const filePrelude = `#include <linux/of.h>
@@ -122,17 +183,27 @@ func impactFor(p PatternID, kind BugKind) string {
 	}
 }
 
+// chunk is one generated snippet: a buggy function (with its ground truth), a
+// bait, or a clean function.
+type chunk struct {
+	text string
+	bug  *PlannedBug
+	bait *FalsePositiveBait
+}
+
 // genModule emits the module's source files: buggy functions per the plan,
 // baits, and clean functions.
 func (c *Corpus) genModule(mp ModulePlan, spec Spec, rng *splitmix64, baits int) {
-	dir := mp.Subsystem + "/" + mp.Module
+	c.packChunks(mp, moduleChunks(mp, spec, rng, baits))
+}
+
+// moduleChunks builds the module's snippet sequence in plan order, consuming
+// the generation RNG exactly as the historical monolithic generator did (the
+// packing step is separate so GenerateReleases can swap chunk texts per
+// release without disturbing the stream).
+func moduleChunks(mp ModulePlan, spec Spec, rng *splitmix64, baits int) []chunk {
 	prefix := strings.ReplaceAll(mp.Module, "-", "_") + "_" + mp.Subsystem
 
-	type chunk struct {
-		text string
-		bug  *PlannedBug
-		bait *FalsePositiveBait
-	}
 	var chunks []chunk
 	add := func(text string, bug *PlannedBug, bait *FalsePositiveBait) {
 		chunks = append(chunks, chunk{text: text, bug: bug, bait: bait})
@@ -255,8 +326,13 @@ func (c *Corpus) genModule(mp ModulePlan, spec Spec, rng *splitmix64, baits int)
 		fn := fmt.Sprintf("%s_ok_%d", prefix, seq)
 		add(genClean(fn, rng.intn(10)+i), nil, nil)
 	}
+	return chunks
+}
 
-	// Pack chunks into files of ~6 functions each.
+// packChunks packs the module's chunks into files of ~6 functions each and
+// records the per-file ground truth (planned bugs and baits).
+func (c *Corpus) packChunks(mp ModulePlan, chunks []chunk) {
+	dir := mp.Subsystem + "/" + mp.Module
 	const perFile = 6
 	for fi := 0; fi*perFile < len(chunks); fi++ {
 		lo := fi * perFile

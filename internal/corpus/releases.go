@@ -1,0 +1,148 @@
+package corpus
+
+import "fmt"
+
+// ReleaseBug is one seeded bug plus its lifetime inside the release window:
+// the bug's function appears in its correct form before Intro, in its buggy
+// form in releases [Intro, Fix), and back in a correct form from Fix on (the
+// fix commit reverts the faulty rewrite). Fix == len(Tags) means the bug is
+// never fixed inside the window. File/Function/paths are release-invariant.
+type ReleaseBug struct {
+	PlannedBug
+	Intro int
+	Fix   int
+}
+
+// ReleaseSet describes an evolving multi-release corpus without
+// materializing every tree: At(r) regenerates the snapshot for one release
+// on demand (deterministic, so a 100×-scaled 5-release corpus never needs
+// all five trees resident at once).
+type ReleaseSet struct {
+	Spec Spec
+	Tags []string
+}
+
+// GenerateReleases builds the release plan for the spec. tags names the
+// release snapshots (gitlog.ReleaseTags supplies kernel-style tags); when
+// empty, spec.Releases synthetic "rel-NN" tags are used. The underlying
+// module/bug stream is exactly Generate's — release evolution draws from an
+// independent RNG stream, so release 0 of a 1-release set is byte-identical
+// to Generate(spec).
+func GenerateReleases(spec Spec, tags []string) *ReleaseSet {
+	spec = spec.withDefaults()
+	if len(tags) == 0 {
+		tags = make([]string, spec.Releases)
+		for i := range tags {
+			tags[i] = fmt.Sprintf("rel-%02d", i)
+		}
+	}
+	return &ReleaseSet{Spec: spec, Tags: tags}
+}
+
+// relChunk is one generated chunk plus its evolution schedule.
+type relChunk struct {
+	chunk
+	intro, fix int
+	fixedText  string
+}
+
+// walkReleases replays the generation stream module by module, attaching an
+// evolution schedule to every bug chunk. The schedule RNG is seeded
+// independently of the generation RNG so the underlying corpus bytes match
+// Generate(spec) exactly.
+func (rs *ReleaseSet) walkReleases(emit func(mp ModulePlan, chunks []relChunk)) {
+	n := len(rs.Tags)
+	rng := splitmix64(rs.Spec.Seed)
+	evo := splitmix64(uint64(rs.Spec.Seed) ^ 0x72656c6561736573) // "releases"
+	baitAt := baitPlacement(rs.Spec.FPBaits)
+	for _, mp := range rs.Spec.Plan {
+		for rep := 0; rep < rs.Spec.Scale; rep++ {
+			rmp := replicaPlan(mp, rep)
+			raw := moduleChunks(rmp, rs.Spec, &rng, baitAt[rmp.Subsystem+"/"+rmp.Module])
+			chunks := make([]relChunk, len(raw))
+			for i, ch := range raw {
+				rc := relChunk{chunk: ch, fix: n}
+				if ch.bug != nil {
+					rc.intro = evo.intn(n)
+					// Half the bugs get a fix release drawn uniformly
+					// from (intro, n]; landing on n means the fix falls
+					// outside the window (still an open bug at the
+					// final release).
+					if evo.intn(100) < 50 {
+						rc.fix = rc.intro + 1 + evo.intn(n-rc.intro)
+					}
+					rc.fixedText = genClean(ch.bug.Function, evo.intn(10))
+				}
+				chunks[i] = rc
+			}
+			emit(rmp, chunks)
+		}
+	}
+}
+
+// At materializes the corpus snapshot for release r: every bug chunk whose
+// lifetime covers r keeps its buggy body; outside its lifetime the chunk is
+// the function's correct twin (same name, no planned bug). Baits and clean
+// functions are present in every release. File paths are identical across
+// releases, so cross-release diffs are per-function body swaps — the shape
+// an incremental cache sees from a real edit stream.
+func (rs *ReleaseSet) At(r int) *Corpus {
+	if r < 0 || r >= len(rs.Tags) {
+		panic(fmt.Sprintf("corpus: release %d out of range [0,%d)", r, len(rs.Tags)))
+	}
+	c := &Corpus{
+		Headers: map[string]string{"include/linux/of.h": ofHeader},
+	}
+	rs.walkReleases(func(mp ModulePlan, chunks []relChunk) {
+		rel := make([]chunk, len(chunks))
+		for i, rc := range chunks {
+			ck := rc.chunk
+			if ck.bug != nil && (r < rc.intro || r >= rc.fix) {
+				ck = chunk{text: rc.fixedText}
+			}
+			rel[i] = ck
+		}
+		c.packChunks(mp, rel)
+	})
+	sortFiles(c)
+	return c
+}
+
+// Truth returns the cross-release ground truth: every seeded bug with its
+// stable file path and its [Intro, Fix) lifetime, in generation order.
+func (rs *ReleaseSet) Truth() []ReleaseBug {
+	var out []ReleaseBug
+	rs.walkReleases(func(mp ModulePlan, chunks []relChunk) {
+		scratch := &Corpus{}
+		raw := make([]chunk, len(chunks))
+		for i := range chunks {
+			raw[i] = chunks[i].chunk
+		}
+		scratch.packChunks(mp, raw)
+		j := 0
+		for _, rc := range chunks {
+			if rc.bug == nil {
+				continue
+			}
+			out = append(out, ReleaseBug{
+				PlannedBug: scratch.Planned[j],
+				Intro:      rc.intro,
+				Fix:        rc.fix,
+			})
+			j++
+		}
+	})
+	return out
+}
+
+// LiveAt filters truth (as returned by Truth) down to the bugs present in
+// release r.
+func LiveAt(truth []ReleaseBug, r int) []ReleaseBug {
+	var out []ReleaseBug
+	for _, b := range truth {
+		if b.Intro <= r && r < b.Fix {
+			out = append(out, b)
+		}
+	}
+	return out
+}

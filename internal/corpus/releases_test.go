@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"testing"
+)
+
+// sameCorpus asserts two corpora are byte-identical: same files (path and
+// content), same headers, same planned bugs and baits.
+func sameCorpus(t *testing.T, label string, a, b *Corpus) {
+	t.Helper()
+	if len(a.Files) != len(b.Files) {
+		t.Fatalf("%s: file count %d != %d", label, len(a.Files), len(b.Files))
+	}
+	for i := range a.Files {
+		if a.Files[i].Path != b.Files[i].Path {
+			t.Fatalf("%s: file %d path %q != %q", label, i, a.Files[i].Path, b.Files[i].Path)
+		}
+		if a.Files[i].Content != b.Files[i].Content {
+			t.Errorf("%s: file %s content differs", label, a.Files[i].Path)
+		}
+	}
+	if len(a.Headers) != len(b.Headers) {
+		t.Fatalf("%s: header count %d != %d", label, len(a.Headers), len(b.Headers))
+	}
+	for p, c := range a.Headers {
+		if b.Headers[p] != c {
+			t.Errorf("%s: header %s differs", label, p)
+		}
+	}
+	if len(a.Planned) != len(b.Planned) {
+		t.Errorf("%s: planned %d != %d", label, len(a.Planned), len(b.Planned))
+	}
+	if len(a.Baits) != len(b.Baits) {
+		t.Errorf("%s: baits %d != %d", label, len(a.Baits), len(b.Baits))
+	}
+}
+
+// TestScaleMultiplies pins the Scale contract: every plan module is emitted
+// Scale times, so planned bugs multiply exactly while the bait count stays
+// constant (baits are keyed to original module names, never replicas).
+func TestScaleMultiplies(t *testing.T) {
+	base := Generate(Spec{Seed: 1})
+	for _, scale := range []int{2, 3} {
+		c := Generate(Spec{Seed: 1, Scale: scale})
+		if got, want := len(c.Planned), scale*len(base.Planned); got != want {
+			t.Errorf("scale %d: planned bugs = %d, want %d", scale, got, want)
+		}
+		if got, want := len(c.Baits), len(base.Baits); got != want {
+			t.Errorf("scale %d: baits = %d, want %d (constant across scales)", scale, got, want)
+		}
+		if len(c.Files) <= (scale-1)*len(base.Files) {
+			t.Errorf("scale %d: only %d files (base %d) — replicas missing?",
+				scale, len(c.Files), len(base.Files))
+		}
+		// Replica modules must live in distinct directories: no path collides
+		// with the base corpus beyond the base's own files.
+		seen := make(map[string]bool, len(c.Files))
+		for _, f := range c.Files {
+			if seen[f.Path] {
+				t.Fatalf("scale %d: duplicate path %s", scale, f.Path)
+			}
+			seen[f.Path] = true
+		}
+	}
+}
+
+// TestScaleDeterministic: same spec, same bytes — the property every cache
+// key and golden test downstream depends on.
+func TestScaleDeterministic(t *testing.T) {
+	spec := Spec{Seed: 7, Scale: 3}
+	sameCorpus(t, "scale-3", Generate(spec), Generate(spec))
+}
+
+// TestScaleLarge generates the kernel-scale corpus (-scale 100) and pins its
+// shape: generation must stay cheap enough to run ungated (it is pure string
+// assembly, ~0.2s) and deterministic at size.
+func TestScaleLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel-scale generation skipped in -short")
+	}
+	c := Generate(Spec{Seed: 1, Scale: 100})
+	if got, want := len(c.Planned), 100*352; got != want {
+		t.Errorf("planned bugs = %d, want %d", got, want)
+	}
+	if len(c.Files) < 10000 {
+		t.Errorf("files = %d, want a kernel-scale tree (>= 10000)", len(c.Files))
+	}
+	if kloc := c.KLOC(); kloc < 500 {
+		t.Errorf("KLOC = %.1f, want >= 500", kloc)
+	}
+}
+
+// TestSingleReleaseMatchesGenerate pins the compatibility contract in
+// GenerateReleases' doc: release 0 of a 1-release set is byte-identical to
+// Generate(spec) — evolution draws come from an independent RNG stream and
+// a 1-release window keeps every bug live.
+func TestSingleReleaseMatchesGenerate(t *testing.T) {
+	rs := GenerateReleases(Spec{Seed: 1}, nil)
+	if len(rs.Tags) != 1 {
+		t.Fatalf("default Releases gave %d tags, want 1", len(rs.Tags))
+	}
+	sameCorpus(t, "release-0", rs.At(0), Generate(Spec{Seed: 1}))
+}
+
+// TestReleaseEvolution pins the multi-release semantics for seed 1 over a
+// 4-release window: lifetime invariants, the exact live-bug counts per
+// release (a regression pin on the evolution RNG stream), path invariance
+// across releases, and At() determinism.
+func TestReleaseEvolution(t *testing.T) {
+	rs := GenerateReleases(Spec{Seed: 1, Releases: 4}, nil)
+	truth := rs.Truth()
+	if len(truth) != 352 {
+		t.Fatalf("seeded bugs = %d, want 352 (one per Generate planned bug)", len(truth))
+	}
+	n := len(rs.Tags)
+	for i, b := range truth {
+		if b.Intro < 0 || b.Intro >= n {
+			t.Fatalf("bug %d: intro %d out of [0,%d)", i, b.Intro, n)
+		}
+		if b.Fix <= b.Intro || b.Fix > n {
+			t.Fatalf("bug %d: fix %d not in (%d,%d]", i, b.Fix, b.Intro, n)
+		}
+		if b.File == "" || b.Function == "" {
+			t.Fatalf("bug %d: missing file/function", i)
+		}
+	}
+
+	// The pinned longitudinal curve: bugs accumulate (intros outpace fixes
+	// early) — these counts change only if the evolution stream changes.
+	wantLive := []int{86, 168, 227, 264}
+	for r := 0; r < n; r++ {
+		live := LiveAt(truth, r)
+		if len(live) != wantLive[r] {
+			t.Errorf("release %d: live bugs = %d, want %d", r, len(live), wantLive[r])
+		}
+		c := rs.At(r)
+		if len(c.Planned) != len(live) {
+			t.Errorf("release %d: At().Planned = %d, LiveAt = %d — snapshot and truth disagree",
+				r, len(c.Planned), len(live))
+		}
+		if len(c.Baits) != 5 {
+			t.Errorf("release %d: baits = %d, want 5 (baits present in every release)", r, len(c.Baits))
+		}
+	}
+
+	// File paths are release-invariant: cross-release diffs are body swaps.
+	first, last := rs.At(0), rs.At(n-1)
+	if len(first.Files) != len(last.Files) {
+		t.Fatalf("file counts differ across releases: %d vs %d", len(first.Files), len(last.Files))
+	}
+	changed := 0
+	for i := range first.Files {
+		if first.Files[i].Path != last.Files[i].Path {
+			t.Fatalf("file %d path changed across releases: %s vs %s",
+				i, first.Files[i].Path, last.Files[i].Path)
+		}
+		if first.Files[i].Content != last.Files[i].Content {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no file content changed between first and last release")
+	}
+
+	sameCorpus(t, "At determinism", rs.At(2), rs.At(2))
+}
+
+// TestReleaseTruthMatchesSnapshot cross-checks Truth against the snapshots:
+// every bug live at release r must appear in At(r).Planned with the same
+// file and function.
+func TestReleaseTruthMatchesSnapshot(t *testing.T) {
+	rs := GenerateReleases(Spec{Seed: 3, Releases: 3}, []string{"a", "b", "c"})
+	truth := rs.Truth()
+	for r := range rs.Tags {
+		inSnap := make(map[string]bool)
+		for _, b := range rs.At(r).Planned {
+			inSnap[b.File+"/"+b.Function] = true
+		}
+		for _, b := range LiveAt(truth, r) {
+			if !inSnap[b.File+"/"+b.Function] {
+				t.Errorf("release %d: truth bug %s/%s missing from snapshot", r, b.File, b.Function)
+			}
+		}
+	}
+}

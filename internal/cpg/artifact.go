@@ -2,11 +2,15 @@ package cpg
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/apidb"
+	"repro/internal/arena"
 	"repro/internal/cast"
 	"repro/internal/clex"
+	"repro/internal/cparse"
 	"repro/internal/cpp"
 )
 
@@ -81,6 +85,60 @@ func (b *Builder) BuildArtifactContext(ctx context.Context, sources []Source, re
 	fe := b.newFrontEnd()
 	fe.retain = retain
 	return b.buildArtifact(ctx, fe, sources)
+}
+
+// Hydrate parses every wire-format file (af.file == nil) into its AST and
+// releases the token stream, appending parse errors after the preprocessor
+// errors exactly as assembleWith's reparse would. Calling it as each shard
+// artifact arrives makes manager-side memory scale with per-shard AST size
+// instead of whole-corpus retained token streams; assembly then finds
+// nothing left to reparse. Files that already carry an AST only have their
+// token streams dropped. workers bounds the parse parallelism (0 =
+// GOMAXPROCS).
+func (a *ShardArtifact) Hydrate(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var toParse []*ArtFile
+	for _, af := range a.Files {
+		if af.file == nil {
+			toParse = append(toParse, af)
+		} else {
+			af.Tokens = nil
+		}
+	}
+	if len(toParse) == 0 {
+		return
+	}
+	stats := &arena.Stats{}
+	hydrate := func(af *ArtFile) {
+		file, perrs := cparse.ParseFileArena(af.Path, af.Tokens, stats)
+		af.file = file
+		af.errs = append(af.errs, perrs...)
+		af.Tokens = nil
+	}
+	if workers > 1 && len(toParse) > 1 {
+		var wg sync.WaitGroup
+		jobs := make(chan *ArtFile)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for af := range jobs {
+					hydrate(af)
+				}
+			}()
+		}
+		for _, af := range toParse {
+			jobs <- af
+		}
+		close(jobs)
+		wg.Wait()
+	} else {
+		for _, af := range toParse {
+			hydrate(af)
+		}
+	}
 }
 
 // AssembleContext runs the global half of a build over a (possibly merged,

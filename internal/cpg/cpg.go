@@ -508,6 +508,10 @@ func (b *Builder) assembleWith(ctx context.Context, fe *frontEnd, art *ShardArti
 			file, perrs := cparse.ParseFileArena(af.Path, af.Tokens, fe.stats)
 			af.file = file
 			af.errs = append(af.errs, perrs...)
+			// The AST replaces the token stream; dropping it here keeps
+			// peak memory per-TU-streaming rather than whole-corpus (the
+			// tokens of a large corpus dwarf its ASTs).
+			af.Tokens = nil
 		}
 		if fe.workers > 1 && len(toParse) > 1 {
 			var wg sync.WaitGroup

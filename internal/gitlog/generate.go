@@ -5,18 +5,9 @@ import (
 	"sort"
 	"strings"
 	"time"
-)
 
-// GenSpec configures history generation.
-type GenSpec struct {
-	Seed uint64
-	// Background overrides BackgroundCommits when > 0 (tests use smaller
-	// histories).
-	Background int
-	// Scale divides every calibrated count by this factor (default 1); it
-	// lets tests generate a shape-preserving miniature history.
-	Scale int
-}
+	"repro/internal/corpus"
+)
 
 type rng uint64
 
@@ -43,26 +34,33 @@ func shuffle[T any](r *rng, xs []T) {
 	}
 }
 
-// Generate builds the synthetic history.
-func Generate(spec GenSpec) *History {
-	if spec.Scale <= 0 {
-		spec.Scale = 1
+// Generate builds the synthetic history from the shared generation spec:
+// corpus.Spec.Scale multiplies every calibrated count (kernel-scale
+// histories), Shrink divides them (shape-preserving miniatures for tests),
+// and Background overrides the calibrated background-commit count when > 0.
+func Generate(spec corpus.Spec) *History {
+	scale := spec.Scale
+	if scale <= 0 {
+		scale = 1
 	}
-	background := spec.Background
-	if background <= 0 {
-		background = BackgroundCommits / spec.Scale
+	shrink := spec.Shrink
+	if shrink <= 0 {
+		shrink = 1
 	}
-	r := rng(spec.Seed | 1)
-	h := &History{Truth: map[string]*BugTruth{}}
-	h.Versions = makeVersions()
-
 	scaleCount := func(n int) int {
-		s := n / spec.Scale
+		s := n * scale / shrink
 		if s == 0 && n > 0 {
 			s = 1
 		}
 		return s
 	}
+	background := spec.Background
+	if background <= 0 {
+		background = scaleCount(BackgroundCommits)
+	}
+	r := rng(uint64(spec.Seed) | 1)
+	h := &History{Truth: map[string]*BugTruth{}}
+	h.Versions = makeVersions()
 
 	// --- bug slot assignment ---
 	type slot struct {
@@ -219,7 +217,7 @@ func Generate(spec GenSpec) *History {
 	counter := 0
 	newID := func() string {
 		counter++
-		return hashOf(spec.Seed, counter)
+		return hashOf(uint64(spec.Seed), counter)
 	}
 	versionFor := func(year int, late bool) *Version {
 		// Pick a release in the year; bug fixes land in the year's later
@@ -396,6 +394,43 @@ func makeVersions() []Version {
 		out[i].Index = i
 	}
 	return out
+}
+
+// ReleaseTags returns n kernel release tags evenly spaced across the
+// calibrated major-release timeline (v2.6.12 .. v6.1). corpus.GenerateReleases
+// callers use these as snapshot names so a multi-release corpus lines up with
+// the mined history's version axis.
+func ReleaseTags(n int) []string {
+	var majors []string
+	for _, v := range makeVersions() {
+		if isMajorTag(v.Tag) {
+			majors = append(majors, v.Tag)
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []string{majors[len(majors)-1]}
+	}
+	if n >= len(majors) {
+		return majors
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = majors[i*(len(majors)-1)/(n-1)]
+	}
+	return out
+}
+
+// isMajorTag reports whether tag names a major release (v2.6.N, vX.Y) rather
+// than a stable point release (v2.6.N.P, vX.Y.Z).
+func isMajorTag(tag string) bool {
+	dots := strings.Count(tag, ".")
+	if strings.HasPrefix(tag, "v2.6.") {
+		return dots == 2
+	}
+	return dots == 1
 }
 
 func pickModule(r *rng, subsystem string) string {

@@ -3,6 +3,8 @@ package gitlog
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/corpus"
 )
 
 func TestVersionsTimeline(t *testing.T) {
@@ -29,8 +31,8 @@ func TestVersionsTimeline(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(GenSpec{Seed: 3, Background: 100})
-	b := Generate(GenSpec{Seed: 3, Background: 100})
+	a := Generate(corpus.Spec{Seed: 3, Background: 100})
+	b := Generate(corpus.Spec{Seed: 3, Background: 100})
 	if len(a.Commits) != len(b.Commits) {
 		t.Fatalf("commit counts differ")
 	}
@@ -42,7 +44,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestTruthCounts(t *testing.T) {
-	h := Generate(GenSpec{Seed: 1, Background: 200})
+	h := Generate(corpus.Spec{Seed: 1, Background: 200})
 	if len(h.Truth) != TotalBugs {
 		t.Fatalf("truth = %d, want %d", len(h.Truth), TotalBugs)
 	}
@@ -78,7 +80,7 @@ func TestTruthCounts(t *testing.T) {
 }
 
 func TestLifetimeCalibration(t *testing.T) {
-	h := Generate(GenSpec{Seed: 1, Background: 100})
+	h := Generate(corpus.Spec{Seed: 1, Background: 100})
 	long, decade, fullSpan, decadeUAF := 0, 0, 0, 0
 	for _, bt := range h.Truth {
 		if !bt.HasFixesTag {
@@ -119,7 +121,7 @@ func TestLifetimeCalibration(t *testing.T) {
 }
 
 func TestWrongPatchesAreFixed(t *testing.T) {
-	h := Generate(GenSpec{Seed: 1, Background: 100})
+	h := Generate(corpus.Spec{Seed: 1, Background: 100})
 	if len(h.WrongPatches) != WrongPatchCount {
 		t.Fatalf("wrong patches = %d", len(h.WrongPatches))
 	}
@@ -137,7 +139,7 @@ func TestWrongPatchesAreFixed(t *testing.T) {
 }
 
 func TestCommitShape(t *testing.T) {
-	h := Generate(GenSpec{Seed: 1, Background: 100})
+	h := Generate(corpus.Spec{Seed: 1, Background: 100})
 	for id, bt := range h.Truth {
 		var fix *Commit
 		for i := range h.Commits {
@@ -162,14 +164,14 @@ func TestCommitShape(t *testing.T) {
 }
 
 func TestScaleDown(t *testing.T) {
-	h := Generate(GenSpec{Seed: 2, Scale: 10, Background: 50})
+	h := Generate(corpus.Spec{Seed: 2, Shrink: 10, Background: 50})
 	if len(h.Truth) < 90 || len(h.Truth) > 115 {
 		t.Errorf("scaled truth = %d, want ~103", len(h.Truth))
 	}
 }
 
 func TestSortedByDate(t *testing.T) {
-	h := Generate(GenSpec{Seed: 1, Background: 100})
+	h := Generate(corpus.Spec{Seed: 1, Background: 100})
 	for i := 1; i < len(h.Commits); i++ {
 		if h.Commits[i].Date.Before(h.Commits[i-1].Date) {
 			t.Fatalf("commits not date-sorted at %d", i)

@@ -1,0 +1,40 @@
+package gitlog
+
+import "testing"
+
+// TestReleaseTags pins the snapshot-tag selection against the calibrated
+// timeline: tags are real major releases, strictly ordered, and always span
+// the full v2.6.12..v6.1 window when n >= 2.
+func TestReleaseTags(t *testing.T) {
+	if got := ReleaseTags(0); got != nil {
+		t.Errorf("ReleaseTags(0) = %v, want nil", got)
+	}
+	if got := ReleaseTags(1); len(got) != 1 || got[0] != "v6.1" {
+		t.Errorf("ReleaseTags(1) = %v, want [v6.1]", got)
+	}
+	for _, n := range []int{2, 3, 5, 10} {
+		tags := ReleaseTags(n)
+		if len(tags) != n {
+			t.Fatalf("ReleaseTags(%d) returned %d tags", n, len(tags))
+		}
+		if tags[0] != "v2.6.12" || tags[n-1] != "v6.1" {
+			t.Errorf("ReleaseTags(%d) endpoints = %s..%s, want v2.6.12..v6.1", n, tags[0], tags[n-1])
+		}
+		seen := make(map[string]bool)
+		for _, tag := range tags {
+			if !isMajorTag(tag) {
+				t.Errorf("ReleaseTags(%d): %s is not a major tag", n, tag)
+			}
+			if seen[tag] {
+				t.Errorf("ReleaseTags(%d): duplicate tag %s", n, tag)
+			}
+			seen[tag] = true
+		}
+	}
+	// Asking for more snapshots than the timeline has majors degrades to
+	// the full major list rather than duplicating.
+	all := ReleaseTags(10000)
+	if len(all) >= 10000 || len(all) < 50 {
+		t.Errorf("ReleaseTags(10000) = %d tags, want the full major list (~90)", len(all))
+	}
+}

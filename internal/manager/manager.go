@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"sync"
 
+	"repro/internal/analysiscache"
 	"repro/internal/apidb"
 	"repro/internal/core"
 	"repro/internal/cpg"
@@ -29,12 +30,22 @@ type Config struct {
 	// Workers is the per-process build parallelism sent in the init frame
 	// (0 means GOMAXPROCS in the worker).
 	Workers int
+	// CacheDir/CacheMem, when CacheDir is non-empty, are forwarded to every
+	// worker's init frame: each worker opens its own handle on the shared
+	// tiered cache and serves per-file front-end entries from it (hits are
+	// aggregated as manager.frontend.hit / manager.frontend.miss). The
+	// global pass still always computes — unit- and facts-level caching
+	// remain single-process concerns.
+	CacheDir string
+	CacheMem int
 	// Options configures the manager-side global pass (checkers, confirm,
 	// workers). Options.DB is overwritten with the exchange DB; Cache and
-	// Admit are ignored — the manager path always computes.
+	// Admit are ignored on the global pass (use CacheDir for the workers'
+	// front-end cache).
 	Options core.Options
 	// Trace receives manager spans and counters (manager.worker.deaths,
-	// manager.shard.requeues, manager.shard.inline); nil disables.
+	// manager.shard.requeues, manager.shard.inline, manager.frontend.hit,
+	// manager.frontend.miss); nil disables.
 	Trace *obs.Trace
 	// ChunksPerProc is the work-queue granularity multiplier (default 4).
 	ChunksPerProc int
@@ -115,14 +126,17 @@ func Run(ctx context.Context, cfg Config, sources []cpg.Source, headers map[stri
 	}
 	arts := make([]*cpg.ShardArtifact, len(shards))
 	var artsMu sync.Mutex
-	initFrame := encodeInit(initMsg{Workers: cfg.Workers, Headers: headers})
+	initFrame := encodeInit(initMsg{
+		Workers: cfg.Workers, CacheDir: cfg.CacheDir, CacheMem: cfg.CacheMem,
+		Headers: headers,
+	})
 
 	var wg sync.WaitGroup
 	for slot := 0; slot < procs; slot++ {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			runSlot(ctx, cmdFor(slot), initFrame, q, shards, arts, &artsMu, reg)
+			runSlot(ctx, cmdFor(slot), initFrame, cfg.Workers, q, shards, arts, &artsMu, reg)
 		}(slot)
 	}
 	wg.Wait()
@@ -132,17 +146,28 @@ func Run(ctx context.Context, cfg Config, sources []cpg.Source, headers map[stri
 	}
 
 	// Worker-of-last-resort: anything still queued (all assigned workers
-	// died, or there were more shards than worker appetite) runs inline.
-	req := core.Request{Sources: sources, Headers: headers,
-		Options: core.Options{Workers: cfg.Workers}, Trace: cfg.Trace}
-	for _, id := range q.remaining() {
-		art, err := core.LocalPass(ctx, req, shards[id])
-		if err != nil {
-			sp.End()
-			return nil, err
+	// died, or there were more shards than worker appetite) runs inline,
+	// against the same shared cache directory the workers use.
+	if rest := q.remaining(); len(rest) > 0 {
+		inlineOpt := core.Options{Workers: cfg.Workers}
+		if cfg.CacheDir != "" {
+			if c, err := analysiscache.Open(cfg.CacheDir, analysiscache.WithMemory(int64(cfg.CacheMem)<<20)); err == nil {
+				inlineOpt.Cache = c
+				defer c.Close()
+			}
 		}
-		arts[id] = art
-		reg.Add("manager.shard.inline", 1)
+		req := core.Request{Sources: sources, Headers: headers,
+			Options: inlineOpt, Trace: cfg.Trace}
+		for _, id := range rest {
+			art, err := core.LocalPass(ctx, req, shards[id])
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			art.Hydrate(cfg.Workers)
+			arts[id] = art
+			reg.Add("manager.shard.inline", 1)
+		}
 	}
 	sp.End()
 
@@ -166,7 +191,7 @@ func Exchange(db *apidb.DB, arts []*cpg.ShardArtifact) (*cpg.ShardArtifact, apid
 // until the queue drains or the worker dies. On death the in-flight shard is
 // re-queued and the slot exits — surviving slots (or the inline drain)
 // absorb the remaining work.
-func runSlot(ctx context.Context, argv []string, initFrame []byte, q *queue,
+func runSlot(ctx context.Context, argv []string, initFrame []byte, workers int, q *queue,
 	shards [][]cpg.Source, arts []*cpg.ShardArtifact, artsMu *sync.Mutex, reg *obs.Registry) {
 
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
@@ -224,6 +249,12 @@ func runSlot(ctx context.Context, argv []string, initFrame []byte, q *queue,
 			died(id)
 			return
 		}
+		reg.Add("manager.frontend.hit", int64(msg.FEHits))
+		reg.Add("manager.frontend.miss", int64(msg.FEMisses))
+		// Parse the shard's files as soon as the artifact lands and drop
+		// their token streams: memory then scales with AST size per shard,
+		// not with the whole corpus's retained token streams.
+		art.Hydrate(workers)
 		artsMu.Lock()
 		arts[id] = art
 		artsMu.Unlock()

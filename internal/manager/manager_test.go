@@ -192,3 +192,49 @@ func TestManagerNoWorkerCommand(t *testing.T) {
 		t.Fatal("expected an error with no worker command")
 	}
 }
+
+// TestManagerFrontendCache un-disables -cache on the manager path: two runs
+// sharing a cache directory at shards >= 2 must aggregate worker front-end
+// hits on the second run (manager.frontend.hit > 0) while staying
+// byte-identical to the uncached single-process reference.
+func TestManagerFrontendCache(t *testing.T) {
+	srcs, headers := managerCorpus()
+	want := analyzeRef(t, srcs, headers)
+	cacheDir := t.TempDir()
+
+	runOnce := func(label string) (string, map[string]int64) {
+		t.Helper()
+		tr := obs.New("manager-cache-test")
+		run, err := Run(context.Background(), Config{
+			Procs:     2,
+			WorkerCmd: workerArgv(),
+			Workers:   2,
+			CacheDir:  cacheDir,
+			CacheMem:  16,
+			Options:   core.Options{Workers: 2, Confirm: true},
+			Trace:     tr,
+		}, srcs, headers)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		return renderOut(run), tr.Reg().Snapshot().Counters
+	}
+
+	cold, coldStats := runOnce("cold")
+	if cold != want {
+		t.Error("cold cached run differs from single-process Analyze")
+	}
+	if coldStats["manager.frontend.miss"] == 0 {
+		t.Error("cold run reported no front-end misses — workers not using the cache?")
+	}
+
+	warm, warmStats := runOnce("warm")
+	if warm != want {
+		t.Error("warm cached run differs from single-process Analyze")
+	}
+	if hits := warmStats["manager.frontend.hit"]; hits == 0 {
+		t.Error("warm run aggregated no front-end hits across workers")
+	} else if misses := warmStats["manager.frontend.miss"]; misses != 0 {
+		t.Errorf("warm run still missed %d files (hits=%d)", misses, hits)
+	}
+}

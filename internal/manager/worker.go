@@ -6,8 +6,10 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/analysiscache"
 	"repro/internal/core"
 	"repro/internal/cpg"
+	"repro/internal/obs"
 )
 
 // WorkerOpts configures a worker loop.
@@ -22,9 +24,11 @@ type WorkerOpts struct {
 
 // Worker runs the worker half of the pipe protocol until r reaches EOF: read
 // the init frame, then serve shard→artifact exchanges in lockstep. Workers
-// hold no state between shards beyond the shared header map and the
-// front-end's internal caches, so the manager may hand any shard to any
-// worker in any order.
+// hold no state between shards beyond the shared header map, the front-end's
+// internal caches, and (when the init frame names a cache directory) a handle
+// on the shared tiered cache — so the manager may hand any shard to any
+// worker in any order, and per-file front-end entries computed by one run's
+// workers are reused by the next run's.
 func Worker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 	first, err := readFrame(r)
 	if err != nil {
@@ -34,10 +38,24 @@ func Worker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 	if err != nil {
 		return fmt.Errorf("manager worker: decoding init: %w", err)
 	}
-	req := core.Request{
-		Headers: init.Headers,
-		Options: core.Options{Workers: init.Workers},
+	var cache *analysiscache.Cache
+	if init.CacheDir != "" {
+		// A worker that cannot open the cache degrades to computing — the
+		// shard result is identical either way, so cache trouble must not
+		// kill the run.
+		if c, cerr := analysiscache.Open(init.CacheDir, analysiscache.WithMemory(int64(init.CacheMem)<<20)); cerr == nil {
+			cache = c
+		} else {
+			fmt.Fprintf(os.Stderr, "manager worker: cache disabled: %v\n", cerr)
+		}
 	}
+	defer func() {
+		if cache != nil {
+			if cerr := cache.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "manager worker: cache flush: %v\n", cerr)
+			}
+		}
+	}()
 
 	received := 0
 	for {
@@ -56,11 +74,26 @@ func Worker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 		if opts.ExitAfterShards > 0 && received == opts.ExitAfterShards {
 			os.Exit(3)
 		}
+		// A fresh trace per shard isolates the front-end counters this
+		// shard contributes, so the reply can carry exact hit/miss deltas.
+		tr := obs.New("manager-worker")
+		req := core.Request{
+			Headers: init.Headers,
+			Options: core.Options{Workers: init.Workers, Cache: cache},
+			Trace:   tr,
+		}
 		art, err := core.LocalPass(context.Background(), req, sh.Sources)
 		if err != nil {
 			return fmt.Errorf("manager worker: shard %d: %w", sh.ID, err)
 		}
-		reply := encodeArtifact(artifactMsg{ID: sh.ID, Payload: cpg.EncodeShardArtifact(art)})
+		tr.Done()
+		counters := tr.Reg().Snapshot().Counters
+		reply := encodeArtifact(artifactMsg{
+			ID:       sh.ID,
+			FEHits:   uint64(counters["frontend.cache.hit"]),
+			FEMisses: uint64(counters["frontend.cache.miss"]),
+			Payload:  cpg.EncodeShardArtifact(art),
+		})
 		if err := writeFrame(w, reply); err != nil {
 			return fmt.Errorf("manager worker: writing artifact %d: %w", sh.ID, err)
 		}

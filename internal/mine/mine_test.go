@@ -3,13 +3,15 @@ package mine
 import (
 	"testing"
 
+	"repro/internal/corpus"
+
 	"repro/internal/apidb"
 	"repro/internal/gitlog"
 )
 
 func mineFull(t *testing.T) (*gitlog.History, *Result) {
 	t.Helper()
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 2000})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 2000})
 	res := Mine(h, apidb.New())
 	return h, res
 }

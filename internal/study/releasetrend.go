@@ -1,0 +1,37 @@
+package study
+
+import "repro/internal/corpus"
+
+// ReleaseTrendRow is the longitudinal view of an evolving corpus at one
+// release snapshot: how many seeded bugs are live in that release, how many
+// were introduced by it, and how many were fixed by it. Summed over a
+// window, Introduced - Fixed equals the live-count delta — the synthetic
+// analogue of the paper's observation that refcounting bugs accumulate
+// faster than they are fixed.
+type ReleaseTrendRow struct {
+	Tag        string
+	Live       int
+	Introduced int
+	Fixed      int
+}
+
+// ReleaseTrend computes the per-release bug trend from a release set's
+// ground truth (corpus.ReleaseSet.Truth).
+func ReleaseTrend(truth []corpus.ReleaseBug, tags []string) []ReleaseTrendRow {
+	rows := make([]ReleaseTrendRow, len(tags))
+	for r, tag := range tags {
+		rows[r].Tag = tag
+		for _, b := range truth {
+			if b.Intro <= r && r < b.Fix {
+				rows[r].Live++
+			}
+			if b.Intro == r {
+				rows[r].Introduced++
+			}
+			if b.Fix == r {
+				rows[r].Fixed++
+			}
+		}
+	}
+	return rows
+}

@@ -1,0 +1,97 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apidb"
+	"repro/internal/corpus"
+	"repro/internal/gitlog"
+	"repro/internal/mine"
+)
+
+// TestReleaseTrend pins the evolving-corpus trend for the canonical spec
+// (seed 1, 4 releases on the kernel timeline): live counts per release, and
+// the conservation law Live[r] = Live[r-1] + Introduced[r] - Fixed[r].
+func TestReleaseTrend(t *testing.T) {
+	rs := corpus.GenerateReleases(corpus.Spec{Seed: 1, Releases: 4}, gitlog.ReleaseTags(4))
+	rows := ReleaseTrend(rs.Truth(), rs.Tags)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+
+	want := []ReleaseTrendRow{
+		{Tag: "v2.6.12", Live: 86, Introduced: 86, Fixed: 0},
+		{Tag: "v3.2", Live: 168, Introduced: 97, Fixed: 15},
+		{Tag: "v4.12", Live: 227, Introduced: 86, Fixed: 27},
+		{Tag: "v6.1", Live: 264, Introduced: 83, Fixed: 46},
+	}
+	for r, row := range rows {
+		if row != want[r] {
+			t.Errorf("row %d = %+v, want %+v", r, row, want[r])
+		}
+	}
+	for r := 1; r < len(rows); r++ {
+		if got := rows[r-1].Live + rows[r].Introduced - rows[r].Fixed; got != rows[r].Live {
+			t.Errorf("release %s: conservation broken: %d + %d - %d != %d",
+				rows[r].Tag, rows[r-1].Live, rows[r].Introduced, rows[r].Fixed, rows[r].Live)
+		}
+	}
+	// The paper's accumulation shape: bugs outlive their fixes, so the live
+	// count grows monotonically across the window.
+	for r := 1; r < len(rows); r++ {
+		if rows[r].Live <= rows[r-1].Live {
+			t.Errorf("live count not growing: %d then %d", rows[r-1].Live, rows[r].Live)
+		}
+	}
+}
+
+// majorOf folds a stable point tag (v2.6.14.1, v4.14.3) onto its major
+// release (v2.6.14, v4.14), mirroring gitlog's tag scheme.
+func majorOf(v string) string {
+	parts := strings.Split(v, ".")
+	if strings.HasPrefix(v, "v2.6.") && len(parts) > 3 {
+		return strings.Join(parts[:3], ".")
+	}
+	if !strings.HasPrefix(v, "v2.6.") && len(parts) > 2 {
+		return strings.Join(parts[:2], ".")
+	}
+	return v
+}
+
+// TestMinePerReleaseCounts pins the mined dataset's per-release fix counts:
+// every record carries a FixVersion, the versions bucket onto the major
+// timeline, and the per-major counts reproduce the paper's growth curve
+// (recent majors fix many more refcounting bugs than early ones).
+func TestMinePerReleaseCounts(t *testing.T) {
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 2000})
+	res := mine.Mine(h, apidb.New())
+
+	perMajor := map[string]int{}
+	for _, b := range res.Dataset {
+		if b.FixVersion == "" {
+			t.Fatalf("record %s has no FixVersion", b.Commit.ID)
+		}
+		perMajor[majorOf(b.FixVersion)]++
+	}
+	if len(perMajor) < 10 {
+		t.Fatalf("fixes bucket into only %d majors, want a spread across the timeline", len(perMajor))
+	}
+	total := 0
+	for _, n := range perMajor {
+		total += n
+	}
+	if total != len(res.Dataset) {
+		t.Errorf("per-major counts sum to %d, dataset has %d", total, len(res.Dataset))
+	}
+	// Pinned buckets for seed 1, background 2000 — regression pins on the
+	// version axis of the mining pipeline.
+	for tag, n := range map[string]int{"v2.6.14": 6, "v3.17": 52, "v5.14": 148} {
+		if perMajor[tag] != n {
+			t.Errorf("fixes landing in %s = %d, want %d", tag, perMajor[tag], n)
+		}
+	}
+	if perMajor["v5.14"] < 10*perMajor["v2.6.14"] {
+		t.Errorf("growth shape off: v2.6.14=%d v5.14=%d", perMajor["v2.6.14"], perMajor["v5.14"])
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 func buildStudy(t *testing.T) *Study {
 	t.Helper()
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 2000})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 2000})
 	res := mine.Mine(h, apidb.New())
 	return New(h, res)
 }

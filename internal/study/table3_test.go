@@ -3,13 +3,15 @@ package study
 import (
 	"testing"
 
+	"repro/internal/corpus"
+
 	"repro/internal/gitlog"
 	"repro/internal/word2vec"
 )
 
 func computeT3(t *testing.T) Table3 {
 	t.Helper()
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 4000})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 4000})
 	return ComputeTable3(h, word2vec.Config{Dim: 32, Epochs: 2, Seed: 5})
 }
 
@@ -75,7 +77,7 @@ func TestTable3Bounds(t *testing.T) {
 }
 
 func TestSentencesExtraction(t *testing.T) {
-	h := gitlog.Generate(gitlog.GenSpec{Seed: 1, Background: 50})
+	h := gitlog.Generate(corpus.Spec{Seed: 1, Background: 50})
 	all := Sentences(h, 0)
 	if len(all) < 100 {
 		t.Fatalf("sentences = %d", len(all))

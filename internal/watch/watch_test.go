@@ -1,0 +1,147 @@
+package watch
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanFiltersSourceFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.c"), "int a;")
+	write(t, filepath.Join(dir, "sub", "b.h"), "#define B")
+	write(t, filepath.Join(dir, "notes.txt"), "ignore me")
+	write(t, filepath.Join(dir, "sub", "c.o"), "\x7fELF")
+
+	snap := Scan([]string{dir})
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d files, want 2 (.c and .h only): %v", len(snap), snap)
+	}
+	for _, p := range []string{filepath.Join(dir, "a.c"), filepath.Join(dir, "sub", "b.h")} {
+		if _, ok := snap[p]; !ok {
+			t.Errorf("missing %s", p)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.c")
+	b := filepath.Join(dir, "b.c")
+	write(t, a, "int a;")
+	write(t, b, "int b;")
+	old := Scan([]string{dir})
+
+	if changed := Diff(old, Scan([]string{dir})); len(changed) != 0 {
+		t.Errorf("no-op diff reported changes: %v", changed)
+	}
+
+	// Same size, different mtime must still register (mtime is part of the
+	// content proxy — an editor save that doesn't change length is an edit).
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(a, future, future); err != nil {
+		t.Fatal(err)
+	}
+	c := filepath.Join(dir, "c.c")
+	write(t, c, "int c;")
+	if err := os.Remove(b); err != nil {
+		t.Fatal(err)
+	}
+
+	changed := Diff(old, Scan([]string{dir}))
+	sort.Strings(changed)
+	want := []string{a, b, c}
+	sort.Strings(want)
+	if len(changed) != 3 || changed[0] != want[0] || changed[1] != want[1] || changed[2] != want[2] {
+		t.Errorf("diff = %v, want modified+removed+added = %v", changed, want)
+	}
+}
+
+func TestWatchLoop(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "a.c")
+	write(t, target, "int a;\n")
+
+	var runs [][]string
+	err := Watch(context.Background(), Config{
+		Roots:    []string{dir},
+		Interval: 10 * time.Millisecond,
+		MaxRuns:  2,
+		Run: func(changed []string) error {
+			runs = append(runs, changed)
+			if len(runs) == 1 {
+				// Edit between runs: append without changing line structure.
+				f, err := os.OpenFile(target, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					return err
+				}
+				f.WriteString("/* edited */\n")
+				return f.Close()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[0] != nil {
+		t.Errorf("initial run changed = %v, want nil", runs[0])
+	}
+	if len(runs[1]) != 1 || runs[1][0] != target {
+		t.Errorf("second run changed = %v, want exactly [%s]", runs[1], target)
+	}
+}
+
+func TestWatchStopsOnRunError(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.c"), "int a;")
+	boom := errors.New("boom")
+	err := Watch(context.Background(), Config{
+		Roots:    []string{dir},
+		Interval: 10 * time.Millisecond,
+		Run:      func([]string) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the Run error", err)
+	}
+}
+
+func TestWatchHonorsContext(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.c"), "int a;")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Watch(ctx, Config{
+			Roots:    []string{dir},
+			Interval: 10 * time.Millisecond,
+			Run:      func([]string) error { return nil },
+		})
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch loop did not stop on cancellation")
+	}
+}

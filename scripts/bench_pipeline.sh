@@ -3,9 +3,16 @@
 # tiered-cache sweep (cold / disk-warm / l1-warm / concurrent-dedup), the
 # observability on/off pair (the tracing tax), the checker-phase timing
 # (facts-cold vs facts-warm on a prebuilt unit), the refcheckd serving
-# path (warm reqs/s over a real HTTP round trip), and the multi-process
-# manager sweep (worker subprocesses at 1/2/4 shards) and emit
-# BENCH_pipeline.json so successive PRs can track the perf trajectory.
+# path (warm reqs/s over a real HTTP round trip), the multi-process
+# manager sweep (worker subprocesses at 1/2/4 shards), and the large-corpus
+# pipeline (a Scale-6 refgen-shaped tree) and emit BENCH_pipeline.json so
+# successive PRs can track the perf trajectory.
+#
+# The BenchmarkPipelineLarge row carries peak_heap_mb — the sampled peak of
+# HeapInuse during the run — alongside the usual bytes/allocs per op. It is
+# the streaming front-end's budget: peak memory must track per-TU working
+# set plus retained ASTs, not whole-corpus token streams, so watch this
+# number (and allocs_per_op) when touching cpg front-end ownership.
 #
 # Usage:
 #   scripts/bench_pipeline.sh [output.json]
@@ -47,22 +54,26 @@ else
     : > "$PREV"
 fi
 
-go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase|BenchmarkServeHTTP|BenchmarkManagerShards)$' \
+go test . -run '^$' -bench '^(BenchmarkPipelineParallel|BenchmarkPipelineCache|BenchmarkPipelineObs|BenchmarkCheckerPhase|BenchmarkServeHTTP|BenchmarkManagerShards|BenchmarkPipelineLarge)$' \
     -benchtime "$BENCHTIME" -benchmem | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
-/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase|ServeHTTP|ManagerShards)\// {
+/^Benchmark(PipelineParallel|PipelineCache|PipelineObs|CheckerPhase|ServeHTTP|ManagerShards)\// ||
+/^BenchmarkPipelineLarge([ \t]|-[0-9]+[ \t])/ {
     bench = $1
     sub(/\/.*$/, "", bench)
+    sub(/-[0-9]+$/, "", bench)         # strip the GOMAXPROCS suffix
     name = $1
     sub(/^Benchmark[A-Za-z]+\//, "", name)
     sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    if (name == $1 || name == bench)   # no sub-benchmark: label the config
+        name = "scale=6"
     benches[n] = bench
     names[n] = name
     iters[n] = $2
     ns[n] = $3
-    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""; dedup[n] = ""; rps[n] = ""
+    mbs[n] = ""; reports[n] = ""; bop[n] = ""; aop[n] = ""; hit[n] = ""; dedup[n] = ""; rps[n] = ""; peak[n] = ""
     for (i = 4; i < NF; i++) {
         if ($(i + 1) == "MB/s")                mbs[n] = $i
         if ($(i + 1) == "reports")             reports[n] = $i
@@ -71,6 +82,7 @@ BEGIN { n = 0 }
         if ($(i + 1) == "unit_hit_rate")       hit[n] = $i
         if ($(i + 1) == "computes_per_4_reqs") dedup[n] = $i
         if ($(i + 1) == "reqs/s")              rps[n] = $i
+        if ($(i + 1) == "peak_heap_mb")        peak[n] = $i
     }
     n++
 }
@@ -85,6 +97,7 @@ END {
         if (hit[i] != "")     printf ", \"unit_hit_rate\": %s", hit[i]
         if (dedup[i] != "")   printf ", \"computes_per_4_reqs\": %s", dedup[i]
         if (rps[i] != "")     printf ", \"reqs_per_sec\": %s", rps[i]
+        if (peak[i] != "")    printf ", \"peak_heap_mb\": %s", peak[i]
         if (reports[i] != "") printf ", \"reports\": %s", reports[i]
         printf "}%s\n", (i < n - 1) ? "," : ""
     }

@@ -109,3 +109,59 @@ cmp -s "$tmp/uncached.txt" "$tmp/mgr-kill.txt" || {
     echo "verify: refcheck-manager with a crashed worker differs from refcheck -demo" >&2
     exit 1
 }
+
+# Manager front-end cache gate: with -cache, the workers share the tiered
+# cache's per-file front-end entries; a second run over the same corpus must
+# stay byte-identical to the uncached reference.
+"$tmp/refcheck-manager" -shards 3 -cache "$tmp/mcache" -demo > "$tmp/mgr-cold.txt"
+"$tmp/refcheck-manager" -shards 3 -cache "$tmp/mcache" -demo > "$tmp/mgr-warm.txt"
+for f in mgr-cold mgr-warm; do
+    cmp -s "$tmp/uncached.txt" "$tmp/$f.txt" || {
+        echo "verify: refcheck-manager -cache ($f) differs from refcheck -demo" >&2
+        exit 1
+    }
+done
+
+# Watch-mode gate: refgen a tree, take a cold reference run, then start
+# `refcheck -watch` with a warm cache and a 2-run budget, edit one file
+# between runs (EOF comment append — shifts no report lines), and require
+# the incremental re-run's report to be byte-identical to a cold run over
+# the edited tree.
+go build -o "$tmp/refgen" ./cmd/refgen
+"$tmp/refgen" -out "$tmp/wtree" > /dev/null
+"$tmp/refcheck" "$tmp/wtree" > "$tmp/watch-ref.txt"
+"$tmp/refcheck" -watch -watch-interval 100ms -watch-runs 2 \
+    -watch-out "$tmp/watch-out.txt" -cache "$tmp/wcache" \
+    "$tmp/wtree" 2> "$tmp/watch.log" &
+WPID=$!
+i=0
+while ! cmp -s "$tmp/watch-ref.txt" "$tmp/watch-out.txt" 2> /dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: watch mode never produced the initial report" >&2
+        cat "$tmp/watch.log" >&2
+        kill "$WPID" 2> /dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+edit_file="$(find "$tmp/wtree" -name '*.c' | sort | head -1)"
+printf '/* verify watch edit */\n' >> "$edit_file"
+watch_status=0
+wait "$WPID" || watch_status=$?
+if [ "$watch_status" -ne 0 ]; then
+    echo "verify: refcheck -watch exited $watch_status" >&2
+    cat "$tmp/watch.log" >&2
+    exit 1
+fi
+"$tmp/refcheck" "$tmp/wtree" > "$tmp/watch-cold.txt"
+cmp -s "$tmp/watch-cold.txt" "$tmp/watch-out.txt" || {
+    echo "verify: incremental watch report differs from cold run over the edited tree" >&2
+    cat "$tmp/watch.log" >&2
+    exit 1
+}
+if grep 'watch: run 2 ' "$tmp/watch.log" | grep -q 'front end: 0 hits'; then
+    echo "verify: watch re-run had no front-end cache hits" >&2
+    cat "$tmp/watch.log" >&2
+    exit 1
+fi

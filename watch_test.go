@@ -1,0 +1,131 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analysiscache"
+	"repro/internal/core"
+	"repro/internal/loader"
+	"repro/internal/obs"
+	"repro/internal/render"
+	"repro/internal/watch"
+)
+
+// renderCLI renders a run exactly as the refcheck CLI (and -watch mode) does,
+// so equality here is byte-identity of the user-visible report.
+func renderCLI(run *core.Run) string {
+	var b bytes.Buffer
+	render.WriteReports(&b, run.Reports)
+	render.WriteSummary(&b, run.Reports, run.Summary)
+	return b.String()
+}
+
+// TestWatchIncrementalRerun is the watch-mode guarantee end to end: a watch
+// loop over an on-disk tree with a persistent cache handle re-analyzes after
+// a one-file edit by recomputing exactly that file's front end (every other
+// file is an L1 hit), and the incremental report is byte-identical to a cold
+// run over the edited tree.
+func TestWatchIncrementalRerun(t *testing.T) {
+	dir := t.TempDir()
+	c, sources := kernelCorpus()
+	if err := loader.WriteTree(dir, sources, c.Headers); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, filepath.FromSlash(sources[0].Path))
+
+	cache, err := analysiscache.Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	// The refcheck -watch analysis closure: reload the tree, analyze with
+	// the shared cache handle, render as the CLI would.
+	var outputs []string
+	var runs []*core.Run
+	analyze := func() error {
+		tree, err := loader.LoadDirs(dir)
+		if err != nil {
+			return err
+		}
+		run, err := core.Analyze(context.Background(), core.Request{
+			Sources: tree.Sources, Headers: tree.Headers,
+			Options: core.Options{Cache: cache},
+			Trace:   obs.New("watch-test"),
+		})
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, renderCLI(run))
+		runs = append(runs, run)
+		return nil
+	}
+
+	err = watch.Watch(context.Background(), watch.Config{
+		Roots:    []string{dir},
+		Interval: 10 * time.Millisecond,
+		MaxRuns:  2,
+		Run: func(changed []string) error {
+			if err := analyze(); err != nil {
+				return err
+			}
+			if len(outputs) == 1 {
+				// The synthetic edit stream: append a comment to one file.
+				// Appending at EOF shifts no report line numbers, so the
+				// rendered output must not change at all.
+				f, err := os.OpenFile(target, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := f.WriteString("/* watch edit */\n"); err != nil {
+					return err
+				}
+				return f.Close()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("watch performed %d runs, want 2", len(runs))
+	}
+
+	// Exactly-one-file recompute: on the re-run every unedited file's front
+	// end comes from the warm cache; only the edited file misses.
+	n := int64(len(sources))
+	if hits := runs[1].Metric("frontend.cache.hit"); hits != n-1 {
+		t.Errorf("re-run frontend hits = %d, want %d (all but the edited file)", hits, n-1)
+	}
+	if misses := runs[1].Metric("frontend.cache.miss"); misses != 1 {
+		t.Errorf("re-run frontend misses = %d, want exactly 1 (the edited file)", misses)
+	}
+	if cold := runs[0].Metric("frontend.cache.miss"); cold != n {
+		t.Errorf("cold run frontend misses = %d, want %d", cold, n)
+	}
+
+	// Byte-identity against a cold, cache-free run over the edited tree.
+	tree, err := loader.LoadDirs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.Analyze(context.Background(), core.Request{
+		Sources: tree.Sources, Headers: tree.Headers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputs[1] != renderCLI(fresh) {
+		t.Error("incremental watch output differs from a cold run over the edited tree")
+	}
+	// And the EOF comment edit must not have changed any diagnostics.
+	if outputs[1] != outputs[0] {
+		t.Error("EOF comment edit changed the rendered report")
+	}
+}
